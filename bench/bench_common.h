@@ -1,0 +1,69 @@
+#ifndef FREEHGC_BENCH_BENCH_COMMON_H_
+#define FREEHGC_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the per-table/figure benchmark harnesses. Every bench
+// generates its synthetic datasets, runs the methods, and prints rows in
+// the same structure as the corresponding table or figure of the paper
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "datasets/generator.h"
+#include "eval/experiment.h"
+#include "hgnn/trainer.h"
+
+namespace freehgc::bench {
+
+/// A dataset plus its prebuilt evaluation context (meta-paths + full-graph
+/// propagated features) and the shared evaluator configuration.
+struct Env {
+  HeteroGraph graph;
+  hgnn::EvalContext ctx;
+  hgnn::HgnnConfig eval_cfg;
+};
+
+/// Repo-default dataset scales: mid-scale datasets run at full preset
+/// size; AMiner is halved (still ~55k nodes) to keep the large-scale
+/// benches within a 1-core budget.
+inline double DefaultScale(const std::string& name) {
+  return name == "aminer" ? 0.5 : 1.0;
+}
+
+/// Builds a dataset + evaluation context. `max_paths` caps meta-path
+/// enumeration (12 by default; many-relation schemas truncate).
+inline std::unique_ptr<Env> MakeEnv(const std::string& name,
+                                    uint64_t seed = 1, int max_paths = 12,
+                                    double scale = -1.0) {
+  auto env = std::make_unique<Env>();
+  auto g = datasets::MakeByName(name, seed,
+                                scale > 0 ? scale : DefaultScale(name));
+  FREEHGC_CHECK(g.ok());
+  env->graph = std::move(g).value();
+  hgnn::PropagateOptions popts;
+  popts.max_hops = std::min(3, datasets::RecommendedHops(name));
+  popts.max_paths = max_paths;
+  env->ctx = hgnn::BuildEvalContext(env->graph, popts);
+  env->eval_cfg.kind = hgnn::HgnnKind::kSeHGNN;  // test model of the paper
+  env->eval_cfg.hidden = 32;
+  env->eval_cfg.epochs = 60;
+  env->eval_cfg.patience = 0;
+  return env;
+}
+
+/// Default seed set for mean ± std aggregation (the paper uses 5 seeds; 3
+/// keeps the full suite within the 1-core budget).
+inline std::vector<uint64_t> Seeds() { return {1, 2, 3}; }
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace freehgc::bench
+
+#endif  // FREEHGC_BENCH_BENCH_COMMON_H_

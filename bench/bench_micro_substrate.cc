@@ -1,0 +1,112 @@
+// Micro-benchmarks of the substrate operations (google-benchmark): sparse
+// composition (SpGEMM), personalized PageRank, lazy-greedy coverage
+// selection, pre-propagation, and one HGNN training epoch. These are the
+// kernels whose costs Figs. 2(b) and 8 aggregate.
+#include <benchmark/benchmark.h>
+
+#include "core/target_selection.h"
+#include "datasets/generator.h"
+#include "hgnn/models.h"
+#include "hgnn/propagate.h"
+#include "metapath/metapath.h"
+#include "nn/nn.h"
+#include "sparse/ops.h"
+
+namespace freehgc {
+namespace {
+
+const HeteroGraph& ToyGraph() {
+  static const HeteroGraph* g =
+      new HeteroGraph(datasets::MakeAcm(1, /*scale=*/0.3));
+  return *g;
+}
+
+void BM_SpGemmComposition(benchmark::State& state) {
+  const HeteroGraph& g = ToyGraph();
+  MetaPathOptions opts;
+  opts.max_hops = static_cast<int>(state.range(0));
+  opts.max_paths = 4;
+  const auto paths = EnumerateMetaPaths(g, g.target_type(), opts);
+  for (auto _ : state) {
+    for (const auto& p : paths) {
+      benchmark::DoNotOptimize(ComposeAdjacency(g, p, 512));
+    }
+  }
+  state.SetLabel(std::to_string(paths.size()) + " paths");
+}
+BENCHMARK(BM_SpGemmComposition)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PersonalizedPageRank(benchmark::State& state) {
+  const HeteroGraph& g = ToyGraph();
+  const CsrMatrix sym = sparse::SymNormalize(
+      sparse::Symmetrize(g.relation(0).adj));
+  std::vector<float> teleport(static_cast<size_t>(sym.rows()), 0.0f);
+  for (int i = 0; i < 10; ++i) teleport[static_cast<size_t>(i)] = 0.1f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::PprScores(sym, teleport, 0.15f,
+                          static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PersonalizedPageRank)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_GreedyCoverage(benchmark::State& state) {
+  const HeteroGraph& g = ToyGraph();
+  MetaPathOptions opts;
+  opts.max_hops = 2;
+  opts.max_paths = 1;
+  const auto paths = EnumerateMetaPaths(g, g.target_type(), opts);
+  const CsrMatrix adj = ComposeAdjacency(g, paths[0], 512);
+  std::vector<int32_t> pool;
+  for (int32_t v = 0; v < adj.rows(); ++v) pool.push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::GreedyCoverageSelect(
+        adj, pool, static_cast<int32_t>(state.range(0)), nullptr, true));
+  }
+}
+BENCHMARK(BM_GreedyCoverage)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Propagate(benchmark::State& state) {
+  const HeteroGraph& g = ToyGraph();
+  hgnn::PropagateOptions opts;
+  opts.max_hops = 2;
+  opts.max_paths = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hgnn::PropagateFeatures(g, opts));
+  }
+}
+BENCHMARK(BM_Propagate)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  const HeteroGraph& g = ToyGraph();
+  hgnn::PropagateOptions opts;
+  opts.max_hops = 2;
+  opts.max_paths = 8;
+  const hgnn::PropagatedFeatures feats = hgnn::PropagateFeatures(g, opts);
+  std::vector<int64_t> dims;
+  for (const auto& b : feats.blocks) dims.push_back(b.cols());
+  hgnn::HgnnConfig cfg;
+  cfg.kind = static_cast<hgnn::HgnnKind>(state.range(0));
+  cfg.hidden = 32;
+  hgnn::HgnnModel model(cfg, dims, feats.end_types, g.num_classes());
+  nn::Adam opt(1e-3f);
+  auto params = model.Params();
+  for (auto _ : state) {
+    model.ZeroGrad();
+    Matrix logits = model.Forward(feats.blocks, true);
+    Matrix dlogits;
+    nn::SoftmaxCrossEntropy(logits, g.labels(), g.train_index(), &dlogits);
+    model.Backward(dlogits);
+    opt.Step(params);
+  }
+  state.SetLabel(hgnn::HgnnKindName(cfg.kind));
+}
+BENCHMARK(BM_TrainEpoch)
+    ->Arg(static_cast<int>(hgnn::HgnnKind::kHeteroSGC))
+    ->Arg(static_cast<int>(hgnn::HgnnKind::kSeHGNN))
+    ->Arg(static_cast<int>(hgnn::HgnnKind::kHAN));
+
+}  // namespace
+}  // namespace freehgc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+#include "baselines/coarsening.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/freehgc.h"
+#include "sparse/ops.h"
+
+namespace freehgc::baselines {
+
+namespace {
+
+int32_t Budget(double ratio, int32_t count) {
+  if (count == 0) return 0;
+  return std::max<int32_t>(
+      1, static_cast<int32_t>(std::lround(ratio * count)));
+}
+
+/// Splits `order` into `groups` contiguous chunks (sizes differing by at
+/// most one).
+std::vector<std::vector<int32_t>> Chunk(const std::vector<int32_t>& order,
+                                        int32_t groups) {
+  std::vector<std::vector<int32_t>> out;
+  if (order.empty() || groups <= 0) return out;
+  const size_t n = order.size();
+  const size_t g = std::min<size_t>(static_cast<size_t>(groups), n);
+  out.resize(g);
+  for (size_t i = 0; i < n; ++i) {
+    out[i * g / n].push_back(order[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BaselineResult> CoarseningCondense(const HeteroGraph& g, double ratio,
+                                          int smoothing_rounds,
+                                          uint64_t seed) {
+  if (g.target_type() < 0) {
+    return Status::FailedPrecondition("graph has no target type");
+  }
+  Timer timer;
+  Rng rng(seed);
+  const TypeId target = g.target_type();
+
+  // Diffusion coordinates: random scalar per node, smoothed across the
+  // typed adjacency a few rounds.
+  std::vector<std::vector<float>> coord(
+      static_cast<size_t>(g.NumNodeTypes()));
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    coord[static_cast<size_t>(t)].resize(
+        static_cast<size_t>(g.NodeCount(t)));
+    for (auto& x : coord[static_cast<size_t>(t)]) {
+      x = static_cast<float>(rng.NextDouble());
+    }
+  }
+  // Pre-normalize adjacencies once.
+  std::vector<CsrMatrix> norm;
+  norm.reserve(static_cast<size_t>(g.NumRelations()));
+  for (RelationId r = 0; r < g.NumRelations(); ++r) {
+    norm.push_back(sparse::RowNormalize(g.relation(r).adj));
+  }
+  for (int round = 0; round < smoothing_rounds; ++round) {
+    std::vector<std::vector<float>> next(coord.size());
+    std::vector<int32_t> contributions(coord.size(), 0);
+    for (size_t t = 0; t < coord.size(); ++t) {
+      next[t].assign(coord[t].size(), 0.0f);
+    }
+    for (RelationId r = 0; r < g.NumRelations(); ++r) {
+      const TypeId src = g.relation(r).src_type;
+      const TypeId dst = g.relation(r).dst_type;
+      const std::vector<float> prop = sparse::SpMv(
+          norm[static_cast<size_t>(r)], coord[static_cast<size_t>(dst)]);
+      for (size_t i = 0; i < prop.size(); ++i) {
+        next[static_cast<size_t>(src)][i] += prop[i];
+      }
+      ++contributions[static_cast<size_t>(src)];
+    }
+    for (size_t t = 0; t < coord.size(); ++t) {
+      if (contributions[t] == 0) continue;  // isolated type: keep coords
+      const float inv = 1.0f / static_cast<float>(contributions[t]);
+      for (size_t i = 0; i < coord[t].size(); ++i) {
+        // Mix with the previous value so distinct nodes keep distinct
+        // coordinates even in regular regions.
+        coord[t][i] = 0.5f * coord[t][i] + 0.5f * next[t][i] * inv;
+      }
+    }
+  }
+
+  // Total degree per node (representative choice for target groups).
+  std::vector<std::vector<int64_t>> degree(
+      static_cast<size_t>(g.NumNodeTypes()));
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    degree[static_cast<size_t>(t)].assign(
+        static_cast<size_t>(g.NodeCount(t)), 0);
+  }
+  for (RelationId r = 0; r < g.NumRelations(); ++r) {
+    const TypeId src = g.relation(r).src_type;
+    const auto deg = g.relation(r).adj.RowDegrees();
+    for (size_t i = 0; i < deg.size(); ++i) {
+      degree[static_cast<size_t>(src)][i] += deg[i];
+    }
+  }
+
+  std::vector<core::TypeMapping> mappings(
+      static_cast<size_t>(g.NumNodeTypes()));
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    const int32_t n = g.NodeCount(t);
+    const int32_t budget = Budget(ratio, n);
+    auto& mapping = mappings[static_cast<size_t>(t)];
+    if (t == target) {
+      // Group within each class, then keep the highest-degree member of
+      // each group as its representative.
+      for (int32_t c = 0; c < g.num_classes(); ++c) {
+        std::vector<int32_t> order;
+        for (int32_t v = 0; v < n; ++v) {
+          if (g.labels()[static_cast<size_t>(v)] == c) order.push_back(v);
+        }
+        if (order.empty()) continue;
+        const int32_t class_groups = std::max<int32_t>(
+            1, static_cast<int32_t>(std::lround(
+                   static_cast<double>(budget) * order.size() / n)));
+        std::stable_sort(order.begin(), order.end(),
+                         [&](int32_t a, int32_t b) {
+                           return coord[static_cast<size_t>(t)]
+                                       [static_cast<size_t>(a)] <
+                                  coord[static_cast<size_t>(t)]
+                                       [static_cast<size_t>(b)];
+                         });
+        for (const auto& group : Chunk(order, class_groups)) {
+          int32_t rep = group.front();
+          for (int32_t v : group) {
+            if (degree[static_cast<size_t>(t)][static_cast<size_t>(v)] >
+                degree[static_cast<size_t>(t)][static_cast<size_t>(rep)]) {
+              rep = v;
+            }
+          }
+          mapping.keep.push_back(rep);
+        }
+      }
+      std::sort(mapping.keep.begin(), mapping.keep.end());
+    } else {
+      std::vector<int32_t> order(static_cast<size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int32_t a, int32_t b) {
+                         return coord[static_cast<size_t>(t)]
+                                     [static_cast<size_t>(a)] <
+                                coord[static_cast<size_t>(t)]
+                                     [static_cast<size_t>(b)];
+                       });
+      mapping.synthesized = true;
+      mapping.members = Chunk(order, budget);
+      const Matrix& feats = g.Features(t);
+      mapping.synthetic_features =
+          Matrix(static_cast<int64_t>(mapping.members.size()), feats.cols());
+      for (size_t k = 0; k < mapping.members.size(); ++k) {
+        const auto mean = dense::ColumnMean(feats, mapping.members[k]);
+        std::copy(mean.begin(), mean.end(),
+                  mapping.synthetic_features.Row(static_cast<int64_t>(k)));
+      }
+    }
+  }
+
+  FREEHGC_ASSIGN_OR_RETURN(HeteroGraph condensed,
+                           core::AssembleCondensedGraph(g, mappings));
+  BaselineResult out;
+  out.graph = std::move(condensed);
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace freehgc::baselines

@@ -1,0 +1,30 @@
+#ifndef FREEHGC_BASELINES_COARSENING_H_
+#define FREEHGC_BASELINES_COARSENING_H_
+
+#include <cstdint>
+
+#include "baselines/coreset.h"
+#include "common/result.h"
+#include "graph/hetero_graph.h"
+
+namespace freehgc::baselines {
+
+/// Coarsening-HG: a variation-neighborhoods-style coarsener (Huang et al.
+/// 2021, adapted to heterogeneous input as the paper does).
+///
+/// Nodes with similar neighborhoods are grouped into super-nodes. The
+/// similarity proxy is a diffusion coordinate: a random vector smoothed by
+/// a few rounds of row-normalized adjacency multiplication, under which
+/// nodes with overlapping neighborhoods land close together. Each type is
+/// sorted by that coordinate (target nodes additionally grouped by class
+/// so labels stay well-defined) and chunked into r * N_type groups.
+/// Other-type super-nodes are synthesized with mean features; target-type
+/// groups are represented by their highest-degree member (labels cannot be
+/// averaged).
+Result<BaselineResult> CoarseningCondense(const HeteroGraph& g, double ratio,
+                                          int smoothing_rounds,
+                                          uint64_t seed);
+
+}  // namespace freehgc::baselines
+
+#endif  // FREEHGC_BASELINES_COARSENING_H_

@@ -1,0 +1,41 @@
+#ifndef FREEHGC_BASELINES_CORESET_H_
+#define FREEHGC_BASELINES_CORESET_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/hetero_graph.h"
+#include "hgnn/trainer.h"
+
+namespace freehgc::baselines {
+
+/// Coreset family used by the paper: Random-HG, Herding-HG (Welling 2009)
+/// and K-Center-HG (Sener & Savarese 2018), extended to heterogeneous
+/// graphs exactly as the paper describes — selection runs on HGNN
+/// embeddings for the (labeled) target type and on raw features for the
+/// other types.
+enum class CoresetKind { kRandom, kHerding, kKCenter };
+
+const char* CoresetKindName(CoresetKind kind);
+
+/// Output of any subgraph-producing condenser.
+struct BaselineResult {
+  HeteroGraph graph;
+  double seconds = 0.0;
+};
+
+/// Condenses `ctx.full` to ratio r with the given coreset selector.
+///
+/// Target-type nodes are selected class-proportionally from the training
+/// pool using the concatenated pre-propagated meta-path blocks of `ctx`
+/// as the embedding space (the paper uses trained SeHGNN intermediate
+/// embeddings; the training-free propagated features are this repo's
+/// model-free stand-in — see DESIGN.md). Other-type nodes are selected on
+/// their raw features. The result is the induced subgraph.
+Result<BaselineResult> CoresetCondense(const hgnn::EvalContext& ctx,
+                                       CoresetKind kind, double ratio,
+                                       uint64_t seed);
+
+}  // namespace freehgc::baselines
+
+#endif  // FREEHGC_BASELINES_CORESET_H_

@@ -1,0 +1,61 @@
+#ifndef FREEHGC_COMMON_LOGGING_H_
+#define FREEHGC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace freehgc {
+
+/// Severity levels for the minimal logging facility. The threshold is
+/// process-global and defaults to kInfo; set with SetLogLevel.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. Fatal lines abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define FREEHGC_LOG(level)                                              \
+  ::freehgc::internal::LogMessage(::freehgc::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)
+
+/// Unconditional invariant check; aborts with a message on failure. Used
+/// for programmer errors (violated preconditions inside the library), not
+/// for user-input validation (which returns Status).
+#define FREEHGC_CHECK(cond)                                              \
+  if (!(cond))                                                           \
+  ::freehgc::internal::LogMessage(::freehgc::LogLevel::kError, __FILE__, \
+                                  __LINE__, /*fatal=*/true)              \
+      << "Check failed: " #cond " "
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_LOGGING_H_

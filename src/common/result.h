@@ -1,0 +1,85 @@
+#ifndef FREEHGC_COMMON_RESULT_H_
+#define FREEHGC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace freehgc {
+
+/// Value-or-error carrier: either holds a T or a non-OK Status.
+///
+/// Modeled after arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit from a non-OK status (failure). Constructing from an OK
+  /// status without a value is invalid and converted to an Internal error.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function (which must return Status or
+/// Result<U>).
+#define FREEHGC_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto FREEHGC_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!FREEHGC_CONCAT_(_res_, __LINE__).ok())         \
+    return FREEHGC_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(FREEHGC_CONCAT_(_res_, __LINE__)).value()
+
+#define FREEHGC_CONCAT_IMPL_(a, b) a##b
+#define FREEHGC_CONCAT_(a, b) FREEHGC_CONCAT_IMPL_(a, b)
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_RESULT_H_

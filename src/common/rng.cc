@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace freehgc {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& si : s_) si = SplitMix64(sm);
+  // Avoid the pathological all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextUniform(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+float Rng::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = static_cast<float>(r * std::sin(theta));
+  have_cached_gaussian_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+float Rng::NextGaussian(float mean, float stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0 ? w : 0);
+  if (total <= 0.0 || weights.empty()) {
+    return weights.empty() ? 0 : static_cast<size_t>(
+                                     NextBounded(weights.size()));
+  }
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<int32_t> Rng::SampleWithoutReplacement(int32_t n, int32_t k) {
+  if (n <= 0 || k <= 0) return {};
+  if (k > n) k = n;
+  std::vector<int32_t> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher-Yates: shuffle only the first k slots.
+  for (int32_t i = 0; i < k; ++i) {
+    int32_t j = i + static_cast<int32_t>(
+                        NextBounded(static_cast<uint64_t>(n - i)));
+    std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+  }
+  pool.resize(static_cast<size_t>(k));
+  return pool;
+}
+
+}  // namespace freehgc

@@ -1,0 +1,30 @@
+#ifndef FREEHGC_COMMON_STRING_UTIL_H_
+#define FREEHGC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace freehgc {
+
+/// Joins string pieces with a separator ("a", "b" + "-" -> "a-b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single-character separator; empty pieces are kept.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a byte count with a binary unit suffix (e.g. "1.5MB").
+std::string HumanBytes(size_t bytes);
+
+/// Left-pads/truncates `s` to exactly `width` characters (for ASCII
+/// tables).
+std::string PadRight(const std::string& s, size_t width);
+std::string PadLeft(const std::string& s, size_t width);
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef FREEHGC_COMMON_TIMER_H_
+#define FREEHGC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace freehgc {
+
+/// Monotonic wall-clock stopwatch used by the experiment harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_TIMER_H_

@@ -1,0 +1,143 @@
+#include "core/selection_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace freehgc::core {
+
+std::vector<int32_t> RandomSelect(const std::vector<int32_t>& pool,
+                                  int32_t budget, uint64_t seed) {
+  Rng rng(seed);
+  const int32_t n = static_cast<int32_t>(pool.size());
+  std::vector<int32_t> picks =
+      rng.SampleWithoutReplacement(n, std::min(budget, n));
+  std::vector<int32_t> out;
+  out.reserve(picks.size());
+  for (int32_t i : picks) out.push_back(pool[static_cast<size_t>(i)]);
+  return out;
+}
+
+std::vector<int32_t> HerdingSelect(const Matrix& features,
+                                   const std::vector<int32_t>& pool,
+                                   int32_t budget) {
+  const int32_t n = static_cast<int32_t>(pool.size());
+  const int32_t k = std::min(budget, n);
+  if (k <= 0) return {};
+  const int64_t d = features.cols();
+
+  std::vector<float> mean = dense::ColumnMean(features, pool);
+  // Herding state: target = (t+1) * mean - sum(selected features); pick the
+  // pool element closest to the current target direction.
+  std::vector<float> selected_sum(static_cast<size_t>(d), 0.0f);
+  std::vector<bool> used(pool.size(), false);
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int32_t t = 0; t < k; ++t) {
+    float best_score = -std::numeric_limits<float>::infinity();
+    int32_t best = -1;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      const float* row = features.Row(pool[i]);
+      // score = <w, x_i> where w = (t+1)*mean - selected_sum.
+      float score = 0.0f;
+      for (int64_t c = 0; c < d; ++c) {
+        const float w = static_cast<float>(t + 1) *
+                            mean[static_cast<size_t>(c)] -
+                        selected_sum[static_cast<size_t>(c)];
+        score += w * row[c];
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int32_t>(i);
+      }
+    }
+    FREEHGC_CHECK(best >= 0);
+    used[static_cast<size_t>(best)] = true;
+    const float* row = features.Row(pool[static_cast<size_t>(best)]);
+    for (int64_t c = 0; c < d; ++c) {
+      selected_sum[static_cast<size_t>(c)] += row[c];
+    }
+    out.push_back(pool[static_cast<size_t>(best)]);
+  }
+  return out;
+}
+
+std::vector<int32_t> KCenterSelect(const Matrix& features,
+                                   const std::vector<int32_t>& pool,
+                                   int32_t budget, uint64_t seed) {
+  const int32_t n = static_cast<int32_t>(pool.size());
+  const int32_t k = std::min(budget, n);
+  if (k <= 0) return {};
+  Rng rng(seed);
+  std::vector<float> min_dist(pool.size(),
+                              std::numeric_limits<float>::infinity());
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(k));
+  int32_t cur = static_cast<int32_t>(rng.NextBounded(pool.size()));
+  for (int32_t t = 0; t < k; ++t) {
+    out.push_back(pool[static_cast<size_t>(cur)]);
+    // Update distances to nearest selected center; next center is the
+    // farthest point.
+    float far_dist = -1.0f;
+    int32_t far = cur;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const float dist = dense::RowSquaredDistance(
+          features, pool[i], features, pool[static_cast<size_t>(cur)]);
+      if (dist < min_dist[i]) min_dist[i] = dist;
+      if (min_dist[i] > far_dist) {
+        far_dist = min_dist[i];
+        far = static_cast<int32_t>(i);
+      }
+    }
+    cur = far;
+  }
+  return out;
+}
+
+std::vector<int32_t> PerClassBudget(const std::vector<int32_t>& labels,
+                                    const std::vector<int32_t>& pool,
+                                    int32_t num_classes, int32_t budget) {
+  std::vector<int32_t> counts(static_cast<size_t>(num_classes), 0);
+  for (int32_t v : pool) ++counts[static_cast<size_t>(labels[static_cast<size_t>(v)])];
+  const int64_t total = static_cast<int64_t>(pool.size());
+  std::vector<int32_t> out(static_cast<size_t>(num_classes), 0);
+  if (total == 0 || budget <= 0) return out;
+  int32_t assigned = 0;
+  for (int32_t c = 0; c < num_classes; ++c) {
+    if (counts[static_cast<size_t>(c)] == 0) continue;
+    int32_t b = static_cast<int32_t>(std::lround(
+        static_cast<double>(budget) * counts[static_cast<size_t>(c)] /
+        static_cast<double>(total)));
+    b = std::max<int32_t>(1, std::min(b, counts[static_cast<size_t>(c)]));
+    out[static_cast<size_t>(c)] = b;
+    assigned += b;
+  }
+  // Adjust rounding drift toward the exact budget where possible.
+  int32_t drift = assigned - budget;
+  for (int32_t c = 0; drift != 0 && c < num_classes; ++c) {
+    auto& b = out[static_cast<size_t>(c)];
+    if (drift > 0 && b > 1) {
+      --b;
+      --drift;
+    } else if (drift < 0 && b > 0 && b < counts[static_cast<size_t>(c)]) {
+      ++b;
+      ++drift;
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> PoolOfClass(const std::vector<int32_t>& labels,
+                                 const std::vector<int32_t>& pool,
+                                 int32_t c) {
+  std::vector<int32_t> out;
+  for (int32_t v : pool) {
+    if (labels[static_cast<size_t>(v)] == c) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace freehgc::core

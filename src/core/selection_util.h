@@ -1,0 +1,43 @@
+#ifndef FREEHGC_CORE_SELECTION_UTIL_H_
+#define FREEHGC_CORE_SELECTION_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dense/matrix.h"
+
+namespace freehgc::core {
+
+/// Uniformly samples `budget` ids from `pool` (deterministic under seed).
+std::vector<int32_t> RandomSelect(const std::vector<int32_t>& pool,
+                                  int32_t budget, uint64_t seed);
+
+/// Herding (Welling 2009): greedily picks pool elements whose running
+/// feature mean tracks the pool's feature mean. `features` is indexed by
+/// the ids appearing in `pool`.
+std::vector<int32_t> HerdingSelect(const Matrix& features,
+                                   const std::vector<int32_t>& pool,
+                                   int32_t budget);
+
+/// K-center (farthest-point) selection: picks centers minimizing the
+/// maximum distance from any pool element to its nearest center.
+std::vector<int32_t> KCenterSelect(const Matrix& features,
+                                   const std::vector<int32_t>& pool,
+                                   int32_t budget, uint64_t seed);
+
+/// Splits an overall budget across classes proportionally to class sizes
+/// in `labels` restricted to `pool` (at least 1 per non-empty class, total
+/// == budget). Returns per-class budgets of length num_classes.
+std::vector<int32_t> PerClassBudget(const std::vector<int32_t>& labels,
+                                    const std::vector<int32_t>& pool,
+                                    int32_t num_classes, int32_t budget);
+
+/// Pools elements of class `c`.
+std::vector<int32_t> PoolOfClass(const std::vector<int32_t>& labels,
+                                 const std::vector<int32_t>& pool,
+                                 int32_t c);
+
+}  // namespace freehgc::core
+
+#endif  // FREEHGC_CORE_SELECTION_UTIL_H_

@@ -1,0 +1,231 @@
+#include "core/target_selection.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/selection_util.h"
+#include "sparse/ops.h"
+
+namespace freehgc::core {
+
+std::vector<int32_t> PruneUninfluentialByWalks(
+    const CsrMatrix& adj, const std::vector<int32_t>& pool,
+    double prune_fraction, int walks, int length, uint64_t seed) {
+  if (prune_fraction <= 0.0 || pool.size() < 4) return pool;
+  const CsrMatrix adj_t = sparse::Transpose(adj);
+  Rng rng(seed);
+  std::vector<std::pair<int64_t, int32_t>> scored;  // (visits, node)
+  scored.reserve(pool.size());
+  std::vector<int32_t> visited;
+  for (int32_t v : pool) {
+    visited.clear();
+    for (int w = 0; w < walks; ++w) {
+      int32_t row = v;
+      for (int step = 0; step < length; ++step) {
+        const auto cols = adj.RowIndices(row);
+        if (cols.empty()) break;
+        const int32_t col = cols[static_cast<size_t>(
+            rng.NextBounded(cols.size()))];
+        visited.push_back(col);
+        const auto rows = adj_t.RowIndices(col);
+        if (rows.empty()) break;
+        row = rows[static_cast<size_t>(rng.NextBounded(rows.size()))];
+      }
+    }
+    std::sort(visited.begin(), visited.end());
+    const int64_t distinct = static_cast<int64_t>(
+        std::unique(visited.begin(), visited.end()) - visited.begin());
+    scored.push_back({distinct, v});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  const size_t keep = std::max<size_t>(
+      2, static_cast<size_t>((1.0 - prune_fraction) * pool.size()));
+  std::vector<int32_t> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep && i < scored.size(); ++i) {
+    out.push_back(scored[i].second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Lazy-greedy priority-queue entry: cached (possibly stale) gain for a
+/// candidate node.
+struct Candidate {
+  double gain;
+  int32_t node;
+  int64_t computed_at;  // selection round the gain was computed in
+
+  bool operator<(const Candidate& other) const {
+    return gain < other.gain;  // max-heap
+  }
+};
+
+}  // namespace
+
+std::vector<int32_t> GreedyCoverageSelect(
+    const CsrMatrix& adj, const std::vector<int32_t>& pool, int32_t budget,
+    const std::vector<float>* diversity, bool use_coverage,
+    std::vector<double>* gains_out) {
+  const int32_t k =
+      std::min<int32_t>(budget, static_cast<int32_t>(pool.size()));
+  if (gains_out != nullptr) gains_out->clear();
+  if (k <= 0) return {};
+
+  // Normalization factor |R_hat| of Eq. 8: the number of source-type
+  // nodes, exactly as the paper chooses it.
+  const double inv_cols =
+      adj.cols() > 0 ? 1.0 / static_cast<double>(adj.cols()) : 0.0;
+  std::vector<uint8_t> covered(static_cast<size_t>(adj.cols()), 0);
+
+  auto node_gain = [&](int32_t v) {
+    double gain = 0.0;
+    if (use_coverage) {
+      int64_t fresh = 0;
+      for (int32_t c : adj.RowIndices(v)) {
+        if (!covered[static_cast<size_t>(c)]) ++fresh;
+      }
+      gain += static_cast<double>(fresh) * inv_cols;
+    }
+    if (diversity != nullptr) {
+      gain += (*diversity)[static_cast<size_t>(v)];
+    }
+    return gain;
+  };
+
+  std::priority_queue<Candidate> heap;
+  for (int32_t v : pool) heap.push({node_gain(v), v, 0});
+
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(k));
+  int64_t round = 0;
+  while (static_cast<int32_t>(out.size()) < k && !heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    if (top.computed_at != round) {
+      // Stale: coverage can only have shrunk. Recompute and reinsert.
+      top.gain = node_gain(top.node);
+      top.computed_at = round;
+      heap.push(top);
+      continue;
+    }
+    out.push_back(top.node);
+    if (gains_out != nullptr) gains_out->push_back(top.gain);
+    for (int32_t c : adj.RowIndices(top.node)) {
+      covered[static_cast<size_t>(c)] = 1;
+    }
+    ++round;
+  }
+  return out;
+}
+
+std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
+                                         const std::vector<MetaPath>& paths,
+                                         int32_t budget,
+                                         const TargetSelectionOptions& opts,
+                                         std::vector<double>* scores_out) {
+  const TypeId target = g.target_type();
+  FREEHGC_CHECK(target >= 0);
+  const int32_t n_target = g.NodeCount(target);
+  const std::vector<int32_t>& labels = g.labels();
+  const std::vector<int32_t>& pool = g.train_index();
+  const int32_t num_classes = g.num_classes();
+
+  std::vector<double> score(static_cast<size_t>(n_target), 0.0);
+
+  // Compose every meta-path adjacency once, grouped by end type for the
+  // Jaccard term (Eq. 6 compares paths sharing source and target types).
+  std::map<TypeId, std::vector<size_t>> group_of_end;
+  std::vector<CsrMatrix> composed;
+  composed.reserve(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    FREEHGC_CHECK(paths[i].start_type() == target);
+    composed.push_back(ComposeAdjacency(g, paths[i], opts.max_row_nnz));
+    group_of_end[paths[i].end_type()].push_back(i);
+  }
+
+  // Per-path per-node diversity 1 - J_hat (Eq. 7); zero when disabled or
+  // the path is alone in its group.
+  std::vector<std::vector<float>> diversity(paths.size());
+  if (opts.use_jaccard) {
+    for (const auto& [end, members] : group_of_end) {
+      std::vector<const CsrMatrix*> group;
+      for (size_t i : members) group.push_back(&composed[i]);
+      const auto jac = PerPathJaccard(group);
+      for (size_t gi = 0; gi < members.size(); ++gi) {
+        auto& div = diversity[members[gi]];
+        div.resize(static_cast<size_t>(n_target));
+        for (int32_t v = 0; v < n_target; ++v) {
+          div[static_cast<size_t>(v)] =
+              1.0f - jac[gi][static_cast<size_t>(v)];
+        }
+      }
+    }
+  }
+
+  const std::vector<int32_t> class_budget =
+      PerClassBudget(labels, pool, num_classes, budget);
+
+  // Algorithm 1's double loop: per meta-path, per class, greedy-select and
+  // accumulate marginal-gain scores.
+  for (size_t m = 0; m < composed.size(); ++m) {
+    const std::vector<float>* div =
+        (opts.use_jaccard && !diversity[m].empty()) ? &diversity[m]
+                                                    : nullptr;
+    if (!opts.use_receptive_field && div == nullptr) {
+      // Both terms disabled (degenerate ablation): fall back to degree.
+      for (int32_t v : pool) {
+        score[static_cast<size_t>(v)] +=
+            static_cast<double>(composed[m].RowNnz(v));
+      }
+      continue;
+    }
+    for (int32_t c = 0; c < num_classes; ++c) {
+      std::vector<int32_t> class_pool = PoolOfClass(labels, pool, c);
+      if (class_pool.empty()) continue;
+      if (opts.walk_prune_fraction > 0.0) {
+        class_pool = PruneUninfluentialByWalks(
+            composed[m], class_pool, opts.walk_prune_fraction,
+            opts.walk_count, opts.walk_length,
+            opts.seed ^ (m * 131 + c));
+      }
+      std::vector<double> gains;
+      const std::vector<int32_t> picked = GreedyCoverageSelect(
+          composed[m], class_pool, class_budget[static_cast<size_t>(c)],
+          div, opts.use_receptive_field, &gains);
+      for (size_t i = 0; i < picked.size(); ++i) {
+        score[static_cast<size_t>(picked[i])] += gains[i];
+      }
+    }
+  }
+
+  // Eq. 9: class-by-class top-k on the aggregated scores, preserving the
+  // original class proportions.
+  std::vector<int32_t> out;
+  for (int32_t c = 0; c < num_classes; ++c) {
+    std::vector<int32_t> class_pool = PoolOfClass(labels, pool, c);
+    const int32_t bc = class_budget[static_cast<size_t>(c)];
+    if (bc <= 0 || class_pool.empty()) continue;
+    std::stable_sort(class_pool.begin(), class_pool.end(),
+                     [&](int32_t a, int32_t b) {
+                       return score[static_cast<size_t>(a)] >
+                              score[static_cast<size_t>(b)];
+                     });
+    class_pool.resize(
+        std::min<size_t>(class_pool.size(), static_cast<size_t>(bc)));
+    out.insert(out.end(), class_pool.begin(), class_pool.end());
+  }
+  std::sort(out.begin(), out.end());
+  if (scores_out != nullptr) *scores_out = std::move(score);
+  return out;
+}
+
+}  // namespace freehgc::core

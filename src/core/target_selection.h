@@ -1,0 +1,77 @@
+#ifndef FREEHGC_CORE_TARGET_SELECTION_H_
+#define FREEHGC_CORE_TARGET_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "metapath/metapath.h"
+
+namespace freehgc::core {
+
+/// Controls for the unified data-selection criterion of Section IV-B
+/// (Eqs. 2-9). The two booleans are the Table VIII ablation switches.
+struct TargetSelectionOptions {
+  /// Row-nnz budget for composed meta-path adjacencies (0 = exact).
+  int64_t max_row_nnz = 512;
+  /// Include the receptive-field maximization term R(S) (Variant#1
+  /// disables this).
+  bool use_receptive_field = true;
+  /// Include the meta-path similarity minimization term 1 - J(S)
+  /// (Variant#2 disables this).
+  bool use_jaccard = true;
+  /// Random-walk candidate pruning (the paper's scalability note: "use
+  /// random walks to identify and eliminate uninfluential nodes to greatly
+  /// decrease the computational workload"). Before the greedy loop, each
+  /// candidate's influence is estimated by short random walks and the
+  /// bottom `walk_prune_fraction` of the pool is dropped. 0 disables.
+  double walk_prune_fraction = 0.0;
+  int walk_count = 4;
+  int walk_length = 3;
+  uint64_t seed = 1;
+};
+
+/// Estimates each pool node's influence with `walks` random walks of
+/// `length` steps over the bipartite reach graph (row -> random reached
+/// column -> random incident row -> ...) and returns the pool restricted
+/// to the top (1 - prune_fraction) estimated-influence candidates.
+/// Exposed for tests and the scalability bench.
+std::vector<int32_t> PruneUninfluentialByWalks(
+    const CsrMatrix& adj, const std::vector<int32_t>& pool,
+    double prune_fraction, int walks, int length, uint64_t seed);
+
+/// Algorithm 1: condense target-type nodes.
+///
+/// For every meta-path, runs class-wise lazy-greedy maximization of the
+/// unified submodular objective
+///   F(S) = R(S)/|R_hat| + (1 - J(S))               (Eq. 8)
+/// over the training pool, accumulating each node's marginal-gain score;
+/// the final selection takes, class by class (preserving the original
+/// class distribution), the top-scored nodes across all meta-paths
+/// (Eq. 9).
+///
+/// `paths` must all start at the target type. Returns original target-node
+/// ids, |result| == min(budget, train pool size). `scores_out`, when non
+/// null, receives the aggregated per-node score (0 for never-selected
+/// nodes) — used by the Fig. 9 interpretability bench.
+std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
+                                         const std::vector<MetaPath>& paths,
+                                         int32_t budget,
+                                         const TargetSelectionOptions& opts,
+                                         std::vector<double>* scores_out =
+                                             nullptr);
+
+/// Lazy-greedy maximization of coverage + modular diversity for a single
+/// composed meta-path adjacency: selects `budget` rows from `pool`
+/// maximizing |union of selected rows' column sets| / adj.cols()
+/// (+ diversity[v] per selected v). Exposed for tests (submodularity
+/// properties) and the Fig. 9 bench. `gains_out`, when non-null, receives
+/// each selected node's marginal gain in selection order.
+std::vector<int32_t> GreedyCoverageSelect(
+    const CsrMatrix& adj, const std::vector<int32_t>& pool, int32_t budget,
+    const std::vector<float>* diversity, bool use_coverage,
+    std::vector<double>* gains_out = nullptr);
+
+}  // namespace freehgc::core
+
+#endif  // FREEHGC_CORE_TARGET_SELECTION_H_

@@ -1,0 +1,222 @@
+#include "dense/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace freehgc {
+
+Matrix::Matrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows * cols), 0.0f) {
+  FREEHGC_CHECK(rows >= 0 && cols >= 0);
+}
+
+void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::FillUniform(Rng& rng, float lo, float hi) {
+  for (auto& x : data_) x = rng.NextUniform(lo, hi);
+}
+
+void Matrix::FillGaussian(Rng& rng, float stddev) {
+  for (auto& x : data_) x = rng.NextGaussian(0.0f, stddev);
+}
+
+void Matrix::FillGlorot(Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(rows_ + cols_ > 0 ? rows_ + cols_
+                                                            : 1));
+  FillUniform(rng, -limit, limit);
+}
+
+Matrix Matrix::GatherRows(const std::vector<int32_t>& index) const {
+  Matrix out(static_cast<int64_t>(index.size()), cols_);
+  for (size_t i = 0; i < index.size(); ++i) {
+    const int32_t r = index[i];
+    FREEHGC_CHECK(r >= 0 && r < rows_);
+    std::copy(Row(r), Row(r) + cols_, out.Row(static_cast<int64_t>(i)));
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  FREEHGC_CHECK(rows_ == other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    std::copy(Row(r), Row(r) + cols_, out.Row(r));
+    std::copy(other.Row(r), other.Row(r) + other.cols_, out.Row(r) + cols_);
+  }
+  return out;
+}
+
+namespace dense {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  FREEHGC_CHECK(a.cols() == b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  // i-k-j order: streams through b and out rows; cache friendly without
+  // blocking for the sizes used here.
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = out.Row(i);
+    const float* a_row = a.Row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b.Row(p);
+      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTA(const Matrix& a, const Matrix& b) {
+  FREEHGC_CHECK(a.rows() == b.rows());
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a_row = a.Row(p);
+    const float* b_row = b.Row(p);
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out.Row(i);
+      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTB(const Matrix& a, const Matrix& b) {
+  FREEHGC_CHECK(a.cols() == b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix out(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out.Row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b.Row(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  FREEHGC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  const float* bp = b.data();
+  float* op = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) op[i] += bp[i];
+  return out;
+}
+
+void Axpy(float alpha, const Matrix& b, Matrix& a) {
+  FREEHGC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const float* bp = b.data();
+  float* ap = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) ap[i] += alpha * bp[i];
+}
+
+Matrix Scale(const Matrix& a, float alpha) {
+  Matrix out = a;
+  float* p = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) p[i] *= alpha;
+  return out;
+}
+
+void AddRowVector(Matrix& a, const std::vector<float>& bias) {
+  FREEHGC_CHECK(static_cast<int64_t>(bias.size()) == a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* row = a.Row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void SoftmaxRows(Matrix& a) {
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* row = a.Row(r);
+    float mx = row[0];
+    for (int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = sum > 0 ? 1.0f / sum : 0.0f;
+    for (int64_t c = 0; c < a.cols(); ++c) row[c] *= inv;
+  }
+}
+
+std::vector<int32_t> ArgmaxRows(const Matrix& a) {
+  std::vector<int32_t> out(static_cast<size_t>(a.rows()), 0);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    int32_t best = 0;
+    for (int64_t c = 1; c < a.cols(); ++c) {
+      if (row[c] > row[best]) best = static_cast<int32_t>(c);
+    }
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+std::vector<float> ColumnMean(const Matrix& a,
+                              const std::vector<int32_t>& index) {
+  std::vector<float> out(static_cast<size_t>(a.cols()), 0.0f);
+  const int64_t n = index.empty() ? a.rows()
+                                  : static_cast<int64_t>(index.size());
+  if (n == 0) return out;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t r = index.empty() ? i : index[static_cast<size_t>(i)];
+    const float* row = a.Row(r);
+    for (int64_t c = 0; c < a.cols(); ++c)
+      out[static_cast<size_t>(c)] += row[c];
+  }
+  const float inv = 1.0f / static_cast<float>(n);
+  for (auto& v : out) v *= inv;
+  return out;
+}
+
+float MeanAbs(const Matrix& a) {
+  if (a.size() == 0) return 0.0f;
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += std::fabs(p[i]);
+  return static_cast<float>(acc / static_cast<double>(a.size()));
+}
+
+float RowSquaredDistance(const Matrix& a, int64_t i, const Matrix& b,
+                         int64_t j) {
+  FREEHGC_CHECK(a.cols() == b.cols());
+  const float* ra = a.Row(i);
+  const float* rb = b.Row(j);
+  float acc = 0.0f;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    const float d = ra[c] - rb[c];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float FrobeniusNorm(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += double(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Dot(const Matrix& a, const Matrix& b) {
+  FREEHGC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += double(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace dense
+}  // namespace freehgc

@@ -1,0 +1,122 @@
+#ifndef FREEHGC_DENSE_MATRIX_H_
+#define FREEHGC_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace freehgc {
+
+/// Dense row-major float matrix. The workhorse container for node features
+/// and neural-network activations. Copyable and movable; copies are deep.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(int64_t rows, int64_t cols);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r.
+  float* Row(int64_t r) { return data_.data() + r * cols_; }
+  const float* Row(int64_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every entry to v.
+  void Fill(float v);
+
+  /// Fills with U(lo, hi) draws.
+  void FillUniform(Rng& rng, float lo, float hi);
+
+  /// Fills with N(0, stddev) draws.
+  void FillGaussian(Rng& rng, float stddev);
+
+  /// Glorot/Xavier uniform initialization for a (fan_in=rows, fan_out=cols)
+  /// weight matrix.
+  void FillGlorot(Rng& rng);
+
+  /// Returns rows selected by `index` (gather), preserving order.
+  Matrix GatherRows(const std::vector<int32_t>& index) const;
+
+  /// Returns the horizontal concatenation [*this | other]; row counts must
+  /// match.
+  Matrix ConcatCols(const Matrix& other) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+namespace dense {
+
+/// out = a * b. Shapes (m,k)x(k,n)->(m,n). Blocked triple loop; no BLAS
+/// dependency.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b. Shapes (k,m)x(k,n)->(m,n).
+Matrix MatMulTA(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T. Shapes (m,k)x(n,k)->(m,n).
+Matrix MatMulTB(const Matrix& a, const Matrix& b);
+
+/// out = a + b (elementwise, same shape).
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// a += alpha * b (in place, same shape).
+void Axpy(float alpha, const Matrix& b, Matrix& a);
+
+/// out = alpha * a.
+Matrix Scale(const Matrix& a, float alpha);
+
+/// Adds a length-cols bias row vector to every row of a (in place).
+void AddRowVector(Matrix& a, const std::vector<float>& bias);
+
+/// Row-wise in-place softmax.
+void SoftmaxRows(Matrix& a);
+
+/// Row-wise argmax.
+std::vector<int32_t> ArgmaxRows(const Matrix& a);
+
+/// Column mean of the selected rows (all rows when index is empty).
+std::vector<float> ColumnMean(const Matrix& a,
+                              const std::vector<int32_t>& index);
+
+/// Mean of |a_ij| over all entries; 0 for empty.
+float MeanAbs(const Matrix& a);
+
+/// Squared L2 distance between row i of a and row j of b.
+float RowSquaredDistance(const Matrix& a, int64_t i, const Matrix& b,
+                         int64_t j);
+
+/// Frobenius norm.
+float FrobeniusNorm(const Matrix& a);
+
+/// Sum of entrywise products <a, b> (same shape).
+float Dot(const Matrix& a, const Matrix& b);
+
+}  // namespace dense
+}  // namespace freehgc
+
+#endif  // FREEHGC_DENSE_MATRIX_H_

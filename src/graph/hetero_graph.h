@@ -1,0 +1,154 @@
+#ifndef FREEHGC_GRAPH_HETERO_GRAPH_H_
+#define FREEHGC_GRAPH_HETERO_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dense/matrix.h"
+#include "sparse/csr.h"
+
+namespace freehgc {
+
+/// Identifier of a node type within a HeteroGraph (index into the type
+/// registry).
+using TypeId = int32_t;
+
+/// Identifier of a relation (edge type).
+using RelationId = int32_t;
+
+/// One directed edge type: src-type nodes -> dst-type nodes, stored as a
+/// CSR adjacency with shape (count(src_type), count(dst_type)).
+struct Relation {
+  std::string name;
+  TypeId src_type = -1;
+  TypeId dst_type = -1;
+  CsrMatrix adj;
+};
+
+/// Role of a node type in the vertical hierarchy of Fig. 5 of the paper:
+/// the target type is the root; other types directly connected to the root
+/// are fathers; types further away are leaves.
+enum class TypeRole { kRoot, kFather, kLeaf };
+
+/// A heterogeneous graph G = (V, E, phi, psi) with per-type features and
+/// target-type labels, matching the paper's formulation (Section II-A).
+///
+/// Node ids are local to their type: type t has nodes 0..NodeCount(t)-1.
+/// The container owns everything; it is copyable (deep) and movable.
+class HeteroGraph {
+ public:
+  HeteroGraph() = default;
+
+  // --- Construction -----------------------------------------------------
+
+  /// Registers a node type with `count` nodes; returns its TypeId.
+  /// Fails if the name is already registered or count is negative.
+  Result<TypeId> AddNodeType(const std::string& name, int32_t count);
+
+  /// Registers a directed edge type. The adjacency shape must be
+  /// (count(src), count(dst)). Returns the RelationId.
+  Result<RelationId> AddRelation(const std::string& name, TypeId src,
+                                 TypeId dst, CsrMatrix adj);
+
+  /// For every relation lacking a reverse counterpart (a relation
+  /// dst -> src), adds "rev_<name>" with the transposed adjacency. HGNN
+  /// message passing and meta-path enumeration need both directions.
+  void EnsureReverseRelations();
+
+  /// Sets the feature matrix of a type; rows must equal the node count.
+  Status SetFeatures(TypeId type, Matrix features);
+
+  /// Declares the target (root) type, its labels (one per node, in
+  /// [0, num_classes)), and the class count.
+  Status SetTarget(TypeId type, std::vector<int32_t> labels,
+                   int32_t num_classes);
+
+  /// Sets the train/val/test split over target-type node ids.
+  Status SetSplit(std::vector<int32_t> train, std::vector<int32_t> val,
+                  std::vector<int32_t> test);
+
+  // --- Inspection --------------------------------------------------------
+
+  int32_t NumNodeTypes() const {
+    return static_cast<int32_t>(type_names_.size());
+  }
+  int32_t NumRelations() const {
+    return static_cast<int32_t>(relations_.size());
+  }
+  const std::string& TypeName(TypeId t) const { return type_names_[t]; }
+  int32_t NodeCount(TypeId t) const { return type_counts_[t]; }
+
+  /// Looks up a type by name.
+  Result<TypeId> TypeByName(const std::string& name) const;
+
+  const Relation& relation(RelationId r) const { return relations_[r]; }
+
+  /// Relation ids whose src type is `t`.
+  std::vector<RelationId> RelationsFrom(TypeId t) const;
+
+  /// Relation ids whose dst type is `t`.
+  std::vector<RelationId> RelationsTo(TypeId t) const;
+
+  /// Feature matrix of a type (empty Matrix when unset).
+  const Matrix& Features(TypeId t) const { return features_[t]; }
+  bool HasFeatures(TypeId t) const { return !features_[t].empty(); }
+
+  TypeId target_type() const { return target_type_; }
+  const std::vector<int32_t>& labels() const { return labels_; }
+  int32_t num_classes() const { return num_classes_; }
+  const std::vector<int32_t>& train_index() const { return train_index_; }
+  const std::vector<int32_t>& val_index() const { return val_index_; }
+  const std::vector<int32_t>& test_index() const { return test_index_; }
+
+  /// Total node count over all types.
+  int64_t TotalNodes() const;
+
+  /// Total directed edge count over all relations.
+  int64_t TotalEdges() const;
+
+  /// Approximate storage footprint (adjacency + features + labels), used
+  /// by the Table VII storage comparison.
+  size_t MemoryBytes() const;
+
+  /// Classifies every type into root/father/leaf by BFS distance from the
+  /// target type over the (undirected) type-connectivity graph, per Fig. 5.
+  /// Distance 0 = root, 1 = father, >=2 (or unreachable) = leaf.
+  std::vector<TypeRole> ClassifySchema() const;
+
+  /// Structural and bookkeeping consistency check. OK when every relation
+  /// shape matches type counts, labels cover the target type, splits are
+  /// in range, and feature row counts match.
+  Status Validate() const;
+
+  // --- Transformation ----------------------------------------------------
+
+  /// Builds the induced subgraph keeping, for each type t, exactly the
+  /// nodes in keep[t] (local ids, unique). Relations are restricted and
+  /// remapped, features gathered, labels/splits rebuilt (all kept target
+  /// nodes become the training set, matching the paper's protocol of
+  /// training on the condensed graph). keep.size() must equal
+  /// NumNodeTypes().
+  Result<HeteroGraph> InducedSubgraph(
+      const std::vector<std::vector<int32_t>>& keep) const;
+
+ private:
+  std::vector<std::string> type_names_;
+  std::vector<int32_t> type_counts_;
+  std::unordered_map<std::string, TypeId> type_index_;
+  std::vector<Relation> relations_;
+  std::vector<Matrix> features_;
+  TypeId target_type_ = -1;
+  std::vector<int32_t> labels_;
+  int32_t num_classes_ = 0;
+  std::vector<int32_t> train_index_;
+  std::vector<int32_t> val_index_;
+  std::vector<int32_t> test_index_;
+};
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_GRAPH_HETERO_GRAPH_H_

@@ -1,0 +1,343 @@
+#include "graph/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace freehgc {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x46484743;  // "FHGC"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  return WriteBytes(f, &v, sizeof(T));
+}
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return ReadBytes(f, v, sizeof(T));
+}
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  const uint32_t n = static_cast<uint32_t>(s.size());
+  return WritePod(f, n) && WriteBytes(f, s.data(), s.size());
+}
+bool ReadString(std::FILE* f, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadPod(f, &n) || n > (1u << 20)) return false;
+  s->resize(n);
+  return ReadBytes(f, s->data(), n);
+}
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  const uint64_t n = v.size();
+  return WritePod(f, n) && WriteBytes(f, v.data(), n * sizeof(T));
+}
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(f, &n) || n > (1ull << 33)) return false;
+  v->resize(static_cast<size_t>(n));
+  return ReadBytes(f, v->data(), static_cast<size_t>(n) * sizeof(T));
+}
+
+bool WriteCsr(std::FILE* f, const CsrMatrix& m) {
+  return WritePod(f, m.rows()) && WritePod(f, m.cols()) &&
+         WriteVec(f, m.indptr()) && WriteVec(f, m.indices()) &&
+         WriteVec(f, m.values());
+}
+
+Result<CsrMatrix> ReadCsr(std::FILE* f) {
+  int32_t rows = 0, cols = 0;
+  std::vector<int64_t> indptr;
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+  if (!ReadPod(f, &rows) || !ReadPod(f, &cols) || !ReadVec(f, &indptr) ||
+      !ReadVec(f, &indices) || !ReadVec(f, &values)) {
+    return Status::Internal("truncated CSR block");
+  }
+  return CsrMatrix::FromParts(rows, cols, std::move(indptr),
+                              std::move(indices), std::move(values));
+}
+
+bool WriteMatrix(std::FILE* f, const Matrix& m) {
+  if (!WritePod(f, m.rows()) || !WritePod(f, m.cols())) return false;
+  return WriteBytes(f, m.data(),
+                    static_cast<size_t>(m.size()) * sizeof(float));
+}
+
+Result<Matrix> ReadMatrix(std::FILE* f) {
+  int64_t rows = 0, cols = 0;
+  if (!ReadPod(f, &rows) || !ReadPod(f, &cols) || rows < 0 || cols < 0 ||
+      rows * cols > (1ll << 33)) {
+    return Status::Internal("truncated matrix header");
+  }
+  Matrix m(rows, cols);
+  if (!ReadBytes(f, m.data(), static_cast<size_t>(m.size()) * sizeof(float))) {
+    return Status::Internal("truncated matrix body");
+  }
+  return m;
+}
+
+}  // namespace
+
+Status SaveHeteroGraph(const HeteroGraph& g, const std::string& path) {
+  FREEHGC_RETURN_IF_ERROR(g.Validate());
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  bool ok = WritePod(f.get(), kMagic) && WritePod(f.get(), kVersion);
+  const int32_t num_types = g.NumNodeTypes();
+  ok = ok && WritePod(f.get(), num_types);
+  for (TypeId t = 0; t < num_types && ok; ++t) {
+    ok = WriteString(f.get(), g.TypeName(t)) &&
+         WritePod(f.get(), g.NodeCount(t));
+  }
+  const int32_t num_rel = g.NumRelations();
+  ok = ok && WritePod(f.get(), num_rel);
+  for (RelationId r = 0; r < num_rel && ok; ++r) {
+    const Relation& rel = g.relation(r);
+    ok = WriteString(f.get(), rel.name) && WritePod(f.get(), rel.src_type) &&
+         WritePod(f.get(), rel.dst_type) && WriteCsr(f.get(), rel.adj);
+  }
+  for (TypeId t = 0; t < num_types && ok; ++t) {
+    const uint8_t has = g.HasFeatures(t) ? 1 : 0;
+    ok = WritePod(f.get(), has) &&
+         (!has || WriteMatrix(f.get(), g.Features(t)));
+  }
+  const int32_t target = g.target_type();
+  ok = ok && WritePod(f.get(), target);
+  if (target >= 0 && ok) {
+    ok = WritePod(f.get(), g.num_classes()) && WriteVec(f.get(), g.labels()) &&
+         WriteVec(f.get(), g.train_index()) &&
+         WriteVec(f.get(), g.val_index()) && WriteVec(f.get(), g.test_index());
+  }
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<HeteroGraph> LoadHeteroGraph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open: " + path);
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(f.get(), &magic) || magic != kMagic) {
+    return Status::InvalidArgument("not a FreeHGC graph file: " + path);
+  }
+  if (!ReadPod(f.get(), &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported graph file version");
+  }
+  HeteroGraph g;
+  int32_t num_types = 0;
+  if (!ReadPod(f.get(), &num_types) || num_types < 0 || num_types > 4096) {
+    return Status::Internal("bad type count");
+  }
+  for (int32_t t = 0; t < num_types; ++t) {
+    std::string name;
+    int32_t count = 0;
+    if (!ReadString(f.get(), &name) || !ReadPod(f.get(), &count)) {
+      return Status::Internal("truncated type table");
+    }
+    auto added = g.AddNodeType(name, count);
+    if (!added.ok()) return added.status();
+  }
+  int32_t num_rel = 0;
+  if (!ReadPod(f.get(), &num_rel) || num_rel < 0 || num_rel > 65536) {
+    return Status::Internal("bad relation count");
+  }
+  for (int32_t r = 0; r < num_rel; ++r) {
+    std::string name;
+    TypeId src = -1, dst = -1;
+    if (!ReadString(f.get(), &name) || !ReadPod(f.get(), &src) ||
+        !ReadPod(f.get(), &dst)) {
+      return Status::Internal("truncated relation header");
+    }
+    FREEHGC_ASSIGN_OR_RETURN(CsrMatrix adj, ReadCsr(f.get()));
+    auto added = g.AddRelation(name, src, dst, std::move(adj));
+    if (!added.ok()) return added.status();
+  }
+  for (int32_t t = 0; t < num_types; ++t) {
+    uint8_t has = 0;
+    if (!ReadPod(f.get(), &has)) return Status::Internal("truncated flags");
+    if (has) {
+      FREEHGC_ASSIGN_OR_RETURN(Matrix m, ReadMatrix(f.get()));
+      FREEHGC_RETURN_IF_ERROR(g.SetFeatures(t, std::move(m)));
+    }
+  }
+  int32_t target = -1;
+  if (!ReadPod(f.get(), &target)) return Status::Internal("truncated target");
+  if (target >= 0) {
+    int32_t num_classes = 0;
+    std::vector<int32_t> labels, train, val, test;
+    if (!ReadPod(f.get(), &num_classes) || !ReadVec(f.get(), &labels) ||
+        !ReadVec(f.get(), &train) || !ReadVec(f.get(), &val) ||
+        !ReadVec(f.get(), &test)) {
+      return Status::Internal("truncated label block");
+    }
+    FREEHGC_RETURN_IF_ERROR(g.SetTarget(target, std::move(labels),
+                                        num_classes));
+    FREEHGC_RETURN_IF_ERROR(g.SetSplit(std::move(train), std::move(val),
+                                       std::move(test)));
+  }
+  FREEHGC_RETURN_IF_ERROR(g.Validate());
+  return g;
+}
+
+namespace {
+
+Result<std::vector<std::vector<std::string>>> ReadCsvRows(
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(f.get())) != EOF) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) rows.push_back(Split(line, ','));
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  if (!line.empty()) rows.push_back(Split(line, ','));
+  return rows;
+}
+
+}  // namespace
+
+Result<HeteroGraph> LoadHeteroGraphCsv(const std::string& dir,
+                                       uint64_t seed) {
+  HeteroGraph g;
+  std::vector<int32_t> feat_dims;
+  {
+    FREEHGC_ASSIGN_OR_RETURN(auto rows, ReadCsvRows(dir + "/types.csv"));
+    for (const auto& row : rows) {
+      if (row.size() != 3) {
+        return Status::InvalidArgument("types.csv rows need name,count,dim");
+      }
+      FREEHGC_ASSIGN_OR_RETURN(
+          TypeId id, g.AddNodeType(row[0], std::atoi(row[1].c_str())));
+      (void)id;
+      feat_dims.push_back(std::atoi(row[2].c_str()));
+    }
+  }
+  {
+    FREEHGC_ASSIGN_OR_RETURN(auto rows, ReadCsvRows(dir + "/edges.csv"));
+    // Group by (relation, src_type, dst_type).
+    struct Key {
+      std::string rel, src, dst;
+    };
+    std::vector<Key> order;
+    std::vector<std::vector<CooEntry>> entries;
+    auto find_group = [&](const std::string& rel, const std::string& src,
+                          const std::string& dst) -> size_t {
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i].rel == rel) return i;
+      }
+      order.push_back({rel, src, dst});
+      entries.emplace_back();
+      return order.size() - 1;
+    };
+    for (const auto& row : rows) {
+      if (row.size() != 5) {
+        return Status::InvalidArgument(
+            "edges.csv rows need relation,src_type,dst_type,src_id,dst_id");
+      }
+      const size_t gi = find_group(row[0], row[1], row[2]);
+      entries[gi].push_back({std::atoi(row[3].c_str()),
+                             std::atoi(row[4].c_str()), 1.0f});
+    }
+    for (size_t i = 0; i < order.size(); ++i) {
+      FREEHGC_ASSIGN_OR_RETURN(TypeId src, g.TypeByName(order[i].src));
+      FREEHGC_ASSIGN_OR_RETURN(TypeId dst, g.TypeByName(order[i].dst));
+      FREEHGC_ASSIGN_OR_RETURN(
+          CsrMatrix adj, CsrMatrix::FromCoo(g.NodeCount(src),
+                                            g.NodeCount(dst),
+                                            std::move(entries[i])));
+      auto added = g.AddRelation(order[i].rel, src, dst, std::move(adj));
+      if (!added.ok()) return added.status();
+    }
+    g.EnsureReverseRelations();
+  }
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    const std::string path = dir + "/features_" + g.TypeName(t) + ".csv";
+    auto rows = ReadCsvRows(path);
+    if (!rows.ok()) continue;  // features optional per type
+    if (static_cast<int32_t>(rows->size()) != g.NodeCount(t)) {
+      return Status::InvalidArgument("feature row count mismatch for " +
+                                     g.TypeName(t));
+    }
+    const int64_t dim = feat_dims[static_cast<size_t>(t)];
+    Matrix m(g.NodeCount(t), dim);
+    for (size_t i = 0; i < rows->size(); ++i) {
+      if (static_cast<int64_t>((*rows)[i].size()) != dim) {
+        return Status::InvalidArgument("feature dim mismatch for " +
+                                       g.TypeName(t));
+      }
+      for (int64_t d = 0; d < dim; ++d) {
+        m.At(static_cast<int64_t>(i), d) =
+            static_cast<float>(std::atof((*rows)[i][static_cast<size_t>(d)]
+                                             .c_str()));
+      }
+    }
+    FREEHGC_RETURN_IF_ERROR(g.SetFeatures(t, std::move(m)));
+  }
+  {
+    FREEHGC_ASSIGN_OR_RETURN(auto rows, ReadCsvRows(dir + "/labels.csv"));
+    if (rows.empty() || rows[0].size() != 3 || rows[0][0] != "target") {
+      return Status::InvalidArgument(
+          "labels.csv must start with 'target,<type>,<num_classes>'");
+    }
+    FREEHGC_ASSIGN_OR_RETURN(TypeId target, g.TypeByName(rows[0][1]));
+    const int32_t num_classes = std::atoi(rows[0][2].c_str());
+    std::vector<int32_t> labels(static_cast<size_t>(g.NodeCount(target)), 0);
+    for (size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i].size() != 2) {
+        return Status::InvalidArgument("labels.csv rows need id,label");
+      }
+      const int32_t id = std::atoi(rows[i][0].c_str());
+      if (id < 0 || id >= g.NodeCount(target)) {
+        return Status::OutOfRange("label id out of range");
+      }
+      labels[static_cast<size_t>(id)] = std::atoi(rows[i][1].c_str());
+    }
+    FREEHGC_RETURN_IF_ERROR(g.SetTarget(target, std::move(labels),
+                                        num_classes));
+    // Deterministic 24/6/70 split, matching the HGB protocol.
+    const int32_t n = g.NodeCount(target);
+    std::vector<int32_t> perm(static_cast<size_t>(n));
+    for (int32_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+    Rng rng(seed);
+    rng.Shuffle(perm);
+    const int32_t n_train = static_cast<int32_t>(0.24 * n);
+    const int32_t n_val = static_cast<int32_t>(0.06 * n);
+    FREEHGC_RETURN_IF_ERROR(g.SetSplit(
+        {perm.begin(), perm.begin() + n_train},
+        {perm.begin() + n_train, perm.begin() + n_train + n_val},
+        {perm.begin() + n_train + n_val, perm.end()}));
+  }
+  FREEHGC_RETURN_IF_ERROR(g.Validate());
+  return g;
+}
+
+}  // namespace freehgc

@@ -1,0 +1,36 @@
+#ifndef FREEHGC_GRAPH_SERIALIZE_H_
+#define FREEHGC_GRAPH_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/hetero_graph.h"
+
+namespace freehgc {
+
+/// Writes a HeteroGraph to a self-contained binary file (magic + version +
+/// types, relations as CSR, features, labels, splits). Condensed graphs
+/// round-trip exactly, so a condensation can be run once and shipped.
+Status SaveHeteroGraph(const HeteroGraph& g, const std::string& path);
+
+/// Reads a file written by SaveHeteroGraph. Fails with InvalidArgument on
+/// magic/version mismatch and Internal on truncation.
+Result<HeteroGraph> LoadHeteroGraph(const std::string& path);
+
+/// Loads a heterogeneous graph from plain CSV files, the interchange
+/// format for bringing real datasets into the library:
+///   <dir>/types.csv      rows "name,count,feat_dim"
+///   <dir>/edges.csv      rows "relation,src_type,dst_type,src_id,dst_id"
+///   <dir>/features_<type>.csv   one row of feat_dim floats per node
+///                               (optional per type)
+///   <dir>/labels.csv     rows "id,label"; first line "target,<type>,
+///                        <num_classes>"
+/// Reverse relations are added automatically; the split defaults to
+/// 24/6/70 deterministic under `seed`.
+Result<HeteroGraph> LoadHeteroGraphCsv(const std::string& dir,
+                                       uint64_t seed = 1);
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_GRAPH_SERIALIZE_H_

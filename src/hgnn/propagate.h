@@ -1,0 +1,57 @@
+#ifndef FREEHGC_HGNN_PROPAGATE_H_
+#define FREEHGC_HGNN_PROPAGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "dense/matrix.h"
+#include "graph/hetero_graph.h"
+#include "metapath/metapath.h"
+
+namespace freehgc::hgnn {
+
+/// Per-meta-path mean-aggregated features of the target-type nodes.
+///
+/// Following SeHGNN (and the paper's Section IV-C finding that neighbor
+/// attention can be replaced by mean aggregation), neighbor aggregation is
+/// moved entirely to pre-processing: feature block p is
+///   H_p = A_hat(P_p) * X_{end(P_p)}
+/// plus block 0 = the raw target features. Every HGNN evaluator consumes
+/// this structure and differs only in how it fuses the blocks.
+struct PropagatedFeatures {
+  /// Block 0 is the raw target features; block p >= 1 corresponds to
+  /// paths[p-1]. Every block has target-node-count rows.
+  std::vector<Matrix> blocks;
+  /// Human-readable block names ("raw", "paper-author", ...).
+  std::vector<std::string> names;
+  /// End (source) type of each block; block 0's is the target type itself.
+  std::vector<TypeId> end_types;
+};
+
+/// Options controlling pre-propagation.
+struct PropagateOptions {
+  int max_hops = 2;
+  /// Cap on enumerated meta-paths (0 = unlimited).
+  int max_paths = 24;
+  /// Row-nnz budget for composed adjacencies (0 = exact).
+  int64_t max_row_nnz = 512;
+};
+
+/// Enumerates meta-paths from the graph's target type and mean-propagates
+/// features along each (Eq. 1 composition). The returned block layout is a
+/// function of the *schema*, so a condensed graph produced from `g`
+/// (identical types/relations) yields an identically shaped layout —
+/// which is what lets a model trained on the condensed graph run on the
+/// full graph.
+PropagatedFeatures PropagateFeatures(const HeteroGraph& g,
+                                     const PropagateOptions& opts);
+
+/// Same propagation with a fixed externally supplied path list (used to
+/// guarantee identical block order between the condensed and full graphs).
+PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
+                                       const std::vector<MetaPath>& paths,
+                                       int64_t max_row_nnz);
+
+}  // namespace freehgc::hgnn
+
+#endif  // FREEHGC_HGNN_PROPAGATE_H_

@@ -1,0 +1,143 @@
+#include "metapath/metapath.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sparse/ops.h"
+
+namespace freehgc {
+
+std::string MetaPath::Name(const HeteroGraph& g) const {
+  std::string out = g.TypeName(types.front());
+  for (size_t i = 1; i < types.size(); ++i) {
+    out += "-";
+    out += g.TypeName(types[i]);
+  }
+  return out;
+}
+
+namespace {
+
+void Dfs(const HeteroGraph& g, const MetaPathOptions& opts, MetaPath& cur,
+         std::vector<MetaPath>& out) {
+  if (opts.max_paths > 0 &&
+      static_cast<int>(out.size()) >= opts.max_paths) {
+    return;
+  }
+  if (cur.hops() >= opts.max_hops) return;
+  const TypeId tail = cur.types.back();
+  for (RelationId r = 0; r < g.NumRelations(); ++r) {
+    if (g.relation(r).src_type != tail) continue;
+    if (opts.max_paths > 0 &&
+        static_cast<int>(out.size()) >= opts.max_paths) {
+      return;
+    }
+    cur.relations.push_back(r);
+    cur.types.push_back(g.relation(r).dst_type);
+    out.push_back(cur);
+    Dfs(g, opts, cur, out);
+    cur.relations.pop_back();
+    cur.types.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<MetaPath> EnumerateMetaPaths(const HeteroGraph& g, TypeId start,
+                                         const MetaPathOptions& opts) {
+  std::vector<MetaPath> out;
+  MetaPath cur;
+  cur.types.push_back(start);
+  Dfs(g, opts, cur, out);
+  return out;
+}
+
+std::vector<MetaPath> FilterByEndType(const std::vector<MetaPath>& paths,
+                                      TypeId end) {
+  std::vector<MetaPath> out;
+  for (const auto& p : paths) {
+    if (p.end_type() == end) out.push_back(p);
+  }
+  return out;
+}
+
+CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
+                           int64_t max_row_nnz) {
+  FREEHGC_CHECK(!p.relations.empty());
+  CsrMatrix acc = sparse::RowNormalize(g.relation(p.relations[0]).adj);
+  for (size_t i = 1; i < p.relations.size(); ++i) {
+    const CsrMatrix next =
+        sparse::RowNormalize(g.relation(p.relations[i]).adj);
+    acc = sparse::SpGemm(acc, next, max_row_nnz);
+  }
+  return acc;
+}
+
+float JaccardOfSortedSets(std::span<const int32_t> a,
+                          std::span<const int32_t> b) {
+  if (a.empty() && b.empty()) return 1.0f;  // paper convention: |union|=0
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<float>(inter) / static_cast<float>(uni);
+}
+
+std::vector<std::vector<float>> PerPathJaccard(
+    const std::vector<const CsrMatrix*>& paths) {
+  FREEHGC_CHECK(!paths.empty());
+  const int32_t rows = paths[0]->rows();
+  for (const auto* p : paths) FREEHGC_CHECK(p->rows() == rows);
+  const size_t l = paths.size();
+  std::vector<std::vector<float>> out(
+      l, std::vector<float>(static_cast<size_t>(rows), 0.0f));
+  if (l < 2) return out;
+  const float norm = 1.0f / static_cast<float>(l - 1);
+  for (int32_t v = 0; v < rows; ++v) {
+    for (size_t i = 0; i < l; ++i) {
+      for (size_t j = i + 1; j < l; ++j) {
+        const float jac = JaccardOfSortedSets(paths[i]->RowIndices(v),
+                                              paths[j]->RowIndices(v));
+        out[i][static_cast<size_t>(v)] += jac;
+        out[j][static_cast<size_t>(v)] += jac;
+      }
+    }
+  }
+  for (auto& per_node : out) {
+    for (auto& x : per_node) x *= norm;
+  }
+  return out;
+}
+
+std::vector<float> PerNodeJaccard(
+    const std::vector<const CsrMatrix*>& paths) {
+  FREEHGC_CHECK(!paths.empty());
+  const int32_t rows = paths[0]->rows();
+  for (const auto* p : paths) FREEHGC_CHECK(p->rows() == rows);
+  std::vector<float> out(static_cast<size_t>(rows), 0.0f);
+  if (paths.size() < 2) return out;
+  const size_t l = paths.size();
+  const float norm = 2.0f / static_cast<float>(l * (l - 1));
+  for (int32_t v = 0; v < rows; ++v) {
+    float acc = 0.0f;
+    for (size_t i = 0; i < l; ++i) {
+      for (size_t j = i + 1; j < l; ++j) {
+        acc += JaccardOfSortedSets(paths[i]->RowIndices(v),
+                                   paths[j]->RowIndices(v));
+      }
+    }
+    out[static_cast<size_t>(v)] = acc * norm;
+  }
+  return out;
+}
+
+}  // namespace freehgc

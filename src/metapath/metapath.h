@@ -1,0 +1,80 @@
+#ifndef FREEHGC_METAPATH_METAPATH_H_
+#define FREEHGC_METAPATH_METAPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "sparse/csr.h"
+
+namespace freehgc {
+
+/// One meta-path P = o_0 <- o_1 <- ... <- o_k: a walk over the relation
+/// schema starting at `types[0]`. `relations[i]` connects types[i] (as src)
+/// to types[i+1] (as dst).
+struct MetaPath {
+  std::vector<RelationId> relations;
+  std::vector<TypeId> types;  // size() == relations.size() + 1
+
+  int hops() const { return static_cast<int>(relations.size()); }
+  TypeId start_type() const { return types.front(); }
+  TypeId end_type() const { return types.back(); }
+
+  /// Human-readable form like "paper-author-paper".
+  std::string Name(const HeteroGraph& g) const;
+};
+
+/// Options for the general meta-path generation model (Section IV-A).
+struct MetaPathOptions {
+  /// Maximum number of hops K (paper hyper-parameter, Section V-B).
+  int max_hops = 2;
+  /// When > 0, each composed adjacency row keeps only this many
+  /// largest-magnitude entries (budgeted densification for scalability).
+  int64_t max_row_nnz = 0;
+  /// Upper bound on the number of enumerated paths (safety valve for
+  /// schemas with many relations, e.g. Freebase/AM). 0 = unlimited.
+  int max_paths = 0;
+};
+
+/// Enumerates every meta-path of length 1..max_hops starting at `start`
+/// by walking the relation schema (the paper's "general meta-paths
+/// generation model": no expert-defined paths). Deterministic order
+/// (DFS over relation ids).
+std::vector<MetaPath> EnumerateMetaPaths(const HeteroGraph& g, TypeId start,
+                                         const MetaPathOptions& opts);
+
+/// Subset of `paths` whose end (source) type is `end`.
+std::vector<MetaPath> FilterByEndType(const std::vector<MetaPath>& paths,
+                                      TypeId end);
+
+/// Composes the row-normalized meta-path adjacency of Eq. (1):
+///   A_hat(P) = A_hat(r_0) * A_hat(r_1) * ... * A_hat(r_{k-1}).
+/// Shape: (count(start_type), count(end_type)).
+CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
+                           int64_t max_row_nnz = 0);
+
+/// Per-node average pairwise Jaccard similarity (Eqs. 4-6) among the reach
+/// sets of several meta-paths that share start and end types.
+///
+/// For node v, J_hat(v) = mean over path pairs (i, j) of
+///   |RF_i(v) ∩ RF_j(v)| / |RF_i(v) ∪ RF_j(v)|
+/// where RF_p(v) is the set of end-type nodes with non-zero entry in row v
+/// of path p's composed adjacency. Two empty sets have J = 1 (the paper's
+/// convention for |union| = 0). With fewer than two paths the result is
+/// all zeros (no duplication possible).
+std::vector<float> PerNodeJaccard(const std::vector<const CsrMatrix*>& paths);
+
+/// Per-path refinement of Eq. (6): result[i][v] is the mean Jaccard
+/// similarity between path i's reach set of node v and every *other*
+/// path's reach set of v, i.e. J_hat(phi_i) evaluated per node. With a
+/// single path the result is all zeros.
+std::vector<std::vector<float>> PerPathJaccard(
+    const std::vector<const CsrMatrix*>& paths);
+
+/// Jaccard similarity of two sorted index sets.
+float JaccardOfSortedSets(std::span<const int32_t> a,
+                          std::span<const int32_t> b);
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_METAPATH_METAPATH_H_

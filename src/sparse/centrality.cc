@@ -1,0 +1,234 @@
+#include "sparse/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace freehgc::sparse {
+
+std::vector<float> PprPush(
+    const CsrMatrix& a,
+    const std::vector<std::pair<int32_t, float>>& teleport, float alpha,
+    float epsilon) {
+  FREEHGC_CHECK(a.rows() == a.cols());
+  const int32_t n = a.rows();
+  std::vector<float> p(static_cast<size_t>(n), 0.0f);
+  std::vector<float> residual(static_cast<size_t>(n), 0.0f);
+  std::deque<int32_t> queue;
+  std::vector<uint8_t> queued(static_cast<size_t>(n), 0);
+  for (const auto& [v, mass] : teleport) {
+    FREEHGC_CHECK(v >= 0 && v < n);
+    residual[static_cast<size_t>(v)] += mass;
+    if (!queued[static_cast<size_t>(v)]) {
+      queue.push_back(v);
+      queued[static_cast<size_t>(v)] = 1;
+    }
+  }
+  // Forward push: settle alpha of the residual locally, spread the rest
+  // along outgoing (normalized) edges; nodes re-enter the queue while
+  // their residual exceeds epsilon * degree.
+  while (!queue.empty()) {
+    const int32_t v = queue.front();
+    queue.pop_front();
+    queued[static_cast<size_t>(v)] = 0;
+    const float r = residual[static_cast<size_t>(v)];
+    const int64_t deg = a.RowNnz(v);
+    if (r <= epsilon * static_cast<float>(std::max<int64_t>(1, deg))) {
+      continue;
+    }
+    residual[static_cast<size_t>(v)] = 0.0f;
+    p[static_cast<size_t>(v)] += alpha * r;
+    if (deg == 0) continue;
+    const float spread = (1.0f - alpha) * r;
+    auto idx = a.RowIndices(v);
+    auto val = a.RowValues(v);
+    const float row_sum = a.RowSum(v);
+    if (row_sum <= 0) continue;
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const int32_t u = idx[k];
+      residual[static_cast<size_t>(u)] += spread * val[k] / row_sum;
+      const int64_t udeg = std::max<int64_t>(1, a.RowNnz(u));
+      if (!queued[static_cast<size_t>(u)] &&
+          residual[static_cast<size_t>(u)] >
+              epsilon * static_cast<float>(udeg)) {
+        queue.push_back(u);
+        queued[static_cast<size_t>(u)] = 1;
+      }
+    }
+  }
+  return p;
+}
+
+const char* CentralityKindName(CentralityKind kind) {
+  switch (kind) {
+    case CentralityKind::kDegree:
+      return "degree";
+    case CentralityKind::kCloseness:
+      return "closeness";
+    case CentralityKind::kBetweenness:
+      return "betweenness";
+    case CentralityKind::kHubs:
+      return "hubs";
+    case CentralityKind::kAuthorities:
+      return "authorities";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> DegreeCentrality(const CsrMatrix& a) {
+  std::vector<double> out(static_cast<size_t>(a.rows()), 0.0);
+  for (int32_t v = 0; v < a.rows(); ++v) {
+    out[static_cast<size_t>(v)] = static_cast<double>(a.RowNnz(v));
+  }
+  return out;
+}
+
+/// BFS distances from a source (-1 = unreachable).
+std::vector<int32_t> Bfs(const CsrMatrix& a, int32_t src) {
+  std::vector<int32_t> dist(static_cast<size_t>(a.rows()), -1);
+  std::deque<int32_t> queue = {src};
+  dist[static_cast<size_t>(src)] = 0;
+  while (!queue.empty()) {
+    const int32_t v = queue.front();
+    queue.pop_front();
+    for (int32_t u : a.RowIndices(v)) {
+      if (dist[static_cast<size_t>(u)] < 0) {
+        dist[static_cast<size_t>(u)] = dist[static_cast<size_t>(v)] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> ClosenessCentrality(const CsrMatrix& a,
+                                        const CentralityOptions& opts) {
+  const int32_t n = a.rows();
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  if (n == 0) return out;
+  Rng rng(opts.seed);
+  const int32_t samples = std::min<int32_t>(opts.num_samples, n);
+  const auto sources = rng.SampleWithoutReplacement(n, samples);
+  // Harmonic closeness estimated from sampled sources: sum over sources s
+  // of 1/d(s, v) (BFS on the reverse direction approximated by the same
+  // matrix; for symmetric graphs these coincide).
+  for (int32_t s : sources) {
+    const auto dist = Bfs(a, s);
+    for (int32_t v = 0; v < n; ++v) {
+      const int32_t d = dist[static_cast<size_t>(v)];
+      if (d > 0) out[static_cast<size_t>(v)] += 1.0 / d;
+    }
+  }
+  return out;
+}
+
+std::vector<double> BetweennessCentrality(const CsrMatrix& a,
+                                          const CentralityOptions& opts) {
+  // Brandes (2001), restricted to sampled sources.
+  const int32_t n = a.rows();
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  if (n == 0) return out;
+  Rng rng(opts.seed);
+  const int32_t samples = std::min<int32_t>(opts.num_samples, n);
+  const auto sources = rng.SampleWithoutReplacement(n, samples);
+  for (int32_t s : sources) {
+    std::vector<std::vector<int32_t>> preds(static_cast<size_t>(n));
+    std::vector<int64_t> sigma(static_cast<size_t>(n), 0);
+    std::vector<int32_t> dist(static_cast<size_t>(n), -1);
+    std::vector<int32_t> order;
+    order.reserve(static_cast<size_t>(n));
+    std::deque<int32_t> queue = {s};
+    sigma[static_cast<size_t>(s)] = 1;
+    dist[static_cast<size_t>(s)] = 0;
+    while (!queue.empty()) {
+      const int32_t v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (int32_t u : a.RowIndices(v)) {
+        if (dist[static_cast<size_t>(u)] < 0) {
+          dist[static_cast<size_t>(u)] = dist[static_cast<size_t>(v)] + 1;
+          queue.push_back(u);
+        }
+        if (dist[static_cast<size_t>(u)] ==
+            dist[static_cast<size_t>(v)] + 1) {
+          sigma[static_cast<size_t>(u)] += sigma[static_cast<size_t>(v)];
+          preds[static_cast<size_t>(u)].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(static_cast<size_t>(n), 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int32_t w = *it;
+      for (int32_t v : preds[static_cast<size_t>(w)]) {
+        delta[static_cast<size_t>(v)] +=
+            static_cast<double>(sigma[static_cast<size_t>(v)]) /
+            static_cast<double>(sigma[static_cast<size_t>(w)]) *
+            (1.0 + delta[static_cast<size_t>(w)]);
+      }
+      if (w != s) out[static_cast<size_t>(w)] += delta[static_cast<size_t>(w)];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Hits(const CsrMatrix& a, bool hubs,
+                         const CentralityOptions& opts) {
+  const int32_t n = a.rows();
+  std::vector<double> hub(static_cast<size_t>(n), 1.0);
+  std::vector<double> auth(static_cast<size_t>(n), 1.0);
+  auto normalize = [](std::vector<double>& v) {
+    double sq = 0.0;
+    for (double x : v) sq += x * x;
+    if (sq <= 0) return;
+    const double inv = 1.0 / std::sqrt(sq);
+    for (double& x : v) x *= inv;
+  };
+  for (int it = 0; it < opts.hits_iters; ++it) {
+    // auth = A^T hub ; hub = A auth.
+    std::fill(auth.begin(), auth.end(), 0.0);
+    for (int32_t v = 0; v < n; ++v) {
+      for (int32_t u : a.RowIndices(v)) {
+        auth[static_cast<size_t>(u)] += hub[static_cast<size_t>(v)];
+      }
+    }
+    normalize(auth);
+    std::fill(hub.begin(), hub.end(), 0.0);
+    for (int32_t v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (int32_t u : a.RowIndices(v)) {
+        acc += auth[static_cast<size_t>(u)];
+      }
+      hub[static_cast<size_t>(v)] = acc;
+    }
+    normalize(hub);
+  }
+  return hubs ? hub : auth;
+}
+
+}  // namespace
+
+std::vector<double> Centrality(const CsrMatrix& a, CentralityKind kind,
+                               const CentralityOptions& opts) {
+  FREEHGC_CHECK(a.rows() == a.cols());
+  switch (kind) {
+    case CentralityKind::kDegree:
+      return DegreeCentrality(a);
+    case CentralityKind::kCloseness:
+      return ClosenessCentrality(a, opts);
+    case CentralityKind::kBetweenness:
+      return BetweennessCentrality(a, opts);
+    case CentralityKind::kHubs:
+      return Hits(a, /*hubs=*/true, opts);
+    case CentralityKind::kAuthorities:
+      return Hits(a, /*hubs=*/false, opts);
+  }
+  return {};
+}
+
+}  // namespace freehgc::sparse

@@ -1,0 +1,105 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace freehgc {
+
+Result<CsrMatrix> CsrMatrix::FromCoo(int32_t rows, int32_t cols,
+                                     std::vector<CooEntry> entries) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+  for (const auto& e : entries) {
+    if (e.row < 0 || e.row >= rows || e.col < 0 || e.col >= cols) {
+      return Status::OutOfRange(
+          StrFormat("COO entry (%d, %d) outside %dx%d", e.row, e.col, rows,
+                    cols));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m(rows, cols);
+  m.indices_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  size_t i = 0;
+  for (int32_t r = 0; r < rows; ++r) {
+    while (i < entries.size() && entries[i].row == r) {
+      // Sum duplicates sharing (row, col).
+      const int32_t c = entries[i].col;
+      float v = 0.0f;
+      while (i < entries.size() && entries[i].row == r &&
+             entries[i].col == c) {
+        v += entries[i].value;
+        ++i;
+      }
+      m.indices_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.indptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(m.indices_.size());
+  }
+  return m;
+}
+
+Result<CsrMatrix> CsrMatrix::FromParts(int32_t rows, int32_t cols,
+                                       std::vector<int64_t> indptr,
+                                       std::vector<int32_t> indices,
+                                       std::vector<float> values) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+  if (indptr.size() != static_cast<size_t>(rows) + 1) {
+    return Status::InvalidArgument("indptr size must be rows + 1");
+  }
+  if (indices.size() != values.size()) {
+    return Status::InvalidArgument("indices/values size mismatch");
+  }
+  if (indptr.front() != 0 ||
+      indptr.back() != static_cast<int64_t>(indices.size())) {
+    return Status::InvalidArgument("indptr endpoints inconsistent with nnz");
+  }
+  for (size_t r = 0; r + 1 < indptr.size(); ++r) {
+    if (indptr[r] > indptr[r + 1]) {
+      return Status::InvalidArgument("indptr must be non-decreasing");
+    }
+  }
+  for (int32_t c : indices) {
+    if (c < 0 || c >= cols) {
+      return Status::OutOfRange("column index outside [0, cols)");
+    }
+  }
+  CsrMatrix m(rows, cols);
+  m.indptr_ = std::move(indptr);
+  m.indices_ = std::move(indices);
+  m.values_ = std::move(values);
+  return m;
+}
+
+float CsrMatrix::RowSum(int32_t r) const {
+  float s = 0.0f;
+  for (float v : RowValues(r)) s += v;
+  return s;
+}
+
+std::vector<int64_t> CsrMatrix::RowDegrees() const {
+  std::vector<int64_t> deg(static_cast<size_t>(rows_), 0);
+  for (int32_t r = 0; r < rows_; ++r) deg[static_cast<size_t>(r)] = RowNnz(r);
+  return deg;
+}
+
+size_t CsrMatrix::MemoryBytes() const {
+  return indptr_.size() * sizeof(int64_t) +
+         indices_.size() * sizeof(int32_t) + values_.size() * sizeof(float);
+}
+
+bool CsrMatrix::Contains(int32_t r, int32_t c) const {
+  if (r < 0 || r >= rows_) return false;
+  auto idx = RowIndices(r);
+  return std::binary_search(idx.begin(), idx.end(), c);
+}
+
+}  // namespace freehgc

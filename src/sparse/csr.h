@@ -1,0 +1,100 @@
+#ifndef FREEHGC_SPARSE_CSR_H_
+#define FREEHGC_SPARSE_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace freehgc {
+
+/// One COO entry used when building CSR matrices.
+struct CooEntry {
+  int32_t row = 0;
+  int32_t col = 0;
+  float value = 1.0f;
+};
+
+/// Compressed-sparse-row float matrix.
+///
+/// The core structural container of the library: every relation of a
+/// heterogeneous graph and every composed meta-path adjacency is a
+/// CsrMatrix. Rows/cols are int32 node ids local to a node type; indptr is
+/// int64 so edge counts may exceed 2^31.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// rows x cols matrix with no entries.
+  CsrMatrix(int32_t rows, int32_t cols)
+      : rows_(rows), cols_(cols),
+        indptr_(static_cast<size_t>(rows) + 1, 0) {}
+
+  /// Builds from (possibly duplicated, unsorted) COO entries; duplicate
+  /// coordinates are summed. Fails if any coordinate is out of range.
+  static Result<CsrMatrix> FromCoo(int32_t rows, int32_t cols,
+                                   std::vector<CooEntry> entries);
+
+  /// Adopts pre-built CSR arrays. Validates monotone indptr and in-range
+  /// column indices.
+  static Result<CsrMatrix> FromParts(int32_t rows, int32_t cols,
+                                     std::vector<int64_t> indptr,
+                                     std::vector<int32_t> indices,
+                                     std::vector<float> values);
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(indices_.size()); }
+
+  /// Column indices of row r's entries (sorted ascending).
+  std::span<const int32_t> RowIndices(int32_t r) const {
+    return {indices_.data() + indptr_[r],
+            static_cast<size_t>(indptr_[r + 1] - indptr_[r])};
+  }
+
+  /// Values of row r's entries, aligned with RowIndices.
+  std::span<const float> RowValues(int32_t r) const {
+    return {values_.data() + indptr_[r],
+            static_cast<size_t>(indptr_[r + 1] - indptr_[r])};
+  }
+
+  int64_t RowNnz(int32_t r) const { return indptr_[r + 1] - indptr_[r]; }
+
+  const std::vector<int64_t>& indptr() const { return indptr_; }
+  const std::vector<int32_t>& indices() const { return indices_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Sum of values in row r.
+  float RowSum(int32_t r) const;
+
+  /// Out-degree (#entries) per row.
+  std::vector<int64_t> RowDegrees() const;
+
+  /// Approximate heap footprint in bytes (used by the Table VII storage
+  /// accounting).
+  size_t MemoryBytes() const;
+
+  /// True when entry (r, c) exists.
+  bool Contains(int32_t r, int32_t c) const;
+
+  bool operator==(const CsrMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           indptr_ == other.indptr_ && indices_ == other.indices_ &&
+           values_ == other.values_;
+  }
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  std::vector<int64_t> indptr_ = {0};
+  std::vector<int32_t> indices_;
+  std::vector<float> values_;
+};
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_SPARSE_CSR_H_

@@ -1,0 +1,278 @@
+#include "sparse/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace freehgc::sparse {
+
+CsrMatrix Transpose(const CsrMatrix& a) {
+  const int32_t rows = a.rows(), cols = a.cols();
+  std::vector<int64_t> indptr(static_cast<size_t>(cols) + 1, 0);
+  for (int32_t c : a.indices()) ++indptr[static_cast<size_t>(c) + 1];
+  for (size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
+  std::vector<int32_t> indices(a.indices().size());
+  std::vector<float> values(a.values().size());
+  std::vector<int64_t> cursor(indptr.begin(), indptr.end() - 1);
+  for (int32_t r = 0; r < rows; ++r) {
+    auto idx = a.RowIndices(r);
+    auto val = a.RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const int64_t pos = cursor[static_cast<size_t>(idx[k])]++;
+      indices[static_cast<size_t>(pos)] = r;
+      values[static_cast<size_t>(pos)] = val[k];
+    }
+  }
+  auto res = CsrMatrix::FromParts(cols, rows, std::move(indptr),
+                                  std::move(indices), std::move(values));
+  FREEHGC_CHECK(res.ok());
+  return std::move(res).value();
+}
+
+CsrMatrix RowNormalize(const CsrMatrix& a) {
+  CsrMatrix out = a;
+  auto& values = out.mutable_values();
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    const float s = a.RowSum(r);
+    if (s == 0.0f) continue;
+    const float inv = 1.0f / s;
+    for (int64_t k = a.indptr()[r]; k < a.indptr()[r + 1]; ++k) {
+      values[static_cast<size_t>(k)] *= inv;
+    }
+  }
+  return out;
+}
+
+CsrMatrix SymNormalize(const CsrMatrix& a) {
+  FREEHGC_CHECK(a.rows() == a.cols());
+  std::vector<float> deg(static_cast<size_t>(a.rows()), 0.0f);
+  for (int32_t r = 0; r < a.rows(); ++r) deg[static_cast<size_t>(r)] = a.RowSum(r);
+  std::vector<float> inv_sqrt(deg.size(), 0.0f);
+  for (size_t i = 0; i < deg.size(); ++i) {
+    inv_sqrt[i] = deg[i] > 0 ? 1.0f / std::sqrt(deg[i]) : 0.0f;
+  }
+  CsrMatrix out = a;
+  auto& values = out.mutable_values();
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    for (int64_t k = a.indptr()[r]; k < a.indptr()[r + 1]; ++k) {
+      const int32_t c = a.indices()[static_cast<size_t>(k)];
+      values[static_cast<size_t>(k)] *=
+          inv_sqrt[static_cast<size_t>(r)] * inv_sqrt[static_cast<size_t>(c)];
+    }
+  }
+  return out;
+}
+
+CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b,
+                 int64_t max_row_nnz) {
+  FREEHGC_CHECK(a.cols() == b.rows());
+  const int32_t m = a.rows(), n = b.cols();
+  std::vector<int64_t> indptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+
+  // Sparse accumulator (SPA): dense value array + touched-column list.
+  std::vector<float> accum(static_cast<size_t>(n), 0.0f);
+  std::vector<int32_t> touched;
+  touched.reserve(256);
+
+  for (int32_t i = 0; i < m; ++i) {
+    touched.clear();
+    auto ai = a.RowIndices(i);
+    auto av = a.RowValues(i);
+    for (size_t k = 0; k < ai.size(); ++k) {
+      const int32_t p = ai[k];
+      const float apv = av[k];
+      auto bi = b.RowIndices(p);
+      auto bv = b.RowValues(p);
+      for (size_t t = 0; t < bi.size(); ++t) {
+        const int32_t j = bi[t];
+        if (accum[static_cast<size_t>(j)] == 0.0f) touched.push_back(j);
+        accum[static_cast<size_t>(j)] += apv * bv[t];
+      }
+    }
+    if (max_row_nnz > 0 &&
+        static_cast<int64_t>(touched.size()) > max_row_nnz) {
+      // Budgeted densification: keep the largest-magnitude entries.
+      std::nth_element(
+          touched.begin(), touched.begin() + max_row_nnz, touched.end(),
+          [&](int32_t x, int32_t y) {
+            return std::fabs(accum[static_cast<size_t>(x)]) >
+                   std::fabs(accum[static_cast<size_t>(y)]);
+          });
+      for (size_t t = static_cast<size_t>(max_row_nnz); t < touched.size();
+           ++t) {
+        accum[static_cast<size_t>(touched[t])] = 0.0f;
+      }
+      touched.resize(static_cast<size_t>(max_row_nnz));
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int32_t j : touched) {
+      const float v = accum[static_cast<size_t>(j)];
+      if (v != 0.0f) {
+        indices.push_back(j);
+        values.push_back(v);
+      }
+      accum[static_cast<size_t>(j)] = 0.0f;
+    }
+    indptr[static_cast<size_t>(i) + 1] =
+        static_cast<int64_t>(indices.size());
+  }
+  auto res = CsrMatrix::FromParts(m, n, std::move(indptr), std::move(indices),
+                                  std::move(values));
+  FREEHGC_CHECK(res.ok());
+  return std::move(res).value();
+}
+
+Matrix SpMmDense(const CsrMatrix& a, const Matrix& x) {
+  FREEHGC_CHECK(a.cols() == x.rows());
+  Matrix out(a.rows(), x.cols());
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    float* out_row = out.Row(r);
+    auto idx = a.RowIndices(r);
+    auto val = a.RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const float* x_row = x.Row(idx[k]);
+      const float v = val[k];
+      for (int64_t c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
+    }
+  }
+  return out;
+}
+
+Matrix SpMmDenseT(const CsrMatrix& a, const Matrix& x) {
+  FREEHGC_CHECK(a.rows() == x.rows());
+  Matrix out(a.cols(), x.cols());
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    const float* x_row = x.Row(r);
+    auto idx = a.RowIndices(r);
+    auto val = a.RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      float* out_row = out.Row(idx[k]);
+      const float v = val[k];
+      for (int64_t c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
+    }
+  }
+  return out;
+}
+
+std::vector<float> SpMv(const CsrMatrix& a, const std::vector<float>& x) {
+  FREEHGC_CHECK(static_cast<int32_t>(x.size()) == a.cols());
+  std::vector<float> y(static_cast<size_t>(a.rows()), 0.0f);
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    auto idx = a.RowIndices(r);
+    auto val = a.RowValues(r);
+    float acc = 0.0f;
+    for (size_t k = 0; k < idx.size(); ++k) {
+      acc += val[k] * x[static_cast<size_t>(idx[k])];
+    }
+    y[static_cast<size_t>(r)] = acc;
+  }
+  return y;
+}
+
+std::vector<float> SpMvT(const CsrMatrix& a, const std::vector<float>& x) {
+  FREEHGC_CHECK(static_cast<int32_t>(x.size()) == a.rows());
+  std::vector<float> y(static_cast<size_t>(a.cols()), 0.0f);
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    const float xv = x[static_cast<size_t>(r)];
+    if (xv == 0.0f) continue;
+    auto idx = a.RowIndices(r);
+    auto val = a.RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      y[static_cast<size_t>(idx[k])] += val[k] * xv;
+    }
+  }
+  return y;
+}
+
+CsrMatrix Submatrix(const CsrMatrix& a, const std::vector<int32_t>& row_keep,
+                    const std::vector<int32_t>& col_keep) {
+  std::vector<int32_t> col_map(static_cast<size_t>(a.cols()), -1);
+  for (size_t i = 0; i < col_keep.size(); ++i) {
+    FREEHGC_CHECK(col_keep[i] >= 0 && col_keep[i] < a.cols());
+    col_map[static_cast<size_t>(col_keep[i])] = static_cast<int32_t>(i);
+  }
+  std::vector<CooEntry> entries;
+  for (size_t ri = 0; ri < row_keep.size(); ++ri) {
+    const int32_t r = row_keep[ri];
+    FREEHGC_CHECK(r >= 0 && r < a.rows());
+    auto idx = a.RowIndices(r);
+    auto val = a.RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const int32_t mapped = col_map[static_cast<size_t>(idx[k])];
+      if (mapped >= 0) {
+        entries.push_back({static_cast<int32_t>(ri), mapped, val[k]});
+      }
+    }
+  }
+  auto res = CsrMatrix::FromCoo(static_cast<int32_t>(row_keep.size()),
+                                static_cast<int32_t>(col_keep.size()),
+                                std::move(entries));
+  FREEHGC_CHECK(res.ok());
+  return std::move(res).value();
+}
+
+CsrMatrix AddElementwise(const CsrMatrix& a, const CsrMatrix& b) {
+  FREEHGC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  std::vector<int64_t> indptr(static_cast<size_t>(a.rows()) + 1, 0);
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+  indices.reserve(static_cast<size_t>(a.nnz() + b.nnz()));
+  values.reserve(static_cast<size_t>(a.nnz() + b.nnz()));
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    auto ai = a.RowIndices(r);
+    auto av = a.RowValues(r);
+    auto bi = b.RowIndices(r);
+    auto bv = b.RowValues(r);
+    size_t i = 0, j = 0;
+    while (i < ai.size() || j < bi.size()) {
+      int32_t ci = i < ai.size() ? ai[i] : a.cols();
+      int32_t cj = j < bi.size() ? bi[j] : a.cols();
+      if (ci < cj) {
+        indices.push_back(ci);
+        values.push_back(av[i++]);
+      } else if (cj < ci) {
+        indices.push_back(cj);
+        values.push_back(bv[j++]);
+      } else {
+        indices.push_back(ci);
+        values.push_back(av[i++] + bv[j++]);
+      }
+    }
+    indptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(indices.size());
+  }
+  auto res = CsrMatrix::FromParts(a.rows(), a.cols(), std::move(indptr),
+                                  std::move(indices), std::move(values));
+  FREEHGC_CHECK(res.ok());
+  return std::move(res).value();
+}
+
+CsrMatrix Symmetrize(const CsrMatrix& a) {
+  FREEHGC_CHECK(a.rows() == a.cols());
+  return AddElementwise(a, Transpose(a));
+}
+
+std::vector<float> PprScores(const CsrMatrix& a,
+                             const std::vector<float>& teleport, float alpha,
+                             int max_iters, float tol) {
+  FREEHGC_CHECK(a.rows() == a.cols());
+  FREEHGC_CHECK(static_cast<int32_t>(teleport.size()) == a.rows());
+  std::vector<float> pi = teleport;
+  for (int it = 0; it < max_iters; ++it) {
+    // pi_next = alpha * teleport + (1 - alpha) * A^T pi
+    std::vector<float> propagated = SpMvT(a, pi);
+    float delta = 0.0f;
+    for (size_t i = 0; i < pi.size(); ++i) {
+      const float next = alpha * teleport[i] + (1.0f - alpha) * propagated[i];
+      delta += std::fabs(next - pi[i]);
+      pi[i] = next;
+    }
+    if (delta < tol) break;
+  }
+  return pi;
+}
+
+}  // namespace freehgc::sparse

@@ -1,0 +1,70 @@
+#ifndef FREEHGC_SPARSE_OPS_H_
+#define FREEHGC_SPARSE_OPS_H_
+
+#include <vector>
+
+#include "dense/matrix.h"
+#include "sparse/csr.h"
+
+namespace freehgc::sparse {
+
+/// Returns a^T.
+CsrMatrix Transpose(const CsrMatrix& a);
+
+/// Returns D^-1 A (rows scaled to sum 1; zero rows stay zero). This is the
+/// row-normalized adjacency \hat{A} of Eq. (1) in the paper.
+CsrMatrix RowNormalize(const CsrMatrix& a);
+
+/// Returns D^-1/2 A D^-1/2 for a square matrix (degree = row value sums;
+/// zero-degree rows/cols stay zero). Used by the PPR-based neighbor
+/// influence maximization (Eq. 11 uses \hat{A}^{sym}).
+CsrMatrix SymNormalize(const CsrMatrix& a);
+
+/// Sparse-sparse product a * b.
+///
+/// `max_row_nnz` bounds densification: when > 0, each output row keeps only
+/// the `max_row_nnz` largest-magnitude entries. Meta-path composition
+/// (Eq. 1) chains several SpGEMMs, whose exact result densifies on
+/// power-law graphs; the budget mirrors the error-threshold sparsification
+/// the paper invokes for scalability. 0 means exact.
+CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b,
+                 int64_t max_row_nnz = 0);
+
+/// Dense product a * x (x dense (a.cols, d)).
+Matrix SpMmDense(const CsrMatrix& a, const Matrix& x);
+
+/// Dense product a^T * x without materializing the transpose.
+Matrix SpMmDenseT(const CsrMatrix& a, const Matrix& x);
+
+/// y = a * x for a dense vector x.
+std::vector<float> SpMv(const CsrMatrix& a, const std::vector<float>& x);
+
+/// y = a^T * x.
+std::vector<float> SpMvT(const CsrMatrix& a, const std::vector<float>& x);
+
+/// Extracts the submatrix a[row_keep, col_keep] with indices remapped to
+/// the keep-list positions. Keep-lists must contain valid, unique ids.
+CsrMatrix Submatrix(const CsrMatrix& a, const std::vector<int32_t>& row_keep,
+                    const std::vector<int32_t>& col_keep);
+
+/// Elementwise sum a + b (same shape).
+CsrMatrix AddElementwise(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Returns a square symmetric matrix max(a, a^T) built from a square a
+/// (union of edges in both directions, values summed).
+CsrMatrix Symmetrize(const CsrMatrix& a);
+
+/// Personalized PageRank score vector via power iteration:
+///   pi <- alpha * teleport + (1 - alpha) * A^T pi
+/// where `a` should be (sym-)normalized and `teleport` sums to 1.
+/// Terminates after `max_iters` or when the L1 change drops below `tol`.
+/// The result approximates the column mass of the PPR matrix
+/// alpha (I - (1-alpha) A)^-1 restricted to the teleport distribution,
+/// which is exactly the aggregate neighbor-influence score of Eq. (13).
+std::vector<float> PprScores(const CsrMatrix& a,
+                             const std::vector<float>& teleport, float alpha,
+                             int max_iters = 50, float tol = 1e-6f);
+
+}  // namespace freehgc::sparse
+
+#endif  // FREEHGC_SPARSE_OPS_H_

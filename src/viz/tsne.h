@@ -1,0 +1,49 @@
+#ifndef FREEHGC_VIZ_TSNE_H_
+#define FREEHGC_VIZ_TSNE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dense/matrix.h"
+
+namespace freehgc::viz {
+
+/// Options for the exact (O(n^2)) t-SNE used by the Fig. 9 bench; fine for
+/// the few hundred points the figure plots.
+struct TsneOptions {
+  double perplexity = 15.0;
+  int iterations = 300;
+  double learning_rate = 100.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 80;
+  uint64_t seed = 1;
+};
+
+/// Embeds the rows of `x` into 2-D with t-SNE (van der Maaten & Hinton
+/// 2008). Returns an (n x 2) matrix.
+Matrix Tsne(const Matrix& x, const TsneOptions& opts);
+
+/// Coverage/dispersion statistics of an embedded point set — the
+/// quantitative core of the paper's Fig. 9 argument (FreeHGC's captured
+/// nodes are more numerous and more spread out than Herding's).
+struct DispersionStats {
+  /// Number of embedded points (|R(S)|: selected + captured nodes).
+  int64_t count = 0;
+  /// Mean pairwise Euclidean distance in the embedding.
+  double mean_pairwise_distance = 0.0;
+  /// Fraction of cells of a g x g grid over the bounding box that contain
+  /// at least one point (spatial coverage).
+  double grid_coverage = 0.0;
+};
+
+DispersionStats ComputeDispersion(const Matrix& embedding, int grid = 8);
+
+/// Writes "x,y,label" rows to `path` for external plotting.
+bool WriteScatterCsv(const Matrix& embedding,
+                     const std::vector<std::string>& labels,
+                     const std::string& path);
+
+}  // namespace freehgc::viz
+
+#endif  // FREEHGC_VIZ_TSNE_H_

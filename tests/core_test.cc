@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/freehgc.h"
+#include "core/other_types.h"
+#include "core/selection_util.h"
+#include "core/target_selection.h"
+#include "datasets/generator.h"
+#include "metapath/metapath.h"
+
+namespace freehgc::core {
+namespace {
+
+CsrMatrix Adj(int32_t rows, int32_t cols, std::vector<CooEntry> e) {
+  auto r = CsrMatrix::FromCoo(rows, cols, std::move(e));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+// --- selection_util ---------------------------------------------------------
+
+TEST(SelectionUtilTest, RandomSelectBudgetAndDeterminism) {
+  std::vector<int32_t> pool = {10, 20, 30, 40, 50};
+  const auto a = RandomSelect(pool, 3, 1);
+  const auto b = RandomSelect(pool, 3, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 3u);
+  for (int32_t v : a) EXPECT_TRUE(std::count(pool.begin(), pool.end(), v));
+  EXPECT_EQ(RandomSelect(pool, 99, 1).size(), 5u);
+  EXPECT_TRUE(RandomSelect(pool, 0, 1).empty());
+}
+
+TEST(SelectionUtilTest, HerdingTracksMean) {
+  // Three tight clusters; herding with budget 3 should pick one point per
+  // cluster region to track the global mean... at minimum, selections are
+  // unique pool members and deterministic.
+  Matrix f(6, 2);
+  const float coords[6][2] = {{0, 0}, {0.1f, 0}, {10, 0},
+                              {10.1f, 0}, {5, 8}, {5.1f, 8}};
+  for (int i = 0; i < 6; ++i) {
+    f.At(i, 0) = coords[i][0];
+    f.At(i, 1) = coords[i][1];
+  }
+  std::vector<int32_t> pool = {0, 1, 2, 3, 4, 5};
+  const auto sel = HerdingSelect(f, pool, 4);
+  EXPECT_EQ(sel.size(), 4u);
+  std::set<int32_t> uniq(sel.begin(), sel.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  // The running mean of the selection approximates the pool mean.
+  const auto pool_mean = dense::ColumnMean(f, pool);
+  const auto sel_mean = dense::ColumnMean(f, sel);
+  EXPECT_NEAR(sel_mean[0], pool_mean[0], 2.5f);
+  EXPECT_NEAR(sel_mean[1], pool_mean[1], 2.5f);
+}
+
+TEST(SelectionUtilTest, KCenterSpreadsOut) {
+  // Points on a line; k-center with k=2 must pick near-opposite ends.
+  Matrix f(5, 1);
+  for (int i = 0; i < 5; ++i) f.At(i, 0) = static_cast<float>(i);
+  std::vector<int32_t> pool = {0, 1, 2, 3, 4};
+  const auto sel = KCenterSelect(f, pool, 2, 3);
+  ASSERT_EQ(sel.size(), 2u);
+  const float span = std::fabs(f.At(sel[0], 0) - f.At(sel[1], 0));
+  EXPECT_GE(span, 2.0f);
+}
+
+TEST(SelectionUtilTest, PerClassBudgetProportional) {
+  // 60 of class 0, 30 of class 1, 10 of class 2; budget 10 -> 6/3/1.
+  std::vector<int32_t> labels(100);
+  std::vector<int32_t> pool(100);
+  for (int i = 0; i < 100; ++i) {
+    pool[i] = i;
+    labels[i] = i < 60 ? 0 : (i < 90 ? 1 : 2);
+  }
+  const auto b = PerClassBudget(labels, pool, 3, 10);
+  EXPECT_EQ(b[0], 6);
+  EXPECT_EQ(b[1], 3);
+  EXPECT_EQ(b[2], 1);
+  int32_t total = b[0] + b[1] + b[2];
+  EXPECT_EQ(total, 10);
+}
+
+TEST(SelectionUtilTest, PerClassBudgetGivesEveryClassOne) {
+  std::vector<int32_t> labels = {0, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+  std::vector<int32_t> pool = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto b = PerClassBudget(labels, pool, 2, 2);
+  EXPECT_GE(b[1], 1);  // minority class represented
+}
+
+TEST(SelectionUtilTest, PoolOfClass) {
+  std::vector<int32_t> labels = {0, 1, 0, 1};
+  std::vector<int32_t> pool = {0, 1, 2, 3};
+  EXPECT_EQ(PoolOfClass(labels, pool, 1), (std::vector<int32_t>{1, 3}));
+}
+
+// --- greedy coverage ---------------------------------------------------------
+
+TEST(GreedyCoverageTest, PrefersLargeUncoveredRows) {
+  // Row 0 covers {0,1,2}; row 1 covers {0,1}; row 2 covers {3}.
+  CsrMatrix adj = Adj(3, 4, {{0, 0, 1}, {0, 1, 1}, {0, 2, 1},
+                             {1, 0, 1}, {1, 1, 1},
+                             {2, 3, 1}});
+  std::vector<int32_t> pool = {0, 1, 2};
+  const auto sel = GreedyCoverageSelect(adj, pool, 2, nullptr,
+                                        /*use_coverage=*/true);
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0], 0);  // largest row first
+  EXPECT_EQ(sel[1], 2);  // row 1 is fully covered; row 2 adds a new column
+}
+
+TEST(GreedyCoverageTest, DiversityBreaksTies) {
+  // Equal coverage rows; diversity should pick the high-diversity node.
+  CsrMatrix adj = Adj(2, 2, {{0, 0, 1}, {1, 1, 1}});
+  std::vector<float> div = {0.1f, 0.9f};
+  const auto sel =
+      GreedyCoverageSelect(adj, {0, 1}, 1, &div, /*use_coverage=*/true);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], 1);
+}
+
+TEST(GreedyCoverageTest, MarginalGainsAreNonIncreasing) {
+  // Submodularity: recorded marginal gains must be non-increasing when the
+  // modular diversity term is off.
+  const HeteroGraph g = datasets::MakeToy(21);
+  MetaPathOptions mp;
+  mp.max_hops = 2;
+  const auto paths = EnumerateMetaPaths(g, g.target_type(), mp);
+  ASSERT_FALSE(paths.empty());
+  const CsrMatrix adj = ComposeAdjacency(g, paths.back());
+  std::vector<int32_t> pool(static_cast<size_t>(adj.rows()));
+  for (int32_t i = 0; i < adj.rows(); ++i) pool[static_cast<size_t>(i)] = i;
+  std::vector<double> gains;
+  GreedyCoverageSelect(adj, pool, 20, nullptr, true, &gains);
+  for (size_t i = 1; i < gains.size(); ++i) {
+    EXPECT_LE(gains[i], gains[i - 1] + 1e-9);
+  }
+}
+
+TEST(GreedyCoverageTest, BudgetClamps) {
+  CsrMatrix adj = Adj(2, 2, {{0, 0, 1}});
+  EXPECT_EQ(GreedyCoverageSelect(adj, {0, 1}, 10, nullptr, true).size(), 2u);
+  EXPECT_TRUE(GreedyCoverageSelect(adj, {}, 3, nullptr, true).empty());
+}
+
+// --- target selection ---------------------------------------------------------
+
+class TargetSelectionRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TargetSelectionRatioTest, BudgetAndClassBalanceHold) {
+  const HeteroGraph g = datasets::MakeToy(31);
+  MetaPathOptions mp;
+  mp.max_hops = 2;
+  const auto paths = EnumerateMetaPaths(g, g.target_type(), mp);
+  const double ratio = GetParam();
+  const int32_t budget = std::max<int32_t>(
+      g.num_classes(),
+      static_cast<int32_t>(ratio * g.NodeCount(g.target_type())));
+  TargetSelectionOptions opts;
+  const auto sel = CondenseTargetNodes(g, paths, budget, opts);
+  EXPECT_LE(static_cast<int32_t>(sel.size()), budget + g.num_classes());
+  EXPECT_GE(static_cast<int32_t>(sel.size()), std::min<int32_t>(
+      budget, static_cast<int32_t>(g.train_index().size())) - g.num_classes());
+  // Unique, in train pool.
+  std::set<int32_t> uniq(sel.begin(), sel.end());
+  EXPECT_EQ(uniq.size(), sel.size());
+  std::set<int32_t> train(g.train_index().begin(), g.train_index().end());
+  for (int32_t v : sel) EXPECT_TRUE(train.count(v)) << v;
+  // Every class represented.
+  std::set<int32_t> classes;
+  for (int32_t v : sel) classes.insert(g.labels()[static_cast<size_t>(v)]);
+  EXPECT_EQ(static_cast<int32_t>(classes.size()), g.num_classes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, TargetSelectionRatioTest,
+                         ::testing::Values(0.1, 0.2, 0.4));
+
+TEST(TargetSelectionTest, DeterministicAndAblationSwitchesChangeResult) {
+  const HeteroGraph g = datasets::MakeAcm(3, /*scale=*/0.1);
+  MetaPathOptions mp;
+  mp.max_hops = 2;
+  mp.max_paths = 8;
+  const auto paths = EnumerateMetaPaths(g, g.target_type(), mp);
+  TargetSelectionOptions opts;
+  const auto a = CondenseTargetNodes(g, paths, 20, opts);
+  const auto b = CondenseTargetNodes(g, paths, 20, opts);
+  EXPECT_EQ(a, b);
+  TargetSelectionOptions no_rf = opts;
+  no_rf.use_receptive_field = false;
+  TargetSelectionOptions no_jac = opts;
+  no_jac.use_jaccard = false;
+  const auto c = CondenseTargetNodes(g, paths, 20, no_rf);
+  const auto d = CondenseTargetNodes(g, paths, 20, no_jac);
+  EXPECT_TRUE(a != c || a != d);  // switches have an effect
+}
+
+TEST(TargetSelectionTest, ScoresExposedForInterpretability) {
+  const HeteroGraph g = datasets::MakeToy(33);
+  MetaPathOptions mp;
+  mp.max_hops = 2;
+  const auto paths = EnumerateMetaPaths(g, g.target_type(), mp);
+  std::vector<double> scores;
+  const auto sel = CondenseTargetNodes(g, paths, 10, {}, &scores);
+  EXPECT_EQ(scores.size(),
+            static_cast<size_t>(g.NodeCount(g.target_type())));
+  // Selected nodes carry positive scores.
+  for (int32_t v : sel) EXPECT_GT(scores[static_cast<size_t>(v)], 0.0);
+}
+
+// --- NIM ----------------------------------------------------------------------
+
+TEST(NimTest, SelectsFathersConnectedToSelectedTargets) {
+  // Targets 0,1 connect to father 0; target 2 to father 1; father 2 is
+  // isolated. Selecting targets {0,1} must rank father 0 first, father 2
+  // last.
+  HeteroGraph g;
+  const TypeId t = g.AddNodeType("t", 3).value();
+  const TypeId f = g.AddNodeType("f", 3).value();
+  ASSERT_TRUE(g.AddRelation("tf", t, f,
+                            Adj(3, 3, {{0, 0, 1}, {1, 0, 1}, {2, 1, 1}}))
+                  .ok());
+  g.EnsureReverseRelations();
+  Matrix x(3, 2);
+  ASSERT_TRUE(g.SetFeatures(t, x).ok());
+  ASSERT_TRUE(g.SetFeatures(f, x).ok());
+  ASSERT_TRUE(g.SetTarget(t, {0, 1, 0}, 2).ok());
+  ASSERT_TRUE(g.SetSplit({0, 1, 2}, {}, {}).ok());
+
+  MetaPathOptions mp;
+  mp.max_hops = 1;
+  const auto paths = EnumerateMetaPaths(g, t, mp);
+  NimOptions nopts;
+  const auto sel = CondenseFatherType(g, f, FilterByEndType(paths, f),
+                                      {0, 1}, 1, nopts);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], 0);
+}
+
+TEST(NimTest, BudgetZeroAndClamping) {
+  const HeteroGraph g = datasets::MakeToy(41);
+  const TypeId father = g.TypeByName("f").value();
+  MetaPathOptions mp;
+  mp.max_hops = 2;
+  const auto paths = EnumerateMetaPaths(g, g.target_type(), mp);
+  NimOptions nopts;
+  EXPECT_TRUE(CondenseFatherType(g, father, FilterByEndType(paths, father),
+                                 g.train_index(), 0, nopts)
+                  .empty());
+  const auto all = CondenseFatherType(g, father,
+                                      FilterByEndType(paths, father),
+                                      g.train_index(), 10000, nopts);
+  EXPECT_EQ(static_cast<int32_t>(all.size()), g.NodeCount(father));
+}
+
+// --- ILM ----------------------------------------------------------------------
+
+TEST(IlmTest, SynthesizesMeanFeatures) {
+  // Father 0 has leaf neighbours {0, 1}; their mean feature must be the
+  // hyper-node feature.
+  HeteroGraph g;
+  const TypeId t = g.AddNodeType("t", 1).value();
+  const TypeId f = g.AddNodeType("f", 2).value();
+  const TypeId l = g.AddNodeType("l", 3).value();
+  ASSERT_TRUE(g.AddRelation("tf", t, f, Adj(1, 2, {{0, 0, 1}})).ok());
+  ASSERT_TRUE(g.AddRelation("fl", f, l,
+                            Adj(2, 3, {{0, 0, 1}, {0, 1, 1}, {1, 2, 1}}))
+                  .ok());
+  g.EnsureReverseRelations();
+  Matrix xl(3, 2);
+  xl.At(0, 0) = 2.0f;
+  xl.At(1, 0) = 4.0f;
+  xl.At(2, 0) = 100.0f;
+  ASSERT_TRUE(g.SetFeatures(l, xl).ok());
+  ASSERT_TRUE(g.SetFeatures(t, Matrix(1, 2)).ok());
+  ASSERT_TRUE(g.SetFeatures(f, Matrix(2, 2)).ok());
+  ASSERT_TRUE(g.SetTarget(t, {0}, 2).ok());
+
+  std::vector<int32_t> kept_f = {0};
+  const LeafSynthesis synth =
+      SynthesizeLeafType(g, l, {{f, &kept_f}}, /*budget=*/5);
+  ASSERT_EQ(synth.members.size(), 1u);
+  EXPECT_EQ(synth.members[0], (std::vector<int32_t>{0, 1}));
+  EXPECT_FLOAT_EQ(synth.features.At(0, 0), 3.0f);  // mean(2, 4)
+}
+
+TEST(IlmTest, MergesSmallestToBudget) {
+  // Three fathers each with a distinct single leaf; budget 2 forces one
+  // merge of the smallest hyper-nodes.
+  HeteroGraph g;
+  const TypeId t = g.AddNodeType("t", 1).value();
+  const TypeId f = g.AddNodeType("f", 3).value();
+  const TypeId l = g.AddNodeType("l", 3).value();
+  ASSERT_TRUE(g.AddRelation("tf", t, f, Adj(1, 3, {{0, 0, 1}})).ok());
+  ASSERT_TRUE(g.AddRelation("fl", f, l,
+                            Adj(3, 3, {{0, 0, 1}, {1, 1, 1}, {2, 2, 1}}))
+                  .ok());
+  g.EnsureReverseRelations();
+  ASSERT_TRUE(g.SetFeatures(l, Matrix(3, 2)).ok());
+  ASSERT_TRUE(g.SetFeatures(t, Matrix(1, 2)).ok());
+  ASSERT_TRUE(g.SetFeatures(f, Matrix(3, 2)).ok());
+  ASSERT_TRUE(g.SetTarget(t, {0}, 2).ok());
+
+  std::vector<int32_t> kept_f = {0, 1, 2};
+  const LeafSynthesis synth =
+      SynthesizeLeafType(g, l, {{f, &kept_f}}, /*budget=*/2);
+  EXPECT_EQ(synth.members.size(), 2u);
+  size_t total_members = 0;
+  for (const auto& m : synth.members) total_members += m.size();
+  EXPECT_EQ(total_members, 3u);
+}
+
+TEST(IlmTest, UnreachableLeafFallsBackToDegree) {
+  const HeteroGraph g = datasets::MakeToy(43);
+  const TypeId l = g.TypeByName("l").value();
+  // No kept fathers at all.
+  const LeafSynthesis synth = SynthesizeLeafType(g, l, {}, /*budget=*/3);
+  EXPECT_LE(synth.members.size(), 3u);
+  EXPECT_GT(synth.members.size(), 0u);
+}
+
+// --- assembly ------------------------------------------------------------------
+
+TEST(AssembleTest, KeptAndSynthesizedTypesCombine) {
+  const HeteroGraph g = datasets::MakeToy(51);
+  std::vector<TypeMapping> mappings(3);
+  // target: keep first 10; father: keep first 5; leaf: two hyper-nodes.
+  for (int32_t v = 0; v < 10; ++v) mappings[0].keep.push_back(v);
+  for (int32_t v = 0; v < 5; ++v) mappings[1].keep.push_back(v);
+  mappings[2].synthesized = true;
+  mappings[2].members = {{0, 1, 2}, {3, 4}};
+  mappings[2].synthetic_features = Matrix(2, g.Features(2).cols());
+  auto out = AssembleCondensedGraph(g, mappings);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->NodeCount(0), 10);
+  EXPECT_EQ(out->NodeCount(1), 5);
+  EXPECT_EQ(out->NodeCount(2), 2);
+  EXPECT_TRUE(out->Validate().ok());
+  EXPECT_EQ(out->train_index().size(), 10u);
+}
+
+TEST(AssembleTest, MembershipRoutesEdges) {
+  // father-leaf edge (f0 -> l1) must appear as (f0 -> hyper containing l1).
+  HeteroGraph g;
+  const TypeId t = g.AddNodeType("t", 1).value();
+  const TypeId f = g.AddNodeType("f", 1).value();
+  const TypeId l = g.AddNodeType("l", 2).value();
+  ASSERT_TRUE(g.AddRelation("tf", t, f, Adj(1, 1, {{0, 0, 1}})).ok());
+  ASSERT_TRUE(g.AddRelation("fl", f, l, Adj(1, 2, {{0, 1, 1}})).ok());
+  ASSERT_TRUE(g.SetFeatures(l, Matrix(2, 2)).ok());
+  ASSERT_TRUE(g.SetTarget(t, {0}, 2).ok());
+  std::vector<TypeMapping> mappings(3);
+  mappings[0].keep = {0};
+  mappings[1].keep = {0};
+  mappings[2].synthesized = true;
+  mappings[2].members = {{1}};
+  mappings[2].synthetic_features = Matrix(1, 2);
+  auto out = AssembleCondensedGraph(g, mappings);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->relation(1).adj.Contains(0, 0));
+}
+
+TEST(AssembleTest, RejectsInvalidMappings) {
+  const HeteroGraph g = datasets::MakeToy(53);
+  // Wrong arity.
+  EXPECT_FALSE(AssembleCondensedGraph(g, {}).ok());
+  // Synthesized target type forbidden.
+  std::vector<TypeMapping> mappings(3);
+  mappings[0].synthesized = true;
+  mappings[0].members = {{0}};
+  mappings[0].synthetic_features = Matrix(1, g.Features(0).cols());
+  mappings[1].keep = {0};
+  mappings[2].keep = {0};
+  EXPECT_FALSE(AssembleCondensedGraph(g, mappings).ok());
+  // Duplicate keep id.
+  std::vector<TypeMapping> dup(3);
+  dup[0].keep = {0, 0};
+  dup[1].keep = {0};
+  dup[2].keep = {0};
+  EXPECT_FALSE(AssembleCondensedGraph(g, dup).ok());
+}
+
+// --- full pipeline ---------------------------------------------------------------
+
+class CondenseRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CondenseRatioTest, InvariantsHold) {
+  const HeteroGraph g = datasets::MakeDblp(61, /*scale=*/0.1);
+  FreeHgcOptions opts;
+  opts.ratio = GetParam();
+  opts.max_hops = 2;
+  opts.max_paths = 10;
+  auto res = Condense(g, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->graph.Validate().ok());
+  EXPECT_EQ(res->graph.NumNodeTypes(), g.NumNodeTypes());
+  EXPECT_EQ(res->graph.NumRelations(), g.NumRelations());
+  // Node budget respected within rounding (each type <= ratio*N + slack).
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    EXPECT_LE(res->graph.NodeCount(t),
+              static_cast<int32_t>(opts.ratio * g.NodeCount(t)) +
+                  g.num_classes() + 1)
+        << g.TypeName(t);
+  }
+  EXPECT_GT(res->seconds, 0.0);
+  // Selected targets are valid training nodes.
+  std::set<int32_t> train(g.train_index().begin(), g.train_index().end());
+  for (int32_t v : res->selected_target) EXPECT_TRUE(train.count(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, CondenseRatioTest,
+                         ::testing::Values(0.012, 0.024, 0.048, 0.096));
+
+TEST(CondenseTest, RejectsBadOptions) {
+  const HeteroGraph g = datasets::MakeToy(71);
+  FreeHgcOptions opts;
+  opts.ratio = 0.0;
+  EXPECT_FALSE(Condense(g, opts).ok());
+  opts.ratio = 1.5;
+  EXPECT_FALSE(Condense(g, opts).ok());
+  HeteroGraph no_target;
+  no_target.AddNodeType("x", 3).value();
+  opts.ratio = 0.1;
+  EXPECT_FALSE(Condense(no_target, opts).ok());
+}
+
+TEST(CondenseTest, DeterministicUnderSeed) {
+  const HeteroGraph g = datasets::MakeToy(73);
+  FreeHgcOptions opts;
+  opts.ratio = 0.2;
+  opts.seed = 5;
+  auto a = Condense(g, opts);
+  auto b = Condense(g, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->selected_target, b->selected_target);
+  EXPECT_EQ(a->graph.TotalNodes(), b->graph.TotalNodes());
+  EXPECT_EQ(a->graph.TotalEdges(), b->graph.TotalEdges());
+}
+
+TEST(CondenseTest, AblationStrategiesRun) {
+  const HeteroGraph g = datasets::MakeDblp(75, /*scale=*/0.05);
+  for (auto ts : {TargetStrategy::kCriterion, TargetStrategy::kHerding,
+                  TargetStrategy::kRandom}) {
+    for (auto fs : {FatherStrategy::kNim, FatherStrategy::kHerding}) {
+      for (auto ls : {LeafStrategy::kIlm, LeafStrategy::kHerding}) {
+        FreeHgcOptions opts;
+        opts.ratio = 0.05;
+        opts.max_paths = 6;
+        opts.target_strategy = ts;
+        opts.father_strategy = fs;
+        opts.leaf_strategy = ls;
+        auto res = Condense(g, opts);
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+        EXPECT_TRUE(res->graph.Validate().ok());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace freehgc::core

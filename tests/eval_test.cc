@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+#include "eval/experiment.h"
+
+namespace freehgc::eval {
+namespace {
+
+TEST(AggregateTest, MeanAndStd) {
+  const MeanStd m = Aggregate({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.mean, 2.0);
+  EXPECT_DOUBLE_EQ(m.std, 1.0);
+  const MeanStd single = Aggregate({5.0});
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.std, 0.0);
+  const MeanStd empty = Aggregate({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(CellTest, Formats) {
+  EXPECT_EQ(Cell({91.274, 0.456}), "91.27 ± 0.46");
+}
+
+TEST(MethodNameTest, AllNamed) {
+  EXPECT_STREQ(MethodName(MethodKind::kFreeHGC), "FreeHGC");
+  EXPECT_STREQ(MethodName(MethodKind::kHGCond), "HGCond");
+  EXPECT_STREQ(MethodName(MethodKind::kCoarsening), "Coarsening-HG");
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashing) {
+  TablePrinter t({"Dataset", "Acc"});
+  t.AddRow({"ACM", "91.3"});
+  t.AddRow({"DBLP"});  // short row padded
+  t.Print();
+}
+
+class RunMethodTest : public ::testing::TestWithParam<MethodKind> {};
+
+TEST_P(RunMethodTest, EndToEndOnToy) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  hgnn::PropagateOptions popts;
+  popts.max_hops = 2;
+  popts.max_paths = 6;
+  const hgnn::EvalContext ctx = hgnn::BuildEvalContext(g, popts);
+  RunOptions run;
+  run.ratio = 0.2;
+  run.seed = 1;
+  run.gm.outer_iters = 2;
+  run.gm.inner_iters = 2;
+  run.gm.relay_inits = 2;
+  hgnn::HgnnConfig cfg;
+  cfg.hidden = 8;
+  cfg.epochs = 30;
+  auto res = RunMethod(ctx, GetParam(), run, cfg);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_FALSE(res->oom);
+  EXPECT_GE(res->accuracy, 0.0f);
+  EXPECT_LE(res->accuracy, 100.0f);
+  EXPECT_GT(res->storage_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, RunMethodTest,
+    ::testing::Values(MethodKind::kRandom, MethodKind::kHerding,
+                      MethodKind::kKCenter, MethodKind::kCoarsening,
+                      MethodKind::kGCond, MethodKind::kHGCond,
+                      MethodKind::kFreeHGC),
+    [](const auto& info) {
+      std::string n = MethodName(info.param);
+      std::string out;
+      for (char c : n) {
+        if (c != '-') out += c;
+      }
+      return out;
+    });
+
+TEST(RunMethodSeedsTest, AggregatesOverSeeds) {
+  const HeteroGraph g = datasets::MakeToy(7);
+  hgnn::PropagateOptions popts;
+  popts.max_hops = 2;
+  const hgnn::EvalContext ctx = hgnn::BuildEvalContext(g, popts);
+  RunOptions run;
+  run.ratio = 0.2;
+  hgnn::HgnnConfig cfg;
+  cfg.hidden = 8;
+  cfg.epochs = 20;
+  const AggregatedRun agg =
+      RunMethodSeeds(ctx, MethodKind::kRandom, run, cfg, {1, 2, 3});
+  EXPECT_FALSE(agg.oom);
+  EXPECT_GE(agg.accuracy.mean, 0.0);
+  EXPECT_GE(agg.accuracy.std, 0.0);
+}
+
+}  // namespace
+}  // namespace freehgc::eval

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+#include "graph/hetero_graph.h"
+#include "sparse/ops.h"
+
+namespace freehgc {
+namespace {
+
+CsrMatrix Adj(int32_t rows, int32_t cols, std::vector<CooEntry> e) {
+  auto r = CsrMatrix::FromCoo(rows, cols, std::move(e));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+/// Small 3-type graph: 4 target "t" nodes, 3 "f" father nodes, 2 "l" leaf
+/// nodes, chain t - f - l.
+HeteroGraph BuildChainGraph() {
+  HeteroGraph g;
+  const TypeId t = g.AddNodeType("t", 4).value();
+  const TypeId f = g.AddNodeType("f", 3).value();
+  const TypeId l = g.AddNodeType("l", 2).value();
+  EXPECT_TRUE(g.AddRelation("tf", t, f,
+                            Adj(4, 3, {{0, 0, 1}, {1, 0, 1}, {2, 1, 1},
+                                       {3, 2, 1}}))
+                  .ok());
+  EXPECT_TRUE(
+      g.AddRelation("fl", f, l, Adj(3, 2, {{0, 0, 1}, {1, 0, 1}, {2, 1, 1}}))
+          .ok());
+  g.EnsureReverseRelations();
+  Matrix xt(4, 2), xf(3, 2), xl(2, 2);
+  xt.Fill(1.0f);
+  xf.Fill(2.0f);
+  xl.Fill(3.0f);
+  EXPECT_TRUE(g.SetFeatures(t, xt).ok());
+  EXPECT_TRUE(g.SetFeatures(f, xf).ok());
+  EXPECT_TRUE(g.SetFeatures(l, xl).ok());
+  EXPECT_TRUE(g.SetTarget(t, {0, 1, 0, 1}, 2).ok());
+  EXPECT_TRUE(g.SetSplit({0, 1}, {2}, {3}).ok());
+  EXPECT_TRUE(g.Validate().ok());
+  return g;
+}
+
+TEST(HeteroGraphTest, ConstructionBasics) {
+  HeteroGraph g = BuildChainGraph();
+  EXPECT_EQ(g.NumNodeTypes(), 3);
+  EXPECT_EQ(g.NodeCount(0), 4);
+  EXPECT_EQ(g.TypeName(1), "f");
+  EXPECT_EQ(g.TypeByName("l").value(), 2);
+  EXPECT_FALSE(g.TypeByName("nope").ok());
+  EXPECT_EQ(g.TotalNodes(), 9);
+  EXPECT_EQ(g.num_classes(), 2);
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+TEST(HeteroGraphTest, DuplicateTypeRejected) {
+  HeteroGraph g;
+  EXPECT_TRUE(g.AddNodeType("a", 1).ok());
+  EXPECT_FALSE(g.AddNodeType("a", 2).ok());
+  EXPECT_FALSE(g.AddNodeType("b", -1).ok());
+}
+
+TEST(HeteroGraphTest, RelationShapeChecked) {
+  HeteroGraph g;
+  const TypeId a = g.AddNodeType("a", 3).value();
+  const TypeId b = g.AddNodeType("b", 2).value();
+  EXPECT_FALSE(g.AddRelation("bad", a, b, Adj(2, 2, {})).ok());
+  EXPECT_TRUE(g.AddRelation("ok", a, b, Adj(3, 2, {})).ok());
+  EXPECT_FALSE(g.AddRelation("oob", a, 9, Adj(3, 2, {})).ok());
+}
+
+TEST(HeteroGraphTest, EnsureReverseAddsTransposes) {
+  HeteroGraph g = BuildChainGraph();
+  // tf, fl plus rev_tf, rev_fl.
+  EXPECT_EQ(g.NumRelations(), 4);
+  bool found_rev = false;
+  for (RelationId r = 0; r < g.NumRelations(); ++r) {
+    if (g.relation(r).name == "rev_tf") {
+      found_rev = true;
+      EXPECT_EQ(g.relation(r).src_type, g.TypeByName("f").value());
+      EXPECT_EQ(g.relation(r).dst_type, g.TypeByName("t").value());
+      EXPECT_EQ(g.relation(r).adj,
+                sparse::Transpose(g.relation(0).adj));
+    }
+  }
+  EXPECT_TRUE(found_rev);
+  // Idempotent: calling again adds nothing.
+  HeteroGraph g2 = g;
+  g2.EnsureReverseRelations();
+  EXPECT_EQ(g2.NumRelations(), 4);
+}
+
+TEST(HeteroGraphTest, RelationsFromTo) {
+  HeteroGraph g = BuildChainGraph();
+  const TypeId f = g.TypeByName("f").value();
+  const auto from_f = g.RelationsFrom(f);
+  const auto to_f = g.RelationsTo(f);
+  EXPECT_EQ(from_f.size(), 2u);  // fl, rev_tf
+  EXPECT_EQ(to_f.size(), 2u);    // tf, rev_fl
+}
+
+TEST(HeteroGraphTest, LabelValidation) {
+  HeteroGraph g;
+  const TypeId t = g.AddNodeType("t", 3).value();
+  EXPECT_FALSE(g.SetTarget(t, {0, 1}, 2).ok());      // wrong size
+  EXPECT_FALSE(g.SetTarget(t, {0, 1, 5}, 2).ok());   // label out of range
+  EXPECT_TRUE(g.SetTarget(t, {0, 1, 1}, 2).ok());
+  EXPECT_FALSE(g.SetSplit({7}, {}, {}).ok());        // split out of range
+  EXPECT_TRUE(g.SetSplit({0}, {1}, {2}).ok());
+}
+
+TEST(HeteroGraphTest, SplitRequiresTarget) {
+  HeteroGraph g;
+  g.AddNodeType("t", 3).value();
+  EXPECT_EQ(g.SetSplit({0}, {}, {}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HeteroGraphTest, SchemaClassification) {
+  HeteroGraph g = BuildChainGraph();
+  const auto roles = g.ClassifySchema();
+  EXPECT_EQ(roles[0], TypeRole::kRoot);
+  EXPECT_EQ(roles[1], TypeRole::kFather);
+  EXPECT_EQ(roles[2], TypeRole::kLeaf);
+}
+
+TEST(HeteroGraphTest, AcmSchemaIsAllLeaves) {
+  // ACM-style: every other type is terminal (no deeper children), so per
+  // Fig. 5's bridge definition they are all leaves — the paper condenses
+  // ACM's author type with information-loss minimization (Variant#5).
+  const HeteroGraph g = datasets::MakeAcm(1, /*scale=*/0.05);
+  const auto roles = g.ClassifySchema();
+  int fathers = 0, leaves = 0;
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    if (roles[static_cast<size_t>(t)] == TypeRole::kFather) ++fathers;
+    if (roles[static_cast<size_t>(t)] == TypeRole::kLeaf) ++leaves;
+  }
+  EXPECT_EQ(fathers, 0);
+  EXPECT_EQ(leaves, 3);
+}
+
+TEST(HeteroGraphTest, DblpSchemaHasLeaves) {
+  // DBLP-style: author(root) - paper(father) - term/venue(leaf).
+  const HeteroGraph g = datasets::MakeDblp(1, /*scale=*/0.05);
+  const auto roles = g.ClassifySchema();
+  EXPECT_EQ(roles[static_cast<size_t>(g.TypeByName("author").value())],
+            TypeRole::kRoot);
+  EXPECT_EQ(roles[static_cast<size_t>(g.TypeByName("paper").value())],
+            TypeRole::kFather);
+  EXPECT_EQ(roles[static_cast<size_t>(g.TypeByName("term").value())],
+            TypeRole::kLeaf);
+  EXPECT_EQ(roles[static_cast<size_t>(g.TypeByName("venue").value())],
+            TypeRole::kLeaf);
+}
+
+TEST(HeteroGraphTest, InducedSubgraphRestrictsEverything) {
+  HeteroGraph g = BuildChainGraph();
+  auto sub = g.InducedSubgraph({{0, 2}, {0, 1}, {0}});
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(sub->NodeCount(0), 2);
+  EXPECT_EQ(sub->NodeCount(1), 2);
+  EXPECT_EQ(sub->NodeCount(2), 1);
+  EXPECT_TRUE(sub->Validate().ok());
+  // tf originally: 0-0, 1-0, 2-1, 3-2; kept t={0,2}, f={0,1} -> edges
+  // (0->0) and (2->1) i.e. new (0,0) and (1,1).
+  const CsrMatrix& adj = sub->relation(0).adj;
+  EXPECT_EQ(adj.nnz(), 2);
+  EXPECT_TRUE(adj.Contains(0, 0));
+  EXPECT_TRUE(adj.Contains(1, 1));
+  // Labels follow the kept target ids (0 -> 0, 2 -> 0).
+  EXPECT_EQ(sub->labels(), (std::vector<int32_t>{0, 0}));
+  // Every kept target node becomes a training example.
+  EXPECT_EQ(sub->train_index().size(), 2u);
+  // Features gathered.
+  EXPECT_FLOAT_EQ(sub->Features(1).At(0, 0), 2.0f);
+}
+
+TEST(HeteroGraphTest, InducedSubgraphRejectsBadKeepLists) {
+  HeteroGraph g = BuildChainGraph();
+  EXPECT_FALSE(g.InducedSubgraph({{0}, {0}}).ok());          // wrong arity
+  EXPECT_FALSE(g.InducedSubgraph({{9}, {0}, {0}}).ok());     // out of range
+  EXPECT_FALSE(g.InducedSubgraph({{0, 0}, {0}, {0}}).ok());  // duplicate
+}
+
+TEST(HeteroGraphTest, ValidateCatchesInternalInconsistency) {
+  HeteroGraph g = BuildChainGraph();
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+}  // namespace
+}  // namespace freehgc

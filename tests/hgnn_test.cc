@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "datasets/generator.h"
+#include "hgnn/models.h"
+#include "hgnn/propagate.h"
+#include "hgnn/trainer.h"
+
+namespace freehgc::hgnn {
+namespace {
+
+TEST(PropagateTest, BlockLayoutAndShapes) {
+  const HeteroGraph g = datasets::MakeToy(1);
+  PropagateOptions opts;
+  opts.max_hops = 2;
+  const PropagatedFeatures f = PropagateFeatures(g, opts);
+  ASSERT_GE(f.blocks.size(), 2u);
+  EXPECT_EQ(f.names[0], "raw");
+  EXPECT_EQ(f.end_types[0], g.target_type());
+  for (const auto& b : f.blocks) {
+    EXPECT_EQ(b.rows(), g.NodeCount(g.target_type()));
+  }
+  EXPECT_EQ(f.blocks.size(), f.names.size());
+  EXPECT_EQ(f.blocks.size(), f.end_types.size());
+}
+
+TEST(PropagateTest, MeanAggregationIsConvexCombination) {
+  // Propagated feature values must lie within the range of the source
+  // features (row-stochastic composition = convex combination).
+  const HeteroGraph g = datasets::MakeToy(2);
+  PropagateOptions opts;
+  opts.max_hops = 1;
+  const PropagatedFeatures f = PropagateFeatures(g, opts);
+  for (size_t p = 1; p < f.blocks.size(); ++p) {
+    const Matrix& src = g.Features(f.end_types[p]);
+    float lo = src.data()[0], hi = src.data()[0];
+    for (int64_t i = 0; i < src.size(); ++i) {
+      lo = std::min(lo, src.data()[i]);
+      hi = std::max(hi, src.data()[i]);
+    }
+    for (int64_t i = 0; i < f.blocks[p].size(); ++i) {
+      EXPECT_GE(f.blocks[p].data()[i], lo - 1e-4f);
+      EXPECT_LE(f.blocks[p].data()[i], hi + 1e-4f);
+    }
+  }
+}
+
+TEST(PropagateTest, CondensedGraphSharesBlockLayout) {
+  const HeteroGraph g = datasets::MakeToy(3);
+  PropagateOptions opts;
+  opts.max_hops = 2;
+  const EvalContext ctx = BuildEvalContext(g, opts);
+  // Induce a subgraph (same schema) and propagate along the same paths.
+  std::vector<std::vector<int32_t>> keep(
+      static_cast<size_t>(g.NumNodeTypes()));
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    for (int32_t v = 0; v < g.NodeCount(t) / 2; ++v) {
+      keep[static_cast<size_t>(t)].push_back(v);
+    }
+  }
+  auto sub = g.InducedSubgraph(keep);
+  ASSERT_TRUE(sub.ok());
+  const PropagatedFeatures f =
+      PropagateAlongPaths(*sub, ctx.paths, opts.max_row_nnz);
+  ASSERT_EQ(f.blocks.size(), ctx.full_features.blocks.size());
+  for (size_t p = 0; p < f.blocks.size(); ++p) {
+    EXPECT_EQ(f.blocks[p].cols(), ctx.full_features.blocks[p].cols());
+    EXPECT_EQ(f.blocks[p].rows(),
+              sub->NodeCount(sub->target_type()));
+  }
+}
+
+class ModelKindTest : public ::testing::TestWithParam<HgnnKind> {};
+
+TEST_P(ModelKindTest, ForwardShapeAndDeterminism) {
+  const HeteroGraph g = datasets::MakeToy(4);
+  PropagateOptions popts;
+  popts.max_hops = 2;
+  const PropagatedFeatures f = PropagateFeatures(g, popts);
+  std::vector<int64_t> dims;
+  for (const auto& b : f.blocks) dims.push_back(b.cols());
+
+  HgnnConfig cfg;
+  cfg.kind = GetParam();
+  cfg.hidden = 8;
+  cfg.seed = 11;
+  HgnnModel m1(cfg, dims, f.end_types, g.num_classes());
+  HgnnModel m2(cfg, dims, f.end_types, g.num_classes());
+  Matrix out1 = m1.Forward(f.blocks, /*train=*/false);
+  Matrix out2 = m2.Forward(f.blocks, /*train=*/false);
+  EXPECT_EQ(out1.rows(), g.NodeCount(g.target_type()));
+  EXPECT_EQ(out1.cols(), g.num_classes());
+  EXPECT_EQ(out1, out2);  // same seed, same params, same output
+  EXPECT_GT(m1.NumParams(), 0);
+}
+
+TEST_P(ModelKindTest, GradCheck) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  PropagateOptions popts;
+  popts.max_hops = 2;
+  popts.max_paths = 3;
+  const PropagatedFeatures f = PropagateFeatures(g, popts);
+  std::vector<int64_t> dims;
+  for (const auto& b : f.blocks) dims.push_back(b.cols());
+
+  HgnnConfig cfg;
+  cfg.kind = GetParam();
+  cfg.hidden = 4;
+  cfg.dropout = 0.0f;
+  cfg.seed = 13;
+  HgnnModel model(cfg, dims, f.end_types, g.num_classes());
+
+  auto loss_fn = [&]() {
+    Matrix out = model.Forward(f.blocks, /*train=*/true);
+    return nn::SoftmaxCrossEntropy(out, g.labels(), {}, nullptr);
+  };
+
+  model.ZeroGrad();
+  Matrix out = model.Forward(f.blocks, true);
+  Matrix dlogits;
+  nn::SoftmaxCrossEntropy(out, g.labels(), {}, &dlogits);
+  model.Backward(dlogits);
+
+  int checked = 0;
+  for (nn::Parameter* p : model.Params()) {
+    for (int64_t r = 0; r < p->value.rows() && checked < 40; ++r) {
+      for (int64_t c = 0; c < p->value.cols() && checked < 40; ++c) {
+        const float orig = p->value.At(r, c);
+        const float eps = 2e-3f;
+        p->value.At(r, c) = orig + eps;
+        const float hi = loss_fn();
+        p->value.At(r, c) = orig - eps;
+        const float lo = loss_fn();
+        p->value.At(r, c) = orig;
+        const float num = (hi - lo) / (2 * eps);
+        // Relative tolerance: float32 central differences cross ReLU kinks,
+        // and sum-fusion (HGB) amplifies the absolute error.
+        const float tol = std::max(5e-3f, 0.06f * std::fabs(num));
+        EXPECT_NEAR(p->grad.At(r, c), num, tol)
+            << HgnnKindName(cfg.kind) << " param (" << r << "," << c << ")";
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ModelKindTest,
+                         ::testing::Values(HgnnKind::kHeteroSGC,
+                                           HgnnKind::kSeHGNN, HgnnKind::kHAN,
+                                           HgnnKind::kHGB, HgnnKind::kHGT),
+                         [](const auto& info) {
+                           return HgnnKindName(info.param);
+                         });
+
+TEST(TrainerTest, WholeGraphBeatsChance) {
+  const HeteroGraph g = datasets::MakeToy(6);
+  PropagateOptions popts;
+  popts.max_hops = 2;
+  const EvalContext ctx = BuildEvalContext(g, popts);
+  HgnnConfig cfg;
+  cfg.hidden = 16;
+  cfg.epochs = 80;
+  const EvalMetrics m = WholeGraphBaseline(ctx, cfg);
+  EXPECT_GT(m.test_accuracy, 1.2f / static_cast<float>(g.num_classes()));
+  EXPECT_GT(m.train_seconds, 0.0);
+  EXPECT_GT(m.epochs_run, 0);
+}
+
+TEST(TrainerTest, TrainOnSubgraphEvaluatesOnFull) {
+  const HeteroGraph g = datasets::MakeToy(7);
+  PropagateOptions popts;
+  popts.max_hops = 2;
+  const EvalContext ctx = BuildEvalContext(g, popts);
+  std::vector<std::vector<int32_t>> keep(
+      static_cast<size_t>(g.NumNodeTypes()));
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    for (int32_t v = 0; v < g.NodeCount(t); v += 2) {
+      keep[static_cast<size_t>(t)].push_back(v);
+    }
+  }
+  auto sub = g.InducedSubgraph(keep);
+  ASSERT_TRUE(sub.ok());
+  HgnnConfig cfg;
+  cfg.hidden = 16;
+  cfg.epochs = 60;
+  const EvalMetrics m = TrainAndEvaluate(ctx, *sub, cfg);
+  EXPECT_GE(m.test_accuracy, 0.0f);
+  EXPECT_LE(m.test_accuracy, 1.0f);
+}
+
+TEST(TrainerTest, TrainOnBlocksRunsOnSyntheticRows) {
+  const HeteroGraph g = datasets::MakeToy(8);
+  PropagateOptions popts;
+  popts.max_hops = 2;
+  const EvalContext ctx = BuildEvalContext(g, popts);
+  // Synthetic data: 12 rows copied from real propagated rows.
+  std::vector<Matrix> blocks;
+  std::vector<int32_t> rows = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  for (const auto& b : ctx.full_features.blocks) {
+    blocks.push_back(b.GatherRows(rows));
+  }
+  std::vector<int32_t> labels;
+  for (int32_t r : rows) {
+    labels.push_back(g.labels()[static_cast<size_t>(r)]);
+  }
+  HgnnConfig cfg;
+  cfg.hidden = 8;
+  cfg.epochs = 40;
+  const EvalMetrics m = TrainOnBlocks(ctx, blocks, labels, cfg);
+  EXPECT_GE(m.test_accuracy, 0.0f);
+  EXPECT_LE(m.test_accuracy, 1.0f);
+}
+
+TEST(TrainerTest, DeterministicUnderSeed) {
+  const HeteroGraph g = datasets::MakeToy(9);
+  PropagateOptions popts;
+  popts.max_hops = 2;
+  const EvalContext ctx = BuildEvalContext(g, popts);
+  HgnnConfig cfg;
+  cfg.hidden = 8;
+  cfg.epochs = 30;
+  cfg.seed = 77;
+  const EvalMetrics a = WholeGraphBaseline(ctx, cfg);
+  const EvalMetrics b = WholeGraphBaseline(ctx, cfg);
+  EXPECT_FLOAT_EQ(a.test_accuracy, b.test_accuracy);
+}
+
+}  // namespace
+}  // namespace freehgc::hgnn

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+#include <functional>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/nn.h"
+
+namespace freehgc::nn {
+namespace {
+
+/// Central-difference numerical gradient of `loss_fn` w.r.t. parameter p.
+float NumericalGrad(Parameter& p, int64_t r, int64_t c,
+                    const std::function<float()>& loss_fn, float eps = 1e-3f) {
+  const float orig = p.value.At(r, c);
+  p.value.At(r, c) = orig + eps;
+  const float hi = loss_fn();
+  p.value.At(r, c) = orig - eps;
+  const float lo = loss_fn();
+  p.value.At(r, c) = orig;
+  return (hi - lo) / (2.0f * eps);
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  Matrix logits(4, 3);  // all-zero logits -> uniform distribution
+  std::vector<int32_t> labels = {0, 1, 2, 0};
+  const float loss = SoftmaxCrossEntropy(logits, labels, {}, nullptr);
+  EXPECT_NEAR(loss, std::log(3.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropyTest, PerfectPredictionLowLoss) {
+  Matrix logits(2, 2);
+  logits.At(0, 0) = 20.0f;
+  logits.At(1, 1) = 20.0f;
+  const float loss = SoftmaxCrossEntropy(logits, {0, 1}, {}, nullptr);
+  EXPECT_LT(loss, 1e-3f);
+}
+
+TEST(SoftmaxCrossEntropyTest, IndexRestrictsRows) {
+  Matrix logits(2, 2);
+  logits.At(0, 0) = 20.0f;  // row 0 perfect
+  logits.At(1, 0) = 20.0f;  // row 1 totally wrong
+  const float loss0 = SoftmaxCrossEntropy(logits, {0, 1}, {0}, nullptr);
+  const float loss1 = SoftmaxCrossEntropy(logits, {0, 1}, {1}, nullptr);
+  EXPECT_LT(loss0, 0.01f);
+  EXPECT_GT(loss1, 5.0f);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesNumerical) {
+  Rng rng(1);
+  Matrix logits(3, 4);
+  logits.FillGaussian(rng, 1.0f);
+  std::vector<int32_t> labels = {1, 3, 0};
+  Matrix dlogits;
+  SoftmaxCrossEntropy(logits, labels, {}, &dlogits);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      const float orig = logits.At(r, c);
+      const float eps = 1e-3f;
+      logits.At(r, c) = orig + eps;
+      const float hi = SoftmaxCrossEntropy(logits, labels, {}, nullptr);
+      logits.At(r, c) = orig - eps;
+      const float lo = SoftmaxCrossEntropy(logits, labels, {}, nullptr);
+      logits.At(r, c) = orig;
+      EXPECT_NEAR(dlogits.At(r, c), (hi - lo) / (2 * eps), 1e-3f);
+    }
+  }
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  Matrix x(5, 3);
+  x.FillGaussian(rng, 1.0f);
+  std::vector<int32_t> labels = {0, 1, 0, 1, 1};
+
+  auto loss_fn = [&]() {
+    Matrix out = layer.Forward(x);
+    return SoftmaxCrossEntropy(out, labels, {}, nullptr);
+  };
+
+  // Analytic gradients.
+  for (Parameter* p : layer.Params()) p->ZeroGrad();
+  Matrix out = layer.Forward(x);
+  Matrix dlogits;
+  SoftmaxCrossEntropy(out, labels, {}, &dlogits);
+  Matrix dx = layer.Backward(dlogits);
+
+  auto params = layer.Params();
+  Parameter& w = *params[0];
+  Parameter& b = *params[1];
+  for (int64_t r = 0; r < w.value.rows(); ++r) {
+    for (int64_t c = 0; c < w.value.cols(); ++c) {
+      EXPECT_NEAR(w.grad.At(r, c), NumericalGrad(w, r, c, loss_fn), 2e-3f);
+    }
+  }
+  for (int64_t c = 0; c < b.value.cols(); ++c) {
+    EXPECT_NEAR(b.grad.At(0, c), NumericalGrad(b, 0, c, loss_fn), 2e-3f);
+  }
+  // dx check via perturbing x.
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      const float orig = x.At(r, c);
+      const float eps = 1e-3f;
+      x.At(r, c) = orig + eps;
+      const float hi = loss_fn();
+      x.At(r, c) = orig - eps;
+      const float lo = loss_fn();
+      x.At(r, c) = orig;
+      EXPECT_NEAR(dx.At(r, c), (hi - lo) / (2 * eps), 2e-3f);
+    }
+  }
+}
+
+TEST(ReLUTest, ForwardAndBackward) {
+  ReLU relu;
+  Matrix x(1, 4);
+  x.At(0, 0) = -1.0f;
+  x.At(0, 1) = 2.0f;
+  x.At(0, 2) = 0.0f;
+  x.At(0, 3) = 5.0f;
+  Matrix y = relu.Forward(x);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.At(0, 1), 2.0f);
+  Matrix dout(1, 4);
+  dout.Fill(1.0f);
+  Matrix dx = relu.Backward(dout);
+  EXPECT_FLOAT_EQ(dx.At(0, 0), 0.0f);  // blocked at negative input
+  EXPECT_FLOAT_EQ(dx.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(dx.At(0, 2), 0.0f);  // blocked at zero
+  EXPECT_FLOAT_EQ(dx.At(0, 3), 1.0f);
+}
+
+TEST(DropoutTest, IdentityAtEval) {
+  Dropout d(0.5f, 1);
+  Matrix x(3, 3);
+  x.Fill(2.0f);
+  EXPECT_EQ(d.Forward(x, /*train=*/false), x);
+}
+
+TEST(DropoutTest, PreservesExpectation) {
+  Dropout d(0.4f, 2);
+  Matrix x(100, 100);
+  x.Fill(1.0f);
+  Matrix y = d.Forward(x, /*train=*/true);
+  double sum = 0.0;
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    sum += y.data()[i];
+    if (y.data()[i] == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(sum / y.size(), 1.0, 0.05);  // inverted dropout keeps E[x]
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.4, 0.05);
+}
+
+TEST(MlpTest, GradCheckTwoLayer) {
+  Rng rng(3);
+  Mlp mlp({4, 5, 3}, /*dropout=*/0.0f, /*seed=*/7);
+  Matrix x(6, 4);
+  x.FillGaussian(rng, 1.0f);
+  std::vector<int32_t> labels = {0, 1, 2, 0, 1, 2};
+
+  auto loss_fn = [&]() {
+    Matrix out = mlp.Forward(x, /*train=*/true);
+    return SoftmaxCrossEntropy(out, labels, {}, nullptr);
+  };
+
+  mlp.ZeroGrad();
+  Matrix out = mlp.Forward(x, true);
+  Matrix dlogits;
+  SoftmaxCrossEntropy(out, labels, {}, &dlogits);
+  mlp.Backward(dlogits);
+
+  int checked = 0;
+  for (Parameter* p : mlp.Params()) {
+    for (int64_t r = 0; r < p->value.rows() && checked < 60; ++r) {
+      for (int64_t c = 0; c < p->value.cols() && checked < 60; ++c) {
+        const float num = NumericalGrad(*p, r, c, loss_fn);
+        EXPECT_NEAR(p->grad.At(r, c), num, 3e-3f)
+            << "param entry (" << r << "," << c << ")";
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 30);
+  EXPECT_GT(mlp.NumParams(), 0);
+}
+
+TEST(AdamTest, ReducesQuadraticLoss) {
+  // Minimize ||w - 3||^2 with Adam; gradient = 2(w - 3).
+  Parameter w(1, 1);
+  w.value.At(0, 0) = 0.0f;
+  Adam opt(0.1f);
+  for (int i = 0; i < 300; ++i) {
+    w.grad.At(0, 0) = 2.0f * (w.value.At(0, 0) - 3.0f);
+    opt.Step({&w});
+  }
+  EXPECT_NEAR(w.value.At(0, 0), 3.0f, 0.05f);
+  EXPECT_EQ(opt.step_count(), 300);
+}
+
+TEST(MlpTest, TrainingReducesLossOnSeparableData) {
+  Rng rng(4);
+  const int n = 60;
+  Matrix x(n, 2);
+  std::vector<int32_t> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[i] = i % 2;
+    x.At(i, 0) = rng.NextGaussian(labels[i] == 0 ? -2.0f : 2.0f, 0.5f);
+    x.At(i, 1) = rng.NextGaussian(0.0f, 0.5f);
+  }
+  Mlp mlp({2, 8, 2}, 0.0f, 5);
+  Adam opt(0.05f);
+  auto params = mlp.Params();
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    mlp.ZeroGrad();
+    Matrix out = mlp.Forward(x, true);
+    Matrix dlogits;
+    const float loss = SoftmaxCrossEntropy(out, labels, {}, &dlogits);
+    if (epoch == 0) first_loss = loss;
+    last_loss = loss;
+    mlp.Backward(dlogits);
+    opt.Step(params);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2f);
+  Matrix out = mlp.Forward(x, false);
+  EXPECT_GT(Accuracy(out, labels, {}), 0.95f);
+}
+
+TEST(MetricsTest, AccuracyAndMacroF1) {
+  Matrix logits(4, 2);
+  logits.At(0, 0) = 1.0f;  // pred 0
+  logits.At(1, 1) = 1.0f;  // pred 1
+  logits.At(2, 0) = 1.0f;  // pred 0
+  logits.At(3, 1) = 1.0f;  // pred 1
+  std::vector<int32_t> labels = {0, 1, 1, 1};
+  EXPECT_FLOAT_EQ(Accuracy(logits, labels, {}), 0.75f);
+  EXPECT_FLOAT_EQ(Accuracy(logits, labels, {0, 1}), 1.0f);
+  // class 0: tp=1 fp=1 fn=0 -> f1 = 2/3; class 1: tp=2 fp=0 fn=1 -> 0.8.
+  EXPECT_NEAR(MacroF1(logits, labels, {}, 2), (2.0f / 3.0f + 0.8f) / 2.0f,
+              1e-5f);
+}
+
+TEST(MetricsTest, EmptyIndexSetEdgeCases) {
+  Matrix logits(0, 2);
+  EXPECT_FLOAT_EQ(Accuracy(logits, {}, {}), 0.0f);
+  EXPECT_FLOAT_EQ(MacroF1(logits, {}, {}, 2), 0.0f);
+}
+
+}  // namespace
+}  // namespace freehgc::nn

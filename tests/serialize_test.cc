@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/freehgc.h"
+#include "datasets/generator.h"
+#include "graph/serialize.h"
+
+namespace freehgc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string("/tmp/freehgc_test_") + name;
+}
+
+TEST(SerializeTest, RoundTripsToyGraph) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  const std::string path = TempPath("toy.fhgc");
+  ASSERT_TRUE(SaveHeteroGraph(g, path).ok());
+  auto loaded = LoadHeteroGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumNodeTypes(), g.NumNodeTypes());
+  EXPECT_EQ(loaded->NumRelations(), g.NumRelations());
+  EXPECT_EQ(loaded->TotalNodes(), g.TotalNodes());
+  EXPECT_EQ(loaded->TotalEdges(), g.TotalEdges());
+  EXPECT_EQ(loaded->labels(), g.labels());
+  EXPECT_EQ(loaded->train_index(), g.train_index());
+  EXPECT_EQ(loaded->test_index(), g.test_index());
+  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    EXPECT_EQ(loaded->TypeName(t), g.TypeName(t));
+    EXPECT_EQ(loaded->Features(t), g.Features(t));
+  }
+  for (RelationId r = 0; r < g.NumRelations(); ++r) {
+    EXPECT_EQ(loaded->relation(r).adj, g.relation(r).adj);
+    EXPECT_EQ(loaded->relation(r).name, g.relation(r).name);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RoundTripsCondensedGraph) {
+  const HeteroGraph g = datasets::MakeDblp(7, /*scale=*/0.05);
+  core::FreeHgcOptions opts;
+  opts.ratio = 0.1;
+  opts.max_paths = 6;
+  auto cond = core::Condense(g, opts);
+  ASSERT_TRUE(cond.ok());
+  const std::string path = TempPath("condensed.fhgc");
+  ASSERT_TRUE(SaveHeteroGraph(cond->graph, path).ok());
+  auto loaded = LoadHeteroGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalNodes(), cond->graph.TotalNodes());
+  EXPECT_EQ(loaded->TotalEdges(), cond->graph.TotalEdges());
+  EXPECT_TRUE(loaded->Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbageAndMissingFiles) {
+  EXPECT_EQ(LoadHeteroGraph("/tmp/definitely_missing.fhgc").status().code(),
+            StatusCode::kNotFound);
+  const std::string path = TempPath("garbage.fhgc");
+  {
+    std::ofstream out(path);
+    out << "this is not a graph";
+  }
+  auto res = LoadHeteroGraph(path);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsTruncatedFile) {
+  const HeteroGraph g = datasets::MakeToy(9);
+  const std::string path = TempPath("trunc.fhgc");
+  ASSERT_TRUE(SaveHeteroGraph(g, path).ok());
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadHeteroGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, LoadsMinimalDataset) {
+  const std::string dir = "/tmp/freehgc_csv_test";
+  ASSERT_EQ(system(("mkdir -p " + dir).c_str()), 0);
+  {
+    std::ofstream types(dir + "/types.csv");
+    types << "paper,3,2\nauthor,2,2\n";
+    std::ofstream edges(dir + "/edges.csv");
+    edges << "pa,paper,author,0,0\npa,paper,author,1,0\n"
+          << "pa,paper,author,2,1\n";
+    std::ofstream feats(dir + "/features_paper.csv");
+    feats << "1.0,0.0\n0.5,0.5\n0.0,1.0\n";
+    std::ofstream labels(dir + "/labels.csv");
+    labels << "target,paper,2\n0,0\n1,0\n2,1\n";
+  }
+  auto g = LoadHeteroGraphCsv(dir);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumNodeTypes(), 2);
+  EXPECT_EQ(g->NodeCount(g->TypeByName("paper").value()), 3);
+  EXPECT_EQ(g->NumRelations(), 2);  // pa + auto reverse
+  EXPECT_EQ(g->labels(), (std::vector<int32_t>{0, 0, 1}));
+  EXPECT_FLOAT_EQ(g->Features(0).At(1, 1), 0.5f);
+  EXPECT_TRUE(g->Validate().ok());
+  ASSERT_EQ(system(("rm -rf " + dir).c_str()), 0);
+}
+
+TEST(CsvLoaderTest, RejectsMalformedInputs) {
+  const std::string dir = "/tmp/freehgc_csv_bad";
+  ASSERT_EQ(system(("mkdir -p " + dir).c_str()), 0);
+  {
+    std::ofstream types(dir + "/types.csv");
+    types << "paper,3\n";  // missing dim column
+  }
+  EXPECT_FALSE(LoadHeteroGraphCsv(dir).ok());
+  EXPECT_EQ(LoadHeteroGraphCsv("/tmp/no_such_dir_xyz").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_EQ(system(("rm -rf " + dir).c_str()), 0);
+}
+
+}  // namespace
+}  // namespace freehgc

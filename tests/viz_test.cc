@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "viz/tsne.h"
+
+namespace freehgc::viz {
+namespace {
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(1);
+  Matrix x(30, 8);
+  x.FillGaussian(rng, 1.0f);
+  TsneOptions opts;
+  opts.iterations = 50;
+  Matrix y = Tsne(x, opts);
+  EXPECT_EQ(y.rows(), 30);
+  EXPECT_EQ(y.cols(), 2);
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_FALSE(std::isnan(y.data()[i]));
+  }
+}
+
+TEST(TsneTest, EdgeCases) {
+  EXPECT_EQ(Tsne(Matrix(0, 4), {}).rows(), 0);
+  EXPECT_EQ(Tsne(Matrix(1, 4), {}).rows(), 1);
+}
+
+TEST(TsneTest, SeparatesWellSeparatedClusters) {
+  // Two far-apart Gaussian blobs must stay separated in the embedding.
+  Rng rng(2);
+  const int n = 40;
+  Matrix x(n, 4);
+  for (int i = 0; i < n; ++i) {
+    const float mu = i < n / 2 ? -20.0f : 20.0f;
+    for (int d = 0; d < 4; ++d) x.At(i, d) = rng.NextGaussian(mu, 0.5f);
+  }
+  TsneOptions opts;
+  opts.iterations = 200;
+  Matrix y = Tsne(x, opts);
+  // Mean intra-cluster distance << mean inter-cluster distance.
+  double intra = 0.0, inter = 0.0;
+  int ni = 0, nx = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = std::sqrt(
+          static_cast<double>(dense::RowSquaredDistance(y, i, y, j)));
+      if ((i < n / 2) == (j < n / 2)) {
+        intra += d;
+        ++ni;
+      } else {
+        inter += d;
+        ++nx;
+      }
+    }
+  }
+  EXPECT_LT(intra / ni, inter / nx);
+}
+
+TEST(DispersionTest, WiderSpreadScoresHigher) {
+  Matrix tight(10, 2), wide(10, 2);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    tight.At(i, 0) = rng.NextGaussian(0.0f, 0.1f);
+    tight.At(i, 1) = rng.NextGaussian(0.0f, 0.1f);
+    wide.At(i, 0) = static_cast<float>(i % 5) * 10.0f;
+    wide.At(i, 1) = static_cast<float>(i / 5) * 10.0f;
+  }
+  const DispersionStats ts = ComputeDispersion(tight);
+  const DispersionStats ws = ComputeDispersion(wide);
+  EXPECT_GT(ws.mean_pairwise_distance, ts.mean_pairwise_distance);
+  EXPECT_GT(ws.grid_coverage, 0.1);
+  EXPECT_EQ(ws.count, 10);
+}
+
+TEST(DispersionTest, DegenerateInputs) {
+  const DispersionStats s = ComputeDispersion(Matrix(1, 2));
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.mean_pairwise_distance, 0.0);
+}
+
+TEST(ScatterCsvTest, WritesFile) {
+  Matrix y(2, 2);
+  y.At(0, 0) = 1.5f;
+  const std::string path = "/tmp/freehgc_tsne_test.csv";
+  ASSERT_TRUE(WriteScatterCsv(y, {"a", "b"}, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf, "x,y,label\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace freehgc::viz

@@ -1,0 +1,51 @@
+// Calibration helper (not part of the bench suite): prints whole-graph and
+// Random-HG accuracies per dataset so the synthetic generators can be tuned
+// toward the paper's difficulty levels.
+#include <cstdio>
+
+#include "common/timer.h"
+#include "datasets/generator.h"
+#include "eval/experiment.h"
+
+using namespace freehgc;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  for (const char* name :
+       {"acm", "dblp", "imdb", "freebase", "mutag", "am", "aminer"}) {
+    const double ds_scale = std::string(name) == "aminer" ? scale * 0.5 : scale;
+    auto g = datasets::MakeByName(name, 1, ds_scale);
+    if (!g.ok()) continue;
+    hgnn::PropagateOptions popts;
+    popts.max_hops = std::min(3, datasets::RecommendedHops(name));
+    popts.max_paths = 12;
+    Timer t;
+    const hgnn::EvalContext ctx = hgnn::BuildEvalContext(*g, popts);
+    const double ctx_s = t.ElapsedSeconds();
+    hgnn::HgnnConfig cfg;
+    cfg.hidden = 32;
+    cfg.epochs = 60;
+    cfg.patience = 0;
+    t.Reset();
+    const auto whole = hgnn::WholeGraphBaseline(ctx, cfg);
+    const double whole_s = t.ElapsedSeconds();
+    eval::RunOptions run;
+    run.ratio = 0.024;
+    t.Reset();
+    const auto rnd = eval::RunMethod(ctx, eval::MethodKind::kRandom, run, cfg);
+    const auto herd =
+        eval::RunMethod(ctx, eval::MethodKind::kHerding, run, cfg);
+    const auto free_res =
+        eval::RunMethod(ctx, eval::MethodKind::kFreeHGC, run, cfg);
+    const double m_s = t.ElapsedSeconds();
+    std::printf(
+        "%-9s nodes=%7lld blocks=%2zu | whole=%5.1f rand=%5.1f herd=%5.1f "
+        "free=%5.1f | ctx=%.1fs whole=%.1fs methods=%.1fs\n",
+        name, static_cast<long long>(g->TotalNodes()),
+        ctx.full_features.blocks.size(), 100.0f * whole.test_accuracy,
+        rnd.ok() ? rnd->accuracy : -1.0f, herd.ok() ? herd->accuracy : -1.0f,
+        free_res.ok() ? free_res->accuracy : -1.0f, ctx_s, whole_s, m_s);
+    std::fflush(stdout);
+  }
+  return 0;
+}

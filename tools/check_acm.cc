@@ -1,0 +1,24 @@
+#include <cstdio>
+#include <cstdlib>
+#include "datasets/generator.h"
+#include "eval/experiment.h"
+using namespace freehgc;
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const char* name = argc > 2 ? argv[2] : "acm";
+  auto gr = datasets::MakeByName(name, 1, scale);
+  auto& g = *gr;
+  hgnn::PropagateOptions popts;
+  popts.max_hops = std::min(3, datasets::RecommendedHops(name));
+  popts.max_paths = argc > 3 ? std::atoi(argv[3]) : 12;
+  const auto ctx = hgnn::BuildEvalContext(g, popts);
+  hgnn::HgnnConfig cfg; cfg.hidden = 32; cfg.epochs = 60; cfg.patience = 0;
+  auto whole = hgnn::WholeGraphBaseline(ctx, cfg);
+  std::printf("%s whole=%.1f\n", name, 100.0f*whole.test_accuracy);
+  for (auto k : {eval::MethodKind::kRandom, eval::MethodKind::kHerding, eval::MethodKind::kCoarsening, eval::MethodKind::kHGCond, eval::MethodKind::kFreeHGC}) {
+    eval::RunOptions run; run.ratio = 0.024;
+    auto agg = eval::RunMethodSeeds(ctx, k, run, cfg, {1,2,3});
+    std::printf("%-14s %5.1f ± %4.1f\n", eval::MethodName(k), agg.accuracy.mean, agg.accuracy.std);
+    std::fflush(stdout);
+  }
+}

@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "bench/bench_common.h"
+using namespace freehgc; using namespace freehgc::bench;
+int main() {
+  auto env = MakeEnv("dblp");
+  for (auto method : {eval::MethodKind::kHGCond, eval::MethodKind::kFreeHGC}) {
+    double sum = 0;
+    for (auto kind : {hgnn::HgnnKind::kHGB, hgnn::HgnnKind::kHGT, hgnn::HgnnKind::kHAN, hgnn::HgnnKind::kSeHGNN}) {
+      std::vector<double> accs;
+      for (uint64_t seed : {1ull,2ull}) {
+        eval::RunOptions run; run.ratio = 0.024; run.seed = seed;
+        hgnn::HgnnConfig cfg = env->eval_cfg; cfg.kind = kind;
+        auto r = eval::RunMethod(env->ctx, method, run, cfg);
+        if (r.ok()) accs.push_back(r->accuracy);
+      }
+      auto m = eval::Aggregate(accs); sum += m.mean;
+      std::printf("%-8s %-10s %5.1f\n", eval::MethodName(method), hgnn::HgnnKindName(kind), m.mean);
+      std::fflush(stdout);
+    }
+    std::printf("%-8s avg %5.1f\n", eval::MethodName(method), sum/4);
+  }
+}
