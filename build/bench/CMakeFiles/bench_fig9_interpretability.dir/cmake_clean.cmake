@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_interpretability.dir/bench_fig9_interpretability.cc.o"
+  "CMakeFiles/bench_fig9_interpretability.dir/bench_fig9_interpretability.cc.o.d"
+  "bench_fig9_interpretability"
+  "bench_fig9_interpretability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_interpretability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

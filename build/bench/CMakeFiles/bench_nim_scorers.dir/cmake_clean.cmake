@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nim_scorers.dir/bench_nim_scorers.cc.o"
+  "CMakeFiles/bench_nim_scorers.dir/bench_nim_scorers.cc.o.d"
+  "bench_nim_scorers"
+  "bench_nim_scorers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nim_scorers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_nim_scorers.
+# This may be replaced when dependencies are built.

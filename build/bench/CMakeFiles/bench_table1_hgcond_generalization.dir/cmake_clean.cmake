@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hgcond_generalization.dir/bench_table1_hgcond_generalization.cc.o"
+  "CMakeFiles/bench_table1_hgcond_generalization.dir/bench_table1_hgcond_generalization.cc.o.d"
+  "bench_table1_hgcond_generalization"
+  "bench_table1_hgcond_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hgcond_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

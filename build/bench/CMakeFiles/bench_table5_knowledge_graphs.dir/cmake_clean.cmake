@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_knowledge_graphs.dir/bench_table5_knowledge_graphs.cc.o"
+  "CMakeFiles/bench_table5_knowledge_graphs.dir/bench_table5_knowledge_graphs.cc.o.d"
+  "bench_table5_knowledge_graphs"
+  "bench_table5_knowledge_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_knowledge_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

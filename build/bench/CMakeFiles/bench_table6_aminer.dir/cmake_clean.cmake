@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_aminer.dir/bench_table6_aminer.cc.o"
+  "CMakeFiles/bench_table6_aminer.dir/bench_table6_aminer.cc.o.d"
+  "bench_table6_aminer"
+  "bench_table6_aminer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_aminer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_condensed_data.dir/bench_table7_condensed_data.cc.o"
+  "CMakeFiles/bench_table7_condensed_data.dir/bench_table7_condensed_data.cc.o.d"
+  "bench_table7_condensed_data"
+  "bench_table7_condensed_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_condensed_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

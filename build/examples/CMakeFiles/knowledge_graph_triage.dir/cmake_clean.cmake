@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_graph_triage.dir/knowledge_graph_triage.cpp.o"
+  "CMakeFiles/knowledge_graph_triage.dir/knowledge_graph_triage.cpp.o.d"
+  "knowledge_graph_triage"
+  "knowledge_graph_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_graph_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dense")
+subdirs("sparse")
+subdirs("graph")
+subdirs("metapath")
+subdirs("datasets")
+subdirs("nn")
+subdirs("hgnn")
+subdirs("core")
+subdirs("baselines")
+subdirs("eval")
+subdirs("viz")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_baselines.dir/coarsening.cc.o"
+  "CMakeFiles/freehgc_baselines.dir/coarsening.cc.o.d"
+  "CMakeFiles/freehgc_baselines.dir/coreset.cc.o"
+  "CMakeFiles/freehgc_baselines.dir/coreset.cc.o.d"
+  "CMakeFiles/freehgc_baselines.dir/gradient_matching.cc.o"
+  "CMakeFiles/freehgc_baselines.dir/gradient_matching.cc.o.d"
+  "libfreehgc_baselines.a"
+  "libfreehgc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

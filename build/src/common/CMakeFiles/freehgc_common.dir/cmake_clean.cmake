@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_common.dir/logging.cc.o"
+  "CMakeFiles/freehgc_common.dir/logging.cc.o.d"
+  "CMakeFiles/freehgc_common.dir/rng.cc.o"
+  "CMakeFiles/freehgc_common.dir/rng.cc.o.d"
+  "CMakeFiles/freehgc_common.dir/status.cc.o"
+  "CMakeFiles/freehgc_common.dir/status.cc.o.d"
+  "CMakeFiles/freehgc_common.dir/string_util.cc.o"
+  "CMakeFiles/freehgc_common.dir/string_util.cc.o.d"
+  "libfreehgc_common.a"
+  "libfreehgc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/freehgc.cc" "src/core/CMakeFiles/freehgc_core.dir/freehgc.cc.o" "gcc" "src/core/CMakeFiles/freehgc_core.dir/freehgc.cc.o.d"
+  "/root/repo/src/core/other_types.cc" "src/core/CMakeFiles/freehgc_core.dir/other_types.cc.o" "gcc" "src/core/CMakeFiles/freehgc_core.dir/other_types.cc.o.d"
+  "/root/repo/src/core/selection_util.cc" "src/core/CMakeFiles/freehgc_core.dir/selection_util.cc.o" "gcc" "src/core/CMakeFiles/freehgc_core.dir/selection_util.cc.o.d"
+  "/root/repo/src/core/target_selection.cc" "src/core/CMakeFiles/freehgc_core.dir/target_selection.cc.o" "gcc" "src/core/CMakeFiles/freehgc_core.dir/target_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/freehgc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metapath/CMakeFiles/freehgc_metapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/freehgc_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/freehgc_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freehgc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

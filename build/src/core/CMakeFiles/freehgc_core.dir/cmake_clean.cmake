@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_core.dir/freehgc.cc.o"
+  "CMakeFiles/freehgc_core.dir/freehgc.cc.o.d"
+  "CMakeFiles/freehgc_core.dir/other_types.cc.o"
+  "CMakeFiles/freehgc_core.dir/other_types.cc.o.d"
+  "CMakeFiles/freehgc_core.dir/selection_util.cc.o"
+  "CMakeFiles/freehgc_core.dir/selection_util.cc.o.d"
+  "CMakeFiles/freehgc_core.dir/target_selection.cc.o"
+  "CMakeFiles/freehgc_core.dir/target_selection.cc.o.d"
+  "libfreehgc_core.a"
+  "libfreehgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

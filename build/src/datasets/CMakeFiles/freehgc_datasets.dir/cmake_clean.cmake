@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_datasets.dir/generator.cc.o"
+  "CMakeFiles/freehgc_datasets.dir/generator.cc.o.d"
+  "libfreehgc_datasets.a"
+  "libfreehgc_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

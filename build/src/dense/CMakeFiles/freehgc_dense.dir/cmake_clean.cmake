@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_dense.dir/matrix.cc.o"
+  "CMakeFiles/freehgc_dense.dir/matrix.cc.o.d"
+  "libfreehgc_dense.a"
+  "libfreehgc_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

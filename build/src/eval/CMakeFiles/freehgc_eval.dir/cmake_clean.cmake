@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_eval.dir/experiment.cc.o"
+  "CMakeFiles/freehgc_eval.dir/experiment.cc.o.d"
+  "libfreehgc_eval.a"
+  "libfreehgc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_graph.dir/hetero_graph.cc.o"
+  "CMakeFiles/freehgc_graph.dir/hetero_graph.cc.o.d"
+  "CMakeFiles/freehgc_graph.dir/serialize.cc.o"
+  "CMakeFiles/freehgc_graph.dir/serialize.cc.o.d"
+  "libfreehgc_graph.a"
+  "libfreehgc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_hgnn.dir/models.cc.o"
+  "CMakeFiles/freehgc_hgnn.dir/models.cc.o.d"
+  "CMakeFiles/freehgc_hgnn.dir/propagate.cc.o"
+  "CMakeFiles/freehgc_hgnn.dir/propagate.cc.o.d"
+  "CMakeFiles/freehgc_hgnn.dir/trainer.cc.o"
+  "CMakeFiles/freehgc_hgnn.dir/trainer.cc.o.d"
+  "libfreehgc_hgnn.a"
+  "libfreehgc_hgnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_hgnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for freehgc_hgnn.
+# This may be replaced when dependencies are built.

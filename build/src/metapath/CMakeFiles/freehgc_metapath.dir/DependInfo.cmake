@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metapath/metapath.cc" "src/metapath/CMakeFiles/freehgc_metapath.dir/metapath.cc.o" "gcc" "src/metapath/CMakeFiles/freehgc_metapath.dir/metapath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/freehgc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/freehgc_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/freehgc_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/freehgc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

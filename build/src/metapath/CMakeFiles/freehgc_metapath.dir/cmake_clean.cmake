@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_metapath.dir/metapath.cc.o"
+  "CMakeFiles/freehgc_metapath.dir/metapath.cc.o.d"
+  "libfreehgc_metapath.a"
+  "libfreehgc_metapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_metapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_nn.dir/nn.cc.o"
+  "CMakeFiles/freehgc_nn.dir/nn.cc.o.d"
+  "libfreehgc_nn.a"
+  "libfreehgc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

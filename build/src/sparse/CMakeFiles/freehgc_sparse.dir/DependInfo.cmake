@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/centrality.cc" "src/sparse/CMakeFiles/freehgc_sparse.dir/centrality.cc.o" "gcc" "src/sparse/CMakeFiles/freehgc_sparse.dir/centrality.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/sparse/CMakeFiles/freehgc_sparse.dir/csr.cc.o" "gcc" "src/sparse/CMakeFiles/freehgc_sparse.dir/csr.cc.o.d"
+  "/root/repo/src/sparse/ops.cc" "src/sparse/CMakeFiles/freehgc_sparse.dir/ops.cc.o" "gcc" "src/sparse/CMakeFiles/freehgc_sparse.dir/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/freehgc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/freehgc_dense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_sparse.dir/centrality.cc.o"
+  "CMakeFiles/freehgc_sparse.dir/centrality.cc.o.d"
+  "CMakeFiles/freehgc_sparse.dir/csr.cc.o"
+  "CMakeFiles/freehgc_sparse.dir/csr.cc.o.d"
+  "CMakeFiles/freehgc_sparse.dir/ops.cc.o"
+  "CMakeFiles/freehgc_sparse.dir/ops.cc.o.d"
+  "libfreehgc_sparse.a"
+  "libfreehgc_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

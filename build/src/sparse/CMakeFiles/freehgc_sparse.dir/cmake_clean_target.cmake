@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfreehgc_sparse.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for freehgc_sparse.
+# This may be replaced when dependencies are built.

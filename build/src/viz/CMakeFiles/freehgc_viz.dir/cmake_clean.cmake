@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freehgc_viz.dir/tsne.cc.o"
+  "CMakeFiles/freehgc_viz.dir/tsne.cc.o.d"
+  "libfreehgc_viz.a"
+  "libfreehgc_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freehgc_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

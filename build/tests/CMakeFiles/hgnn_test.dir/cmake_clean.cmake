@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgnn_test.dir/hgnn_test.cc.o"
+  "CMakeFiles/hgnn_test.dir/hgnn_test.cc.o.d"
+  "hgnn_test"
+  "hgnn_test.pdb"
+  "hgnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metapath_test.dir/metapath_test.cc.o"
+  "CMakeFiles/metapath_test.dir/metapath_test.cc.o.d"
+  "metapath_test"
+  "metapath_test.pdb"
+  "metapath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

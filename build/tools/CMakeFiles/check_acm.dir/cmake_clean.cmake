@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_acm.dir/check_acm.cc.o"
+  "CMakeFiles/check_acm.dir/check_acm.cc.o.d"
+  "check_acm"
+  "check_acm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_acm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_acm.dir/debug_acm.cc.o"
+  "CMakeFiles/debug_acm.dir/debug_acm.cc.o.d"
+  "debug_acm"
+  "debug_acm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_acm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl4_quick.dir/tbl4_quick.cc.o"
+  "CMakeFiles/tbl4_quick.dir/tbl4_quick.cc.o.d"
+  "tbl4_quick"
+  "tbl4_quick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl4_quick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

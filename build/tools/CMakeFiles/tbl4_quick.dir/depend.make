@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl4_quick.
+# This may be replaced when dependencies are built.
