@@ -15,9 +15,16 @@
 #include "common/logging.h"
 #include "datasets/generator.h"
 #include "eval/experiment.h"
+#include "exec/exec_context.h"
 #include "hgnn/trainer.h"
 
 namespace freehgc::bench {
+
+/// Worker count every bench harness runs with: the FREEHGC_THREADS
+/// environment override when set, hardware concurrency otherwise (the
+/// same resolution ExecContext applies). Results are bit-identical for
+/// any value; only wall-clock changes.
+inline int BenchThreads() { return exec::DefaultExec().num_threads(); }
 
 /// A dataset plus its prebuilt evaluation context (meta-paths + full-graph
 /// propagated features) and the shared evaluator configuration.
@@ -41,7 +48,8 @@ inline std::unique_ptr<Env> MakeEnv(const std::string& name,
                                     double scale = -1.0) {
   auto env = std::make_unique<Env>();
   auto g = datasets::MakeByName(name, seed,
-                                scale > 0 ? scale : DefaultScale(name));
+                                scale > 0 ? scale : DefaultScale(name),
+                                &exec::DefaultExec());
   FREEHGC_CHECK(g.ok());
   env->graph = std::move(g).value();
   hgnn::PropagateOptions popts;

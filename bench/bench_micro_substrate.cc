@@ -2,10 +2,23 @@
 // composition (SpGEMM), personalized PageRank, lazy-greedy coverage
 // selection, pre-propagation, and one HGNN training epoch. These are the
 // kernels whose costs Figs. 2(b) and 8 aggregate.
+//
+// Parallel kernels additionally sweep the worker count (the trailing
+// /N in the benchmark name); every result is bit-identical across the
+// sweep, only wall-clock moves. Besides the console table the harness
+// writes BENCH_substrate.json: one {op, size, threads, ns_per_op} record
+// per benchmark run.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/target_selection.h"
 #include "datasets/generator.h"
+#include "exec/exec_context.h"
 #include "hgnn/models.h"
 #include "hgnn/propagate.h"
 #include "metapath/metapath.h"
@@ -27,14 +40,47 @@ void BM_SpGemmComposition(benchmark::State& state) {
   opts.max_hops = static_cast<int>(state.range(0));
   opts.max_paths = 4;
   const auto paths = EnumerateMetaPaths(g, g.target_type(), opts);
+  const int threads = static_cast<int>(state.range(1));
+  exec::ExecContext ex(threads);
   for (auto _ : state) {
     for (const auto& p : paths) {
-      benchmark::DoNotOptimize(ComposeAdjacency(g, p, 512));
+      benchmark::DoNotOptimize(ComposeAdjacency(g, p, 512, &ex));
     }
   }
+  state.counters["threads"] = threads;
   state.SetLabel(std::to_string(paths.size()) + " paths");
 }
-BENCHMARK(BM_SpGemmComposition)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_SpGemmComposition)
+    ->ArgsProduct({{1, 2, 3}, {1, 2, 4}});
+
+// Satellite datapoint for the SpGemm scratch fix: the kernel used to
+// allocate its accumulator + touched list per call; both now live in the
+// per-worker Workspace. Reuse (one long-lived context) vs Cold (a fresh
+// context, hence fresh arenas, every iteration) isolates exactly the
+// alloc churn the workspace removes.
+void BM_SpGemmWorkspaceReuse(benchmark::State& state) {
+  const HeteroGraph& g = ToyGraph();
+  const CsrMatrix a = sparse::RowNormalize(g.relation(0).adj);
+  const CsrMatrix b = sparse::Transpose(a);
+  exec::ExecContext ex(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::SpGemm(a, b, 512, &ex));
+  }
+  state.counters["threads"] = 1;
+}
+BENCHMARK(BM_SpGemmWorkspaceReuse);
+
+void BM_SpGemmColdWorkspace(benchmark::State& state) {
+  const HeteroGraph& g = ToyGraph();
+  const CsrMatrix a = sparse::RowNormalize(g.relation(0).adj);
+  const CsrMatrix b = sparse::Transpose(a);
+  for (auto _ : state) {
+    exec::ExecContext ex(1);
+    benchmark::DoNotOptimize(sparse::SpGemm(a, b, 512, &ex));
+  }
+  state.counters["threads"] = 1;
+}
+BENCHMARK(BM_SpGemmColdWorkspace);
 
 void BM_PersonalizedPageRank(benchmark::State& state) {
   const HeteroGraph& g = ToyGraph();
@@ -42,13 +88,17 @@ void BM_PersonalizedPageRank(benchmark::State& state) {
       sparse::Symmetrize(g.relation(0).adj));
   std::vector<float> teleport(static_cast<size_t>(sym.rows()), 0.0f);
   for (int i = 0; i < 10; ++i) teleport[static_cast<size_t>(i)] = 0.1f;
+  const int threads = static_cast<int>(state.range(1));
+  exec::ExecContext ex(threads);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         sparse::PprScores(sym, teleport, 0.15f,
-                          static_cast<int>(state.range(0))));
+                          static_cast<int>(state.range(0)), 1e-6f, &ex));
   }
+  state.counters["threads"] = threads;
 }
-BENCHMARK(BM_PersonalizedPageRank)->Arg(10)->Arg(30)->Arg(50);
+BENCHMARK(BM_PersonalizedPageRank)
+    ->ArgsProduct({{10, 30, 50}, {1, 2, 4}});
 
 void BM_GreedyCoverage(benchmark::State& state) {
   const HeteroGraph& g = ToyGraph();
@@ -63,6 +113,7 @@ void BM_GreedyCoverage(benchmark::State& state) {
     benchmark::DoNotOptimize(core::GreedyCoverageSelect(
         adj, pool, static_cast<int32_t>(state.range(0)), nullptr, true));
   }
+  state.counters["threads"] = 1;
 }
 BENCHMARK(BM_GreedyCoverage)->Arg(16)->Arg(64)->Arg(256);
 
@@ -71,11 +122,14 @@ void BM_Propagate(benchmark::State& state) {
   hgnn::PropagateOptions opts;
   opts.max_hops = 2;
   opts.max_paths = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  exec::ExecContext ex(threads);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(hgnn::PropagateFeatures(g, opts));
+    benchmark::DoNotOptimize(hgnn::PropagateFeatures(g, opts, &ex));
   }
+  state.counters["threads"] = threads;
 }
-BENCHMARK(BM_Propagate)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_Propagate)->ArgsProduct({{4, 8, 12}, {1, 2, 4}});
 
 void BM_TrainEpoch(benchmark::State& state) {
   const HeteroGraph& g = ToyGraph();
@@ -99,6 +153,7 @@ void BM_TrainEpoch(benchmark::State& state) {
     model.Backward(dlogits);
     opt.Step(params);
   }
+  state.counters["threads"] = 1;
   state.SetLabel(hgnn::HgnnKindName(cfg.kind));
 }
 BENCHMARK(BM_TrainEpoch)
@@ -107,6 +162,70 @@ BENCHMARK(BM_TrainEpoch)
     ->Arg(static_cast<int>(hgnn::HgnnKind::kHAN));
 
 }  // namespace
+
+/// Console output plus a flat JSON record per run, written to
+/// BENCH_substrate.json when the harness exits.
+class SubstrateReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      Entry e;
+      const std::string name = r.benchmark_name();
+      const size_t slash = name.find('/');
+      e.op = name.substr(0, slash);
+      // First arg = problem size (hops / iters / budget); absent for
+      // benches with no args.
+      e.size = 0;
+      if (slash != std::string::npos) {
+        e.size = std::atoll(name.c_str() + slash + 1);
+      }
+      auto it = r.counters.find("threads");
+      e.threads = it != r.counters.end()
+                      ? static_cast<int>(it->second.value)
+                      : 1;
+      const double iters =
+          static_cast<double>(std::max<int64_t>(1, r.iterations));
+      e.ns_per_op = r.real_accumulated_time / iters * 1e9;
+      entries_.push_back(e);
+    }
+  }
+
+  void WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    out << "[\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"op\": \"%s\", \"size\": %lld, \"threads\": %d, "
+                    "\"ns_per_op\": %.1f}%s\n",
+                    e.op.c_str(), static_cast<long long>(e.size), e.threads,
+                    e.ns_per_op, i + 1 < entries_.size() ? "," : "");
+      out << buf;
+    }
+    out << "]\n";
+  }
+
+ private:
+  struct Entry {
+    std::string op;
+    long long size;
+    int threads;
+    double ns_per_op;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace freehgc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  freehgc::SubstrateReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteJson("BENCH_substrate.json");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -142,13 +143,23 @@ Result<HeteroGraph> AssembleCondensedGraph(
 }
 
 Result<CondensedResult> Condense(const HeteroGraph& g,
-                                 const FreeHgcOptions& opts) {
+                                 const FreeHgcOptions& opts,
+                                 exec::ExecContext* ctx) {
   if (g.target_type() < 0) {
     return Status::FailedPrecondition("graph has no target type");
   }
   if (opts.ratio <= 0.0 || opts.ratio >= 1.0) {
     return Status::InvalidArgument("ratio must be in (0, 1)");
   }
+  // A caller-supplied context wins; otherwise spin up a pool of
+  // opts.num_threads workers (0 = FREEHGC_THREADS / hardware default)
+  // that lives for this call.
+  std::unique_ptr<exec::ExecContext> owned;
+  if (ctx == nullptr) {
+    owned = std::make_unique<exec::ExecContext>(opts.num_threads);
+    ctx = owned.get();
+  }
+  exec::ExecContext& ex = *ctx;
   Timer timer;
   const TypeId target = g.target_type();
 
@@ -169,7 +180,8 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
       topts.max_row_nnz = opts.max_row_nnz;
       topts.seed = opts.seed;
       selected_target =
-          CondenseTargetNodes(g, paths, target_budget, topts);
+          CondenseTargetNodes(g, paths, target_budget, topts,
+                              /*scores_out=*/nullptr, &ex);
       break;
     }
     case TargetStrategy::kHerding: {
@@ -216,8 +228,9 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
       case FatherStrategy::kNim: {
         NimOptions nopts = opts.nim;
         nopts.max_row_nnz = opts.max_row_nnz;
-        mapping.keep = CondenseFatherType(
-            g, t, FilterByEndType(paths, t), selected_target, budget, nopts);
+        mapping.keep =
+            CondenseFatherType(g, t, FilterByEndType(paths, t),
+                               selected_target, budget, nopts, &ex);
         break;
       }
       case FatherStrategy::kHerding:
@@ -276,11 +289,12 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
         if (budget * 4 < parent_count * 3) {
           NimOptions nopts = opts.nim;
           nopts.max_row_nnz = opts.max_row_nnz;
-          mapping.keep = CondenseFatherType(g, t, FilterByEndType(paths, t),
-                                            selected_target, budget, nopts);
+          mapping.keep =
+              CondenseFatherType(g, t, FilterByEndType(paths, t),
+                                 selected_target, budget, nopts, &ex);
           break;
         }
-        LeafSynthesis synth = SynthesizeLeafType(g, t, parents, budget);
+        LeafSynthesis synth = SynthesizeLeafType(g, t, parents, budget, &ex);
         mapping.synthesized = true;
         mapping.members = std::move(synth.members);
         mapping.synthetic_features = std::move(synth.features);

@@ -8,6 +8,7 @@
 #include "core/other_types.h"
 #include "core/target_selection.h"
 #include "dense/matrix.h"
+#include "exec/exec_context.h"
 #include "graph/hetero_graph.h"
 
 namespace freehgc::core {
@@ -43,6 +44,11 @@ struct FreeHgcOptions {
   FatherStrategy father_strategy = FatherStrategy::kNim;
   LeafStrategy leaf_strategy = LeafStrategy::kIlm;
   uint64_t seed = 1;
+  /// Worker count for the execution context the pipeline runs on.
+  /// 0 = the FREEHGC_THREADS environment override, falling back to the
+  /// hardware concurrency. The condensed result is bit-identical for
+  /// every value (see DESIGN.md, "Execution layer").
+  int num_threads = 0;
 };
 
 /// Output of a condensation run.
@@ -66,8 +72,12 @@ struct CondensedResult {
 ///      minimization,
 ///   5. assemble the condensed graph.
 /// Training-free: no model parameters are ever instantiated.
+/// When `ctx` is non-null it overrides `opts.num_threads` (useful for
+/// sharing one pool across repeated runs); otherwise a context with
+/// `opts.num_threads` workers is created for the call.
 Result<CondensedResult> Condense(const HeteroGraph& g,
-                                 const FreeHgcOptions& opts);
+                                 const FreeHgcOptions& opts,
+                                 exec::ExecContext* ctx = nullptr);
 
 /// Per-type rebuild rule used when assembling the condensed graph: either
 /// a keep-list of original ids, or hyper-node member sets plus synthetic

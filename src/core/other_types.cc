@@ -59,9 +59,10 @@ std::vector<int32_t> CondenseFatherType(
     const HeteroGraph& g, TypeId father,
     const std::vector<MetaPath>& paths_to_father,
     const std::vector<int32_t>& selected_targets, int32_t budget,
-    const NimOptions& opts) {
+    const NimOptions& opts, exec::ExecContext* ctx) {
   const TypeId target = g.target_type();
   FREEHGC_CHECK(target >= 0);
+  exec::ExecContext& ex = exec::Resolve(ctx);
   const int32_t nt = g.NodeCount(target);
   const int32_t ns = g.NodeCount(father);
   const int32_t k = std::min(budget, ns);
@@ -77,17 +78,17 @@ std::vector<int32_t> CondenseFatherType(
   for (const auto& p : paths_to_father) {
     if (p.end_type() != father || p.start_type() != target) continue;
     any_path = true;
-    const CsrMatrix composed = ComposeAdjacency(g, p, opts.max_row_nnz);
+    const CsrMatrix composed = ComposeAdjacency(g, p, opts.max_row_nnz, &ex);
     const CsrMatrix raw_block = BipartiteBlock(composed);
     switch (opts.scorer) {
       case NimScorer::kPprPowerIteration: {
-        const CsrMatrix block = sparse::SymNormalize(raw_block);
+        const CsrMatrix block = sparse::SymNormalize(raw_block, &ex);
         std::vector<float> teleport(static_cast<size_t>(nt + ns), 0.0f);
         for (int32_t t : selected_targets) {
           teleport[static_cast<size_t>(t)] = teleport_mass;
         }
         const std::vector<float> pi = sparse::PprScores(
-            block, teleport, opts.alpha, opts.max_iters);
+            block, teleport, opts.alpha, opts.max_iters, 1e-6f, &ex);
         for (int32_t j = 0; j < ns; ++j) {
           influence[static_cast<size_t>(j)] +=
               static_cast<double>(pi[static_cast<size_t>(nt + j)]);
@@ -120,7 +121,8 @@ std::vector<int32_t> CondenseFatherType(
         } else if (opts.scorer == NimScorer::kAuthorities) {
           kind = sparse::CentralityKind::kAuthorities;
         }
-        const std::vector<double> c = sparse::Centrality(raw_block, kind);
+        const std::vector<double> c =
+            sparse::Centrality(raw_block, kind, {}, &ex);
         for (int32_t j = 0; j < ns; ++j) {
           influence[static_cast<size_t>(j)] += c[static_cast<size_t>(nt + j)];
         }
@@ -155,7 +157,7 @@ LeafSynthesis SynthesizeLeafType(
     const HeteroGraph& g, TypeId leaf,
     const std::vector<std::pair<TypeId, const std::vector<int32_t>*>>&
         kept_fathers,
-    int32_t budget) {
+    int32_t budget, exec::ExecContext* ctx) {
   LeafSynthesis out;
   const int32_t nl = g.NodeCount(leaf);
   if (nl == 0 || budget <= 0) {
@@ -249,12 +251,16 @@ LeafSynthesis SynthesizeLeafType(
     }
   }
   out.features = Matrix(static_cast<int64_t>(final_members.size()), d);
-  for (size_t k = 0; k < final_members.size(); ++k) {
-    const std::vector<float> mean =
-        dense::ColumnMean(leaf_features, final_members[k]);
-    std::copy(mean.begin(), mean.end(),
-              out.features.Row(static_cast<int64_t>(k)));
-  }
+  // Each hyper-node's mean writes one disjoint output row.
+  exec::Resolve(ctx).ParallelFor(
+      static_cast<int64_t>(final_members.size()), 16,
+      [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t k = begin; k < end; ++k) {
+          const std::vector<float> mean = dense::ColumnMean(
+              leaf_features, final_members[static_cast<size_t>(k)]);
+          std::copy(mean.begin(), mean.end(), out.features.Row(k));
+        }
+      });
   out.members = std::move(final_members);
   return out;
 }

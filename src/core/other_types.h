@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dense/matrix.h"
+#include "exec/exec_context.h"
 #include "graph/hetero_graph.h"
 #include "metapath/metapath.h"
 
@@ -50,11 +51,13 @@ struct NimOptions {
 /// symmetric block matrix, sym-normalized (A_hat^sym of Eq. 10), and a PPR
 /// vector with teleport uniform over `selected_targets` is computed; the
 /// father-block entries of the vector are the row sums of Eq. 13.
+/// Path composition, normalization, and the PPR / centrality scorer all
+/// run on `ctx` (bit-identical for every thread count).
 std::vector<int32_t> CondenseFatherType(
     const HeteroGraph& g, TypeId father,
     const std::vector<MetaPath>& paths_to_father,
     const std::vector<int32_t>& selected_targets, int32_t budget,
-    const NimOptions& opts);
+    const NimOptions& opts, exec::ExecContext* ctx = nullptr);
 
 /// Result of Information-Loss-Minimizing leaf synthesis (Eqs. 14-16).
 struct LeafSynthesis {
@@ -74,11 +77,12 @@ struct LeafSynthesis {
 /// adjacent to any of its members (preserving father-father 2-hop paths).
 ///
 /// `kept_fathers` pairs each father type with its kept node list.
+/// Hyper-node feature means (one disjoint output row each) run on `ctx`.
 LeafSynthesis SynthesizeLeafType(
     const HeteroGraph& g, TypeId leaf,
     const std::vector<std::pair<TypeId, const std::vector<int32_t>*>>&
         kept_fathers,
-    int32_t budget);
+    int32_t budget, exec::ExecContext* ctx = nullptr);
 
 }  // namespace freehgc::core
 

@@ -74,7 +74,7 @@ struct Candidate {
 std::vector<int32_t> GreedyCoverageSelect(
     const CsrMatrix& adj, const std::vector<int32_t>& pool, int32_t budget,
     const std::vector<float>* diversity, bool use_coverage,
-    std::vector<double>* gains_out) {
+    std::vector<double>* gains_out, exec::ExecContext* ctx) {
   const int32_t k =
       std::min<int32_t>(budget, static_cast<int32_t>(pool.size()));
   if (gains_out != nullptr) gains_out->clear();
@@ -101,8 +101,22 @@ std::vector<int32_t> GreedyCoverageSelect(
     return gain;
   };
 
+  // Round-0 gains see an empty coverage set, so every candidate is
+  // independent: compute them in parallel, then heap-push in pool order
+  // (identical heap state to the sequential code).
+  std::vector<double> init_gain(pool.size());
+  exec::Resolve(ctx).ParallelFor(
+      static_cast<int64_t>(pool.size()), 256,
+      [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t i = begin; i < end; ++i) {
+          init_gain[static_cast<size_t>(i)] =
+              node_gain(pool[static_cast<size_t>(i)]);
+        }
+      });
   std::priority_queue<Candidate> heap;
-  for (int32_t v : pool) heap.push({node_gain(v), v, 0});
+  for (size_t i = 0; i < pool.size(); ++i) {
+    heap.push({init_gain[i], pool[i], 0});
+  }
 
   std::vector<int32_t> out;
   out.reserve(static_cast<size_t>(k));
@@ -131,9 +145,11 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
                                          const std::vector<MetaPath>& paths,
                                          int32_t budget,
                                          const TargetSelectionOptions& opts,
-                                         std::vector<double>* scores_out) {
+                                         std::vector<double>* scores_out,
+                                         exec::ExecContext* ctx) {
   const TypeId target = g.target_type();
   FREEHGC_CHECK(target >= 0);
+  exec::ExecContext& ex = exec::Resolve(ctx);
   const int32_t n_target = g.NodeCount(target);
   const std::vector<int32_t>& labels = g.labels();
   const std::vector<int32_t>& pool = g.train_index();
@@ -148,7 +164,7 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
   composed.reserve(paths.size());
   for (size_t i = 0; i < paths.size(); ++i) {
     FREEHGC_CHECK(paths[i].start_type() == target);
-    composed.push_back(ComposeAdjacency(g, paths[i], opts.max_row_nnz));
+    composed.push_back(ComposeAdjacency(g, paths[i], opts.max_row_nnz, &ex));
     group_of_end[paths[i].end_type()].push_back(i);
   }
 
@@ -159,7 +175,7 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
     for (const auto& [end, members] : group_of_end) {
       std::vector<const CsrMatrix*> group;
       for (size_t i : members) group.push_back(&composed[i]);
-      const auto jac = PerPathJaccard(group);
+      const auto jac = PerPathJaccard(group, &ex);
       for (size_t gi = 0; gi < members.size(); ++gi) {
         auto& div = diversity[members[gi]];
         div.resize(static_cast<size_t>(n_target));
@@ -200,7 +216,7 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
       std::vector<double> gains;
       const std::vector<int32_t> picked = GreedyCoverageSelect(
           composed[m], class_pool, class_budget[static_cast<size_t>(c)],
-          div, opts.use_receptive_field, &gains);
+          div, opts.use_receptive_field, &gains, &ex);
       for (size_t i = 0; i < picked.size(); ++i) {
         score[static_cast<size_t>(picked[i])] += gains[i];
       }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "graph/hetero_graph.h"
 #include "metapath/metapath.h"
 
@@ -54,12 +55,16 @@ std::vector<int32_t> PruneUninfluentialByWalks(
 /// ids, |result| == min(budget, train pool size). `scores_out`, when non
 /// null, receives the aggregated per-node score (0 for never-selected
 /// nodes) — used by the Fig. 9 interpretability bench.
+/// Path composition, the Jaccard diversity term, and the initial greedy
+/// gain pass run on `ctx`; the lazy-greedy loop itself is sequential (its
+/// order is the algorithm). Bit-identical for every thread count.
 std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
                                          const std::vector<MetaPath>& paths,
                                          int32_t budget,
                                          const TargetSelectionOptions& opts,
                                          std::vector<double>* scores_out =
-                                             nullptr);
+                                             nullptr,
+                                         exec::ExecContext* ctx = nullptr);
 
 /// Lazy-greedy maximization of coverage + modular diversity for a single
 /// composed meta-path adjacency: selects `budget` rows from `pool`
@@ -67,10 +72,15 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
 /// (+ diversity[v] per selected v). Exposed for tests (submodularity
 /// properties) and the Fig. 9 bench. `gains_out`, when non-null, receives
 /// each selected node's marginal gain in selection order.
+/// The initial heap population (every candidate's gain against an empty
+/// selection) is embarrassingly parallel and runs on `ctx`; heap pushes
+/// happen in pool order afterwards, so results match the sequential code
+/// exactly.
 std::vector<int32_t> GreedyCoverageSelect(
     const CsrMatrix& adj, const std::vector<int32_t>& pool, int32_t budget,
     const std::vector<float>* diversity, bool use_coverage,
-    std::vector<double>* gains_out = nullptr);
+    std::vector<double>* gains_out = nullptr,
+    exec::ExecContext* ctx = nullptr);
 
 }  // namespace freehgc::core
 

@@ -28,7 +28,8 @@ int32_t ParetoDegree(Rng& rng, double mean, double alpha, int32_t cap) {
 
 }  // namespace
 
-Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed) {
+Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
+                             exec::ExecContext* ctx) {
   if (config.types.empty()) {
     return Status::InvalidArgument("schema has no node types");
   }
@@ -181,7 +182,7 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed) {
     auto rel = g.AddRelation(r.name, src, dst, std::move(adj));
     if (!rel.ok()) return rel.status();
   }
-  g.EnsureReverseRelations();
+  g.EnsureReverseRelations(ctx);
 
   // Features: community centroid + Gaussian noise (target type gets
   // `feature_noise`, other types `feature_noise_other`).
@@ -272,7 +273,8 @@ int32_t Scaled(int32_t base, double scale) {
 
 }  // namespace
 
-HeteroGraph MakeAcm(uint64_t seed, double scale) {
+HeteroGraph MakeAcm(uint64_t seed, double scale,
+                    exec::ExecContext* ctx) {
   SchemaConfig c;
   c.name = "acm";
   c.types = {{"paper", Scaled(3000, scale), 64},
@@ -288,12 +290,13 @@ HeteroGraph MakeAcm(uint64_t seed, double scale) {
     c.feature_noise = 2.0;
   c.feature_noise_other = 1.2;
   c.label_flip_fraction = 0.05;
-auto g = Generate(c, seed);
+auto g = Generate(c, seed, ctx);
   FREEHGC_CHECK(g.ok());
   return std::move(g).value();
 }
 
-HeteroGraph MakeDblp(uint64_t seed, double scale) {
+HeteroGraph MakeDblp(uint64_t seed, double scale,
+                     exec::ExecContext* ctx) {
   SchemaConfig c;
   c.name = "dblp";
   c.types = {{"author", Scaled(2000, scale), 64},
@@ -308,12 +311,13 @@ HeteroGraph MakeDblp(uint64_t seed, double scale) {
     c.feature_noise = 1.5;
   c.feature_noise_other = 1.2;
   c.label_flip_fraction = 0.04;
-auto g = Generate(c, seed);
+auto g = Generate(c, seed, ctx);
   FREEHGC_CHECK(g.ok());
   return std::move(g).value();
 }
 
-HeteroGraph MakeImdb(uint64_t seed, double scale) {
+HeteroGraph MakeImdb(uint64_t seed, double scale,
+                     exec::ExecContext* ctx) {
   SchemaConfig c;
   c.name = "imdb";
   c.types = {{"movie", Scaled(2500, scale), 64},
@@ -330,12 +334,13 @@ HeteroGraph MakeImdb(uint64_t seed, double scale) {
     c.feature_noise = 2.5;
   c.feature_noise_other = 2.0;
   c.class_confusion = 0.42;
-auto g = Generate(c, seed);
+auto g = Generate(c, seed, ctx);
   FREEHGC_CHECK(g.ok());
   return std::move(g).value();
 }
 
-HeteroGraph MakeFreebase(uint64_t seed, double scale) {
+HeteroGraph MakeFreebase(uint64_t seed, double scale,
+                         exec::ExecContext* ctx) {
   SchemaConfig c;
   c.name = "freebase";
   c.types = {{"book", Scaled(4000, scale), 48},
@@ -371,12 +376,13 @@ HeteroGraph MakeFreebase(uint64_t seed, double scale) {
     c.feature_noise = 2.5;
   c.feature_noise_other = 1.8;
   c.class_confusion = 0.45;
-auto g = Generate(c, seed);
+auto g = Generate(c, seed, ctx);
   FREEHGC_CHECK(g.ok());
   return std::move(g).value();
 }
 
-HeteroGraph MakeAminer(uint64_t seed, double scale) {
+HeteroGraph MakeAminer(uint64_t seed, double scale,
+                       exec::ExecContext* ctx) {
   SchemaConfig c;
   c.name = "aminer";
   // Paper: 4.89M nodes (author/paper/venue), 2 edge types. Scaled to ~111k
@@ -392,12 +398,13 @@ HeteroGraph MakeAminer(uint64_t seed, double scale) {
     c.feature_noise = 1.5;
   c.feature_noise_other = 1.0;
   c.class_confusion = 0.06;
-auto g = Generate(c, seed);
+auto g = Generate(c, seed, ctx);
   FREEHGC_CHECK(g.ok());
   return std::move(g).value();
 }
 
-HeteroGraph MakeMutag(uint64_t seed, double scale) {
+HeteroGraph MakeMutag(uint64_t seed, double scale,
+                      exec::ExecContext* ctx) {
   SchemaConfig c;
   c.name = "mutag";
   c.types = {{"d", Scaled(3000, scale), 32},
@@ -436,12 +443,13 @@ HeteroGraph MakeMutag(uint64_t seed, double scale) {
     c.feature_noise = 2.0;
   c.feature_noise_other = 2.0;
   c.class_confusion = 0.38;
-auto g = Generate(c, seed);
+auto g = Generate(c, seed, ctx);
   FREEHGC_CHECK(g.ok());
   return std::move(g).value();
 }
 
-HeteroGraph MakeAm(uint64_t seed, double scale) {
+HeteroGraph MakeAm(uint64_t seed, double scale,
+                   exec::ExecContext* ctx) {
   SchemaConfig c;
   c.name = "am";
   c.types = {{"proxy", Scaled(5000, scale), 32},
@@ -474,7 +482,7 @@ HeteroGraph MakeAm(uint64_t seed, double scale) {
     c.feature_noise = 2.0;
   c.feature_noise_other = 1.2;
   c.class_confusion = 0.12;
-auto g = Generate(c, seed);
+auto g = Generate(c, seed, ctx);
   FREEHGC_CHECK(g.ok());
   return std::move(g).value();
 }
@@ -494,14 +502,14 @@ HeteroGraph MakeToy(uint64_t seed) {
 }
 
 Result<HeteroGraph> MakeByName(const std::string& name, uint64_t seed,
-                               double scale) {
-  if (name == "acm") return MakeAcm(seed, scale);
-  if (name == "dblp") return MakeDblp(seed, scale);
-  if (name == "imdb") return MakeImdb(seed, scale);
-  if (name == "freebase") return MakeFreebase(seed, scale);
-  if (name == "aminer") return MakeAminer(seed, scale);
-  if (name == "mutag") return MakeMutag(seed, scale);
-  if (name == "am") return MakeAm(seed, scale);
+                               double scale, exec::ExecContext* ctx) {
+  if (name == "acm") return MakeAcm(seed, scale, ctx);
+  if (name == "dblp") return MakeDblp(seed, scale, ctx);
+  if (name == "imdb") return MakeImdb(seed, scale, ctx);
+  if (name == "freebase") return MakeFreebase(seed, scale, ctx);
+  if (name == "aminer") return MakeAminer(seed, scale, ctx);
+  if (name == "mutag") return MakeMutag(seed, scale, ctx);
+  if (name == "am") return MakeAm(seed, scale, ctx);
   if (name == "toy") return MakeToy(seed);
   return Status::NotFound("unknown dataset: " + name);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/exec_context.h"
 #include "graph/hetero_graph.h"
 
 namespace freehgc::datasets {
@@ -84,20 +85,30 @@ struct SchemaConfig {
 
 /// Generates a heterogeneous graph from a schema, deterministically under
 /// `seed`. Reverse relations are added automatically so every relation is
-/// traversable in both directions.
-Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed);
+/// traversable in both directions. All random sampling is sequential (the
+/// output is byte-identical for every thread count); `ctx` only
+/// accelerates the value-preserving reverse-relation transposes.
+Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
+                             exec::ExecContext* ctx = nullptr);
 
 /// Preset generators matching the schemas of the paper's datasets
 /// (Table II and Fig. 5), scaled by `scale` (1.0 = repo default sizes,
 /// already reduced from the paper's node counts to fit a 1-core box;
 /// relative structure is preserved).
-HeteroGraph MakeAcm(uint64_t seed, double scale = 1.0);
-HeteroGraph MakeDblp(uint64_t seed, double scale = 1.0);
-HeteroGraph MakeImdb(uint64_t seed, double scale = 1.0);
-HeteroGraph MakeFreebase(uint64_t seed, double scale = 1.0);
-HeteroGraph MakeAminer(uint64_t seed, double scale = 1.0);
-HeteroGraph MakeMutag(uint64_t seed, double scale = 1.0);
-HeteroGraph MakeAm(uint64_t seed, double scale = 1.0);
+HeteroGraph MakeAcm(uint64_t seed, double scale = 1.0,
+                    exec::ExecContext* ctx = nullptr);
+HeteroGraph MakeDblp(uint64_t seed, double scale = 1.0,
+                     exec::ExecContext* ctx = nullptr);
+HeteroGraph MakeImdb(uint64_t seed, double scale = 1.0,
+                     exec::ExecContext* ctx = nullptr);
+HeteroGraph MakeFreebase(uint64_t seed, double scale = 1.0,
+                         exec::ExecContext* ctx = nullptr);
+HeteroGraph MakeAminer(uint64_t seed, double scale = 1.0,
+                       exec::ExecContext* ctx = nullptr);
+HeteroGraph MakeMutag(uint64_t seed, double scale = 1.0,
+                      exec::ExecContext* ctx = nullptr);
+HeteroGraph MakeAm(uint64_t seed, double scale = 1.0,
+                   exec::ExecContext* ctx = nullptr);
 
 /// Tiny 3-type graph for unit tests (target "t" with fathers "f" and
 /// leaves "l", a few dozen nodes).
@@ -105,7 +116,8 @@ HeteroGraph MakeToy(uint64_t seed);
 
 /// Looks up a preset by lowercase name ("acm", "dblp", ...).
 Result<HeteroGraph> MakeByName(const std::string& name, uint64_t seed,
-                               double scale = 1.0);
+                               double scale = 1.0,
+                               exec::ExecContext* ctx = nullptr);
 
 /// Recommended meta-path hop count per dataset (paper Section V-B:
 /// K = {3,4,5,2,1,1,2} for ACM, DBLP, IMDB, Freebase, MUTAG, AM, AMiner);

@@ -1,0 +1,33 @@
+#include "exec/exec_context.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace freehgc::exec {
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("FREEHGC_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ExecContext::ExecContext(int num_threads) {
+  const int n = num_threads > 0 ? num_threads : DefaultNumThreads();
+  pool_ = std::make_unique<ThreadPool>(n);
+  workspaces_.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workspaces_.push_back(std::make_unique<Workspace>());
+  }
+}
+
+ExecContext::~ExecContext() = default;
+
+ExecContext& DefaultExec() {
+  static ExecContext* ctx = new ExecContext(0);
+  return *ctx;
+}
+
+}  // namespace freehgc::exec

@@ -1,0 +1,156 @@
+#ifndef FREEHGC_EXEC_EXEC_CONTEXT_H_
+#define FREEHGC_EXEC_EXEC_CONTEXT_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "exec/workspace.h"
+
+namespace freehgc::exec {
+
+/// Execution context shared by every hot path of the library: a fixed
+/// thread pool, deterministic parallel-for / ordered parallel-reduce
+/// primitives, and one reusable Workspace per worker.
+///
+/// Determinism contract (what makes results bit-identical across thread
+/// counts):
+///  - Static chunking: an index range [0, n) is cut into fixed-size
+///    chunks whose size depends only on n and the kernel's grain — never
+///    on the thread count. Chunk c always covers the same indices.
+///  - Per-chunk results: a chunk writes only to disjoint output (rows of
+///    a matrix, its slot in a partials array), so the thread that happens
+///    to run it cannot influence the value.
+///  - Ordered reduction: ParallelReduce folds per-chunk partials in
+///    chunk order on the calling thread, fixing the floating-point
+///    association independently of scheduling.
+///  - Per-chunk RNG streams: kernels needing randomness derive one seeded
+///    freehgc::Rng per chunk (from the caller's seed and the chunk id),
+///    never sharing a stream across chunks.
+///
+/// An ExecContext is not itself thread-safe: one thread drives it at a
+/// time (the library is single-driver; parallelism lives *inside* the
+/// kernels).
+class ExecContext {
+ public:
+  /// Creates a context with `num_threads` workers. 0 (the default) means
+  /// "resolve automatically": the FREEHGC_THREADS environment variable if
+  /// set to a positive integer, otherwise the hardware concurrency.
+  explicit ExecContext(int num_threads = 0);
+  ~ExecContext();
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  int num_threads() const { return pool_->size(); }
+
+  /// Worker `w`'s scratch arena (w ∈ [0, num_threads())).
+  Workspace& workspace(int w) { return *workspaces_[static_cast<size_t>(w)]; }
+
+  /// Runs fn(begin, end, ws) over static chunks of [0, n). `grain` is the
+  /// minimum chunk size (>= 1); the chunk layout is a pure function of
+  /// (n, grain), so outputs are identical for every thread count. The
+  /// first exception thrown by the lowest-indexed failing chunk is
+  /// rethrown on the calling thread after all chunks finish.
+  template <typename Fn>
+  void ParallelFor(int64_t n, int64_t grain, Fn&& fn) {
+    if (n <= 0) return;
+    const int64_t chunk = ChunkSize(n, grain);
+    const int64_t num_chunks = (n + chunk - 1) / chunk;
+    if (num_threads() == 1 || num_chunks == 1) {
+      Workspace& ws = workspace(0);
+      for (int64_t c = 0; c < num_chunks; ++c) {
+        fn(c * chunk, std::min(n, (c + 1) * chunk), ws);
+      }
+      return;
+    }
+    std::atomic<int64_t> cursor{0};
+    std::mutex err_mu;
+    int64_t err_chunk = -1;
+    std::exception_ptr err;
+    pool_->ParallelInvoke([&](int worker) {
+      Workspace& ws = workspace(worker);
+      for (;;) {
+        const int64_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        try {
+          fn(c * chunk, std::min(n, (c + 1) * chunk), ws);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (err_chunk < 0 || c < err_chunk) {
+            err_chunk = c;
+            err = std::current_exception();
+          }
+        }
+      }
+    });
+    if (err) std::rethrow_exception(err);
+  }
+
+  /// Ordered reduction: computes map(begin, end, ws) per static chunk,
+  /// then folds the per-chunk partials in chunk order with
+  /// acc = combine(acc, partial). The fold runs on the calling thread, so
+  /// the floating-point association is fixed by the chunk layout alone.
+  template <typename T, typename Map, typename Combine>
+  T ParallelReduce(int64_t n, int64_t grain, T init, Map&& map,
+                   Combine&& combine) {
+    if (n <= 0) return init;
+    const int64_t chunk = ChunkSize(n, grain);
+    const int64_t num_chunks = (n + chunk - 1) / chunk;
+    std::vector<T> partials(static_cast<size_t>(num_chunks));
+    ParallelFor(n, grain,
+                [&](int64_t begin, int64_t end, Workspace& ws) {
+                  partials[static_cast<size_t>(begin / chunk)] =
+                      map(begin, end, ws);
+                });
+    T acc = std::move(init);
+    for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+    return acc;
+  }
+
+  /// The chunk width ParallelFor/ParallelReduce will use for a range of
+  /// `n` items at the given grain. Exposed so kernels that stage
+  /// per-chunk output buffers can compute the layout themselves.
+  static int64_t ChunkSize(int64_t n, int64_t grain) {
+    // Cap the chunk count at a constant so scheduling overhead stays
+    // bounded; the cap is independent of the thread count on purpose.
+    constexpr int64_t kMaxChunks = 256;
+    const int64_t g = std::max<int64_t>(1, grain);
+    return std::max(g, (n + kMaxChunks - 1) / kMaxChunks);
+  }
+
+  /// Number of chunks ParallelFor will cut [0, n) into.
+  static int64_t NumChunks(int64_t n, int64_t grain) {
+    if (n <= 0) return 0;
+    const int64_t chunk = ChunkSize(n, grain);
+    return (n + chunk - 1) / chunk;
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Workspace>> workspaces_;
+};
+
+/// Thread count ExecContext resolves for num_threads == 0: the
+/// FREEHGC_THREADS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (min 1).
+int DefaultNumThreads();
+
+/// Process-wide default context (lazily constructed with
+/// DefaultNumThreads()). Kernel entry points fall back to this when the
+/// caller passes no context.
+ExecContext& DefaultExec();
+
+/// Resolves an optional caller-supplied context to a usable one.
+inline ExecContext& Resolve(ExecContext* ctx) {
+  return ctx != nullptr ? *ctx : DefaultExec();
+}
+
+}  // namespace freehgc::exec
+
+#endif  // FREEHGC_EXEC_EXEC_CONTEXT_H_

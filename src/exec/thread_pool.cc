@@ -1,0 +1,60 @@
+#include "exec/thread_pool.h"
+
+namespace freehgc::exec {
+
+ThreadPool::ThreadPool(int size) {
+  const int n = size < 1 ? 1 : size;
+  threads_.reserve(static_cast<size_t>(n - 1));
+  for (int w = 1; w < n; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      body = body_;
+    }
+    (*body)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelInvoke(const std::function<void(int)>& body) {
+  if (threads_.empty()) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    pending_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  body(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace freehgc::exec

@@ -1,0 +1,60 @@
+#ifndef FREEHGC_EXEC_THREAD_POOL_H_
+#define FREEHGC_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace freehgc::exec {
+
+/// Fixed-size pool of persistent worker threads.
+///
+/// The pool is deliberately work-stealing-free: it exposes exactly one
+/// primitive, ParallelInvoke, which wakes every worker with the same
+/// callable. Chunk distribution (and therefore determinism) is the
+/// caller's job — ExecContext hands out fixed-size chunks through an
+/// atomic cursor, so which *thread* runs a chunk never affects what the
+/// chunk computes.
+///
+/// A pool of size n owns n-1 OS threads; the caller of ParallelInvoke
+/// participates as worker 0, so size() == 1 means no threads are ever
+/// spawned and every ParallelInvoke runs inline.
+class ThreadPool {
+ public:
+  /// Creates a pool with `size` workers total (including the caller).
+  /// size < 1 is clamped to 1.
+  explicit ThreadPool(int size);
+
+  /// Joins all workers. Must not be called while an invoke is running.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count, including the calling thread.
+  int size() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Runs `body(worker)` concurrently for worker ∈ [0, size()), with
+  /// worker 0 executed on the calling thread. Returns once every body has
+  /// finished. Exceptions must be contained by `body` (ExecContext's
+  /// ParallelFor captures and rethrows them on the caller).
+  void ParallelInvoke(const std::function<void(int)>& body);
+
+ private:
+  void WorkerLoop(int worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* body_ = nullptr;
+  uint64_t generation_ = 0;  // bumped per ParallelInvoke to wake workers
+  int pending_ = 0;          // workers still running the current body
+  bool shutdown_ = false;
+};
+
+}  // namespace freehgc::exec
+
+#endif  // FREEHGC_EXEC_THREAD_POOL_H_

@@ -1,0 +1,77 @@
+#ifndef FREEHGC_EXEC_WORKSPACE_H_
+#define FREEHGC_EXEC_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace freehgc::exec {
+
+/// Per-worker reusable scratch arena.
+///
+/// Hot kernels (SpGEMM row merges, PPR residuals, HGNN propagation,
+/// centrality BFS frontiers) used to allocate their scratch vectors on
+/// every call; an ExecContext instead hands each worker one Workspace
+/// whose buffers grow monotonically and are reused across calls, so
+/// steady-state kernel execution performs no heap allocation.
+///
+/// Buffers hold no semantic state between uses except `accum`, which is
+/// guaranteed all-zero on handout: kernels using the sparse-accumulator
+/// pattern must re-zero exactly the entries they touched before
+/// returning (the SPA idiom does this for free).
+class Workspace {
+ public:
+  /// Dense float accumulator of at least `n` entries, all zero. The
+  /// caller must restore the zero invariant over touched entries.
+  std::vector<float>& ZeroedAccum(size_t n) {
+    if (accum_.size() < n) accum_.resize(n, 0.0f);
+    return accum_;
+  }
+
+  /// Index list scratch (cleared on handout, capacity preserved).
+  std::vector<int32_t>& Touched() {
+    touched_.clear();
+    return touched_;
+  }
+
+  /// Float scratch of exactly `n` entries, value-initialized to `fill`.
+  std::vector<float>& F32(size_t n, float fill = 0.0f) {
+    f32_.assign(n, fill);
+    return f32_;
+  }
+
+  /// Second float scratch (kernels needing two live vectors at once).
+  std::vector<float>& F32B(size_t n, float fill = 0.0f) {
+    f32b_.assign(n, fill);
+    return f32b_;
+  }
+
+  /// Double scratch of exactly `n` entries.
+  std::vector<double>& F64(size_t n, double fill = 0.0) {
+    f64_.assign(n, fill);
+    return f64_;
+  }
+
+  /// int32 scratch of exactly `n` entries.
+  std::vector<int32_t>& I32(size_t n, int32_t fill = 0) {
+    i32_.assign(n, fill);
+    return i32_;
+  }
+
+  /// int64 scratch of exactly `n` entries.
+  std::vector<int64_t>& I64(size_t n, int64_t fill = 0) {
+    i64_.assign(n, fill);
+    return i64_;
+  }
+
+ private:
+  std::vector<float> accum_;
+  std::vector<int32_t> touched_;
+  std::vector<float> f32_, f32b_;
+  std::vector<double> f64_;
+  std::vector<int32_t> i32_;
+  std::vector<int64_t> i64_;
+};
+
+}  // namespace freehgc::exec
+
+#endif  // FREEHGC_EXEC_WORKSPACE_H_

@@ -40,29 +40,46 @@ Result<RelationId> HeteroGraph::AddRelation(const std::string& name,
   return id;
 }
 
-void HeteroGraph::EnsureReverseRelations() {
+void HeteroGraph::EnsureReverseRelations(exec::ExecContext* ctx) {
   const size_t original = relations_.size();
+  // Candidates: relations with no schema-level reverse. Self-relations
+  // (src == dst) are their own reverse only when symmetric, so they stay
+  // candidates and the symmetry check happens on the computed transpose.
+  std::vector<size_t> candidates;
   for (size_t i = 0; i < original; ++i) {
     const TypeId src = relations_[i].src_type;
     const TypeId dst = relations_[i].dst_type;
     bool has_reverse = false;
-    for (size_t j = 0; j < original; ++j) {
-      if (j != i && relations_[j].src_type == dst &&
-          relations_[j].dst_type == src) {
-        has_reverse = true;
-        break;
+    if (src != dst) {
+      for (size_t j = 0; j < original; ++j) {
+        if (j != i && relations_[j].src_type == dst &&
+            relations_[j].dst_type == src) {
+          has_reverse = true;
+          break;
+        }
       }
     }
-    // Self-relations (src == dst) are their own reverse only when
-    // symmetric; we conservatively add the transpose for asymmetric ones.
-    if (src == dst) {
-      CsrMatrix t = sparse::Transpose(relations_[i].adj);
-      has_reverse = (t == relations_[i].adj);
-    }
-    if (!has_reverse) {
-      relations_.push_back({"rev_" + relations_[i].name, dst, src,
-                            sparse::Transpose(relations_[i].adj)});
-    }
+    if (!has_reverse) candidates.push_back(i);
+  }
+  // Transposes are independent: one candidate per chunk, staged so the
+  // append below preserves original relation order for any thread count.
+  std::vector<CsrMatrix> transposed(candidates.size());
+  exec::Resolve(ctx).ParallelFor(
+      static_cast<int64_t>(candidates.size()), 1,
+      [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t k = begin; k < end; ++k) {
+          transposed[static_cast<size_t>(k)] =
+              sparse::Transpose(relations_[candidates[static_cast<size_t>(k)]]
+                                    .adj);
+        }
+      });
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    const size_t i = candidates[k];
+    const TypeId src = relations_[i].src_type;
+    const TypeId dst = relations_[i].dst_type;
+    if (src == dst && transposed[k] == relations_[i].adj) continue;
+    relations_.push_back(
+        {"rev_" + relations_[i].name, dst, src, std::move(transposed[k])});
   }
 }
 

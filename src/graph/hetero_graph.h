@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "dense/matrix.h"
+#include "exec/exec_context.h"
 #include "sparse/csr.h"
 
 namespace freehgc {
@@ -57,7 +58,10 @@ class HeteroGraph {
   /// For every relation lacking a reverse counterpart (a relation
   /// dst -> src), adds "rev_<name>" with the transposed adjacency. HGNN
   /// message passing and meta-path enumeration need both directions.
-  void EnsureReverseRelations();
+  /// The per-relation transposes run concurrently on `ctx`; the new
+  /// relations are registered in original relation order regardless of
+  /// thread count.
+  void EnsureReverseRelations(exec::ExecContext* ctx = nullptr);
 
   /// Sets the feature matrix of a type; rows must equal the node count.
   Status SetFeatures(TypeId type, Matrix features);

@@ -13,36 +13,44 @@ namespace {
 /// semantic embedding before fusion; doing the same here makes the block
 /// representation scale-free, so a model trained on a condensed graph
 /// (where some neighborhoods are thinner) transfers to the full graph.
-void L2NormalizeRows(Matrix& m) {
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    float* row = m.Row(r);
-    double sq = 0.0;
-    for (int64_t c = 0; c < m.cols(); ++c) sq += double(row[c]) * row[c];
-    if (sq <= 0.0) continue;
-    const float inv = static_cast<float>(1.0 / std::sqrt(sq));
-    for (int64_t c = 0; c < m.cols(); ++c) row[c] *= inv;
-  }
+void L2NormalizeRows(Matrix& m, exec::ExecContext& ex) {
+  ex.ParallelFor(m.rows(), 256,
+                 [&](int64_t begin, int64_t end, exec::Workspace&) {
+                   for (int64_t r = begin; r < end; ++r) {
+                     float* row = m.Row(r);
+                     double sq = 0.0;
+                     for (int64_t c = 0; c < m.cols(); ++c) {
+                       sq += double(row[c]) * row[c];
+                     }
+                     if (sq <= 0.0) continue;
+                     const float inv =
+                         static_cast<float>(1.0 / std::sqrt(sq));
+                     for (int64_t c = 0; c < m.cols(); ++c) row[c] *= inv;
+                   }
+                 });
 }
 
 }  // namespace
 
 PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
                                        const std::vector<MetaPath>& paths,
-                                       int64_t max_row_nnz) {
+                                       int64_t max_row_nnz,
+                                       exec::ExecContext* ctx) {
   const TypeId target = g.target_type();
   FREEHGC_CHECK(target >= 0);
+  exec::ExecContext& ex = exec::Resolve(ctx);
   PropagatedFeatures out;
   out.blocks.push_back(g.Features(target));
-  L2NormalizeRows(out.blocks.back());
+  L2NormalizeRows(out.blocks.back(), ex);
   out.names.push_back("raw");
   out.end_types.push_back(target);
   for (const auto& p : paths) {
     FREEHGC_CHECK(p.start_type() == target);
     const TypeId end = p.end_type();
     if (!g.HasFeatures(end)) continue;
-    CsrMatrix adj = ComposeAdjacency(g, p, max_row_nnz);
-    out.blocks.push_back(sparse::SpMmDense(adj, g.Features(end)));
-    L2NormalizeRows(out.blocks.back());
+    CsrMatrix adj = ComposeAdjacency(g, p, max_row_nnz, &ex);
+    out.blocks.push_back(sparse::SpMmDense(adj, g.Features(end), &ex));
+    L2NormalizeRows(out.blocks.back(), ex);
     out.names.push_back(p.Name(g));
     out.end_types.push_back(end);
   }
@@ -50,14 +58,15 @@ PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
 }
 
 PropagatedFeatures PropagateFeatures(const HeteroGraph& g,
-                                     const PropagateOptions& opts) {
+                                     const PropagateOptions& opts,
+                                     exec::ExecContext* ctx) {
   MetaPathOptions mp_opts;
   mp_opts.max_hops = opts.max_hops;
   mp_opts.max_paths = opts.max_paths;
   mp_opts.max_row_nnz = opts.max_row_nnz;
   const std::vector<MetaPath> paths =
       EnumerateMetaPaths(g, g.target_type(), mp_opts);
-  return PropagateAlongPaths(g, paths, opts.max_row_nnz);
+  return PropagateAlongPaths(g, paths, opts.max_row_nnz, ctx);
 }
 
 }  // namespace freehgc::hgnn

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dense/matrix.h"
+#include "exec/exec_context.h"
 #include "graph/hetero_graph.h"
 #include "metapath/metapath.h"
 
@@ -44,13 +45,17 @@ struct PropagateOptions {
 /// which is what lets a model trained on the condensed graph run on the
 /// full graph.
 PropagatedFeatures PropagateFeatures(const HeteroGraph& g,
-                                     const PropagateOptions& opts);
+                                     const PropagateOptions& opts,
+                                     exec::ExecContext* ctx = nullptr);
 
 /// Same propagation with a fixed externally supplied path list (used to
 /// guarantee identical block order between the condensed and full graphs).
+/// Composition, the sparse-dense product, and the per-block row
+/// normalization all run on `ctx`.
 PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
                                        const std::vector<MetaPath>& paths,
-                                       int64_t max_row_nnz);
+                                       int64_t max_row_nnz,
+                                       exec::ExecContext* ctx = nullptr);
 
 }  // namespace freehgc::hgnn
 

@@ -62,13 +62,14 @@ std::vector<MetaPath> FilterByEndType(const std::vector<MetaPath>& paths,
 }
 
 CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
-                           int64_t max_row_nnz) {
+                           int64_t max_row_nnz, exec::ExecContext* ctx) {
   FREEHGC_CHECK(!p.relations.empty());
-  CsrMatrix acc = sparse::RowNormalize(g.relation(p.relations[0]).adj);
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  CsrMatrix acc = sparse::RowNormalize(g.relation(p.relations[0]).adj, &ex);
   for (size_t i = 1; i < p.relations.size(); ++i) {
     const CsrMatrix next =
-        sparse::RowNormalize(g.relation(p.relations[i]).adj);
-    acc = sparse::SpGemm(acc, next, max_row_nnz);
+        sparse::RowNormalize(g.relation(p.relations[i]).adj, &ex);
+    acc = sparse::SpGemm(acc, next, max_row_nnz, &ex);
   }
   return acc;
 }
@@ -93,7 +94,7 @@ float JaccardOfSortedSets(std::span<const int32_t> a,
 }
 
 std::vector<std::vector<float>> PerPathJaccard(
-    const std::vector<const CsrMatrix*>& paths) {
+    const std::vector<const CsrMatrix*>& paths, exec::ExecContext* ctx) {
   FREEHGC_CHECK(!paths.empty());
   const int32_t rows = paths[0]->rows();
   for (const auto* p : paths) FREEHGC_CHECK(p->rows() == rows);
@@ -102,24 +103,30 @@ std::vector<std::vector<float>> PerPathJaccard(
       l, std::vector<float>(static_cast<size_t>(rows), 0.0f));
   if (l < 2) return out;
   const float norm = 1.0f / static_cast<float>(l - 1);
-  for (int32_t v = 0; v < rows; ++v) {
-    for (size_t i = 0; i < l; ++i) {
-      for (size_t j = i + 1; j < l; ++j) {
-        const float jac = JaccardOfSortedSets(paths[i]->RowIndices(v),
-                                              paths[j]->RowIndices(v));
-        out[i][static_cast<size_t>(v)] += jac;
-        out[j][static_cast<size_t>(v)] += jac;
-      }
-    }
-  }
-  for (auto& per_node : out) {
-    for (auto& x : per_node) x *= norm;
-  }
+  // Each node's pairwise set intersections are independent of every
+  // other node's: parallel over node chunks, each writing column v only.
+  exec::Resolve(ctx).ParallelFor(
+      rows, 128, [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t v = begin; v < end; ++v) {
+          for (size_t i = 0; i < l; ++i) {
+            for (size_t j = i + 1; j < l; ++j) {
+              const float jac = JaccardOfSortedSets(
+                  paths[i]->RowIndices(static_cast<int32_t>(v)),
+                  paths[j]->RowIndices(static_cast<int32_t>(v)));
+              out[i][static_cast<size_t>(v)] += jac;
+              out[j][static_cast<size_t>(v)] += jac;
+            }
+          }
+          for (size_t i = 0; i < l; ++i) {
+            out[i][static_cast<size_t>(v)] *= norm;
+          }
+        }
+      });
   return out;
 }
 
 std::vector<float> PerNodeJaccard(
-    const std::vector<const CsrMatrix*>& paths) {
+    const std::vector<const CsrMatrix*>& paths, exec::ExecContext* ctx) {
   FREEHGC_CHECK(!paths.empty());
   const int32_t rows = paths[0]->rows();
   for (const auto* p : paths) FREEHGC_CHECK(p->rows() == rows);
@@ -127,16 +134,20 @@ std::vector<float> PerNodeJaccard(
   if (paths.size() < 2) return out;
   const size_t l = paths.size();
   const float norm = 2.0f / static_cast<float>(l * (l - 1));
-  for (int32_t v = 0; v < rows; ++v) {
-    float acc = 0.0f;
-    for (size_t i = 0; i < l; ++i) {
-      for (size_t j = i + 1; j < l; ++j) {
-        acc += JaccardOfSortedSets(paths[i]->RowIndices(v),
-                                   paths[j]->RowIndices(v));
-      }
-    }
-    out[static_cast<size_t>(v)] = acc * norm;
-  }
+  exec::Resolve(ctx).ParallelFor(
+      rows, 128, [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t v = begin; v < end; ++v) {
+          float acc = 0.0f;
+          for (size_t i = 0; i < l; ++i) {
+            for (size_t j = i + 1; j < l; ++j) {
+              acc += JaccardOfSortedSets(
+                  paths[i]->RowIndices(static_cast<int32_t>(v)),
+                  paths[j]->RowIndices(static_cast<int32_t>(v)));
+            }
+          }
+          out[static_cast<size_t>(v)] = acc * norm;
+        }
+      });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "graph/hetero_graph.h"
 #include "sparse/csr.h"
 
@@ -49,9 +50,11 @@ std::vector<MetaPath> FilterByEndType(const std::vector<MetaPath>& paths,
 
 /// Composes the row-normalized meta-path adjacency of Eq. (1):
 ///   A_hat(P) = A_hat(r_0) * A_hat(r_1) * ... * A_hat(r_{k-1}).
-/// Shape: (count(start_type), count(end_type)).
+/// Shape: (count(start_type), count(end_type)). The SpGEMM chain runs on
+/// `ctx` (row-chunk parallel, bit-identical across thread counts).
 CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
-                           int64_t max_row_nnz = 0);
+                           int64_t max_row_nnz = 0,
+                           exec::ExecContext* ctx = nullptr);
 
 /// Per-node average pairwise Jaccard similarity (Eqs. 4-6) among the reach
 /// sets of several meta-paths that share start and end types.
@@ -61,15 +64,17 @@ CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
 /// where RF_p(v) is the set of end-type nodes with non-zero entry in row v
 /// of path p's composed adjacency. Two empty sets have J = 1 (the paper's
 /// convention for |union| = 0). With fewer than two paths the result is
-/// all zeros (no duplication possible).
-std::vector<float> PerNodeJaccard(const std::vector<const CsrMatrix*>& paths);
+/// all zeros (no duplication possible). Row-parallel over nodes.
+std::vector<float> PerNodeJaccard(const std::vector<const CsrMatrix*>& paths,
+                                  exec::ExecContext* ctx = nullptr);
 
 /// Per-path refinement of Eq. (6): result[i][v] is the mean Jaccard
 /// similarity between path i's reach set of node v and every *other*
 /// path's reach set of v, i.e. J_hat(phi_i) evaluated per node. With a
-/// single path the result is all zeros.
+/// single path the result is all zeros. Row-parallel over nodes.
 std::vector<std::vector<float>> PerPathJaccard(
-    const std::vector<const CsrMatrix*>& paths);
+    const std::vector<const CsrMatrix*>& paths,
+    exec::ExecContext* ctx = nullptr);
 
 /// Jaccard similarity of two sorted index sets.
 float JaccardOfSortedSets(std::span<const int32_t> a,

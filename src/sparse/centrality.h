@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "sparse/csr.h"
 
 namespace freehgc::sparse {
@@ -53,8 +54,13 @@ struct CentralityOptions {
 /// - kBetweenness: Brandes' algorithm restricted to sampled sources
 ///   (unweighted shortest paths).
 /// - kHubs / kAuthorities: HITS power iteration with L2 normalization.
+///
+/// Sampled estimators parallelize one BFS source per chunk with an
+/// ordered reduction; HITS half-steps are row-parallel gathers. Results
+/// are bit-identical for every thread count (nullptr ctx = default).
 std::vector<double> Centrality(const CsrMatrix& a, CentralityKind kind,
-                               const CentralityOptions& opts = {});
+                               const CentralityOptions& opts = {},
+                               exec::ExecContext* ctx = nullptr);
 
 }  // namespace freehgc::sparse
 

@@ -8,6 +8,18 @@
 
 namespace freehgc::sparse {
 
+namespace {
+
+// Minimum chunk widths (grains) per kernel. Chunk layout is a pure
+// function of (n, grain) — see exec::ExecContext::ChunkSize — so these
+// constants are part of the determinism contract: changing one changes
+// the float association of chunked reductions.
+constexpr int64_t kRowMergeGrain = 64;   // SpGEMM row merges
+constexpr int64_t kRowScaleGrain = 512;  // normalize / SpMv rows
+constexpr int64_t kAxpyGrain = 2048;     // elementwise vector updates
+
+}  // namespace
+
 CsrMatrix Transpose(const CsrMatrix& a) {
   const int32_t rows = a.rows(), cols = a.cols();
   std::vector<int64_t> indptr(static_cast<size_t>(cols) + 1, 0);
@@ -31,114 +43,161 @@ CsrMatrix Transpose(const CsrMatrix& a) {
   return std::move(res).value();
 }
 
-CsrMatrix RowNormalize(const CsrMatrix& a) {
+CsrMatrix RowNormalize(const CsrMatrix& a, exec::ExecContext* ctx) {
   CsrMatrix out = a;
   auto& values = out.mutable_values();
-  for (int32_t r = 0; r < a.rows(); ++r) {
-    const float s = a.RowSum(r);
-    if (s == 0.0f) continue;
-    const float inv = 1.0f / s;
-    for (int64_t k = a.indptr()[r]; k < a.indptr()[r + 1]; ++k) {
-      values[static_cast<size_t>(k)] *= inv;
-    }
-  }
+  exec::Resolve(ctx).ParallelFor(
+      a.rows(), kRowScaleGrain,
+      [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t r = begin; r < end; ++r) {
+          const float s = a.RowSum(static_cast<int32_t>(r));
+          if (s == 0.0f) continue;
+          const float inv = 1.0f / s;
+          for (int64_t k = a.indptr()[r]; k < a.indptr()[r + 1]; ++k) {
+            values[static_cast<size_t>(k)] *= inv;
+          }
+        }
+      });
   return out;
 }
 
-CsrMatrix SymNormalize(const CsrMatrix& a) {
+CsrMatrix SymNormalize(const CsrMatrix& a, exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.rows() == a.cols());
-  std::vector<float> deg(static_cast<size_t>(a.rows()), 0.0f);
-  for (int32_t r = 0; r < a.rows(); ++r) deg[static_cast<size_t>(r)] = a.RowSum(r);
-  std::vector<float> inv_sqrt(deg.size(), 0.0f);
-  for (size_t i = 0; i < deg.size(); ++i) {
-    inv_sqrt[i] = deg[i] > 0 ? 1.0f / std::sqrt(deg[i]) : 0.0f;
-  }
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  std::vector<float> inv_sqrt(static_cast<size_t>(a.rows()), 0.0f);
+  ex.ParallelFor(a.rows(), kRowScaleGrain,
+                 [&](int64_t begin, int64_t end, exec::Workspace&) {
+                   for (int64_t r = begin; r < end; ++r) {
+                     const float d = a.RowSum(static_cast<int32_t>(r));
+                     inv_sqrt[static_cast<size_t>(r)] =
+                         d > 0 ? 1.0f / std::sqrt(d) : 0.0f;
+                   }
+                 });
   CsrMatrix out = a;
   auto& values = out.mutable_values();
-  for (int32_t r = 0; r < a.rows(); ++r) {
-    for (int64_t k = a.indptr()[r]; k < a.indptr()[r + 1]; ++k) {
-      const int32_t c = a.indices()[static_cast<size_t>(k)];
-      values[static_cast<size_t>(k)] *=
-          inv_sqrt[static_cast<size_t>(r)] * inv_sqrt[static_cast<size_t>(c)];
-    }
-  }
+  ex.ParallelFor(
+      a.rows(), kRowScaleGrain,
+      [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t r = begin; r < end; ++r) {
+          for (int64_t k = a.indptr()[r]; k < a.indptr()[r + 1]; ++k) {
+            const int32_t c = a.indices()[static_cast<size_t>(k)];
+            values[static_cast<size_t>(k)] *=
+                inv_sqrt[static_cast<size_t>(r)] *
+                inv_sqrt[static_cast<size_t>(c)];
+          }
+        }
+      });
   return out;
 }
 
-CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b,
-                 int64_t max_row_nnz) {
+CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
+                 exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.cols() == b.rows());
+  exec::ExecContext& ex = exec::Resolve(ctx);
   const int32_t m = a.rows(), n = b.cols();
+  const int64_t chunk = exec::ExecContext::ChunkSize(m, kRowMergeGrain);
+  const int64_t num_chunks = exec::ExecContext::NumChunks(m, kRowMergeGrain);
+
+  // Stage 1 — row merges, chunk-local output. Each chunk stages its rows'
+  // (indices, values) in its own buffers; the sparse accumulator (SPA)
+  // and touched-column list come from the worker's Workspace and are
+  // reused across chunks and across SpGemm calls (no per-call churn).
   std::vector<int64_t> indptr(static_cast<size_t>(m) + 1, 0);
-  std::vector<int32_t> indices;
-  std::vector<float> values;
+  std::vector<std::vector<int32_t>> chunk_indices(
+      static_cast<size_t>(num_chunks));
+  std::vector<std::vector<float>> chunk_values(
+      static_cast<size_t>(num_chunks));
+  ex.ParallelFor(m, kRowMergeGrain, [&](int64_t begin, int64_t end,
+                                        exec::Workspace& ws) {
+    std::vector<float>& accum = ws.ZeroedAccum(static_cast<size_t>(n));
+    std::vector<int32_t>& touched = ws.Touched();
+    auto& indices = chunk_indices[static_cast<size_t>(begin / chunk)];
+    auto& values = chunk_values[static_cast<size_t>(begin / chunk)];
+    for (int64_t i = begin; i < end; ++i) {
+      touched.clear();
+      auto ai = a.RowIndices(static_cast<int32_t>(i));
+      auto av = a.RowValues(static_cast<int32_t>(i));
+      for (size_t k = 0; k < ai.size(); ++k) {
+        const int32_t p = ai[k];
+        const float apv = av[k];
+        auto bi = b.RowIndices(p);
+        auto bv = b.RowValues(p);
+        for (size_t t = 0; t < bi.size(); ++t) {
+          const int32_t j = bi[t];
+          if (accum[static_cast<size_t>(j)] == 0.0f) touched.push_back(j);
+          accum[static_cast<size_t>(j)] += apv * bv[t];
+        }
+      }
+      if (max_row_nnz > 0 &&
+          static_cast<int64_t>(touched.size()) > max_row_nnz) {
+        // Budgeted densification: keep the largest-magnitude entries.
+        std::nth_element(
+            touched.begin(), touched.begin() + max_row_nnz, touched.end(),
+            [&](int32_t x, int32_t y) {
+              return std::fabs(accum[static_cast<size_t>(x)]) >
+                     std::fabs(accum[static_cast<size_t>(y)]);
+            });
+        for (size_t t = static_cast<size_t>(max_row_nnz); t < touched.size();
+             ++t) {
+          accum[static_cast<size_t>(touched[t])] = 0.0f;
+        }
+        touched.resize(static_cast<size_t>(max_row_nnz));
+      }
+      std::sort(touched.begin(), touched.end());
+      int64_t row_nnz = 0;
+      for (int32_t j : touched) {
+        const float v = accum[static_cast<size_t>(j)];
+        if (v != 0.0f) {
+          indices.push_back(j);
+          values.push_back(v);
+          ++row_nnz;
+        }
+        accum[static_cast<size_t>(j)] = 0.0f;
+      }
+      indptr[static_cast<size_t>(i) + 1] = row_nnz;
+    }
+  });
 
-  // Sparse accumulator (SPA): dense value array + touched-column list.
-  std::vector<float> accum(static_cast<size_t>(n), 0.0f);
-  std::vector<int32_t> touched;
-  touched.reserve(256);
-
-  for (int32_t i = 0; i < m; ++i) {
-    touched.clear();
-    auto ai = a.RowIndices(i);
-    auto av = a.RowValues(i);
-    for (size_t k = 0; k < ai.size(); ++k) {
-      const int32_t p = ai[k];
-      const float apv = av[k];
-      auto bi = b.RowIndices(p);
-      auto bv = b.RowValues(p);
-      for (size_t t = 0; t < bi.size(); ++t) {
-        const int32_t j = bi[t];
-        if (accum[static_cast<size_t>(j)] == 0.0f) touched.push_back(j);
-        accum[static_cast<size_t>(j)] += apv * bv[t];
-      }
+  // Stage 2 — prefix-sum the per-row counts, then splice the chunk
+  // buffers at their offsets (chunk c's data starts at indptr[c * chunk]).
+  for (size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
+  std::vector<int32_t> indices(static_cast<size_t>(indptr.back()));
+  std::vector<float> values(static_cast<size_t>(indptr.back()));
+  ex.ParallelFor(num_chunks, 1, [&](int64_t begin, int64_t end,
+                                    exec::Workspace&) {
+    for (int64_t c = begin; c < end; ++c) {
+      const size_t offset =
+          static_cast<size_t>(indptr[static_cast<size_t>(c * chunk)]);
+      const auto& ci = chunk_indices[static_cast<size_t>(c)];
+      const auto& cv = chunk_values[static_cast<size_t>(c)];
+      std::copy(ci.begin(), ci.end(), indices.begin() + offset);
+      std::copy(cv.begin(), cv.end(), values.begin() + offset);
     }
-    if (max_row_nnz > 0 &&
-        static_cast<int64_t>(touched.size()) > max_row_nnz) {
-      // Budgeted densification: keep the largest-magnitude entries.
-      std::nth_element(
-          touched.begin(), touched.begin() + max_row_nnz, touched.end(),
-          [&](int32_t x, int32_t y) {
-            return std::fabs(accum[static_cast<size_t>(x)]) >
-                   std::fabs(accum[static_cast<size_t>(y)]);
-          });
-      for (size_t t = static_cast<size_t>(max_row_nnz); t < touched.size();
-           ++t) {
-        accum[static_cast<size_t>(touched[t])] = 0.0f;
-      }
-      touched.resize(static_cast<size_t>(max_row_nnz));
-    }
-    std::sort(touched.begin(), touched.end());
-    for (int32_t j : touched) {
-      const float v = accum[static_cast<size_t>(j)];
-      if (v != 0.0f) {
-        indices.push_back(j);
-        values.push_back(v);
-      }
-      accum[static_cast<size_t>(j)] = 0.0f;
-    }
-    indptr[static_cast<size_t>(i) + 1] =
-        static_cast<int64_t>(indices.size());
-  }
+  });
   auto res = CsrMatrix::FromParts(m, n, std::move(indptr), std::move(indices),
                                   std::move(values));
   FREEHGC_CHECK(res.ok());
   return std::move(res).value();
 }
 
-Matrix SpMmDense(const CsrMatrix& a, const Matrix& x) {
+Matrix SpMmDense(const CsrMatrix& a, const Matrix& x,
+                 exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.cols() == x.rows());
   Matrix out(a.rows(), x.cols());
-  for (int32_t r = 0; r < a.rows(); ++r) {
-    float* out_row = out.Row(r);
-    auto idx = a.RowIndices(r);
-    auto val = a.RowValues(r);
-    for (size_t k = 0; k < idx.size(); ++k) {
-      const float* x_row = x.Row(idx[k]);
-      const float v = val[k];
-      for (int64_t c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
-    }
-  }
+  exec::Resolve(ctx).ParallelFor(
+      a.rows(), kRowMergeGrain,
+      [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t r = begin; r < end; ++r) {
+          float* out_row = out.Row(r);
+          auto idx = a.RowIndices(static_cast<int32_t>(r));
+          auto val = a.RowValues(static_cast<int32_t>(r));
+          for (size_t k = 0; k < idx.size(); ++k) {
+            const float* x_row = x.Row(idx[k]);
+            const float v = val[k];
+            for (int64_t c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
+          }
+        }
+      });
   return out;
 }
 
@@ -158,18 +217,29 @@ Matrix SpMmDenseT(const CsrMatrix& a, const Matrix& x) {
   return out;
 }
 
-std::vector<float> SpMv(const CsrMatrix& a, const std::vector<float>& x) {
+void SpMvInto(const CsrMatrix& a, const std::vector<float>& x,
+              std::vector<float>& y, exec::ExecContext* ctx) {
   FREEHGC_CHECK(static_cast<int32_t>(x.size()) == a.cols());
-  std::vector<float> y(static_cast<size_t>(a.rows()), 0.0f);
-  for (int32_t r = 0; r < a.rows(); ++r) {
-    auto idx = a.RowIndices(r);
-    auto val = a.RowValues(r);
-    float acc = 0.0f;
-    for (size_t k = 0; k < idx.size(); ++k) {
-      acc += val[k] * x[static_cast<size_t>(idx[k])];
-    }
-    y[static_cast<size_t>(r)] = acc;
-  }
+  y.resize(static_cast<size_t>(a.rows()));
+  exec::Resolve(ctx).ParallelFor(
+      a.rows(), kRowScaleGrain,
+      [&](int64_t begin, int64_t end, exec::Workspace&) {
+        for (int64_t r = begin; r < end; ++r) {
+          auto idx = a.RowIndices(static_cast<int32_t>(r));
+          auto val = a.RowValues(static_cast<int32_t>(r));
+          float acc = 0.0f;
+          for (size_t k = 0; k < idx.size(); ++k) {
+            acc += val[k] * x[static_cast<size_t>(idx[k])];
+          }
+          y[static_cast<size_t>(r)] = acc;
+        }
+      });
+}
+
+std::vector<float> SpMv(const CsrMatrix& a, const std::vector<float>& x,
+                        exec::ExecContext* ctx) {
+  std::vector<float> y;
+  SpMvInto(a, x, y, ctx);
   return y;
 }
 
@@ -257,20 +327,35 @@ CsrMatrix Symmetrize(const CsrMatrix& a) {
 
 std::vector<float> PprScores(const CsrMatrix& a,
                              const std::vector<float>& teleport, float alpha,
-                             int max_iters, float tol) {
+                             int max_iters, float tol,
+                             exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.rows() == a.cols());
   FREEHGC_CHECK(static_cast<int32_t>(teleport.size()) == a.rows());
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  // A^T pi as a row-parallel gather over the materialized transpose: the
+  // per-element accumulation order (ascending source row) matches the
+  // sequential column-scatter exactly, so the refactor is bit-preserving.
+  const CsrMatrix at = Transpose(a);
   std::vector<float> pi = teleport;
+  std::vector<float> propagated;  // reused across iterations
   for (int it = 0; it < max_iters; ++it) {
     // pi_next = alpha * teleport + (1 - alpha) * A^T pi
-    std::vector<float> propagated = SpMvT(a, pi);
-    float delta = 0.0f;
-    for (size_t i = 0; i < pi.size(); ++i) {
-      const float next = alpha * teleport[i] + (1.0f - alpha) * propagated[i];
-      delta += std::fabs(next - pi[i]);
-      pi[i] = next;
-    }
-    if (delta < tol) break;
+    SpMvInto(at, pi, propagated, &ex);
+    const double delta = ex.ParallelReduce(
+        static_cast<int64_t>(pi.size()), kAxpyGrain, 0.0,
+        [&](int64_t begin, int64_t end, exec::Workspace&) {
+          double d = 0.0;
+          for (int64_t i = begin; i < end; ++i) {
+            const float next = alpha * teleport[static_cast<size_t>(i)] +
+                               (1.0f - alpha) *
+                                   propagated[static_cast<size_t>(i)];
+            d += std::fabs(next - pi[static_cast<size_t>(i)]);
+            pi[static_cast<size_t>(i)] = next;
+          }
+          return d;
+        },
+        [](double acc, double part) { return acc + part; });
+    if (delta < static_cast<double>(tol)) break;
   }
   return pi;
 }

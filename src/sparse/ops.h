@@ -4,21 +4,30 @@
 #include <vector>
 
 #include "dense/matrix.h"
+#include "exec/exec_context.h"
 #include "sparse/csr.h"
 
 namespace freehgc::sparse {
+
+// Every op takes an optional ExecContext; nullptr falls back to the
+// process-wide default (FREEHGC_THREADS / hardware concurrency). All
+// parallel paths follow the determinism contract (static chunking +
+// ordered reduction, see exec/exec_context.h): results are bit-identical
+// for every thread count.
 
 /// Returns a^T.
 CsrMatrix Transpose(const CsrMatrix& a);
 
 /// Returns D^-1 A (rows scaled to sum 1; zero rows stay zero). This is the
 /// row-normalized adjacency \hat{A} of Eq. (1) in the paper.
-CsrMatrix RowNormalize(const CsrMatrix& a);
+CsrMatrix RowNormalize(const CsrMatrix& a,
+                       exec::ExecContext* ctx = nullptr);
 
 /// Returns D^-1/2 A D^-1/2 for a square matrix (degree = row value sums;
 /// zero-degree rows/cols stay zero). Used by the PPR-based neighbor
 /// influence maximization (Eq. 11 uses \hat{A}^{sym}).
-CsrMatrix SymNormalize(const CsrMatrix& a);
+CsrMatrix SymNormalize(const CsrMatrix& a,
+                       exec::ExecContext* ctx = nullptr);
 
 /// Sparse-sparse product a * b.
 ///
@@ -27,19 +36,31 @@ CsrMatrix SymNormalize(const CsrMatrix& a);
 /// (Eq. 1) chains several SpGEMMs, whose exact result densifies on
 /// power-law graphs; the budget mirrors the error-threshold sparsification
 /// the paper invokes for scalability. 0 means exact.
+///
+/// Parallelized over row chunks; each worker reuses its Workspace's dense
+/// accumulator + touched list, so steady state allocates only the output.
 CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b,
-                 int64_t max_row_nnz = 0);
+                 int64_t max_row_nnz = 0, exec::ExecContext* ctx = nullptr);
 
 /// Dense product a * x (x dense (a.cols, d)).
-Matrix SpMmDense(const CsrMatrix& a, const Matrix& x);
+Matrix SpMmDense(const CsrMatrix& a, const Matrix& x,
+                 exec::ExecContext* ctx = nullptr);
 
 /// Dense product a^T * x without materializing the transpose.
+/// (Column-scatter; sequential — materialize the transpose and use
+/// SpMmDense when this is hot.)
 Matrix SpMmDenseT(const CsrMatrix& a, const Matrix& x);
 
 /// y = a * x for a dense vector x.
-std::vector<float> SpMv(const CsrMatrix& a, const std::vector<float>& x);
+std::vector<float> SpMv(const CsrMatrix& a, const std::vector<float>& x,
+                        exec::ExecContext* ctx = nullptr);
 
-/// y = a^T * x.
+/// y = a * x written into a caller-owned buffer (resized to a.rows()),
+/// so iterative solvers reuse one allocation across iterations.
+void SpMvInto(const CsrMatrix& a, const std::vector<float>& x,
+              std::vector<float>& y, exec::ExecContext* ctx = nullptr);
+
+/// y = a^T * x. (Column-scatter; sequential.)
 std::vector<float> SpMvT(const CsrMatrix& a, const std::vector<float>& x);
 
 /// Extracts the submatrix a[row_keep, col_keep] with indices remapped to
@@ -61,9 +82,13 @@ CsrMatrix Symmetrize(const CsrMatrix& a);
 /// The result approximates the column mass of the PPR matrix
 /// alpha (I - (1-alpha) A)^-1 restricted to the teleport distribution,
 /// which is exactly the aggregate neighbor-influence score of Eq. (13).
+///
+/// Internally materializes a^T once so each iteration is a row-parallel
+/// gather SpMv; the L1 delta uses an ordered chunk reduction.
 std::vector<float> PprScores(const CsrMatrix& a,
                              const std::vector<float>& teleport, float alpha,
-                             int max_iters = 50, float tol = 1e-6f);
+                             int max_iters = 50, float tol = 1e-6f,
+                             exec::ExecContext* ctx = nullptr);
 
 }  // namespace freehgc::sparse
 
