@@ -8,15 +8,18 @@
 // paper-vs-measured record).
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "datasets/generator.h"
 #include "eval/experiment.h"
 #include "exec/exec_context.h"
 #include "hgnn/trainer.h"
+#include "obs/metrics.h"
 
 namespace freehgc::bench {
 
@@ -70,6 +73,35 @@ inline std::vector<uint64_t> Seeds() { return {1, 2, 3}; }
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::fflush(stdout);
+}
+
+/// JSON object for a Condense stage breakdown, keyed like the paper's
+/// pipeline stages. Benches embed this next to the opaque `seconds` so
+/// BENCH_*.json attributes condensation time instead of just totaling it.
+inline std::string StageSecondsJson(const core::StageSeconds& s) {
+  return StrFormat(
+      "{\"metapath\": %.6f, \"target\": %.6f, \"father\": %.6f, "
+      "\"leaf\": %.6f, \"assemble\": %.6f, \"total\": %.6f}",
+      s.metapath, s.target, s.father, s.leaf, s.assemble, s.Total());
+}
+
+/// Snapshot of every registered counter/gauge/histogram, as a JSON
+/// object (see obs::MetricsRegistry::DumpJson for the schema).
+inline std::string MetricsSnapshotJson() {
+  return obs::MetricsRegistry::Global().DumpJson();
+}
+
+/// Writes `content` to `path`, logging on failure. Bench harnesses use
+/// this for their machine-readable BENCH_*.json companions.
+inline bool WriteTextFile(const std::string& path,
+                          const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    FREEHGC_LOG(Warning) << "cannot write " << path;
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 }  // namespace freehgc::bench

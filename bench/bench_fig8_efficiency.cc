@@ -3,6 +3,13 @@
 // The paper reports FreeHGC up to 4.16x/4.67x (Freebase), 5.73x/6.27x
 // (MUTAG) and 3.12x/11.19x (AMiner) faster than GCond/HGCond; the bench
 // prints the measured factors.
+//
+// Besides the console table the harness writes BENCH_fig8_efficiency.json
+// with the raw seconds, FreeHGC's per-stage breakdown (metapath / target /
+// father / leaf / assemble), and a snapshot of the kernel metrics
+// registry — the machine-readable record behind the efficiency claim.
+// Run with FREEHGC_TRACE=trace.json to additionally get a Chrome trace of
+// every span (see DESIGN.md, "Observability").
 #include "baselines/gradient_matching.h"
 #include "bench/bench_common.h"
 #include "common/string_util.h"
@@ -12,11 +19,15 @@ using namespace freehgc;
 using namespace freehgc::bench;
 
 int main() {
+  // Arm the exec.* per-invoke counters so the metrics snapshot in the
+  // JSON companion is complete (kernel value counters are always on).
+  obs::SetDetailedMetricsEnabled(true);
   PrintHeader("Fig. 8: condensation time comparison");
   eval::TablePrinter table({"Dataset", "GCond", "HGCond", "FreeHGC",
                             "speedup vs GCond", "speedup vs HGCond"});
   const std::vector<std::pair<std::string, double>> configs = {
       {"freebase", 0.024}, {"mutag", 0.020}, {"aminer", 0.002}};
+  std::string rows_json;
   for (const auto& [name, ratio] : configs) {
     auto env = MakeEnv(name);
 
@@ -39,12 +50,26 @@ int main() {
     fopts.max_paths = env->ctx.options.max_paths;
     auto cond = core::Condense(env->graph, fopts);
     const double free_s = cond.ok() ? cond->seconds : -1.0;
+    const core::StageSeconds stages =
+        cond.ok() ? cond->stage_seconds : core::StageSeconds{};
 
     table.AddRow({name, StrFormat("%.2fs", gcond_s),
                   StrFormat("%.2fs", hgcond_s), StrFormat("%.2fs", free_s),
                   StrFormat("%.2fx", gcond_s / free_s),
                   StrFormat("%.2fx", hgcond_s / free_s)});
+    if (!rows_json.empty()) rows_json += ",\n";
+    rows_json += StrFormat(
+        "    {\"dataset\": \"%s\", \"ratio\": %.4f, "
+        "\"gcond_seconds\": %.6f, \"hgcond_seconds\": %.6f, "
+        "\"freehgc_seconds\": %.6f, \"freehgc_stage_seconds\": %s}",
+        name.c_str(), ratio, gcond_s, hgcond_s, free_s,
+        StageSecondsJson(stages).c_str());
   }
   table.Print();
+  WriteTextFile("BENCH_fig8_efficiency.json",
+                StrFormat("{\n  \"threads\": %d,\n  \"rows\": [\n%s\n  ],\n"
+                          "  \"metrics\": %s\n}\n",
+                          BenchThreads(), rows_json.c_str(),
+                          MetricsSnapshotJson().c_str()));
   return 0;
 }

@@ -1,9 +1,34 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
 namespace freehgc {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+/// Parses FREEHGC_LOG_LEVEL ({debug, info, warning, error}, case
+/// sensitive as documented); unknown or unset values keep the kInfo
+/// default.
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("FREEHGC_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+/// The threshold is read on every log statement, possibly from worker
+/// threads, while SetLogLevel may race with them: an atomic keeps that
+/// defined. First use seeds it from the environment (magic-static init
+/// is thread-safe).
+std::atomic<int>& LevelVar() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnv())};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,13 +45,18 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  LevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(LevelVar().load(std::memory_order_relaxed));
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
-    : enabled_(fatal || level >= g_level), fatal_(fatal) {
+    : enabled_(fatal || level >= GetLogLevel()), fatal_(fatal) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
@@ -37,7 +67,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (enabled_) {
+    // One write per line: worker-thread log statements must not
+    // interleave mid-line, and stdio locks stderr per call.
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
   if (fatal_) std::abort();
 }
 

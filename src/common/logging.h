@@ -9,7 +9,11 @@
 namespace freehgc {
 
 /// Severity levels for the minimal logging facility. The threshold is
-/// process-global and defaults to kInfo; set with SetLogLevel.
+/// process-global; it starts from the FREEHGC_LOG_LEVEL environment
+/// variable ({debug, info, warning, error}, default info) and can be
+/// overridden with SetLogLevel. Each log statement flushes its whole
+/// line with a single stderr write, so lines from worker threads never
+/// interleave.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the global minimum severity that is emitted.

@@ -2,6 +2,8 @@
 #define FREEHGC_COMMON_TIMER_H_
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace freehgc {
 
@@ -24,6 +26,33 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII stopwatch: on destruction, adds the elapsed seconds to a bound
+/// accumulator (or hands them to a callback). Replaces the hand-rolled
+/// Reset()/ElapsedSeconds() pairs around pipeline stages:
+///
+///   { ScopedTimer t(stage_seconds.metapath); EnumerateMetaPaths(...); }
+class ScopedTimer {
+ public:
+  /// Accumulates into `acc` (+=); `acc` must outlive the timer.
+  explicit ScopedTimer(double& acc)
+      : sink_([&acc](double s) { acc += s; }) {}
+
+  /// Hands the elapsed seconds to `sink` on destruction.
+  explicit ScopedTimer(std::function<void(double)> sink)
+      : sink_(std::move(sink)) {}
+
+  ~ScopedTimer() {
+    if (sink_) sink_(timer_.ElapsedSeconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer timer_;
+  std::function<void(double)> sink_;
 };
 
 }  // namespace freehgc

@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "core/selection_util.h"
 #include "metapath/metapath.h"
+#include "obs/trace.h"
 
 namespace freehgc::core {
 
@@ -160,7 +161,9 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
     ctx = owned.get();
   }
   exec::ExecContext& ex = *ctx;
+  FREEHGC_TRACE_SPAN("condense");
   Timer timer;
+  StageSeconds stages;
   const TypeId target = g.target_type();
 
   // General meta-paths generation model (Section IV-A).
@@ -168,48 +171,56 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
   mp_opts.max_hops = opts.max_hops;
   mp_opts.max_paths = opts.max_paths;
   mp_opts.max_row_nnz = opts.max_row_nnz;
-  const std::vector<MetaPath> paths =
-      EnumerateMetaPaths(g, target, mp_opts);
+  std::vector<MetaPath> paths;
+  {
+    ScopedTimer stage_timer(stages.metapath);
+    FREEHGC_TRACE_SPAN("condense.metapath");
+    paths = EnumerateMetaPaths(g, target, mp_opts);
+  }
 
   // --- Target type (Algorithm 1) ----------------------------------------
   const int32_t target_budget = Budget(opts.ratio, g.NodeCount(target));
   std::vector<int32_t> selected_target;
-  switch (opts.target_strategy) {
-    case TargetStrategy::kCriterion: {
-      TargetSelectionOptions topts = opts.target;
-      topts.max_row_nnz = opts.max_row_nnz;
-      topts.seed = opts.seed;
-      selected_target =
-          CondenseTargetNodes(g, paths, target_budget, topts,
-                              /*scores_out=*/nullptr, &ex);
-      break;
-    }
-    case TargetStrategy::kHerding: {
-      // Class-balanced herding on raw target features (Variant#3).
-      const auto budgets = PerClassBudget(g.labels(), g.train_index(),
-                                          g.num_classes(), target_budget);
-      for (int32_t c = 0; c < g.num_classes(); ++c) {
-        const auto pool = PoolOfClass(g.labels(), g.train_index(), c);
-        const auto picked = HerdingSelect(g.Features(target), pool,
-                                          budgets[static_cast<size_t>(c)]);
-        selected_target.insert(selected_target.end(), picked.begin(),
-                               picked.end());
+  {
+    ScopedTimer stage_timer(stages.target);
+    FREEHGC_TRACE_SPAN("condense.target");
+    switch (opts.target_strategy) {
+      case TargetStrategy::kCriterion: {
+        TargetSelectionOptions topts = opts.target;
+        topts.max_row_nnz = opts.max_row_nnz;
+        topts.seed = opts.seed;
+        selected_target =
+            CondenseTargetNodes(g, paths, target_budget, topts,
+                                /*scores_out=*/nullptr, &ex);
+        break;
       }
-      std::sort(selected_target.begin(), selected_target.end());
-      break;
-    }
-    case TargetStrategy::kRandom: {
-      const auto budgets = PerClassBudget(g.labels(), g.train_index(),
-                                          g.num_classes(), target_budget);
-      for (int32_t c = 0; c < g.num_classes(); ++c) {
-        const auto pool = PoolOfClass(g.labels(), g.train_index(), c);
-        const auto picked = RandomSelect(
-            pool, budgets[static_cast<size_t>(c)], opts.seed ^ (c + 1));
-        selected_target.insert(selected_target.end(), picked.begin(),
-                               picked.end());
+      case TargetStrategy::kHerding: {
+        // Class-balanced herding on raw target features (Variant#3).
+        const auto budgets = PerClassBudget(g.labels(), g.train_index(),
+                                            g.num_classes(), target_budget);
+        for (int32_t c = 0; c < g.num_classes(); ++c) {
+          const auto pool = PoolOfClass(g.labels(), g.train_index(), c);
+          const auto picked = HerdingSelect(g.Features(target), pool,
+                                            budgets[static_cast<size_t>(c)]);
+          selected_target.insert(selected_target.end(), picked.begin(),
+                                 picked.end());
+        }
+        std::sort(selected_target.begin(), selected_target.end());
+        break;
       }
-      std::sort(selected_target.begin(), selected_target.end());
-      break;
+      case TargetStrategy::kRandom: {
+        const auto budgets = PerClassBudget(g.labels(), g.train_index(),
+                                            g.num_classes(), target_budget);
+        for (int32_t c = 0; c < g.num_classes(); ++c) {
+          const auto pool = PoolOfClass(g.labels(), g.train_index(), c);
+          const auto picked = RandomSelect(
+              pool, budgets[static_cast<size_t>(c)], opts.seed ^ (c + 1));
+          selected_target.insert(selected_target.end(), picked.begin(),
+                                 picked.end());
+        }
+        std::sort(selected_target.begin(), selected_target.end());
+        break;
+      }
     }
   }
 
@@ -220,73 +231,15 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
 
   // Fathers first (leaf synthesis depends on kept fathers).
   std::vector<std::pair<TypeId, const std::vector<int32_t>*>> kept_fathers;
-  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
-    if (roles[static_cast<size_t>(t)] != TypeRole::kFather) continue;
-    const int32_t budget = Budget(opts.ratio, g.NodeCount(t));
-    auto& mapping = mappings[static_cast<size_t>(t)];
-    switch (opts.father_strategy) {
-      case FatherStrategy::kNim: {
-        NimOptions nopts = opts.nim;
-        nopts.max_row_nnz = opts.max_row_nnz;
-        mapping.keep =
-            CondenseFatherType(g, t, FilterByEndType(paths, t),
-                               selected_target, budget, nopts, &ex);
-        break;
-      }
-      case FatherStrategy::kHerding:
-        mapping.keep =
-            HerdingSelect(g.Features(t), AllNodes(g.NodeCount(t)), budget);
-        std::sort(mapping.keep.begin(), mapping.keep.end());
-        break;
-      case FatherStrategy::kRandom:
-        mapping.keep = RandomSelect(AllNodes(g.NodeCount(t)), budget,
-                                    opts.seed ^ (0x5eedULL + t));
-        std::sort(mapping.keep.begin(), mapping.keep.end());
-        break;
-    }
-  }
-  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
-    if (roles[static_cast<size_t>(t)] == TypeRole::kFather) {
-      kept_fathers.emplace_back(t, &mappings[static_cast<size_t>(t)].keep);
-    }
-  }
-
-  // Leaves.
-  for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
-    if (roles[static_cast<size_t>(t)] != TypeRole::kLeaf) continue;
-    const int32_t budget = Budget(opts.ratio, g.NodeCount(t));
-    auto& mapping = mappings[static_cast<size_t>(t)];
-    switch (opts.leaf_strategy) {
-      case LeafStrategy::kIlm: {
-        // A leaf's "fathers" are the kept types it is directly connected
-        // to (for deep hierarchies like DBLP's term/venue under paper,
-        // these are the Fig. 5 father types; for chains deeper than two
-        // the previously condensed level plays the father role).
-        std::vector<std::pair<TypeId, const std::vector<int32_t>*>> parents;
-        for (const auto& kf : kept_fathers) {
-          for (RelationId r = 0; r < g.NumRelations(); ++r) {
-            if (g.relation(r).src_type == kf.first &&
-                g.relation(r).dst_type == t) {
-              parents.push_back(kf);
-              break;
-            }
-          }
-        }
-        if (parents.empty()) {
-          // Leaf hangs directly under the root (no father in between).
-          parents.emplace_back(target,
-                               &mappings[static_cast<size_t>(target)].keep);
-        }
-        // Synthesis produces roughly one hyper-node per kept parent; when
-        // the budget forces heavy merging the blended hyper-nodes lose
-        // more information than plain selection keeps (the paper does the
-        // same on ACM: ILM for the author type, selection for the small
-        // subject/term types). Fall back to NIM under extreme pressure.
-        int64_t parent_count = 0;
-        for (const auto& pk : parents) {
-          parent_count += static_cast<int64_t>(pk.second->size());
-        }
-        if (budget * 4 < parent_count * 3) {
+  {
+    ScopedTimer stage_timer(stages.father);
+    FREEHGC_TRACE_SPAN("condense.father");
+    for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+      if (roles[static_cast<size_t>(t)] != TypeRole::kFather) continue;
+      const int32_t budget = Budget(opts.ratio, g.NodeCount(t));
+      auto& mapping = mappings[static_cast<size_t>(t)];
+      switch (opts.father_strategy) {
+        case FatherStrategy::kNim: {
           NimOptions nopts = opts.nim;
           nopts.max_row_nnz = opts.max_row_nnz;
           mapping.keep =
@@ -294,36 +247,106 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
                                  selected_target, budget, nopts, &ex);
           break;
         }
-        LeafSynthesis synth = SynthesizeLeafType(g, t, parents, budget, &ex);
-        mapping.synthesized = true;
-        mapping.members = std::move(synth.members);
-        mapping.synthetic_features = std::move(synth.features);
-        break;
+        case FatherStrategy::kHerding:
+          mapping.keep =
+              HerdingSelect(g.Features(t), AllNodes(g.NodeCount(t)), budget);
+          std::sort(mapping.keep.begin(), mapping.keep.end());
+          break;
+        case FatherStrategy::kRandom:
+          mapping.keep = RandomSelect(AllNodes(g.NodeCount(t)), budget,
+                                      opts.seed ^ (0x5eedULL + t));
+          std::sort(mapping.keep.begin(), mapping.keep.end());
+          break;
       }
-      case LeafStrategy::kHerding:
-        mapping.keep =
-            HerdingSelect(g.Features(t), AllNodes(g.NodeCount(t)), budget);
-        std::sort(mapping.keep.begin(), mapping.keep.end());
-        break;
-      case LeafStrategy::kRandom:
-        mapping.keep = RandomSelect(AllNodes(g.NodeCount(t)), budget,
-                                    opts.seed ^ (0x1eafULL + t));
-        std::sort(mapping.keep.begin(), mapping.keep.end());
-        break;
+    }
+    for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+      if (roles[static_cast<size_t>(t)] == TypeRole::kFather) {
+        kept_fathers.emplace_back(t, &mappings[static_cast<size_t>(t)].keep);
+      }
     }
   }
 
-  FREEHGC_ASSIGN_OR_RETURN(HeteroGraph condensed,
-                           AssembleCondensedGraph(g, mappings));
+  // Leaves.
+  {
+    ScopedTimer stage_timer(stages.leaf);
+    FREEHGC_TRACE_SPAN("condense.leaf");
+    for (TypeId t = 0; t < g.NumNodeTypes(); ++t) {
+      if (roles[static_cast<size_t>(t)] != TypeRole::kLeaf) continue;
+      const int32_t budget = Budget(opts.ratio, g.NodeCount(t));
+      auto& mapping = mappings[static_cast<size_t>(t)];
+      switch (opts.leaf_strategy) {
+        case LeafStrategy::kIlm: {
+          // A leaf's "fathers" are the kept types it is directly connected
+          // to (for deep hierarchies like DBLP's term/venue under paper,
+          // these are the Fig. 5 father types; for chains deeper than two
+          // the previously condensed level plays the father role).
+          std::vector<std::pair<TypeId, const std::vector<int32_t>*>> parents;
+          for (const auto& kf : kept_fathers) {
+            for (RelationId r = 0; r < g.NumRelations(); ++r) {
+              if (g.relation(r).src_type == kf.first &&
+                  g.relation(r).dst_type == t) {
+                parents.push_back(kf);
+                break;
+              }
+            }
+          }
+          if (parents.empty()) {
+            // Leaf hangs directly under the root (no father in between).
+            parents.emplace_back(target,
+                                 &mappings[static_cast<size_t>(target)].keep);
+          }
+          // Synthesis produces roughly one hyper-node per kept parent; when
+          // the budget forces heavy merging the blended hyper-nodes lose
+          // more information than plain selection keeps (the paper does the
+          // same on ACM: ILM for the author type, selection for the small
+          // subject/term types). Fall back to NIM under extreme pressure.
+          int64_t parent_count = 0;
+          for (const auto& pk : parents) {
+            parent_count += static_cast<int64_t>(pk.second->size());
+          }
+          if (budget * 4 < parent_count * 3) {
+            NimOptions nopts = opts.nim;
+            nopts.max_row_nnz = opts.max_row_nnz;
+            mapping.keep =
+                CondenseFatherType(g, t, FilterByEndType(paths, t),
+                                   selected_target, budget, nopts, &ex);
+            break;
+          }
+          LeafSynthesis synth = SynthesizeLeafType(g, t, parents, budget, &ex);
+          mapping.synthesized = true;
+          mapping.members = std::move(synth.members);
+          mapping.synthetic_features = std::move(synth.features);
+          break;
+        }
+        case LeafStrategy::kHerding:
+          mapping.keep =
+              HerdingSelect(g.Features(t), AllNodes(g.NodeCount(t)), budget);
+          std::sort(mapping.keep.begin(), mapping.keep.end());
+          break;
+        case LeafStrategy::kRandom:
+          mapping.keep = RandomSelect(AllNodes(g.NodeCount(t)), budget,
+                                      opts.seed ^ (0x1eafULL + t));
+          std::sort(mapping.keep.begin(), mapping.keep.end());
+          break;
+      }
+    }
+  }
 
   CondensedResult out;
-  out.graph = std::move(condensed);
+  {
+    ScopedTimer stage_timer(stages.assemble);
+    FREEHGC_TRACE_SPAN("condense.assemble");
+    FREEHGC_ASSIGN_OR_RETURN(HeteroGraph condensed,
+                             AssembleCondensedGraph(g, mappings));
+    out.graph = std::move(condensed);
+  }
   out.selected_target = std::move(selected_target);
   out.kept_per_type.resize(mappings.size());
   for (size_t t = 0; t < mappings.size(); ++t) {
     if (!mappings[t].synthesized) out.kept_per_type[t] = mappings[t].keep;
   }
   out.seconds = timer.ElapsedSeconds();
+  out.stage_seconds = stages;
   return out;
 }
 

@@ -51,6 +51,23 @@ struct FreeHgcOptions {
   int num_threads = 0;
 };
 
+/// Wall-clock breakdown of one Condense call across its five pipeline
+/// stages. Total() tracks CondensedResult::seconds to within the cost of
+/// option validation and context setup (the stages cover everything
+/// else), which is what makes the Fig. 8 efficiency claim attributable:
+/// benches report *where* the condensation time goes, not just how much.
+struct StageSeconds {
+  double metapath = 0.0;  // meta-path enumeration (Section IV-A)
+  double target = 0.0;    // target-node selection (Algorithm 1)
+  double father = 0.0;    // father-type NIM selection (Algorithm 2)
+  double leaf = 0.0;      // leaf-type ILM synthesis (Algorithm 2)
+  double assemble = 0.0;  // condensed-graph assembly (Eq. 15)
+
+  double Total() const {
+    return metapath + target + father + leaf + assemble;
+  }
+};
+
 /// Output of a condensation run.
 struct CondensedResult {
   /// The condensed heterogeneous graph (same schema as the input; all
@@ -62,6 +79,8 @@ struct CondensedResult {
   std::vector<std::vector<int32_t>> kept_per_type;
   /// Wall-clock seconds spent condensing (the paper's efficiency metric).
   double seconds = 0.0;
+  /// Per-stage breakdown of `seconds`.
+  StageSeconds stage_seconds;
 };
 
 /// Runs the full FreeHGC pipeline (Algorithms 1 + 2) on `g`:

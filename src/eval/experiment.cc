@@ -29,6 +29,12 @@ const char* MethodName(MethodKind kind) {
   return "?";
 }
 
+void ApplyEvalMetrics(const hgnn::EvalMetrics& metrics, MethodRun& out) {
+  out.accuracy = metrics.test_accuracy * 100.0f;
+  out.macro_f1 = metrics.macro_f1 * 100.0f;
+  out.train_seconds = metrics.train_seconds;
+}
+
 Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx, MethodKind kind,
                             const RunOptions& run,
                             const hgnn::HgnnConfig& eval_cfg) {
@@ -50,11 +56,7 @@ Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx, MethodKind kind,
           baselines::CoresetCondense(ctx, ck, run.ratio, run.seed));
       out.condense_seconds = res.seconds;
       out.storage_bytes = res.graph.MemoryBytes();
-      const hgnn::EvalMetrics metrics =
-          hgnn::TrainAndEvaluate(ctx, res.graph, cfg);
-      out.accuracy = metrics.test_accuracy * 100.0f;
-      out.macro_f1 = metrics.macro_f1 * 100.0f;
-      out.train_seconds = metrics.train_seconds;
+      ApplyEvalMetrics(hgnn::TrainAndEvaluate(ctx, res.graph, cfg), out);
       break;
     }
     case MethodKind::kCoarsening: {
@@ -64,11 +66,7 @@ Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx, MethodKind kind,
                                         run.coarsening_rounds, run.seed));
       out.condense_seconds = res.seconds;
       out.storage_bytes = res.graph.MemoryBytes();
-      const hgnn::EvalMetrics metrics =
-          hgnn::TrainAndEvaluate(ctx, res.graph, cfg);
-      out.accuracy = metrics.test_accuracy * 100.0f;
-      out.macro_f1 = metrics.macro_f1 * 100.0f;
-      out.train_seconds = metrics.train_seconds;
+      ApplyEvalMetrics(hgnn::TrainAndEvaluate(ctx, res.graph, cfg), out);
       break;
     }
     case MethodKind::kGCond:
@@ -94,11 +92,8 @@ Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx, MethodKind kind,
       }
       out.condense_seconds = res->seconds;
       out.storage_bytes = res->MemoryBytes();
-      const hgnn::EvalMetrics metrics =
-          hgnn::TrainOnBlocks(ctx, res->blocks, res->labels, cfg);
-      out.accuracy = metrics.test_accuracy * 100.0f;
-      out.macro_f1 = metrics.macro_f1 * 100.0f;
-      out.train_seconds = metrics.train_seconds;
+      ApplyEvalMetrics(
+          hgnn::TrainOnBlocks(ctx, res->blocks, res->labels, cfg), out);
       break;
     }
     case MethodKind::kFreeHGC: {
@@ -112,11 +107,7 @@ Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx, MethodKind kind,
                                core::Condense(*ctx.full, fopts));
       out.condense_seconds = res.seconds;
       out.storage_bytes = res.graph.MemoryBytes();
-      const hgnn::EvalMetrics metrics =
-          hgnn::TrainAndEvaluate(ctx, res.graph, cfg);
-      out.accuracy = metrics.test_accuracy * 100.0f;
-      out.macro_f1 = metrics.macro_f1 * 100.0f;
-      out.train_seconds = metrics.train_seconds;
+      ApplyEvalMetrics(hgnn::TrainAndEvaluate(ctx, res.graph, cfg), out);
       break;
     }
   }

@@ -50,6 +50,11 @@ struct RunOptions {
   int coarsening_rounds = 3;
 };
 
+/// Copies a train-and-evaluate outcome into a MethodRun: percent-scaled
+/// accuracy and macro-F1 plus the training wall-clock. Shared by every
+/// MethodKind branch of RunMethod.
+void ApplyEvalMetrics(const hgnn::EvalMetrics& metrics, MethodRun& out);
+
 /// Runs one method end to end: condense ctx.full at the requested ratio,
 /// train `eval_cfg`'s HGNN on the result, evaluate on the full test split.
 Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx, MethodKind kind,

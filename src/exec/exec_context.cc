@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace freehgc::exec {
 
 int DefaultNumThreads() {
@@ -15,6 +18,10 @@ int DefaultNumThreads() {
 }
 
 ExecContext::ExecContext(int num_threads) {
+  obs::InitObservabilityFromEnv();
+  // The constructing thread drives ParallelFor invokes as worker 0;
+  // label it for the trace unless the embedder already named it.
+  obs::SetCurrentThreadNameIfUnset("main");
   const int n = num_threads > 0 ? num_threads : DefaultNumThreads();
   pool_ = std::make_unique<ThreadPool>(n);
   workspaces_.reserve(static_cast<size_t>(n));
@@ -24,6 +31,30 @@ ExecContext::ExecContext(int num_threads) {
 }
 
 ExecContext::~ExecContext() = default;
+
+void ExecContext::NoteParallelFor(int64_t num_chunks, int64_t busy_ns,
+                                  int64_t wall_ns, int workers) {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("exec.parallel_for_calls");
+  static obs::Counter& chunks =
+      obs::MetricsRegistry::Global().GetCounter("exec.chunks");
+  static obs::Counter& busy =
+      obs::MetricsRegistry::Global().GetCounter("exec.worker_busy_ns");
+  static obs::Counter& idle =
+      obs::MetricsRegistry::Global().GetCounter("exec.worker_idle_ns");
+  static obs::Gauge& ws_hwm = obs::MetricsRegistry::Global().GetGauge(
+      "exec.workspace_bytes_hwm");
+  calls.Increment();
+  chunks.Add(num_chunks);
+  busy.Add(busy_ns);
+  // Idle = pool capacity over the invoke's wall time not spent in chunks
+  // (workers waiting on the slowest chunk, wake-up latency).
+  const int64_t capacity_ns = wall_ns * static_cast<int64_t>(workers);
+  if (capacity_ns > busy_ns) idle.Add(capacity_ns - busy_ns);
+  size_t bytes = 0;
+  for (const auto& ws : workspaces_) bytes += ws->BytesReserved();
+  ws_hwm.UpdateMax(static_cast<int64_t>(bytes));
+}
 
 ExecContext& DefaultExec() {
   static ExecContext* ctx = new ExecContext(0);

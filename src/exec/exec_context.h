@@ -11,6 +11,8 @@
 
 #include "exec/thread_pool.h"
 #include "exec/workspace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace freehgc::exec {
 
@@ -62,18 +64,39 @@ class ExecContext {
     if (n <= 0) return;
     const int64_t chunk = ChunkSize(n, grain);
     const int64_t num_chunks = (n + chunk - 1) / chunk;
+    // Per-invoke observability (spans, clock reads, exec.* counters) is
+    // gated on one branch: iterative kernels issue thousands of tiny
+    // invokes, and even a non-inlined counter call per invoke shows up
+    // (bench_micro_substrate's PPR regressed ~8% before this gate).
+    // Kernel-level value counters (spgemm.flops, ...) amortize over real
+    // work and stay on unconditionally.
+    const bool obs_on =
+        obs::DetailedMetricsEnabled() || obs::TracingEnabled();
     if (num_threads() == 1 || num_chunks == 1) {
       Workspace& ws = workspace(0);
-      for (int64_t c = 0; c < num_chunks; ++c) {
-        fn(c * chunk, std::min(n, (c + 1) * chunk), ws);
+      auto run_serial = [&] {
+        for (int64_t c = 0; c < num_chunks; ++c) {
+          fn(c * chunk, std::min(n, (c + 1) * chunk), ws);
+        }
+      };
+      if (obs_on) {
+        const int64_t t0 = obs::NowNs();
+        FREEHGC_TRACE_SPAN_WORKER("parallel_for", 0);
+        run_serial();
+        const int64_t elapsed = obs::NowNs() - t0;
+        NoteParallelFor(num_chunks, /*busy_ns=*/elapsed,
+                        /*wall_ns=*/elapsed, /*workers=*/1);
+      } else {
+        run_serial();
       }
       return;
     }
     std::atomic<int64_t> cursor{0};
+    std::atomic<int64_t> busy_ns{0};
     std::mutex err_mu;
     int64_t err_chunk = -1;
     std::exception_ptr err;
-    pool_->ParallelInvoke([&](int worker) {
+    auto run_chunks = [&](int worker) {
       Workspace& ws = workspace(worker);
       for (;;) {
         const int64_t c = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -88,7 +111,22 @@ class ExecContext {
           }
         }
       }
+    };
+    const int64_t t0 = obs_on ? obs::NowNs() : 0;
+    pool_->ParallelInvoke([&](int worker) {
+      if (obs_on) {
+        const int64_t w0 = obs::NowNs();
+        FREEHGC_TRACE_SPAN_WORKER("parallel_for", worker);
+        run_chunks(worker);
+        busy_ns.fetch_add(obs::NowNs() - w0, std::memory_order_relaxed);
+      } else {
+        run_chunks(worker);
+      }
     });
+    if (obs_on) {
+      NoteParallelFor(num_chunks, busy_ns.load(std::memory_order_relaxed),
+                      obs::NowNs() - t0, num_threads());
+    }
     if (err) std::rethrow_exception(err);
   }
 
@@ -132,6 +170,14 @@ class ExecContext {
   }
 
  private:
+  /// Metrics hook run after an observed ParallelFor (only when tracing
+  /// or detailed metrics are armed): bumps the exec.* counters (calls,
+  /// chunks, per-worker busy/idle nanoseconds) and raises the workspace
+  /// high-water-mark gauge. Call/chunk counts are deterministic; the
+  /// *_ns counters measure the schedule and are not.
+  void NoteParallelFor(int64_t num_chunks, int64_t busy_ns, int64_t wall_ns,
+                       int workers);
+
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Workspace>> workspaces_;
 };

@@ -1,5 +1,9 @@
 #include "exec/thread_pool.h"
 
+#include <string>
+
+#include "obs/trace.h"
+
 namespace freehgc::exec {
 
 ThreadPool::ThreadPool(int size) {
@@ -20,6 +24,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(int worker) {
+  // Label the thread for trace export (worker 0 is the calling thread,
+  // which the tracer names "main").
+  obs::SetCurrentThreadName("worker-" + std::to_string(worker));
   uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* body = nullptr;

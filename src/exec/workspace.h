@@ -63,6 +63,18 @@ class Workspace {
     return i64_;
   }
 
+  /// Bytes currently reserved by the arena's buffers. The exec layer
+  /// tracks the high-water mark across all workers in the
+  /// "exec.workspace_bytes_hwm" gauge.
+  size_t BytesReserved() const {
+    return accum_.capacity() * sizeof(float) +
+           touched_.capacity() * sizeof(int32_t) +
+           (f32_.capacity() + f32b_.capacity()) * sizeof(float) +
+           f64_.capacity() * sizeof(double) +
+           i32_.capacity() * sizeof(int32_t) +
+           i64_.capacity() * sizeof(int64_t);
+  }
+
  private:
   std::vector<float> accum_;
   std::vector<int32_t> touched_;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparse/ops.h"
 
 namespace freehgc::hgnn {
@@ -38,6 +40,9 @@ PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
                                        exec::ExecContext* ctx) {
   const TypeId target = g.target_type();
   FREEHGC_CHECK(target >= 0);
+  FREEHGC_TRACE_SPAN("hgnn.propagate");
+  static obs::Counter& blocks_ctr =
+      obs::MetricsRegistry::Global().GetCounter("hgnn.blocks_propagated");
   exec::ExecContext& ex = exec::Resolve(ctx);
   PropagatedFeatures out;
   out.blocks.push_back(g.Features(target));
@@ -54,6 +59,7 @@ PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
     out.names.push_back(p.Name(g));
     out.end_types.push_back(end);
   }
+  blocks_ctr.Add(static_cast<int64_t>(out.blocks.size()));
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace freehgc::hgnn {
 
@@ -43,22 +45,28 @@ EvalMetrics RunTraining(const EvalContext& ctx,
   const std::vector<int32_t>& val_idx = full.val_index();
   const std::vector<int32_t>& test_idx = full.test_index();
 
+  FREEHGC_TRACE_SPAN("hgnn.train");
+  static obs::Counter& epochs_ctr =
+      obs::MetricsRegistry::Global().GetCounter("hgnn.epochs");
+
   EvalMetrics out;
   float best_val = -1.0f;
   int since_best = 0;
-  Timer timer;
   double train_time = 0.0;
 
   const int eval_every = 10;
   for (int epoch = 1; epoch <= config.epochs; ++epoch) {
-    timer.Reset();
-    model.ZeroGrad();
-    Matrix logits = model.Forward(train_blocks, /*train=*/true);
-    Matrix dlogits;
-    nn::SoftmaxCrossEntropy(logits, train_labels, train_idx, &dlogits);
-    model.Backward(dlogits);
-    opt.Step(params);
-    train_time += timer.ElapsedSeconds();
+    {
+      ScopedTimer step_timer(train_time);
+      FREEHGC_TRACE_SPAN("hgnn.train_epoch");
+      model.ZeroGrad();
+      Matrix logits = model.Forward(train_blocks, /*train=*/true);
+      Matrix dlogits;
+      nn::SoftmaxCrossEntropy(logits, train_labels, train_idx, &dlogits);
+      model.Backward(dlogits);
+      opt.Step(params);
+    }
+    epochs_ctr.Increment();
     out.epochs_run = epoch;
 
     if (epoch % eval_every == 0 || epoch == config.epochs) {

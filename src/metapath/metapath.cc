@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparse/ops.h"
 
 namespace freehgc {
@@ -45,10 +47,14 @@ void Dfs(const HeteroGraph& g, const MetaPathOptions& opts, MetaPath& cur,
 
 std::vector<MetaPath> EnumerateMetaPaths(const HeteroGraph& g, TypeId start,
                                          const MetaPathOptions& opts) {
+  FREEHGC_TRACE_SPAN("metapath.enumerate");
+  static obs::Counter& enumerated =
+      obs::MetricsRegistry::Global().GetCounter("metapath.paths_enumerated");
   std::vector<MetaPath> out;
   MetaPath cur;
   cur.types.push_back(start);
   Dfs(g, opts, cur, out);
+  enumerated.Add(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -64,6 +70,10 @@ std::vector<MetaPath> FilterByEndType(const std::vector<MetaPath>& paths,
 CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
                            int64_t max_row_nnz, exec::ExecContext* ctx) {
   FREEHGC_CHECK(!p.relations.empty());
+  FREEHGC_TRACE_SPAN("metapath.compose");
+  static obs::Counter& composed =
+      obs::MetricsRegistry::Global().GetCounter("metapath.compose_calls");
+  composed.Increment();
   exec::ExecContext& ex = exec::Resolve(ctx);
   CsrMatrix acc = sparse::RowNormalize(g.relation(p.relations[0]).adj, &ex);
   for (size_t i = 1; i < p.relations.size(); ++i) {
@@ -96,6 +106,7 @@ float JaccardOfSortedSets(std::span<const int32_t> a,
 std::vector<std::vector<float>> PerPathJaccard(
     const std::vector<const CsrMatrix*>& paths, exec::ExecContext* ctx) {
   FREEHGC_CHECK(!paths.empty());
+  FREEHGC_TRACE_SPAN("metapath.jaccard");
   const int32_t rows = paths[0]->rows();
   for (const auto* p : paths) FREEHGC_CHECK(p->rows() == rows);
   const size_t l = paths.size();
@@ -128,6 +139,7 @@ std::vector<std::vector<float>> PerPathJaccard(
 std::vector<float> PerNodeJaccard(
     const std::vector<const CsrMatrix*>& paths, exec::ExecContext* ctx) {
   FREEHGC_CHECK(!paths.empty());
+  FREEHGC_TRACE_SPAN("metapath.jaccard");
   const int32_t rows = paths[0]->rows();
   for (const auto* p : paths) FREEHGC_CHECK(p->rows() == rows);
   std::vector<float> out(static_cast<size_t>(rows), 0.0f);

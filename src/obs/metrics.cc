@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace freehgc::obs {
+
+namespace internal {
+std::atomic<bool> g_detailed_metrics{false};
+}  // namespace internal
+
+void SetDetailedMetricsEnabled(bool enabled) {
+  internal::g_detailed_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+void AppendKey(std::string& out, const std::string& name, bool& first) {
+  if (!first) out += ", ";
+  first = false;
+  out += '"';
+  out += name;  // metric names are identifier-like; no escaping needed
+  out += "\": ";
+}
+
+std::string I64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    AppendKey(out, name, first);
+    out += I64(c->Value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    AppendKey(out, name, first);
+    out += I64(g->Value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    AppendKey(out, name, first);
+    out += "{\"count\": " + I64(h->Count()) + ", \"sum\": " + I64(h->Sum()) +
+           ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const int64_t n = h->BucketCount(b);
+      if (n == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      // Upper bound of bucket b (inclusive): 2^(b-1) ... see BucketIndex.
+      const int64_t upper = b == 0 ? 1 : (int64_t{1} << b);
+      out += "[" + I64(upper) + ", " + I64(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace freehgc::obs

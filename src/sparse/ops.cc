@@ -1,10 +1,13 @@
 #include "sparse/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace freehgc::sparse {
 
@@ -44,6 +47,7 @@ CsrMatrix Transpose(const CsrMatrix& a) {
 }
 
 CsrMatrix RowNormalize(const CsrMatrix& a, exec::ExecContext* ctx) {
+  FREEHGC_TRACE_SPAN("row_normalize");
   CsrMatrix out = a;
   auto& values = out.mutable_values();
   exec::Resolve(ctx).ParallelFor(
@@ -63,6 +67,7 @@ CsrMatrix RowNormalize(const CsrMatrix& a, exec::ExecContext* ctx) {
 
 CsrMatrix SymNormalize(const CsrMatrix& a, exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.rows() == a.cols());
+  FREEHGC_TRACE_SPAN("sym_normalize");
   exec::ExecContext& ex = exec::Resolve(ctx);
   std::vector<float> inv_sqrt(static_cast<size_t>(a.rows()), 0.0f);
   ex.ParallelFor(a.rows(), kRowScaleGrain,
@@ -93,6 +98,24 @@ CsrMatrix SymNormalize(const CsrMatrix& a, exec::ExecContext* ctx) {
 CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
                  exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.cols() == b.rows());
+  FREEHGC_TRACE_SPAN("spgemm");
+  // Value metrics (flops = multiply-adds performed, rows truncated and
+  // entries dropped by the max_row_nnz budget) accumulate per chunk and
+  // land as one atomic add each, so totals are chunk-layout-deterministic
+  // — identical at every thread count.
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("spgemm.calls");
+  static obs::Counter& flops_ctr =
+      obs::MetricsRegistry::Global().GetCounter("spgemm.flops");
+  static obs::Counter& out_nnz_ctr =
+      obs::MetricsRegistry::Global().GetCounter("spgemm.output_nnz");
+  static obs::Counter& rows_truncated =
+      obs::MetricsRegistry::Global().GetCounter("spgemm.rows_truncated");
+  static obs::Counter& entries_dropped =
+      obs::MetricsRegistry::Global().GetCounter("spgemm.entries_dropped");
+  static obs::Histogram& row_nnz_hist =
+      obs::MetricsRegistry::Global().GetHistogram("spgemm.row_nnz");
+  calls.Increment();
   exec::ExecContext& ex = exec::Resolve(ctx);
   const int32_t m = a.rows(), n = b.cols();
   const int64_t chunk = exec::ExecContext::ChunkSize(m, kRowMergeGrain);
@@ -113,6 +136,8 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
     std::vector<int32_t>& touched = ws.Touched();
     auto& indices = chunk_indices[static_cast<size_t>(begin / chunk)];
     auto& values = chunk_values[static_cast<size_t>(begin / chunk)];
+    int64_t flops = 0, truncated = 0, dropped = 0;
+    obs::LocalHistogram row_hist;
     for (int64_t i = begin; i < end; ++i) {
       touched.clear();
       auto ai = a.RowIndices(static_cast<int32_t>(i));
@@ -122,6 +147,7 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
         const float apv = av[k];
         auto bi = b.RowIndices(p);
         auto bv = b.RowValues(p);
+        flops += static_cast<int64_t>(bi.size());
         for (size_t t = 0; t < bi.size(); ++t) {
           const int32_t j = bi[t];
           if (accum[static_cast<size_t>(j)] == 0.0f) touched.push_back(j);
@@ -141,6 +167,8 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
              ++t) {
           accum[static_cast<size_t>(touched[t])] = 0.0f;
         }
+        ++truncated;
+        dropped += static_cast<int64_t>(touched.size()) - max_row_nnz;
         touched.resize(static_cast<size_t>(max_row_nnz));
       }
       std::sort(touched.begin(), touched.end());
@@ -154,7 +182,14 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
         }
         accum[static_cast<size_t>(j)] = 0.0f;
       }
+      row_hist.Observe(row_nnz);
       indptr[static_cast<size_t>(i) + 1] = row_nnz;
+    }
+    row_hist.FlushTo(row_nnz_hist);
+    flops_ctr.Add(flops);
+    if (truncated > 0) {
+      rows_truncated.Add(truncated);
+      entries_dropped.Add(dropped);
     }
   });
 
@@ -174,6 +209,7 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
       std::copy(cv.begin(), cv.end(), values.begin() + offset);
     }
   });
+  out_nnz_ctr.Add(indptr.back());
   auto res = CsrMatrix::FromParts(m, n, std::move(indptr), std::move(indices),
                                   std::move(values));
   FREEHGC_CHECK(res.ok());
@@ -183,6 +219,7 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
 Matrix SpMmDense(const CsrMatrix& a, const Matrix& x,
                  exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.cols() == x.rows());
+  FREEHGC_TRACE_SPAN("spmm_dense");
   Matrix out(a.rows(), x.cols());
   exec::Resolve(ctx).ParallelFor(
       a.rows(), kRowMergeGrain,
@@ -331,6 +368,9 @@ std::vector<float> PprScores(const CsrMatrix& a,
                              exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.rows() == a.cols());
   FREEHGC_CHECK(static_cast<int32_t>(teleport.size()) == a.rows());
+  FREEHGC_TRACE_SPAN("ppr");
+  static obs::Counter& iters_ctr =
+      obs::MetricsRegistry::Global().GetCounter("ppr.iterations");
   exec::ExecContext& ex = exec::Resolve(ctx);
   // A^T pi as a row-parallel gather over the materialized transpose: the
   // per-element accumulation order (ascending source row) matches the
@@ -340,6 +380,7 @@ std::vector<float> PprScores(const CsrMatrix& a,
   std::vector<float> propagated;  // reused across iterations
   for (int it = 0; it < max_iters; ++it) {
     // pi_next = alpha * teleport + (1 - alpha) * A^T pi
+    iters_ctr.Increment();
     SpMvInto(at, pi, propagated, &ex);
     const double delta = ex.ParallelReduce(
         static_cast<int64_t>(pi.size()), kAxpyGrain, 0.0,

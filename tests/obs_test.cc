@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/freehgc.h"
+#include "datasets/generator.h"
+#include "exec/exec_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sparse/csr.h"
+#include "sparse/ops.h"
+
+namespace freehgc {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::SpanRecord;
+
+/// Spans with a given name, in recording order.
+std::vector<SpanRecord> SpansNamed(const std::vector<SpanRecord>& spans,
+                                   const std::string& name) {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : spans) {
+    if (name == s.name) out.push_back(s);
+  }
+  return out;
+}
+
+/// A small deterministic sparse matrix for kernel-driving tests.
+CsrMatrix TestMatrix(int32_t n, uint64_t seed) {
+  std::vector<CooEntry> entries;
+  uint64_t state = seed;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int32_t r = 0; r < n; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      const int32_t c = static_cast<int32_t>(next() % n);
+      entries.push_back({r, c, 1.0f + static_cast<float>(next() % 7)});
+    }
+  }
+  auto res = CsrMatrix::FromCoo(n, n, std::move(entries));
+  EXPECT_TRUE(res.ok());
+  return std::move(res).value();
+}
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::ClearTrace();
+    obs::SetTracingEnabled(true);
+  }
+  void TearDown() override {
+    obs::SetTracingEnabled(false);
+    obs::ClearTrace();
+  }
+};
+
+TEST_F(TracingTest, SpanNestingAndOrdering) {
+  {
+    FREEHGC_TRACE_SPAN("outer");
+    {
+      FREEHGC_TRACE_SPAN("inner_a");
+    }
+    {
+      FREEHGC_TRACE_SPAN("inner_b");
+    }
+  }
+  const auto spans = obs::SnapshotSpans();
+  const auto outer = SpansNamed(spans, "outer");
+  const auto inner_a = SpansNamed(spans, "inner_a");
+  const auto inner_b = SpansNamed(spans, "inner_b");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner_a.size(), 1u);
+  ASSERT_EQ(inner_b.size(), 1u);
+
+  // Children close before the parent and are contained in it.
+  EXPECT_GE(inner_a[0].begin_ns, outer[0].begin_ns);
+  EXPECT_LE(inner_a[0].end_ns, outer[0].end_ns);
+  EXPECT_GE(inner_b[0].begin_ns, inner_a[0].end_ns);
+  EXPECT_LE(inner_b[0].end_ns, outer[0].end_ns);
+  // All on the recording thread, and spans close after they open.
+  EXPECT_EQ(inner_a[0].tid, outer[0].tid);
+  for (const SpanRecord& s : {outer[0], inner_a[0], inner_b[0]}) {
+    EXPECT_LE(s.begin_ns, s.end_ns);
+  }
+}
+
+TEST_F(TracingTest, DisabledTracerRecordsNothing) {
+  obs::SetTracingEnabled(false);
+  {
+    FREEHGC_TRACE_SPAN("ghost");
+  }
+  EXPECT_TRUE(SpansNamed(obs::SnapshotSpans(), "ghost").empty());
+}
+
+TEST_F(TracingTest, SpanOpenWhileTracingOffIsDropped) {
+  obs::SetTracingEnabled(false);
+  {
+    obs::ScopedSpan span("late_enable");
+    obs::SetTracingEnabled(true);
+    // Enabled only after the span was constructed: nothing recorded.
+  }
+  EXPECT_TRUE(SpansNamed(obs::SnapshotSpans(), "late_enable").empty());
+}
+
+TEST_F(TracingTest, ParallelForSpansCarryWorkerAttribution) {
+  exec::ExecContext ex(4);
+  ex.ParallelFor(10000, 1, [](int64_t, int64_t, exec::Workspace&) {});
+  const auto spans =
+      SpansNamed(obs::SnapshotSpans(), "parallel_for");
+  ASSERT_FALSE(spans.empty());
+  for (const SpanRecord& s : spans) {
+    EXPECT_GE(s.worker, 0);
+    EXPECT_LT(s.worker, 4);
+  }
+  // Every worker participated in the invoke.
+  std::vector<int32_t> workers;
+  for (const SpanRecord& s : spans) workers.push_back(s.worker);
+  std::sort(workers.begin(), workers.end());
+  workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+  EXPECT_EQ(workers.size(), 4u);
+}
+
+TEST_F(TracingTest, ChromeTraceExportIsWellFormed) {
+  {
+    FREEHGC_TRACE_SPAN("export_me");
+  }
+  exec::ExecContext ex(2);
+  const CsrMatrix a = TestMatrix(200, 1);
+  sparse::SpGemm(a, a, 64, &ex);
+
+  const std::string path = ::testing::TempDir() + "/freehgc_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  // Structural sanity (CI additionally runs python3 -m json.tool on a
+  // real trace): an object wrapping a traceEvents array, balanced
+  // delimiters, and the spans we just recorded.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"export_me\""), std::string::npos);
+  EXPECT_NE(json.find("\"spgemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"parallel_for\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, CounterAggregationAcrossParallelForWorkers) {
+  obs::Counter& c =
+      MetricsRegistry::Global().GetCounter("test.obs_counter");
+  for (int threads : {1, 2, 4}) {
+    c.Reset();
+    exec::ExecContext ex(threads);
+    ex.ParallelFor(12345, 16,
+                   [&](int64_t begin, int64_t end, exec::Workspace&) {
+                     c.Add(end - begin);
+                   });
+    EXPECT_EQ(c.Value(), 12345) << "threads=" << threads;
+  }
+}
+
+TEST(MetricsTest, GaugeUpdateMaxKeepsHighWaterMark) {
+  obs::Gauge& g = MetricsRegistry::Global().GetGauge("test.obs_gauge");
+  g.Reset();
+  g.UpdateMax(10);
+  g.UpdateMax(3);
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(25);
+  EXPECT_EQ(g.Value(), 25);
+}
+
+TEST(MetricsTest, HistogramBucketsPowerOfTwo) {
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(5), 3);
+  EXPECT_EQ(obs::Histogram::BucketIndex(8), 3);
+  EXPECT_EQ(obs::Histogram::BucketIndex(9), 4);
+
+  obs::Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test.obs_hist");
+  h.Reset();
+  for (int64_t v : {1, 2, 3, 4, 100}) h.Observe(v);
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_EQ(h.Sum(), 110);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(1), 1);
+  EXPECT_EQ(h.BucketCount(2), 2);
+  EXPECT_EQ(h.BucketCount(7), 1);  // 100 -> (64, 128]
+}
+
+/// The determinism contract extended to metrics: every *value* metric a
+/// kernel emits is a sum of per-chunk contributions with a thread-count
+/// independent chunk layout, so 1, 2 and 4 workers must agree bit for
+/// bit. (Timing counters — names ending in _ns — measure the schedule
+/// and are exempt.)
+TEST(MetricsTest, KernelValueMetricsDeterministicAcrossThreadCounts) {
+  const CsrMatrix a = TestMatrix(300, 7);
+  const CsrMatrix b = TestMatrix(300, 11);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::vector<std::string> value_counters = {
+      "spgemm.calls", "spgemm.flops", "spgemm.output_nnz",
+      "spgemm.rows_truncated", "spgemm.entries_dropped",
+      "exec.parallel_for_calls", "exec.chunks"};
+
+  // exec.* metrics are per-invoke and only collected while armed.
+  obs::SetDetailedMetricsEnabled(true);
+  std::vector<std::vector<int64_t>> per_thread_values;
+  std::vector<std::pair<int64_t, int64_t>> hist_shape;
+  for (int threads : {1, 2, 4}) {
+    reg.ResetAll();
+    exec::ExecContext ex(threads);
+    const CsrMatrix c = sparse::SpGemm(a, b, 32, &ex);
+    EXPECT_GT(c.nnz(), 0);
+    std::vector<int64_t> values;
+    for (const std::string& name : value_counters) {
+      values.push_back(reg.GetCounter(name).Value());
+    }
+    per_thread_values.push_back(std::move(values));
+    obs::Histogram& h = reg.GetHistogram("spgemm.row_nnz");
+    hist_shape.emplace_back(h.Count(), h.Sum());
+  }
+  for (size_t i = 1; i < per_thread_values.size(); ++i) {
+    EXPECT_EQ(per_thread_values[i], per_thread_values[0]);
+    EXPECT_EQ(hist_shape[i], hist_shape[0]);
+  }
+  // The truncation budget of 32 actually fired (the metric is live).
+  EXPECT_GT(per_thread_values[0][3], 0);
+  obs::SetDetailedMetricsEnabled(false);
+  reg.ResetAll();
+}
+
+TEST(MetricsTest, DumpJsonIsBalancedAndContainsSections) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.obs_counter").Add(3);
+  reg.GetHistogram("test.obs_hist").Observe(5);
+  const std::string json = reg.DumpJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs_counter\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ScopedTimerTest, AccumulatesIntoDouble) {
+  double acc = 0.0;
+  {
+    ScopedTimer t(acc);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_GT(acc, 0.0);
+  const double first = acc;
+  {
+    ScopedTimer t(acc);
+  }
+  EXPECT_GE(acc, first);  // += semantics, not overwrite
+}
+
+TEST(ScopedTimerTest, CallbackForm) {
+  double seen = -1.0;
+  {
+    ScopedTimer t([&seen](double s) { seen = s; });
+  }
+  EXPECT_GE(seen, 0.0);
+}
+
+TEST(StageSecondsTest, BreakdownCoversCondenseSeconds) {
+  const HeteroGraph g = datasets::MakeAcm(1, /*scale=*/0.3);
+  exec::ExecContext ex(2);
+  core::FreeHgcOptions opts;
+  opts.ratio = 0.05;
+  auto res = core::Condense(g, opts, &ex);
+  ASSERT_TRUE(res.ok());
+  const core::StageSeconds& s = res->stage_seconds;
+  for (double v : {s.metapath, s.target, s.father, s.leaf, s.assemble}) {
+    EXPECT_GE(v, 0.0);
+  }
+  const double total = s.Total();
+  EXPECT_GT(total, 0.0);
+  // The five stages account for the condensation wall-clock: within 10%
+  // (plus a millisecond floor so microsecond-scale noise cannot flake).
+  EXPECT_LE(total, res->seconds * 1.10 + 1e-3);
+  EXPECT_GE(total, res->seconds * 0.90 - 1e-3);
+}
+
+}  // namespace
+}  // namespace freehgc
