@@ -3,31 +3,44 @@
 // monotonically with r and approaches the whole-dataset accuracy (the
 // paper reports 99.9% / 99.5% of the whole-graph accuracy at r = 12%).
 #include "bench/bench_common.h"
-#include "common/string_util.h"
+#include "pipeline/sweep.h"
 
 using namespace freehgc;
 using namespace freehgc::bench;
 
 int main() {
   PrintHeader("Fig. 7: FreeHGC accuracy vs condensation ratio");
-  for (const std::string name : {"acm", "imdb"}) {
-    auto env = MakeEnv(name);
-    const auto whole = hgnn::WholeGraphBaseline(env->ctx, env->eval_cfg);
-    std::printf("%s whole-dataset accuracy: %.2f\n", name.c_str(),
-                100.0f * whole.test_accuracy);
-    eval::TablePrinter table({"Ratio", "FreeHGC", "% of whole"});
-    for (double r : {0.012, 0.024, 0.048, 0.072, 0.096, 0.12}) {
-      eval::RunOptions run;
-      run.ratio = r;
-      const auto agg = eval::RunMethodSeeds(
-          env->ctx, eval::MethodKind::kFreeHGC, run, env->eval_cfg, Seeds());
+  const std::vector<double> ratios = {0.012, 0.024, 0.048,
+                                      0.072, 0.096, 0.12};
+  pipeline::SweepSpec spec;
+  spec.datasets = {{.name = "acm", .ratios = ratios},
+                   {.name = "imdb", .ratios = ratios}};
+  spec.methods = {"freehgc"};
+  spec.seeds = Seeds();
+  spec.whole_graph_baseline = true;
+
+  pipeline::SweepRunner runner(std::move(spec));
+  auto result = runner.Run();
+  FREEHGC_CHECK(result.ok());
+
+  const std::string model = hgnn::HgnnKindName(hgnn::HgnnKind::kSeHGNN);
+  for (const auto& ds : runner.spec().datasets) {
+    const auto* whole = result->FindWhole(ds.name, model);
+    FREEHGC_CHECK(whole != nullptr);
+    const double whole_acc = 100.0f * whole->metrics.test_accuracy;
+    std::printf("%s whole-dataset accuracy: %.2f\n", ds.name.c_str(),
+                whole_acc);
+    TablePrinter table({"Ratio", "FreeHGC", "% of whole"});
+    for (double r : ds.ratios) {
+      const auto* cell = result->Find(ds.name, r, "freehgc", model);
+      FREEHGC_CHECK(cell != nullptr);
       table.AddRow({StrFormat("%.1f%%", 100 * r),
-                    eval::Cell(agg.accuracy),
-                    StrFormat("%.1f%%", agg.accuracy.mean /
-                                            (100.0 * whole.test_accuracy) *
-                                            100.0)});
+                    pipeline::Cell(cell->agg.accuracy),
+                    StrFormat("%.1f%%",
+                              cell->agg.accuracy.mean / whole_acc * 100.0)});
     }
     table.Print();
   }
+  WriteTextFile("BENCH_fig7.json", result->ToJson());
   return 0;
 }

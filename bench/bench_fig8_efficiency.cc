@@ -5,11 +5,12 @@
 // prints the measured factors.
 //
 // Besides the console table the harness writes BENCH_fig8_efficiency.json
-// with the raw seconds, FreeHGC's per-stage breakdown (metapath / target /
-// father / leaf / assemble), and a snapshot of the kernel metrics
-// registry — the machine-readable record behind the efficiency claim.
-// Run with FREEHGC_TRACE=trace.json to additionally get a Chrome trace of
-// every span (see DESIGN.md, "Observability").
+// with the formatted table (TablePrinter::ToJson), the raw seconds,
+// FreeHGC's per-stage breakdown (metapath / target / father / leaf /
+// assemble), and a snapshot of the kernel metrics registry — the
+// machine-readable record behind the efficiency claim. Run with
+// FREEHGC_TRACE=trace.json to additionally get a Chrome trace of every
+// span (see DESIGN.md, "Observability").
 #include "baselines/gradient_matching.h"
 #include "bench/bench_common.h"
 #include "common/string_util.h"
@@ -23,11 +24,11 @@ int main() {
   // JSON companion is complete (kernel value counters are always on).
   obs::SetDetailedMetricsEnabled(true);
   PrintHeader("Fig. 8: condensation time comparison");
-  eval::TablePrinter table({"Dataset", "GCond", "HGCond", "FreeHGC",
-                            "speedup vs GCond", "speedup vs HGCond"});
+  TablePrinter table({"Dataset", "GCond", "HGCond", "FreeHGC",
+                      "speedup vs GCond", "speedup vs HGCond"});
   const std::vector<std::pair<std::string, double>> configs = {
       {"freebase", 0.024}, {"mutag", 0.020}, {"aminer", 0.002}};
-  std::string rows_json;
+  std::string runs_json;
   for (const auto& [name, ratio] : configs) {
     auto env = MakeEnv(name);
 
@@ -57,8 +58,8 @@ int main() {
                   StrFormat("%.2fs", hgcond_s), StrFormat("%.2fs", free_s),
                   StrFormat("%.2fx", gcond_s / free_s),
                   StrFormat("%.2fx", hgcond_s / free_s)});
-    if (!rows_json.empty()) rows_json += ",\n";
-    rows_json += StrFormat(
+    if (!runs_json.empty()) runs_json += ",\n";
+    runs_json += StrFormat(
         "    {\"dataset\": \"%s\", \"ratio\": %.4f, "
         "\"gcond_seconds\": %.6f, \"hgcond_seconds\": %.6f, "
         "\"freehgc_seconds\": %.6f, \"freehgc_stage_seconds\": %s}",
@@ -67,9 +68,10 @@ int main() {
   }
   table.Print();
   WriteTextFile("BENCH_fig8_efficiency.json",
-                StrFormat("{\n  \"threads\": %d,\n  \"rows\": [\n%s\n  ],\n"
+                StrFormat("{\n  \"threads\": %d,\n  \"table\": %s,\n"
+                          "  \"runs\": [\n%s\n  ],\n"
                           "  \"metrics\": %s\n}\n",
-                          BenchThreads(), rows_json.c_str(),
-                          MetricsSnapshotJson().c_str()));
+                          BenchThreads(), table.ToJson().c_str(),
+                          runs_json.c_str(), MetricsSnapshotJson().c_str()));
   return 0;
 }

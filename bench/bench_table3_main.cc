@@ -1,43 +1,30 @@
 // Table III: node classification on ACM, DBLP, IMDB, Freebase at
 // r = {1.2, 2.4, 4.8, 9.6}% for Random-HG, Herding-HG, K-Center-HG,
 // Coarsening-HG, HGCond, FreeHGC, plus the whole-dataset accuracy.
+// Also writes BENCH_sweep.json: the sweep's cell values, per-cell
+// wall-clock and the artifact-cache hit/miss/bytes record.
 #include "bench/bench_common.h"
-#include "common/string_util.h"
+#include "pipeline/sweep.h"
 
 using namespace freehgc;
 using namespace freehgc::bench;
 
 int main() {
   PrintHeader("Table III: main node-classification results (accuracy %)");
-  const std::vector<std::string> datasets = {"acm", "dblp", "imdb",
-                                             "freebase"};
+  pipeline::SweepSpec spec;
   const std::vector<double> ratios = {0.012, 0.024, 0.048, 0.096};
-  const std::vector<eval::MethodKind> methods = {
-      eval::MethodKind::kRandom,     eval::MethodKind::kHerding,
-      eval::MethodKind::kKCenter,    eval::MethodKind::kCoarsening,
-      eval::MethodKind::kHGCond,     eval::MethodKind::kFreeHGC};
-
-  for (const auto& name : datasets) {
-    auto env = MakeEnv(name);
-    const auto whole = hgnn::WholeGraphBaseline(env->ctx, env->eval_cfg);
-
-    eval::TablePrinter table({"Dataset", "Ratio (r)", "Random-HG",
-                              "Herding-HG", "K-Center-HG", "Coarsening-HG",
-                              "HGCond", "FreeHGC", "Whole Dataset"});
-    for (double r : ratios) {
-      std::vector<std::string> row = {name,
-                                      StrFormat("%.1f%%", 100.0 * r)};
-      for (auto m : methods) {
-        eval::RunOptions run;
-        run.ratio = r;
-        const auto agg =
-            eval::RunMethodSeeds(env->ctx, m, run, env->eval_cfg, Seeds());
-        row.push_back(agg.oom ? "OOM" : eval::Cell(agg.accuracy));
-      }
-      row.push_back(StrFormat("%.2f", 100.0f * whole.test_accuracy));
-      table.AddRow(std::move(row));
-    }
-    table.Print();
+  for (const char* name : {"acm", "dblp", "imdb", "freebase"}) {
+    spec.datasets.push_back({.name = name, .ratios = ratios});
   }
+  spec.methods = {"random", "herding", "kcenter",
+                  "coarsening", "hgcond", "freehgc"};
+  spec.seeds = Seeds();
+  spec.whole_graph_baseline = true;
+
+  pipeline::SweepRunner runner(std::move(spec));
+  auto result = runner.Run();
+  FREEHGC_CHECK(result.ok());
+  pipeline::PrintRatioTables(*result, runner.spec());
+  WriteTextFile("BENCH_sweep.json", result->ToJson());
   return 0;
 }

@@ -2,63 +2,29 @@
 // For each dataset (r = 2.4%), Herding-HG / HGCond / FreeHGC condensed
 // data is evaluated with HGB, HGT, HAN and SeHGNN; the "Condensed Avg."
 // and per-architecture whole-graph average are reported as in the paper.
-#include "baselines/coreset.h"
-#include "baselines/gradient_matching.h"
 #include "bench/bench_common.h"
-#include "common/string_util.h"
-#include "core/freehgc.h"
+#include "pipeline/sweep.h"
 
 using namespace freehgc;
 using namespace freehgc::bench;
 
 int main() {
   PrintHeader("Table IV: generalization across HGNN models (accuracy %)");
-  const std::vector<std::string> datasets = {"acm", "dblp", "imdb",
-                                             "freebase"};
-  const std::vector<hgnn::HgnnKind> models = {
-      hgnn::HgnnKind::kHGB, hgnn::HgnnKind::kHGT, hgnn::HgnnKind::kHAN,
-      hgnn::HgnnKind::kSeHGNN};
   const double ratio = 0.024;
-
-  for (const auto& name : datasets) {
-    auto env = MakeEnv(name);
-
-    // Whole-graph average across the four evaluators.
-    double whole_sum = 0.0;
-    for (auto kind : models) {
-      hgnn::HgnnConfig cfg = env->eval_cfg;
-      cfg.kind = kind;
-      whole_sum += 100.0 * hgnn::WholeGraphBaseline(env->ctx, cfg)
-                              .test_accuracy;
-    }
-
-    eval::TablePrinter table({name + " r=2.4%", "HGB", "HGT", "HAN",
-                              "SeHGNN", "Condensed Avg.", "Whole Avg."});
-    for (auto method :
-         {eval::MethodKind::kHerding, eval::MethodKind::kHGCond,
-          eval::MethodKind::kFreeHGC}) {
-      std::vector<std::string> row = {eval::MethodName(method)};
-      double sum = 0.0;
-      for (auto kind : models) {
-        std::vector<double> accs;
-        for (uint64_t seed : Seeds()) {
-          eval::RunOptions run;
-          run.ratio = ratio;
-          run.seed = seed;
-          hgnn::HgnnConfig cfg = env->eval_cfg;
-          cfg.kind = kind;
-          auto res = eval::RunMethod(env->ctx, method, run, cfg);
-          if (res.ok() && !res->oom) accs.push_back(res->accuracy);
-        }
-        const auto agg = eval::Aggregate(accs);
-        sum += agg.mean;
-        row.push_back(eval::Cell(agg));
-      }
-      row.push_back(StrFormat("%.2f", sum / models.size()));
-      row.push_back(StrFormat("%.2f", whole_sum / models.size()));
-      table.AddRow(std::move(row));
-    }
-    table.Print();
+  pipeline::SweepSpec spec;
+  for (const char* name : {"acm", "dblp", "imdb", "freebase"}) {
+    spec.datasets.push_back({.name = name, .ratios = {ratio}});
   }
+  spec.methods = {"herding", "hgcond", "freehgc"};
+  spec.models = {hgnn::HgnnKind::kHGB, hgnn::HgnnKind::kHGT,
+                 hgnn::HgnnKind::kHAN, hgnn::HgnnKind::kSeHGNN};
+  spec.seeds = Seeds();
+  spec.whole_graph_baseline = true;
+
+  pipeline::SweepRunner runner(std::move(spec));
+  auto result = runner.Run();
+  FREEHGC_CHECK(result.ok());
+  pipeline::PrintModelTables(*result, runner.spec(), ratio);
+  WriteTextFile("BENCH_table4.json", result->ToJson());
   return 0;
 }

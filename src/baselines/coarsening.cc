@@ -38,7 +38,8 @@ std::vector<std::vector<int32_t>> Chunk(const std::vector<int32_t>& order,
 
 Result<BaselineResult> CoarseningCondense(const HeteroGraph& g, double ratio,
                                           int smoothing_rounds,
-                                          uint64_t seed) {
+                                          uint64_t seed,
+                                          exec::ExecContext* ex) {
   if (g.target_type() < 0) {
     return Status::FailedPrecondition("graph has no target type");
   }
@@ -61,7 +62,7 @@ Result<BaselineResult> CoarseningCondense(const HeteroGraph& g, double ratio,
   std::vector<CsrMatrix> norm;
   norm.reserve(static_cast<size_t>(g.NumRelations()));
   for (RelationId r = 0; r < g.NumRelations(); ++r) {
-    norm.push_back(sparse::RowNormalize(g.relation(r).adj));
+    norm.push_back(sparse::RowNormalize(g.relation(r).adj, ex));
   }
   for (int round = 0; round < smoothing_rounds; ++round) {
     std::vector<std::vector<float>> next(coord.size());
@@ -73,7 +74,7 @@ Result<BaselineResult> CoarseningCondense(const HeteroGraph& g, double ratio,
       const TypeId src = g.relation(r).src_type;
       const TypeId dst = g.relation(r).dst_type;
       const std::vector<float> prop = sparse::SpMv(
-          norm[static_cast<size_t>(r)], coord[static_cast<size_t>(dst)]);
+          norm[static_cast<size_t>(r)], coord[static_cast<size_t>(dst)], ex);
       for (size_t i = 0; i < prop.size(); ++i) {
         next[static_cast<size_t>(src)][i] += prop[i];
       }

@@ -20,10 +20,12 @@ namespace freehgc::baselines {
 /// so labels stay well-defined) and chunked into r * N_type groups.
 /// Other-type super-nodes are synthesized with mean features; target-type
 /// groups are represented by their highest-degree member (labels cannot be
-/// averaged).
+/// averaged). The adjacency normalizations and SpMV smoothing rounds run
+/// on `ex` (null = default pool).
 Result<BaselineResult> CoarseningCondense(const HeteroGraph& g, double ratio,
                                           int smoothing_rounds,
-                                          uint64_t seed);
+                                          uint64_t seed,
+                                          exec::ExecContext* ex = nullptr);
 
 }  // namespace freehgc::baselines
 

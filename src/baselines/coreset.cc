@@ -46,7 +46,8 @@ std::vector<int32_t> SelectFrom(CoresetKind kind, const Matrix& features,
 
 Result<BaselineResult> CoresetCondense(const hgnn::EvalContext& ctx,
                                        CoresetKind kind, double ratio,
-                                       uint64_t seed) {
+                                       uint64_t seed, exec::ExecContext* ex) {
+  (void)ex;  // selection is sequential; parameter keeps entry points uniform
   if (ctx.full == nullptr) {
     return Status::InvalidArgument("context has no graph");
   }

@@ -30,11 +30,15 @@ struct BaselineResult {
 /// pool using the concatenated pre-propagated meta-path blocks of `ctx`
 /// as the embedding space (the paper uses trained SeHGNN intermediate
 /// embeddings; the training-free propagated features are this repo's
-/// model-free stand-in — see DESIGN.md). Other-type nodes are selected on
-/// their raw features. The result is the induced subgraph.
+/// model-free stand-in — see DESIGN.md). Other-type nodes are selected
+/// on their raw features. The result is the induced subgraph. `ex` is the
+/// execution context shared by a sweep (null = default pool); selection
+/// itself is sequential, but taking the parameter keeps every condenser
+/// entry point uniform for pipeline::CondensationMethod.
 Result<BaselineResult> CoresetCondense(const hgnn::EvalContext& ctx,
                                        CoresetKind kind, double ratio,
-                                       uint64_t seed);
+                                       uint64_t seed,
+                                       exec::ExecContext* ex = nullptr);
 
 }  // namespace freehgc::baselines
 

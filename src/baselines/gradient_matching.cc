@@ -109,7 +109,9 @@ void Orthogonalize(std::vector<Matrix>& inits) {
 }  // namespace
 
 Result<SyntheticData> GradientMatchingCondense(
-    const hgnn::EvalContext& ctx, const GradientMatchingOptions& opts) {
+    const hgnn::EvalContext& ctx, const GradientMatchingOptions& opts,
+    exec::ExecContext* ex) {
+  (void)ex;  // bi-level loop is dense/sequential; kept for API uniformity
   if (ctx.full == nullptr) {
     return Status::InvalidArgument("context has no graph");
   }

@@ -60,9 +60,13 @@ struct SyntheticData {
 /// synthetic features are optimized so the relay model's loss gradient on
 /// them matches the gradient on the real training data, looping over
 /// relay initializations (outer) and relay training steps (inner) — the
-/// nested structure whose cost Figs. 2(b) and 8 measure.
+/// nested structure whose cost Figs. 2(b) and 8 measure. `ex` is the
+/// execution context shared by a sweep (null = default pool); the bi-level
+/// loop is dense and sequential, but taking the parameter keeps every
+/// condenser entry point uniform for pipeline::CondensationMethod.
 Result<SyntheticData> GradientMatchingCondense(
-    const hgnn::EvalContext& ctx, const GradientMatchingOptions& opts);
+    const hgnn::EvalContext& ctx, const GradientMatchingOptions& opts,
+    exec::ExecContext* ex = nullptr);
 
 }  // namespace freehgc::baselines
 

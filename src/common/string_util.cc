@@ -65,4 +65,43 @@ std::string PadLeft(const std::string& s, size_t width) {
   return std::string(width - s.size(), ' ') + s;
 }
 
+size_t DisplayWidth(const std::string& s) {
+  size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;  // skip UTF-8 continuation bytes
+  }
+  return w;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace freehgc

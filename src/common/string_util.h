@@ -25,6 +25,16 @@ std::string HumanBytes(size_t bytes);
 std::string PadRight(const std::string& s, size_t width);
 std::string PadLeft(const std::string& s, size_t width);
 
+/// Terminal display width of a UTF-8 string: the number of code points,
+/// i.e. bytes that are not continuation bytes. Multi-byte glyphs like "±"
+/// count as one column, which is what byte-based padding gets wrong.
+/// (Assumes single-column glyphs — true for everything the tables emit.)
+size_t DisplayWidth(const std::string& s);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
 }  // namespace freehgc
 
 #endif  // FREEHGC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,98 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace freehgc {
+
+namespace {
+
+/// Whether a cell reads as a number (possibly with a unit or ± spread) or
+/// a sentinel like "OOM"/"-", which the tables align against the numeric
+/// column edge.
+bool LooksNumeric(const std::string& s) {
+  if (s.empty() || s == "-" || s == "OOM" || s == "n/a") return true;
+  bool saw_digit = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c >= '0' && c <= '9') {
+      saw_digit = true;
+      continue;
+    }
+    // Signs, decimal points, percent/unit suffixes, spread separators and
+    // the UTF-8 bytes of "±".
+    if (c == '+' || c == '-' || c == '.' || c == '%' || c == ' ' ||
+        c == 's' || c == 'x' || c == 'e' || c == 0xC2 || c == 0xB1) {
+      continue;
+    }
+    return false;
+  }
+  return saw_digit;
+}
+
+std::string PadDisplay(const std::string& s, size_t width, bool right) {
+  const size_t w = DisplayWidth(s);
+  if (w >= width) return s;
+  const std::string fill(width - w, ' ');
+  return right ? fill + s : s + fill;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> width(headers_.size(), 0);
+  std::vector<bool> numeric(headers_.size(), !rows_.empty());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = DisplayWidth(headers_[c]);
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], DisplayWidth(row[c]));
+      if (!LooksNumeric(row[c])) numeric[c] = false;
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row, bool is_header) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      const bool right = numeric[c] && !is_header;
+      line += " " + PadDisplay(row[c], width[c], right) + " |";
+    }
+    std::puts(line.c_str());
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "+";
+  }
+  std::puts(sep.c_str());
+  print_row(headers_, /*is_header=*/true);
+  std::puts(sep.c_str());
+  for (const auto& row : rows_) print_row(row, /*is_header=*/false);
+  std::puts(sep.c_str());
+}
+
+std::string TablePrinter::ToJson() const {
+  auto cells_json = [](const std::vector<std::string>& cells) {
+    std::string out = "[";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(cells[i]) + "\"";
+    }
+    return out + "]";
+  };
+  std::string out = "{\"headers\": " + cells_json(headers_) + ", \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += cells_json(rows_[r]);
+  }
+  return out + "]}";
+}
+
+}  // namespace freehgc

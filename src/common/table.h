@@ -1,0 +1,35 @@
+#ifndef FREEHGC_COMMON_TABLE_H_
+#define FREEHGC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace freehgc {
+
+/// Minimal aligned ASCII table, matching the row structure of the paper's
+/// tables. Numeric-looking cells (accuracies, "12.34s", "91.27 ± 0.46",
+/// "OOM") are right-aligned; text cells are left-aligned. Column widths
+/// use display width, not byte length, so multi-byte glyphs like "±" do
+/// not skew the layout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+  /// {"headers": [...], "rows": [[...], ...]} — the machine-readable form
+  /// bench harnesses embed in their BENCH_*.json companions instead of
+  /// formatting rows by hand.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_TABLE_H_

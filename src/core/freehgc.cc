@@ -145,20 +145,26 @@ Result<HeteroGraph> AssembleCondensedGraph(
 
 Result<CondensedResult> Condense(const HeteroGraph& g,
                                  const FreeHgcOptions& opts,
-                                 exec::ExecContext* ctx) {
+                                 exec::ExecContext* ctx,
+                                 AdjacencyCache* cache) {
   if (g.target_type() < 0) {
     return Status::FailedPrecondition("graph has no target type");
   }
   if (opts.ratio <= 0.0 || opts.ratio >= 1.0) {
     return Status::InvalidArgument("ratio must be in (0, 1)");
   }
-  // A caller-supplied context wins; otherwise spin up a pool of
-  // opts.num_threads workers (0 = FREEHGC_THREADS / hardware default)
-  // that lives for this call.
+  // A caller-supplied context wins. With num_threads == 0 the process-wide
+  // default pool already has the right worker count (FREEHGC_THREADS /
+  // hardware resolution), so reuse it instead of spinning up a pool per
+  // call; only an explicit num_threads asks for a dedicated pool.
   std::unique_ptr<exec::ExecContext> owned;
   if (ctx == nullptr) {
-    owned = std::make_unique<exec::ExecContext>(opts.num_threads);
-    ctx = owned.get();
+    if (opts.num_threads > 0) {
+      owned = std::make_unique<exec::ExecContext>(opts.num_threads);
+      ctx = owned.get();
+    } else {
+      ctx = &exec::DefaultExec();
+    }
   }
   exec::ExecContext& ex = *ctx;
   FREEHGC_TRACE_SPAN("condense");
@@ -191,7 +197,7 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
         topts.seed = opts.seed;
         selected_target =
             CondenseTargetNodes(g, paths, target_budget, topts,
-                                /*scores_out=*/nullptr, &ex);
+                                /*scores_out=*/nullptr, &ex, cache);
         break;
       }
       case TargetStrategy::kHerding: {
@@ -244,7 +250,7 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
           nopts.max_row_nnz = opts.max_row_nnz;
           mapping.keep =
               CondenseFatherType(g, t, FilterByEndType(paths, t),
-                                 selected_target, budget, nopts, &ex);
+                                 selected_target, budget, nopts, &ex, cache);
           break;
         }
         case FatherStrategy::kHerding:
@@ -309,7 +315,8 @@ Result<CondensedResult> Condense(const HeteroGraph& g,
             nopts.max_row_nnz = opts.max_row_nnz;
             mapping.keep =
                 CondenseFatherType(g, t, FilterByEndType(paths, t),
-                                   selected_target, budget, nopts, &ex);
+                                   selected_target, budget, nopts, &ex,
+                                   cache);
             break;
           }
           LeafSynthesis synth = SynthesizeLeafType(g, t, parents, budget, &ex);

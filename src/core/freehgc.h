@@ -91,12 +91,20 @@ struct CondensedResult {
 ///      minimization,
 ///   5. assemble the condensed graph.
 /// Training-free: no model parameters are ever instantiated.
-/// When `ctx` is non-null it overrides `opts.num_threads` (useful for
-/// sharing one pool across repeated runs); otherwise a context with
-/// `opts.num_threads` workers is created for the call.
+/// When `ctx` is non-null it overrides `opts.num_threads`. With ctx ==
+/// nullptr and opts.num_threads == 0 the call runs on the process-wide
+/// DefaultExec() pool (same thread resolution, no per-call pool spin-up —
+/// sweeps run many Condense calls); only an explicit opts.num_threads > 0
+/// builds a dedicated pool for the call.
+/// `cache`, when non-null, memoizes composed meta-path adjacencies: they
+/// depend only on (graph, path, max_row_nnz) — not on ratio or seed — so
+/// repeated runs skip the dominant SpGEMM cost. Cached and uncached runs
+/// produce bit-identical results (the cache stores exact outputs of
+/// deterministic computations; tests/pipeline_test.cc enforces this).
 Result<CondensedResult> Condense(const HeteroGraph& g,
                                  const FreeHgcOptions& opts,
-                                 exec::ExecContext* ctx = nullptr);
+                                 exec::ExecContext* ctx = nullptr,
+                                 AdjacencyCache* cache = nullptr);
 
 /// Per-type rebuild rule used when assembling the condensed graph: either
 /// a keep-list of original ids, or hyper-node member sets plus synthetic

@@ -1,6 +1,7 @@
 #include "core/other_types.h"
 
 #include <algorithm>
+#include <deque>
 #include <numeric>
 #include <queue>
 #include <unordered_set>
@@ -59,7 +60,7 @@ std::vector<int32_t> CondenseFatherType(
     const HeteroGraph& g, TypeId father,
     const std::vector<MetaPath>& paths_to_father,
     const std::vector<int32_t>& selected_targets, int32_t budget,
-    const NimOptions& opts, exec::ExecContext* ctx) {
+    const NimOptions& opts, exec::ExecContext* ctx, AdjacencyCache* cache) {
   const TypeId target = g.target_type();
   FREEHGC_CHECK(target >= 0);
   exec::ExecContext& ex = exec::Resolve(ctx);
@@ -75,10 +76,13 @@ std::vector<int32_t> CondenseFatherType(
           : 1.0f / static_cast<float>(selected_targets.size());
 
   bool any_path = false;
+  std::deque<CsrMatrix> owned;
   for (const auto& p : paths_to_father) {
     if (p.end_type() != father || p.start_type() != target) continue;
     any_path = true;
-    const CsrMatrix composed = ComposeAdjacency(g, p, opts.max_row_nnz, &ex);
+    owned.clear();  // uncached adjacencies are only needed for one score
+    const CsrMatrix& composed =
+        ComposedAdjacency(cache, owned, g, p, opts.max_row_nnz, &ex);
     const CsrMatrix raw_block = BipartiteBlock(composed);
     switch (opts.scorer) {
       case NimScorer::kPprPowerIteration: {

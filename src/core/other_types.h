@@ -52,12 +52,14 @@ struct NimOptions {
 /// vector with teleport uniform over `selected_targets` is computed; the
 /// father-block entries of the vector are the row sums of Eq. 13.
 /// Path composition, normalization, and the PPR / centrality scorer all
-/// run on `ctx` (bit-identical for every thread count).
+/// run on `ctx` (bit-identical for every thread count). `cache`, when
+/// non-null, memoizes the composed path adjacencies across calls.
 std::vector<int32_t> CondenseFatherType(
     const HeteroGraph& g, TypeId father,
     const std::vector<MetaPath>& paths_to_father,
     const std::vector<int32_t>& selected_targets, int32_t budget,
-    const NimOptions& opts, exec::ExecContext* ctx = nullptr);
+    const NimOptions& opts, exec::ExecContext* ctx = nullptr,
+    AdjacencyCache* cache = nullptr);
 
 /// Result of Information-Loss-Minimizing leaf synthesis (Eqs. 14-16).
 struct LeafSynthesis {

@@ -1,6 +1,7 @@
 #include "core/target_selection.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <queue>
 
@@ -146,7 +147,8 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
                                          int32_t budget,
                                          const TargetSelectionOptions& opts,
                                          std::vector<double>* scores_out,
-                                         exec::ExecContext* ctx) {
+                                         exec::ExecContext* ctx,
+                                         AdjacencyCache* cache) {
   const TypeId target = g.target_type();
   FREEHGC_CHECK(target >= 0);
   exec::ExecContext& ex = exec::Resolve(ctx);
@@ -157,14 +159,17 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
 
   std::vector<double> score(static_cast<size_t>(n_target), 0.0);
 
-  // Compose every meta-path adjacency once, grouped by end type for the
-  // Jaccard term (Eq. 6 compares paths sharing source and target types).
+  // Compose every meta-path adjacency once (through the cache when one is
+  // supplied), grouped by end type for the Jaccard term (Eq. 6 compares
+  // paths sharing source and target types).
   std::map<TypeId, std::vector<size_t>> group_of_end;
-  std::vector<CsrMatrix> composed;
+  std::deque<CsrMatrix> owned;
+  std::vector<const CsrMatrix*> composed;
   composed.reserve(paths.size());
   for (size_t i = 0; i < paths.size(); ++i) {
     FREEHGC_CHECK(paths[i].start_type() == target);
-    composed.push_back(ComposeAdjacency(g, paths[i], opts.max_row_nnz, &ex));
+    composed.push_back(
+        &ComposedAdjacency(cache, owned, g, paths[i], opts.max_row_nnz, &ex));
     group_of_end[paths[i].end_type()].push_back(i);
   }
 
@@ -174,7 +179,7 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
   if (opts.use_jaccard) {
     for (const auto& [end, members] : group_of_end) {
       std::vector<const CsrMatrix*> group;
-      for (size_t i : members) group.push_back(&composed[i]);
+      for (size_t i : members) group.push_back(composed[i]);
       const auto jac = PerPathJaccard(group, &ex);
       for (size_t gi = 0; gi < members.size(); ++gi) {
         auto& div = diversity[members[gi]];
@@ -200,7 +205,7 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
       // Both terms disabled (degenerate ablation): fall back to degree.
       for (int32_t v : pool) {
         score[static_cast<size_t>(v)] +=
-            static_cast<double>(composed[m].RowNnz(v));
+            static_cast<double>(composed[m]->RowNnz(v));
       }
       continue;
     }
@@ -209,13 +214,13 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
       if (class_pool.empty()) continue;
       if (opts.walk_prune_fraction > 0.0) {
         class_pool = PruneUninfluentialByWalks(
-            composed[m], class_pool, opts.walk_prune_fraction,
+            *composed[m], class_pool, opts.walk_prune_fraction,
             opts.walk_count, opts.walk_length,
             opts.seed ^ (m * 131 + c));
       }
       std::vector<double> gains;
       const std::vector<int32_t> picked = GreedyCoverageSelect(
-          composed[m], class_pool, class_budget[static_cast<size_t>(c)],
+          *composed[m], class_pool, class_budget[static_cast<size_t>(c)],
           div, opts.use_receptive_field, &gains, &ex);
       for (size_t i = 0; i < picked.size(); ++i) {
         score[static_cast<size_t>(picked[i])] += gains[i];

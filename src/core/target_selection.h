@@ -58,13 +58,16 @@ std::vector<int32_t> PruneUninfluentialByWalks(
 /// Path composition, the Jaccard diversity term, and the initial greedy
 /// gain pass run on `ctx`; the lazy-greedy loop itself is sequential (its
 /// order is the algorithm). Bit-identical for every thread count.
+/// `cache`, when non-null, memoizes the composed path adjacencies (they
+/// are seed/ratio-independent, so sweeps share them across cells).
 std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
                                          const std::vector<MetaPath>& paths,
                                          int32_t budget,
                                          const TargetSelectionOptions& opts,
                                          std::vector<double>* scores_out =
                                              nullptr,
-                                         exec::ExecContext* ctx = nullptr);
+                                         exec::ExecContext* ctx = nullptr,
+                                         AdjacencyCache* cache = nullptr);
 
 /// Lazy-greedy maximization of coverage + modular diversity for a single
 /// composed meta-path adjacency: selects `budget` rows from `pool`

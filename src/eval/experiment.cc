@@ -1,197 +1,50 @@
 #include "eval/experiment.h"
 
-#include <cmath>
-#include <cstdio>
-
-#include "baselines/coarsening.h"
-#include "baselines/coreset.h"
-#include "common/string_util.h"
+#include "common/logging.h"
 
 namespace freehgc::eval {
 
-const char* MethodName(MethodKind kind) {
+const char* MethodKey(MethodKind kind) {
   switch (kind) {
     case MethodKind::kRandom:
-      return "Random-HG";
+      return "random";
     case MethodKind::kHerding:
-      return "Herding-HG";
+      return "herding";
     case MethodKind::kKCenter:
-      return "K-Center-HG";
+      return "kcenter";
     case MethodKind::kCoarsening:
-      return "Coarsening-HG";
+      return "coarsening";
     case MethodKind::kGCond:
-      return "GCond";
+      return "gcond";
     case MethodKind::kHGCond:
-      return "HGCond";
+      return "hgcond";
     case MethodKind::kFreeHGC:
-      return "FreeHGC";
+      return "freehgc";
   }
   return "?";
 }
 
-void ApplyEvalMetrics(const hgnn::EvalMetrics& metrics, MethodRun& out) {
-  out.accuracy = metrics.test_accuracy * 100.0f;
-  out.macro_f1 = metrics.macro_f1 * 100.0f;
-  out.train_seconds = metrics.train_seconds;
+const char* MethodName(MethodKind kind) {
+  const pipeline::CondensationMethod* method =
+      pipeline::MethodRegistry::Global().Find(MethodKey(kind));
+  FREEHGC_CHECK(method != nullptr);
+  return method->display_name().c_str();
 }
 
 Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx, MethodKind kind,
                             const RunOptions& run,
-                            const hgnn::HgnnConfig& eval_cfg) {
-  MethodRun out;
-  hgnn::HgnnConfig cfg = eval_cfg;
-  cfg.seed = run.seed ^ 0xeea1ULL;
-
-  switch (kind) {
-    case MethodKind::kRandom:
-    case MethodKind::kHerding:
-    case MethodKind::kKCenter: {
-      const baselines::CoresetKind ck =
-          kind == MethodKind::kRandom  ? baselines::CoresetKind::kRandom
-          : kind == MethodKind::kHerding
-              ? baselines::CoresetKind::kHerding
-              : baselines::CoresetKind::kKCenter;
-      FREEHGC_ASSIGN_OR_RETURN(
-          baselines::BaselineResult res,
-          baselines::CoresetCondense(ctx, ck, run.ratio, run.seed));
-      out.condense_seconds = res.seconds;
-      out.storage_bytes = res.graph.MemoryBytes();
-      ApplyEvalMetrics(hgnn::TrainAndEvaluate(ctx, res.graph, cfg), out);
-      break;
-    }
-    case MethodKind::kCoarsening: {
-      FREEHGC_ASSIGN_OR_RETURN(
-          baselines::BaselineResult res,
-          baselines::CoarseningCondense(*ctx.full, run.ratio,
-                                        run.coarsening_rounds, run.seed));
-      out.condense_seconds = res.seconds;
-      out.storage_bytes = res.graph.MemoryBytes();
-      ApplyEvalMetrics(hgnn::TrainAndEvaluate(ctx, res.graph, cfg), out);
-      break;
-    }
-    case MethodKind::kGCond:
-    case MethodKind::kHGCond: {
-      baselines::GradientMatchingOptions gm = run.gm;
-      gm.ratio = run.ratio;
-      gm.seed = run.seed;
-      gm.hetero = (kind == MethodKind::kHGCond);
-      if (gm.hetero) {
-        // HGCond's extra machinery: more relay explorations and inner
-        // steps (OPS + clustering are switched on by `hetero`).
-        gm.relay_inits = run.gm.relay_inits + 2;
-        gm.inner_iters = run.gm.inner_iters + 2;
-        gm.memory_budget_bytes = 0;  // sparse scheme: no dense-adjacency gate
-      }
-      auto res = baselines::GradientMatchingCondense(ctx, gm);
-      if (!res.ok()) {
-        if (res.status().code() == StatusCode::kResourceExhausted) {
-          out.oom = true;
-          return out;
-        }
-        return res.status();
-      }
-      out.condense_seconds = res->seconds;
-      out.storage_bytes = res->MemoryBytes();
-      ApplyEvalMetrics(
-          hgnn::TrainOnBlocks(ctx, res->blocks, res->labels, cfg), out);
-      break;
-    }
-    case MethodKind::kFreeHGC: {
-      core::FreeHgcOptions fopts = run.freehgc;
-      fopts.ratio = run.ratio;
-      fopts.seed = run.seed;
-      fopts.max_hops = ctx.options.max_hops;
-      fopts.max_paths = ctx.options.max_paths;
-      fopts.max_row_nnz = ctx.options.max_row_nnz;
-      FREEHGC_ASSIGN_OR_RETURN(core::CondensedResult res,
-                               core::Condense(*ctx.full, fopts));
-      out.condense_seconds = res.seconds;
-      out.storage_bytes = res.graph.MemoryBytes();
-      ApplyEvalMetrics(hgnn::TrainAndEvaluate(ctx, res.graph, cfg), out);
-      break;
-    }
-  }
-  return out;
-}
-
-MeanStd Aggregate(const std::vector<double>& values) {
-  MeanStd out;
-  if (values.empty()) return out;
-  double sum = 0.0;
-  for (double v : values) sum += v;
-  out.mean = sum / static_cast<double>(values.size());
-  if (values.size() > 1) {
-    double sq = 0.0;
-    for (double v : values) sq += (v - out.mean) * (v - out.mean);
-    out.std = std::sqrt(sq / static_cast<double>(values.size() - 1));
-  }
-  return out;
+                            const hgnn::HgnnConfig& eval_cfg,
+                            const pipeline::PipelineEnv& env) {
+  return pipeline::RunMethod(ctx, MethodKey(kind), run, eval_cfg, env);
 }
 
 AggregatedRun RunMethodSeeds(const hgnn::EvalContext& ctx, MethodKind kind,
                              RunOptions run,
                              const hgnn::HgnnConfig& eval_cfg,
-                             const std::vector<uint64_t>& seeds) {
-  AggregatedRun out;
-  std::vector<double> accs;
-  double condense = 0.0, train = 0.0;
-  for (uint64_t seed : seeds) {
-    run.seed = seed;
-    auto res = RunMethod(ctx, kind, run, eval_cfg);
-    if (!res.ok()) continue;
-    if (res->oom) {
-      out.oom = true;
-      continue;
-    }
-    accs.push_back(res->accuracy);
-    condense += res->condense_seconds;
-    train += res->train_seconds;
-    out.storage_bytes = res->storage_bytes;
-  }
-  if (accs.empty()) {
-    out.oom = true;
-    return out;
-  }
-  out.accuracy = Aggregate(accs);
-  out.mean_condense_seconds = condense / static_cast<double>(accs.size());
-  out.mean_train_seconds = train / static_cast<double>(accs.size());
-  return out;
-}
-
-TablePrinter::TablePrinter(std::vector<std::string> headers)
-    : headers_(std::move(headers)) {}
-
-void TablePrinter::AddRow(std::vector<std::string> cells) {
-  cells.resize(headers_.size());
-  rows_.push_back(std::move(cells));
-}
-
-void TablePrinter::Print() const {
-  std::vector<size_t> width(headers_.size(), 0);
-  for (size_t c = 0; c < headers_.size(); ++c) {
-    width[c] = headers_[c].size();
-    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
-  }
-  auto print_row = [&](const std::vector<std::string>& row) {
-    std::string line = "|";
-    for (size_t c = 0; c < row.size(); ++c) {
-      line += " " + PadRight(row[c], width[c]) + " |";
-    }
-    std::puts(line.c_str());
-  };
-  std::string sep = "+";
-  for (size_t c = 0; c < headers_.size(); ++c) {
-    sep += std::string(width[c] + 2, '-') + "+";
-  }
-  std::puts(sep.c_str());
-  print_row(headers_);
-  std::puts(sep.c_str());
-  for (const auto& row : rows_) print_row(row);
-  std::puts(sep.c_str());
-}
-
-std::string Cell(const MeanStd& m) {
-  return StrFormat("%.2f ± %.2f", m.mean, m.std);
+                             const std::vector<uint64_t>& seeds,
+                             const pipeline::PipelineEnv& env) {
+  return pipeline::RunMethodSeeds(ctx, MethodKey(kind), std::move(run),
+                                  eval_cfg, seeds, env);
 }
 
 }  // namespace freehgc::eval

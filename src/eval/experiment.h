@@ -1,17 +1,27 @@
 #ifndef FREEHGC_EVAL_EXPERIMENT_H_
 #define FREEHGC_EVAL_EXPERIMENT_H_
 
+// Thin façade over the pipeline layer. The experiment machinery (method
+// dispatch, seed aggregation, table formatting) used to live here; it now
+// lives behind pipeline::MethodRegistry / pipeline::RunMethod so that
+// every condenser sits behind one polymorphic Condense API and sweeps can
+// share an execution context and artifact cache. This header keeps the
+// historical enum-based entry points (tests and ad-hoc experiments use
+// them) as aliases and key-lookup wrappers.
+
 #include <string>
 #include <vector>
 
-#include "baselines/gradient_matching.h"
 #include "common/result.h"
-#include "core/freehgc.h"
+#include "common/table.h"
 #include "hgnn/trainer.h"
+#include "pipeline/method.h"
 
 namespace freehgc::eval {
 
-/// Every condensation method the paper evaluates.
+/// Every condensation method the paper evaluates. The registry is keyed
+/// by string; this enum is a stable convenience handle over the seven
+/// builtin methods.
 enum class MethodKind {
   kRandom,
   kHerding,
@@ -22,84 +32,38 @@ enum class MethodKind {
   kFreeHGC,
 };
 
+/// Registry key of a builtin method ("random", ..., "freehgc").
+const char* MethodKey(MethodKind kind);
+
+/// Paper-style display name ("Random-HG", ..., "FreeHGC"), resolved
+/// through the registry.
 const char* MethodName(MethodKind kind);
 
-/// One condense-then-train-then-test run.
-struct MethodRun {
-  /// Test accuracy on the full graph, in percent.
-  float accuracy = 0.0f;
-  float macro_f1 = 0.0f;
-  /// Wall-clock seconds of the condensation stage.
-  double condense_seconds = 0.0;
-  /// Wall-clock seconds of HGNN training on the condensed data.
-  double train_seconds = 0.0;
-  /// Storage footprint of the condensed data.
-  size_t storage_bytes = 0;
-  /// Set when the (simulated) memory gate fired (GCond on AMiner).
-  bool oom = false;
-};
-
-/// Knobs shared by every method in a sweep.
-struct RunOptions {
-  double ratio = 0.024;
-  uint64_t seed = 1;
-  /// FreeHGC configuration (ratio/seed fields are overwritten).
-  core::FreeHgcOptions freehgc;
-  /// Gradient-matching configuration (ratio/seed/hetero overwritten).
-  baselines::GradientMatchingOptions gm;
-  int coarsening_rounds = 3;
-};
-
-/// Copies a train-and-evaluate outcome into a MethodRun: percent-scaled
-/// accuracy and macro-F1 plus the training wall-clock. Shared by every
-/// MethodKind branch of RunMethod.
-void ApplyEvalMetrics(const hgnn::EvalMetrics& metrics, MethodRun& out);
+using MethodRun = pipeline::MethodRun;
+using RunOptions = pipeline::RunSpec;
+using MeanStd = pipeline::MeanStd;
+using AggregatedRun = pipeline::AggregatedRun;
+using pipeline::Aggregate;
+using pipeline::ApplyEvalMetrics;
+using pipeline::Cell;
+using freehgc::TablePrinter;
 
 /// Runs one method end to end: condense ctx.full at the requested ratio,
 /// train `eval_cfg`'s HGNN on the result, evaluate on the full test split.
+/// `env` carries a sweep's shared execution context and artifact cache
+/// (defaults run standalone and uncached).
 Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx, MethodKind kind,
                             const RunOptions& run,
-                            const hgnn::HgnnConfig& eval_cfg);
-
-/// Mean and sample standard deviation of a series.
-struct MeanStd {
-  double mean = 0.0;
-  double std = 0.0;
-};
-MeanStd Aggregate(const std::vector<double>& values);
+                            const hgnn::HgnnConfig& eval_cfg,
+                            const pipeline::PipelineEnv& env = {});
 
 /// Repeats RunMethod over `seeds` and aggregates accuracy; failures
 /// (e.g. OOM) propagate as a run with oom=true when every seed fails.
-struct AggregatedRun {
-  MeanStd accuracy;
-  double mean_condense_seconds = 0.0;
-  double mean_train_seconds = 0.0;
-  size_t storage_bytes = 0;
-  bool oom = false;
-};
 AggregatedRun RunMethodSeeds(const hgnn::EvalContext& ctx, MethodKind kind,
                              RunOptions run,
                              const hgnn::HgnnConfig& eval_cfg,
-                             const std::vector<uint64_t>& seeds);
-
-/// Minimal aligned ASCII table, matching the row structure of the paper's
-/// tables.
-class TablePrinter {
- public:
-  explicit TablePrinter(std::vector<std::string> headers);
-
-  void AddRow(std::vector<std::string> cells);
-
-  /// Renders the table to stdout.
-  void Print() const;
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
-
-/// "%.2f ± %.2f" cell formatter.
-std::string Cell(const MeanStd& m);
+                             const std::vector<uint64_t>& seeds,
+                             const pipeline::PipelineEnv& env = {});
 
 }  // namespace freehgc::eval
 

@@ -180,6 +180,71 @@ size_t HeteroGraph::MemoryBytes() const {
   return bytes;
 }
 
+namespace {
+
+/// FNV-1a over raw bytes, chained. Structure separators are mixed in as
+/// one-byte tags so e.g. (counts, labels) boundaries cannot alias.
+struct Fnv {
+  uint64_t h = 1469598103934665603ULL;
+
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  template <typename T>
+  void Pod(const T& v) {
+    Bytes(&v, sizeof(T));
+  }
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    Pod(static_cast<uint64_t>(v.size()));
+    Bytes(v.data(), v.size() * sizeof(T));
+  }
+  void Str(const std::string& s) {
+    Pod(static_cast<uint64_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  void Tag(unsigned char t) { Bytes(&t, 1); }
+};
+
+}  // namespace
+
+uint64_t HeteroGraph::ContentFingerprint() const {
+  Fnv f;
+  f.Tag(0x01);
+  for (size_t t = 0; t < type_names_.size(); ++t) {
+    f.Str(type_names_[t]);
+    f.Pod(type_counts_[t]);
+  }
+  f.Tag(0x02);
+  for (const auto& r : relations_) {
+    f.Str(r.name);
+    f.Pod(r.src_type);
+    f.Pod(r.dst_type);
+    f.Vec(r.adj.indptr());
+    f.Vec(r.adj.indices());
+    f.Vec(r.adj.values());
+  }
+  f.Tag(0x03);
+  for (const auto& feat : features_) {
+    f.Pod(feat.rows());
+    f.Pod(feat.cols());
+    f.Bytes(feat.data(), static_cast<size_t>(feat.size()) * sizeof(float));
+  }
+  f.Tag(0x04);
+  f.Pod(target_type_);
+  f.Pod(num_classes_);
+  f.Vec(labels_);
+  f.Tag(0x05);
+  f.Vec(train_index_);
+  f.Vec(val_index_);
+  f.Vec(test_index_);
+  return f.h;
+}
+
 std::vector<TypeRole> HeteroGraph::ClassifySchema() const {
   const int32_t t = NumNodeTypes();
   std::vector<int32_t> dist(static_cast<size_t>(t), -1);

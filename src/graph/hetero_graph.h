@@ -118,6 +118,14 @@ class HeteroGraph {
   /// by the Table VII storage comparison.
   size_t MemoryBytes() const;
 
+  /// 64-bit content hash over everything that affects computation results:
+  /// type names/counts, relations (name, endpoints, full CSR arrays),
+  /// features, labels, class count and splits. Two graphs with equal
+  /// fingerprints are treated as interchangeable by pipeline::ArtifactCache
+  /// (the 64-bit collision risk is accepted; see DESIGN.md, "Pipeline").
+  /// Costs one linear pass over the graph — cheap next to any SpGEMM.
+  uint64_t ContentFingerprint() const;
+
   /// Classifies every type into root/father/leaf by BFS distance from the
   /// target type over the (undirected) type-connectivity graph, per Fig. 5.
   /// Distance 0 = root, 1 = father, >=2 (or unreachable) = leaf.

@@ -1,6 +1,7 @@
 #include "hgnn/propagate.h"
 
 #include <cmath>
+#include <deque>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -37,7 +38,8 @@ void L2NormalizeRows(Matrix& m, exec::ExecContext& ex) {
 PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
                                        const std::vector<MetaPath>& paths,
                                        int64_t max_row_nnz,
-                                       exec::ExecContext* ctx) {
+                                       exec::ExecContext* ctx,
+                                       AdjacencyCache* cache) {
   const TypeId target = g.target_type();
   FREEHGC_CHECK(target >= 0);
   FREEHGC_TRACE_SPAN("hgnn.propagate");
@@ -49,11 +51,14 @@ PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
   L2NormalizeRows(out.blocks.back(), ex);
   out.names.push_back("raw");
   out.end_types.push_back(target);
+  std::deque<CsrMatrix> owned;
   for (const auto& p : paths) {
     FREEHGC_CHECK(p.start_type() == target);
     const TypeId end = p.end_type();
     if (!g.HasFeatures(end)) continue;
-    CsrMatrix adj = ComposeAdjacency(g, p, max_row_nnz, &ex);
+    owned.clear();  // uncached adjacencies are only needed for one product
+    const CsrMatrix& adj =
+        ComposedAdjacency(cache, owned, g, p, max_row_nnz, &ex);
     out.blocks.push_back(sparse::SpMmDense(adj, g.Features(end), &ex));
     L2NormalizeRows(out.blocks.back(), ex);
     out.names.push_back(p.Name(g));

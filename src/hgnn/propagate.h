@@ -51,11 +51,14 @@ PropagatedFeatures PropagateFeatures(const HeteroGraph& g,
 /// Same propagation with a fixed externally supplied path list (used to
 /// guarantee identical block order between the condensed and full graphs).
 /// Composition, the sparse-dense product, and the per-block row
-/// normalization all run on `ctx`.
+/// normalization all run on `ctx`. `cache`, when non-null, memoizes the
+/// composed adjacencies (they are what a whole-graph propagation shares
+/// with CondenseTargetNodes/CondenseFatherType over the same graph).
 PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
                                        const std::vector<MetaPath>& paths,
                                        int64_t max_row_nnz,
-                                       exec::ExecContext* ctx = nullptr);
+                                       exec::ExecContext* ctx = nullptr,
+                                       AdjacencyCache* cache = nullptr);
 
 }  // namespace freehgc::hgnn
 

@@ -8,7 +8,9 @@
 namespace freehgc::hgnn {
 
 EvalContext BuildEvalContext(const HeteroGraph& full,
-                             const PropagateOptions& opts) {
+                             const PropagateOptions& opts,
+                             exec::ExecContext* ctx_exec,
+                             AdjacencyCache* cache) {
   EvalContext ctx;
   ctx.full = &full;
   ctx.options = opts;
@@ -18,7 +20,7 @@ EvalContext BuildEvalContext(const HeteroGraph& full,
   mp_opts.max_row_nnz = opts.max_row_nnz;
   ctx.paths = EnumerateMetaPaths(full, full.target_type(), mp_opts);
   ctx.full_features =
-      PropagateAlongPaths(full, ctx.paths, opts.max_row_nnz);
+      PropagateAlongPaths(full, ctx.paths, opts.max_row_nnz, ctx_exec, cache);
   return ctx;
 }
 
@@ -97,7 +99,8 @@ EvalMetrics RunTraining(const EvalContext& ctx,
 
 EvalMetrics TrainAndEvaluate(const EvalContext& ctx,
                              const HeteroGraph& train_graph,
-                             const HgnnConfig& config) {
+                             const HgnnConfig& config,
+                             exec::ExecContext* ex) {
   // Propagate the training graph's features along the shared path list so
   // block layouts line up. (When training on the full graph itself, reuse
   // the context's blocks.)
@@ -105,7 +108,7 @@ EvalMetrics TrainAndEvaluate(const EvalContext& ctx,
   PropagatedFeatures train_features =
       self_train ? PropagatedFeatures{}
                  : PropagateAlongPaths(train_graph, ctx.paths,
-                                       ctx.options.max_row_nnz);
+                                       ctx.options.max_row_nnz, ex);
   const PropagatedFeatures& train_feats =
       self_train ? ctx.full_features : train_features;
   return RunTraining(ctx, train_feats.blocks, train_graph.labels(),
@@ -113,8 +116,9 @@ EvalMetrics TrainAndEvaluate(const EvalContext& ctx,
 }
 
 EvalMetrics WholeGraphBaseline(const EvalContext& ctx,
-                               const HgnnConfig& config) {
-  return TrainAndEvaluate(ctx, *ctx.full, config);
+                               const HgnnConfig& config,
+                               exec::ExecContext* ex) {
+  return TrainAndEvaluate(ctx, *ctx.full, config, ex);
 }
 
 EvalMetrics TrainOnBlocks(const EvalContext& ctx,

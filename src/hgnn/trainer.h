@@ -34,9 +34,14 @@ struct EvalContext {
 };
 
 /// Enumerates meta-paths on the full graph and pre-propagates its
-/// features.
+/// features. Propagation runs on `ctx` (null = default pool); `cache`,
+/// when non-null, memoizes the composed adjacencies — the same ones
+/// core::Condense composes over the same graph, so building the context
+/// through a sweep's ArtifactCache makes later condensation runs hit.
 EvalContext BuildEvalContext(const HeteroGraph& full,
-                             const PropagateOptions& opts);
+                             const PropagateOptions& opts,
+                             exec::ExecContext* ctx = nullptr,
+                             AdjacencyCache* cache = nullptr);
 
 /// The paper's evaluation protocol (Section V-B): train an HGNN on
 /// `train_graph` (its train split; for a condensed graph that is every
@@ -44,14 +49,18 @@ EvalContext BuildEvalContext(const HeteroGraph& full,
 /// report accuracy on the full graph's test split.
 ///
 /// `train_graph` must share the schema of ctx.full (same types and
-/// relations) so the meta-path list applies to both.
+/// relations) so the meta-path list applies to both. The train-graph
+/// propagation runs on `ex` (null = default pool); it is deliberately not
+/// cached — condensed graphs are seed-dependent and used once.
 EvalMetrics TrainAndEvaluate(const EvalContext& ctx,
                              const HeteroGraph& train_graph,
-                             const HgnnConfig& config);
+                             const HgnnConfig& config,
+                             exec::ExecContext* ex = nullptr);
 
 /// Convenience: whole-graph performance (train and test on ctx.full).
 EvalMetrics WholeGraphBaseline(const EvalContext& ctx,
-                               const HgnnConfig& config);
+                               const HgnnConfig& config,
+                               exec::ExecContext* ex = nullptr);
 
 /// Trains directly on pre-propagated (possibly synthetic) feature blocks
 /// — the entry point used by gradient-matching condensers (GCond/HGCond),

@@ -84,6 +84,16 @@ CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
   return acc;
 }
 
+const CsrMatrix& ComposedAdjacency(AdjacencyCache* cache,
+                                   std::deque<CsrMatrix>& owned,
+                                   const HeteroGraph& g, const MetaPath& p,
+                                   int64_t max_row_nnz,
+                                   exec::ExecContext* ctx) {
+  if (cache != nullptr) return cache->Composed(g, p, max_row_nnz, ctx);
+  owned.push_back(ComposeAdjacency(g, p, max_row_nnz, ctx));
+  return owned.back();
+}
+
 float JaccardOfSortedSets(std::span<const int32_t> a,
                           std::span<const int32_t> b) {
   if (a.empty() && b.empty()) return 1.0f;  // paper convention: |union|=0

@@ -1,6 +1,7 @@
 #ifndef FREEHGC_METAPATH_METAPATH_H_
 #define FREEHGC_METAPATH_METAPATH_H_
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,37 @@ std::vector<MetaPath> FilterByEndType(const std::vector<MetaPath>& paths,
 CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
                            int64_t max_row_nnz = 0,
                            exec::ExecContext* ctx = nullptr);
+
+/// Borrowed memo of composed meta-path adjacencies. ComposeAdjacency is
+/// deterministic and seed-independent, so its result can be shared across
+/// every (method, ratio, seed) cell of a sweep; kernels that compose paths
+/// accept an optional AdjacencyCache* and route through it when present.
+/// The canonical implementation is pipeline::ArtifactCache — declaring the
+/// interface here keeps core/hgnn free of a pipeline dependency.
+///
+/// Returned references stay valid for the cache's lifetime (entries are
+/// never evicted; see DESIGN.md, "Pipeline: method registry & artifact
+/// cache" for the ownership/invalidation rules).
+class AdjacencyCache {
+ public:
+  virtual ~AdjacencyCache() = default;
+
+  /// The composed adjacency of `p` over `g` at the given row-nnz budget
+  /// (computed via ComposeAdjacency on miss).
+  virtual const CsrMatrix& Composed(const HeteroGraph& g, const MetaPath& p,
+                                    int64_t max_row_nnz,
+                                    exec::ExecContext* ctx) = 0;
+};
+
+/// Cache-aware accessor used at compose call sites: returns the cached
+/// adjacency when `cache` is non-null, otherwise composes into `owned`
+/// (a deque, so previously returned references stay stable) and returns
+/// that. Either way the reference lives as long as cache/owned do.
+const CsrMatrix& ComposedAdjacency(AdjacencyCache* cache,
+                                   std::deque<CsrMatrix>& owned,
+                                   const HeteroGraph& g, const MetaPath& p,
+                                   int64_t max_row_nnz,
+                                   exec::ExecContext* ctx);
 
 /// Per-node average pairwise Jaccard similarity (Eqs. 4-6) among the reach
 /// sets of several meta-paths that share start and end types.

@@ -1,0 +1,201 @@
+#include "pipeline/artifact_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace freehgc::pipeline {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+size_t PropagatedBytes(const hgnn::PropagatedFeatures& f) {
+  size_t bytes = 0;
+  for (const auto& b : f.blocks) {
+    bytes += static_cast<size_t>(b.size()) * sizeof(float);
+  }
+  return bytes;
+}
+
+obs::Counter& HitCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.cache.hits");
+  return c;
+}
+
+obs::Counter& MissCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.cache.misses");
+  return c;
+}
+
+obs::Gauge& BytesGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("pipeline.cache.bytes");
+  return g;
+}
+
+}  // namespace
+
+uint64_t PathSignature(const MetaPath& p) {
+  uint64_t h = kFnvOffset;
+  for (RelationId r : p.relations) {
+    h = Mix(h, static_cast<uint64_t>(r) + 1);
+  }
+  return h;
+}
+
+uint64_t PathListSignature(const std::vector<MetaPath>& paths) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, static_cast<uint64_t>(paths.size()));
+  for (const MetaPath& p : paths) {
+    h = Mix(h, PathSignature(p));
+  }
+  return h;
+}
+
+uint64_t ConfigSignature(const hgnn::HgnnConfig& config) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, static_cast<uint64_t>(config.kind));
+  h = Mix(h, static_cast<uint64_t>(config.hidden));
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(config.dropout));
+  std::memcpy(&bits, &config.dropout, sizeof(bits));
+  h = Mix(h, bits);
+  std::memcpy(&bits, &config.lr, sizeof(bits));
+  h = Mix(h, bits);
+  h = Mix(h, static_cast<uint64_t>(config.epochs));
+  h = Mix(h, static_cast<uint64_t>(config.patience));
+  h = Mix(h, config.seed);
+  return h;
+}
+
+uint64_t ArtifactCache::FingerprintOf(const HeteroGraph& g) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fp_memo_.find(&g);
+    if (it != fp_memo_.end() && it->second.total_nodes == g.TotalNodes() &&
+        it->second.total_edges == g.TotalEdges() &&
+        it->second.num_relations == g.NumRelations()) {
+      return it->second.fingerprint;
+    }
+  }
+  FpEntry e;
+  e.fingerprint = g.ContentFingerprint();
+  e.total_nodes = g.TotalNodes();
+  e.total_edges = g.TotalEdges();
+  e.num_relations = g.NumRelations();
+  std::lock_guard<std::mutex> lock(mu_);
+  fp_memo_[&g] = e;
+  return e.fingerprint;
+}
+
+const CsrMatrix& ArtifactCache::Composed(const HeteroGraph& g,
+                                         const MetaPath& p,
+                                         int64_t max_row_nnz,
+                                         exec::ExecContext* ctx) {
+  const AdjKey key{FingerprintOf(g), PathSignature(p), max_row_nnz};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = adjacencies_.find(key);
+    if (it != adjacencies_.end()) {
+      RecordHit();
+      return *it->second;
+    }
+  }
+  // Compose outside the lock: the SpGEMM chain is the expensive part and
+  // must not serialize unrelated lookups.
+  auto composed =
+      std::make_unique<CsrMatrix>(ComposeAdjacency(g, p, max_row_nnz, ctx));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = adjacencies_.emplace(key, std::move(composed));
+  RecordMiss();
+  if (inserted) AddBytes(it->second->MemoryBytes());
+  return *it->second;
+}
+
+const hgnn::PropagatedFeatures& ArtifactCache::Propagated(
+    const HeteroGraph& g, const std::vector<MetaPath>& paths,
+    int64_t max_row_nnz, exec::ExecContext* ctx) {
+  const PropKey key{FingerprintOf(g), PathListSignature(paths), max_row_nnz};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = propagated_.find(key);
+    if (it != propagated_.end()) {
+      RecordHit();
+      return *it->second;
+    }
+  }
+  // The per-path compositions inside the miss route back through this
+  // cache, so a later Composed() over the same graph/paths also hits.
+  auto features = std::make_unique<hgnn::PropagatedFeatures>(
+      hgnn::PropagateAlongPaths(g, paths, max_row_nnz, ctx, this));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = propagated_.emplace(key, std::move(features));
+  RecordMiss();
+  if (inserted) AddBytes(PropagatedBytes(*it->second));
+  return *it->second;
+}
+
+hgnn::EvalMetrics ArtifactCache::WholeGraphBaseline(
+    const hgnn::EvalContext& ctx, const hgnn::HgnnConfig& config,
+    exec::ExecContext* ex) {
+  const BaselineKey key{FingerprintOf(*ctx.full), ConfigSignature(config)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = baselines_.find(key);
+    if (it != baselines_.end()) {
+      RecordHit();
+      return it->second;
+    }
+  }
+  const hgnn::EvalMetrics metrics = hgnn::WholeGraphBaseline(ctx, config, ex);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = baselines_.emplace(key, metrics);
+  RecordMiss();
+  if (inserted) AddBytes(sizeof(hgnn::EvalMetrics));
+  return it->second;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ArtifactCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fp_memo_.clear();
+  adjacencies_.clear();
+  propagated_.clear();
+  baselines_.clear();
+  stats_ = Stats{};
+  BytesGauge().Set(0);
+}
+
+void ArtifactCache::RecordHit() {
+  ++stats_.hits;
+  HitCounter().Increment();
+}
+
+void ArtifactCache::RecordMiss() {
+  ++stats_.misses;
+  MissCounter().Increment();
+}
+
+void ArtifactCache::AddBytes(size_t bytes) {
+  stats_.bytes += bytes;
+  BytesGauge().Set(static_cast<int64_t>(stats_.bytes));
+}
+
+}  // namespace freehgc::pipeline

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/table.h"
 #include "common/timer.h"
 
 namespace freehgc {
@@ -209,6 +210,49 @@ TEST(StringUtilTest, Padding) {
   EXPECT_EQ(PadRight("ab", 4), "ab  ");
   EXPECT_EQ(PadLeft("ab", 4), "  ab");
   EXPECT_EQ(PadRight("abcde", 3), "abcde");
+}
+
+TEST(StringUtilTest, DisplayWidth) {
+  EXPECT_EQ(DisplayWidth(""), 0u);
+  EXPECT_EQ(DisplayWidth("abc"), 3u);
+  // "±" is two bytes but one terminal column.
+  EXPECT_EQ(std::string("±").size(), 2u);
+  EXPECT_EQ(DisplayWidth("±"), 1u);
+  EXPECT_EQ(DisplayWidth("91.27 ± 0.46"), 12u);
+}
+
+TEST(StringUtilTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// --- TablePrinter ----------------------------------------------------------
+
+TEST(TablePrinterTest, ToJsonEscapesAndPadsRows) {
+  TablePrinter t({"Method", "Acc"});
+  t.AddRow({"Free\"HGC", "91.27 ± 0.46"});
+  t.AddRow({"short"});  // padded to header arity
+  EXPECT_EQ(t.ToJson(),
+            "{\"headers\": [\"Method\", \"Acc\"], "
+            "\"rows\": [[\"Free\\\"HGC\", \"91.27 ± 0.46\"], "
+            "[\"short\", \"\"]]}");
+}
+
+TEST(TablePrinterTest, RightAlignsNumericColumnsByDisplayWidth) {
+  TablePrinter t({"Method", "Acc"});
+  t.AddRow({"FreeHGC", "91.27 ± 0.46"});
+  t.AddRow({"HGCond", "OOM"});
+  testing::internal::CaptureStdout();
+  t.Print();
+  const std::string out = testing::internal::GetCapturedStdout();
+  // Method column is text (left-aligned); Acc is numeric (right-aligned,
+  // "OOM" counts as a numeric placeholder). The "±" must occupy one
+  // column, so the numeric column pads to 12 display cells, not 13 bytes.
+  EXPECT_NE(out.find("| FreeHGC | 91.27 ± 0.46 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| HGCond  |          OOM |"), std::string::npos) << out;
 }
 
 // --- Timer -----------------------------------------------------------------

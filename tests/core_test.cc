@@ -381,6 +381,79 @@ TEST(AssembleTest, RejectsInvalidMappings) {
   EXPECT_FALSE(AssembleCondensedGraph(g, dup).ok());
 }
 
+TEST(AssembleTest, EmptyKeepListYieldsEmptyType) {
+  // A non-target type may legitimately end up with zero kept nodes (tiny
+  // budgets); assembly must produce an empty type with empty incident
+  // relations rather than fail.
+  const HeteroGraph g = datasets::MakeToy(57);
+  std::vector<TypeMapping> mappings(3);
+  for (int32_t v = 0; v < 10; ++v) mappings[0].keep.push_back(v);
+  mappings[1].keep = {};  // father type: nothing kept
+  mappings[2].keep = {0, 1};
+  auto out = AssembleCondensedGraph(g, mappings);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->Validate().ok());
+  EXPECT_EQ(out->NodeCount(1), 0);
+  for (RelationId r = 0; r < out->NumRelations(); ++r) {
+    if (out->relation(r).src_type == 1 || out->relation(r).dst_type == 1) {
+      EXPECT_EQ(out->relation(r).adj.nnz(), 0) << out->relation(r).name;
+    }
+  }
+}
+
+TEST(AssembleTest, AllNonTargetTypesSynthesized) {
+  // Every non-target type replaced by hyper-nodes at once (the ILM path
+  // applied schema-wide); only the target keeps original ids.
+  const HeteroGraph g = datasets::MakeToy(59);
+  std::vector<TypeMapping> mappings(3);
+  for (int32_t v = 0; v < 8; ++v) mappings[0].keep.push_back(v);
+  for (TypeId t : {TypeId{1}, TypeId{2}}) {
+    auto& m = mappings[static_cast<size_t>(t)];
+    m.synthesized = true;
+    const int32_t n = g.NodeCount(t);
+    std::vector<int32_t> first, second;
+    for (int32_t v = 0; v < n; ++v) {
+      (v % 2 == 0 ? first : second).push_back(v);
+    }
+    m.members = {first, second};
+    m.synthetic_features = Matrix(2, g.Features(t).cols());
+  }
+  auto out = AssembleCondensedGraph(g, mappings);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->Validate().ok());
+  EXPECT_EQ(out->NodeCount(0), 8);
+  EXPECT_EQ(out->NodeCount(1), 2);
+  EXPECT_EQ(out->NodeCount(2), 2);
+}
+
+TEST(AssembleTest, ParallelEdgesCollapseIntoSummedWeights) {
+  // f0 connects to l0 (weight 2) and l1 (weight 3); both leaves land in
+  // the same hyper-node, so the routed edges become parallel and must
+  // collapse into one edge of summed weight 5 (Eq. 15's reverse-edge
+  // construction).
+  HeteroGraph g;
+  const TypeId t = g.AddNodeType("t", 1).value();
+  const TypeId f = g.AddNodeType("f", 1).value();
+  const TypeId l = g.AddNodeType("l", 2).value();
+  ASSERT_TRUE(g.AddRelation("tf", t, f, Adj(1, 1, {{0, 0, 1}})).ok());
+  ASSERT_TRUE(
+      g.AddRelation("fl", f, l, Adj(1, 2, {{0, 0, 2}, {0, 1, 3}})).ok());
+  ASSERT_TRUE(g.SetFeatures(l, Matrix(2, 2)).ok());
+  ASSERT_TRUE(g.SetTarget(t, {0}, 2).ok());
+  std::vector<TypeMapping> mappings(3);
+  mappings[0].keep = {0};
+  mappings[1].keep = {0};
+  mappings[2].synthesized = true;
+  mappings[2].members = {{0, 1}};
+  mappings[2].synthetic_features = Matrix(1, 2);
+  auto out = AssembleCondensedGraph(g, mappings);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const CsrMatrix& fl = out->relation(1).adj;
+  ASSERT_EQ(fl.nnz(), 1);
+  EXPECT_EQ(fl.RowIndices(0)[0], 0);
+  EXPECT_FLOAT_EQ(fl.RowValues(0)[0], 5.0f);
+}
+
 // --- full pipeline ---------------------------------------------------------------
 
 class CondenseRatioTest : public ::testing::TestWithParam<double> {};

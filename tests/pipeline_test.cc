@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datasets/generator.h"
+#include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "pipeline/artifact_cache.h"
+#include "pipeline/method.h"
+#include "pipeline/sweep.h"
+
+namespace freehgc::pipeline {
+namespace {
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MethodRegistryTest, BuiltinMethodsRegistered) {
+  const std::vector<std::string> keys = MethodRegistry::Global().Keys();
+  const std::set<std::string> expected = {
+      "random", "herding", "kcenter", "coarsening",
+      "gcond",  "hgcond",  "freehgc"};
+  for (const auto& key : expected) {
+    EXPECT_TRUE(std::count(keys.begin(), keys.end(), key)) << key;
+    const CondensationMethod* m = MethodRegistry::Global().Find(key);
+    ASSERT_NE(m, nullptr) << key;
+    EXPECT_EQ(m->key(), key);
+  }
+  EXPECT_EQ(MethodRegistry::Global().Find("no-such-method"), nullptr);
+}
+
+TEST(MethodRegistryTest, EnumFacadeResolvesThroughRegistry) {
+  using eval::MethodKind;
+  const std::vector<std::pair<MethodKind, std::string>> expected = {
+      {MethodKind::kRandom, "Random-HG"},
+      {MethodKind::kHerding, "Herding-HG"},
+      {MethodKind::kKCenter, "K-Center-HG"},
+      {MethodKind::kCoarsening, "Coarsening-HG"},
+      {MethodKind::kGCond, "GCond"},
+      {MethodKind::kHGCond, "HGCond"},
+      {MethodKind::kFreeHGC, "FreeHGC"},
+  };
+  for (const auto& [kind, name] : expected) {
+    const CondensationMethod* m =
+        MethodRegistry::Global().Find(eval::MethodKey(kind));
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->display_name(), name);
+    EXPECT_STREQ(eval::MethodName(kind), name.c_str());
+  }
+}
+
+TEST(MethodRegistryTest, UnknownKeyIsNotFound) {
+  const HeteroGraph g = datasets::MakeToy(7);
+  hgnn::PropagateOptions popts;
+  popts.max_hops = 2;
+  const hgnn::EvalContext ctx = hgnn::BuildEvalContext(g, popts);
+  auto res = RunMethod(ctx, "no-such-method", RunSpec{}, hgnn::HgnnConfig{});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+// --- artifact cache ---------------------------------------------------------
+
+TEST(ArtifactCacheTest, ComposedMemoizesByGraphPathAndBudget) {
+  const HeteroGraph g = datasets::MakeToy(7);
+  MetaPathOptions mp;
+  mp.max_hops = 2;
+  const auto paths = EnumerateMetaPaths(g, g.target_type(), mp);
+  ASSERT_GE(paths.size(), 2u);
+
+  ArtifactCache cache;
+  const CsrMatrix& a = cache.Composed(g, paths[0], 0, nullptr);
+  const CsrMatrix& b = cache.Composed(g, paths[0], 0, nullptr);
+  EXPECT_EQ(&a, &b);  // stable reference, served from the memo
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(a, ComposeAdjacency(g, paths[0], 0));
+
+  // A different path or row budget is a different entry.
+  cache.Composed(g, paths[1], 0, nullptr);
+  cache.Composed(g, paths[0], 4, nullptr);
+  EXPECT_EQ(cache.stats().misses, 3);
+  EXPECT_GT(cache.stats().bytes, 0u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(ArtifactCacheTest, PropagatedAndBaselineMemoize) {
+  const HeteroGraph g = datasets::MakeToy(7);
+  hgnn::PropagateOptions popts;
+  popts.max_hops = 2;
+  const hgnn::EvalContext ctx = hgnn::BuildEvalContext(g, popts);
+
+  ArtifactCache cache;
+  const hgnn::PropagatedFeatures& f1 =
+      cache.Propagated(g, ctx.paths, popts.max_row_nnz, nullptr);
+  const hgnn::PropagatedFeatures& f2 =
+      cache.Propagated(g, ctx.paths, popts.max_row_nnz, nullptr);
+  EXPECT_EQ(&f1, &f2);
+  ASSERT_EQ(f1.blocks.size(), ctx.full_features.blocks.size());
+  for (size_t i = 0; i < f1.blocks.size(); ++i) {
+    EXPECT_EQ(f1.blocks[i], ctx.full_features.blocks[i]) << i;
+  }
+
+  hgnn::HgnnConfig cfg;
+  cfg.epochs = 3;
+  cfg.patience = 0;
+  const auto before = cache.stats();
+  const hgnn::EvalMetrics m1 = cache.WholeGraphBaseline(ctx, cfg, nullptr);
+  const hgnn::EvalMetrics m2 = cache.WholeGraphBaseline(ctx, cfg, nullptr);
+  EXPECT_EQ(m1.test_accuracy, m2.test_accuracy);
+  EXPECT_EQ(m1.macro_f1, m2.macro_f1);
+  EXPECT_EQ(cache.stats().hits, before.hits + 1);
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+}
+
+TEST(ArtifactCacheTest, FingerprintDistinguishesGraphContent) {
+  ArtifactCache cache;
+  const HeteroGraph a = datasets::MakeToy(7);
+  const HeteroGraph b = datasets::MakeToy(7);
+  const HeteroGraph c = datasets::MakeToy(8);
+  EXPECT_EQ(cache.FingerprintOf(a), cache.FingerprintOf(b));
+  EXPECT_NE(cache.FingerprintOf(a), cache.FingerprintOf(c));
+  // Memoized: repeated lookups agree.
+  EXPECT_EQ(cache.FingerprintOf(a), cache.FingerprintOf(a));
+}
+
+// --- determinism invariant --------------------------------------------------
+
+SweepSpec SmallSpec() {
+  SweepSpec spec;
+  spec.datasets = {{.name = "toy", .ratios = {0.2}}};
+  spec.methods = {"herding", "coarsening", "freehgc"};
+  spec.seeds = {1, 2};
+  spec.whole_graph_baseline = true;
+  spec.eval_cfg.epochs = 10;
+  return spec;
+}
+
+void ExpectBitIdentical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    const SweepCell& x = a.cells[i];
+    const SweepCell& y = b.cells[i];
+    EXPECT_EQ(x.dataset, y.dataset);
+    EXPECT_EQ(x.ratio, y.ratio);
+    EXPECT_EQ(x.method, y.method);
+    EXPECT_EQ(x.model, y.model);
+    EXPECT_EQ(x.agg.oom, y.agg.oom) << x.method;
+    EXPECT_EQ(x.agg.accuracy.mean, y.agg.accuracy.mean) << x.method;
+    EXPECT_EQ(x.agg.accuracy.std, y.agg.accuracy.std) << x.method;
+    EXPECT_EQ(x.agg.storage_bytes, y.agg.storage_bytes) << x.method;
+  }
+  ASSERT_EQ(a.wholes.size(), b.wholes.size());
+  for (size_t i = 0; i < a.wholes.size(); ++i) {
+    EXPECT_EQ(a.wholes[i].metrics.test_accuracy,
+              b.wholes[i].metrics.test_accuracy);
+    EXPECT_EQ(a.wholes[i].metrics.macro_f1, b.wholes[i].metrics.macro_f1);
+  }
+}
+
+TEST(SweepDeterminismTest, CacheOnOffAndThreadCountsBitIdentical) {
+  // The hard invariant: cached and uncached sweeps produce bit-identical
+  // cell values, at every thread count.
+  std::vector<SweepResult> results;
+  for (int threads : {1, 2, 4}) {
+    for (bool use_cache : {false, true}) {
+      exec::ExecContext ex(threads);
+      PipelineEnv env;
+      env.exec = &ex;
+      SweepSpec spec = SmallSpec();
+      spec.use_cache = use_cache;
+      SweepRunner runner(std::move(spec), env);
+      auto result = runner.Run();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->cache_stats.hits > 0 || result->cache_stats.misses > 0,
+                use_cache);
+      results.push_back(std::move(*result));
+    }
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ExpectBitIdentical(results[0], results[i]);
+  }
+  // The machine-readable record's deterministic sections agree too.
+  const std::string cells0 =
+      results[0].ToJson().substr(0, results[0].ToJson().find("\"timing\""));
+  for (size_t i = 1; i < results.size(); ++i) {
+    const std::string json = results[i].ToJson();
+    EXPECT_EQ(cells0, json.substr(0, json.find("\"timing\"")));
+  }
+}
+
+TEST(SweepDeterminismTest, WarmSweepDoesStrictlyFewerSpgemmCalls) {
+  obs::Counter& spgemm =
+      obs::MetricsRegistry::Global().GetCounter("spgemm.calls");
+  SweepRunner runner(SmallSpec());
+
+  const int64_t before_cold = spgemm.Value();
+  auto cold = runner.Run();
+  ASSERT_TRUE(cold.ok());
+  const int64_t cold_calls = spgemm.Value() - before_cold;
+
+  const int64_t before_warm = spgemm.Value();
+  auto warm = runner.Run();  // same runner: the cache is warm
+  ASSERT_TRUE(warm.ok());
+  const int64_t warm_calls = spgemm.Value() - before_warm;
+
+  EXPECT_GT(cold_calls, 0);
+  EXPECT_LT(warm_calls, cold_calls);
+  EXPECT_EQ(warm->cache_stats.misses, 0);
+  EXPECT_GT(warm->cache_stats.hits, 0);
+  ExpectBitIdentical(*cold, *warm);
+}
+
+TEST(CondenseCacheTest, CacheOnVsOffProducesIdenticalCondensedGraph) {
+  const HeteroGraph g = datasets::MakeToy(7);
+  core::FreeHgcOptions opts;
+  opts.ratio = 0.3;
+  opts.max_hops = 2;
+  ArtifactCache cache;
+  auto uncached = core::Condense(g, opts);
+  auto cached1 = core::Condense(g, opts, nullptr, &cache);
+  auto cached2 = core::Condense(g, opts, nullptr, &cache);  // warm
+  ASSERT_TRUE(uncached.ok());
+  ASSERT_TRUE(cached1.ok());
+  ASSERT_TRUE(cached2.ok());
+  EXPECT_GT(cache.stats().hits, 0);
+  EXPECT_EQ(uncached->selected_target, cached1->selected_target);
+  EXPECT_EQ(uncached->selected_target, cached2->selected_target);
+  EXPECT_EQ(uncached->graph.ContentFingerprint(),
+            cached1->graph.ContentFingerprint());
+  EXPECT_EQ(uncached->graph.ContentFingerprint(),
+            cached2->graph.ContentFingerprint());
+}
+
+}  // namespace
+}  // namespace freehgc::pipeline
