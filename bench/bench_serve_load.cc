@@ -1,0 +1,187 @@
+// Closed-loop load generator for the serving layer (ISSUE 4 acceptance):
+// drives a ServeService in-process at 1/2/4 worker slots, cold cache vs
+// warm cache, and reports throughput plus exact p50/p95/p99 latency from
+// the raw samples. Writes BENCH_serve.json.
+//
+// Workload: one resident mid-scale ACM graph, three distinct meta-path
+// configurations. The cold phase pays every EvalContext build and SpGEMM;
+// the warm phase replays the same request mix against the populated
+// ArtifactCache + coalesced contexts — warm throughput must strictly
+// exceed cold on this same-graph workload (FREEHGC_CHECK below).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/trace.h"
+#include "serve/service.h"
+
+namespace freehgc::bench {
+namespace {
+
+struct PhaseResult {
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t eval_context_builds = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+};
+
+/// Exact quantile from raw samples (nearest-rank), unlike the bucketed
+/// Histogram::ApproxQuantile the server's own summaries use.
+double ExactQuantileMs(std::vector<int64_t> samples_ns, double q) {
+  if (samples_ns.empty()) return 0.0;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  const size_t n = samples_ns.size();
+  size_t rank = static_cast<size_t>(q * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return static_cast<double>(samples_ns[rank]) * 1e-6;
+}
+
+/// The request mix: `total` requests round-robined over three meta-path
+/// configurations (distinct EvalContexts, so a cold run pays three
+/// builds) with varying seeds.
+std::vector<serve::CondenseRequest> MakeWorkload(int total) {
+  const int path_caps[3] = {4, 6, 8};
+  std::vector<serve::CondenseRequest> reqs;
+  reqs.reserve(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    serve::CondenseRequest req;
+    req.graph = "acm";
+    req.method = "freehgc";
+    req.ratio = 0.05;
+    req.seed = static_cast<uint64_t>(1 + i % 5);
+    req.max_paths = path_caps[i % 3];
+    reqs.push_back(req);
+  }
+  return reqs;
+}
+
+/// Runs the workload closed-loop: `clients` submitter threads, each
+/// issuing its share of the requests back to back.
+PhaseResult RunPhase(serve::ServeService& service,
+                     const std::vector<serve::CondenseRequest>& workload,
+                     int clients) {
+  const int64_t builds_before = service.eval_context_builds();
+  const auto cache_before = service.cache().stats();
+
+  std::vector<std::vector<int64_t>> samples(
+      static_cast<size_t>(clients));
+  const int64_t t0 = obs::NowNs();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t i = static_cast<size_t>(c); i < workload.size();
+           i += static_cast<size_t>(clients)) {
+        const int64_t s0 = obs::NowNs();
+        auto reply = service.Condense(workload[i]);
+        FREEHGC_CHECK(reply.ok()) << reply.status().ToString();
+        samples[static_cast<size_t>(c)].push_back(obs::NowNs() - s0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = static_cast<double>(obs::NowNs() - t0) * 1e-9;
+
+  std::vector<int64_t> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  const auto cache_after = service.cache().stats();
+  PhaseResult out;
+  out.wall_seconds = wall;
+  out.throughput_rps = static_cast<double>(workload.size()) / wall;
+  out.p50_ms = ExactQuantileMs(all, 0.50);
+  out.p95_ms = ExactQuantileMs(all, 0.95);
+  out.p99_ms = ExactQuantileMs(all, 0.99);
+  out.eval_context_builds = service.eval_context_builds() - builds_before;
+  out.cache_hits = cache_after.hits - cache_before.hits;
+  out.cache_misses = cache_after.misses - cache_before.misses;
+  return out;
+}
+
+std::string PhaseJson(int slots, const char* phase, int requests,
+                      const PhaseResult& r) {
+  return StrFormat(
+      "    {\"slots\": %d, \"phase\": \"%s\", \"requests\": %d, "
+      "\"wall_seconds\": %.4f, \"throughput_rps\": %.3f, "
+      "\"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}, "
+      "\"eval_context_builds\": %lld, "
+      "\"cache\": {\"hits\": %lld, \"misses\": %lld}}",
+      slots, phase, requests, r.wall_seconds, r.throughput_rps, r.p50_ms,
+      r.p95_ms, r.p99_ms, static_cast<long long>(r.eval_context_builds),
+      static_cast<long long>(r.cache_hits),
+      static_cast<long long>(r.cache_misses));
+}
+
+void Print(int slots, const char* phase, const PhaseResult& r) {
+  std::printf(
+      "%d slot(s) %-4s : %6.2f req/s  p50 %7.2f ms  p95 %7.2f ms  "
+      "p99 %7.2f ms  (%lld ctx builds, %lld cache hits)\n",
+      slots, phase, r.throughput_rps, r.p50_ms, r.p95_ms, r.p99_ms,
+      static_cast<long long>(r.eval_context_builds),
+      static_cast<long long>(r.cache_hits));
+  std::fflush(stdout);
+}
+
+int Run() {
+  PrintHeader("Serving-layer closed-loop load (BENCH_serve.json)");
+  constexpr int kRequests = 24;
+  constexpr double kScale = 0.3;
+  const auto workload = MakeWorkload(kRequests);
+
+  std::vector<std::string> rows;
+  for (int slots : {1, 2, 4}) {
+    serve::ServeOptions opts;
+    opts.slots = slots;
+    opts.queue_capacity = 2 * kRequests;  // the bench measures service
+                                          // time, not shedding
+    serve::ServeService service(opts);
+    auto info = service.store().RegisterGenerator("acm", "acm", 1, kScale);
+    FREEHGC_CHECK(info.ok()) << info.status().ToString();
+
+    const int clients = 2 * slots;
+    const PhaseResult cold = RunPhase(service, workload, clients);
+    Print(slots, "cold", cold);
+    const PhaseResult warm = RunPhase(service, workload, clients);
+    Print(slots, "warm", warm);
+    service.Shutdown();
+
+    // The acceptance property: with the caches hot, the same workload
+    // must run strictly faster (no EvalContext builds, SpGEMM memoized).
+    FREEHGC_CHECK(warm.throughput_rps > cold.throughput_rps)
+        << "warm throughput " << warm.throughput_rps
+        << " req/s did not exceed cold " << cold.throughput_rps
+        << " req/s at " << slots << " slot(s)";
+    FREEHGC_CHECK(warm.eval_context_builds == 0);
+
+    rows.push_back(PhaseJson(slots, "cold", kRequests, cold));
+    rows.push_back(PhaseJson(slots, "warm", kRequests, warm));
+  }
+
+  std::string json = "{\n  \"bench\": \"serve_load\",\n";
+  json += StrFormat(
+      "  \"workload\": {\"graph\": \"acm\", \"scale\": %.2f, "
+      "\"requests\": %d, \"method\": \"freehgc\", \"ratio\": 0.05, "
+      "\"path_configs\": 3},\n",
+      kScale, kRequests);
+  json += StrFormat("  \"threads\": %d,\n", BenchThreads());
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json += rows[i];
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  WriteTextFile("BENCH_serve.json", json);
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace freehgc::bench
+
+int main() { return freehgc::bench::Run(); }

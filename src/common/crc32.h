@@ -1,0 +1,18 @@
+#ifndef FREEHGC_COMMON_CRC32_H_
+#define FREEHGC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace freehgc {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `n` bytes.
+/// `seed` chains incremental computation: pass the previous return value
+/// to extend a checksum across multiple buffers. Used as the integrity
+/// trailer of the HeteroGraph binary container and the serve-layer wire
+/// frames; table-driven, no external dependency.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_CRC32_H_

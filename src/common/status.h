@@ -18,6 +18,10 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  // Request-lifecycle codes used by the serving layer.
+  kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns the canonical human-readable name of a status code
@@ -60,6 +64,21 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  /// Rebuilds a status from a code + message pair (the serve-layer wire
+  /// protocol ships statuses as numeric code + string).
+  static Status FromCode(StatusCode code, std::string msg) {
+    return code == StatusCode::kOk ? OK() : Status(code, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -17,6 +17,12 @@ int DefaultNumThreads() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int ThreadsPerSlot(int slots) {
+  if (slots < 1) slots = 1;
+  const int per_slot = DefaultNumThreads() / slots;
+  return per_slot > 0 ? per_slot : 1;
+}
+
 ExecContext::ExecContext(int num_threads) {
   obs::InitObservabilityFromEnv();
   // The constructing thread drives ParallelFor invokes as worker 0;

@@ -187,6 +187,13 @@ class ExecContext {
 /// otherwise std::thread::hardware_concurrency() (min 1).
 int DefaultNumThreads();
 
+/// Per-driver worker count for a service running `slots` concurrent
+/// single-driver ExecContexts (ExecContext is single-driver by contract,
+/// so a multi-slot server gives each slot its own context): splits
+/// DefaultNumThreads() evenly, min 1 per slot, so the slots together do
+/// not oversubscribe the machine.
+int ThreadsPerSlot(int slots);
+
 /// Process-wide default context (lazily constructed with
 /// DefaultNumThreads()). Kernel entry points fall back to this when the
 /// caller passes no context.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/crc32.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 
@@ -12,7 +13,11 @@ namespace freehgc {
 namespace {
 
 constexpr uint32_t kMagic = 0x46484743;  // "FHGC"
-constexpr uint32_t kVersion = 1;
+// Version 1: magic, version, body. Version 2 inserts a u64 body size and
+// a CRC-32 of the body between the version field and the body, so loads
+// reject truncated or corrupted containers before building any state.
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -21,175 +26,187 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool WriteBytes(std::FILE* f, const void* data, size_t n) {
-  return std::fwrite(data, 1, n, f) == n;
-}
-bool ReadBytes(std::FILE* f, void* data, size_t n) {
-  return std::fread(data, 1, n, f) == n;
+// Serialization targets a std::string (infallible appends); parsing reads
+// from an in-memory view with bounds checks, which is what lets the
+// version-2 container verify size and checksum before any graph state is
+// built (and lets the serve layer parse uploads without touching disk).
+
+void WriteBytes(std::string& out, const void* data, size_t n) {
+  if (n > 0) out.append(static_cast<const char*>(data), n);
 }
 
 template <typename T>
-bool WritePod(std::FILE* f, const T& v) {
-  return WriteBytes(f, &v, sizeof(T));
-}
-template <typename T>
-bool ReadPod(std::FILE* f, T* v) {
-  return ReadBytes(f, v, sizeof(T));
+void WritePod(std::string& out, const T& v) {
+  WriteBytes(out, &v, sizeof(T));
 }
 
-bool WriteString(std::FILE* f, const std::string& s) {
-  const uint32_t n = static_cast<uint32_t>(s.size());
-  return WritePod(f, n) && WriteBytes(f, s.data(), s.size());
+void WriteString(std::string& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  WriteBytes(out, s.data(), s.size());
 }
-bool ReadString(std::FILE* f, std::string* s) {
+
+template <typename T>
+void WriteVec(std::string& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  WriteBytes(out, v.data(), v.size() * sizeof(T));
+}
+
+void WriteCsr(std::string& out, const CsrMatrix& m) {
+  WritePod(out, m.rows());
+  WritePod(out, m.cols());
+  WriteVec(out, m.indptr());
+  WriteVec(out, m.indices());
+  WriteVec(out, m.values());
+}
+
+void WriteMatrix(std::string& out, const Matrix& m) {
+  WritePod(out, m.rows());
+  WritePod(out, m.cols());
+  WriteBytes(out, m.data(), static_cast<size_t>(m.size()) * sizeof(float));
+}
+
+/// Bounds-checked reader over a byte view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool Read(void* dst, size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    if (n > 0) std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+template <typename T>
+bool ReadPod(ByteReader& r, T* v) {
+  return r.Read(v, sizeof(T));
+}
+
+bool ReadString(ByteReader& r, std::string* s) {
   uint32_t n = 0;
-  if (!ReadPod(f, &n) || n > (1u << 20)) return false;
+  if (!ReadPod(r, &n) || n > (1u << 20)) return false;
   s->resize(n);
-  return ReadBytes(f, s->data(), n);
+  return r.Read(s->data(), n);
 }
 
 template <typename T>
-bool WriteVec(std::FILE* f, const std::vector<T>& v) {
-  const uint64_t n = v.size();
-  return WritePod(f, n) && WriteBytes(f, v.data(), n * sizeof(T));
-}
-template <typename T>
-bool ReadVec(std::FILE* f, std::vector<T>* v) {
+bool ReadVec(ByteReader& r, std::vector<T>* v) {
   uint64_t n = 0;
-  if (!ReadPod(f, &n) || n > (1ull << 33)) return false;
+  if (!ReadPod(r, &n) || n > (1ull << 33)) return false;
   v->resize(static_cast<size_t>(n));
-  return ReadBytes(f, v->data(), static_cast<size_t>(n) * sizeof(T));
+  return r.Read(v->data(), static_cast<size_t>(n) * sizeof(T));
 }
 
-bool WriteCsr(std::FILE* f, const CsrMatrix& m) {
-  return WritePod(f, m.rows()) && WritePod(f, m.cols()) &&
-         WriteVec(f, m.indptr()) && WriteVec(f, m.indices()) &&
-         WriteVec(f, m.values());
-}
-
-Result<CsrMatrix> ReadCsr(std::FILE* f) {
+Result<CsrMatrix> ReadCsr(ByteReader& r) {
   int32_t rows = 0, cols = 0;
   std::vector<int64_t> indptr;
   std::vector<int32_t> indices;
   std::vector<float> values;
-  if (!ReadPod(f, &rows) || !ReadPod(f, &cols) || !ReadVec(f, &indptr) ||
-      !ReadVec(f, &indices) || !ReadVec(f, &values)) {
+  if (!ReadPod(r, &rows) || !ReadPod(r, &cols) || !ReadVec(r, &indptr) ||
+      !ReadVec(r, &indices) || !ReadVec(r, &values)) {
     return Status::Internal("truncated CSR block");
   }
   return CsrMatrix::FromParts(rows, cols, std::move(indptr),
                               std::move(indices), std::move(values));
 }
 
-bool WriteMatrix(std::FILE* f, const Matrix& m) {
-  if (!WritePod(f, m.rows()) || !WritePod(f, m.cols())) return false;
-  return WriteBytes(f, m.data(),
-                    static_cast<size_t>(m.size()) * sizeof(float));
-}
-
-Result<Matrix> ReadMatrix(std::FILE* f) {
+Result<Matrix> ReadMatrix(ByteReader& r) {
   int64_t rows = 0, cols = 0;
-  if (!ReadPod(f, &rows) || !ReadPod(f, &cols) || rows < 0 || cols < 0 ||
+  if (!ReadPod(r, &rows) || !ReadPod(r, &cols) || rows < 0 || cols < 0 ||
       rows * cols > (1ll << 33)) {
     return Status::Internal("truncated matrix header");
   }
   Matrix m(rows, cols);
-  if (!ReadBytes(f, m.data(), static_cast<size_t>(m.size()) * sizeof(float))) {
+  if (!r.Read(m.data(), static_cast<size_t>(m.size()) * sizeof(float))) {
     return Status::Internal("truncated matrix body");
   }
   return m;
 }
 
-}  // namespace
-
-Status SaveHeteroGraph(const HeteroGraph& g, const std::string& path) {
-  FREEHGC_RETURN_IF_ERROR(g.Validate());
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
-  bool ok = WritePod(f.get(), kMagic) && WritePod(f.get(), kVersion);
+/// Serializes the version-independent body (types, relations, features,
+/// labels, splits).
+void WriteBody(std::string& out, const HeteroGraph& g) {
   const int32_t num_types = g.NumNodeTypes();
-  ok = ok && WritePod(f.get(), num_types);
-  for (TypeId t = 0; t < num_types && ok; ++t) {
-    ok = WriteString(f.get(), g.TypeName(t)) &&
-         WritePod(f.get(), g.NodeCount(t));
+  WritePod(out, num_types);
+  for (TypeId t = 0; t < num_types; ++t) {
+    WriteString(out, g.TypeName(t));
+    WritePod(out, g.NodeCount(t));
   }
   const int32_t num_rel = g.NumRelations();
-  ok = ok && WritePod(f.get(), num_rel);
-  for (RelationId r = 0; r < num_rel && ok; ++r) {
+  WritePod(out, num_rel);
+  for (RelationId r = 0; r < num_rel; ++r) {
     const Relation& rel = g.relation(r);
-    ok = WriteString(f.get(), rel.name) && WritePod(f.get(), rel.src_type) &&
-         WritePod(f.get(), rel.dst_type) && WriteCsr(f.get(), rel.adj);
+    WriteString(out, rel.name);
+    WritePod(out, rel.src_type);
+    WritePod(out, rel.dst_type);
+    WriteCsr(out, rel.adj);
   }
-  for (TypeId t = 0; t < num_types && ok; ++t) {
+  for (TypeId t = 0; t < num_types; ++t) {
     const uint8_t has = g.HasFeatures(t) ? 1 : 0;
-    ok = WritePod(f.get(), has) &&
-         (!has || WriteMatrix(f.get(), g.Features(t)));
+    WritePod(out, has);
+    if (has) WriteMatrix(out, g.Features(t));
   }
   const int32_t target = g.target_type();
-  ok = ok && WritePod(f.get(), target);
-  if (target >= 0 && ok) {
-    ok = WritePod(f.get(), g.num_classes()) && WriteVec(f.get(), g.labels()) &&
-         WriteVec(f.get(), g.train_index()) &&
-         WriteVec(f.get(), g.val_index()) && WriteVec(f.get(), g.test_index());
+  WritePod(out, target);
+  if (target >= 0) {
+    WritePod(out, g.num_classes());
+    WriteVec(out, g.labels());
+    WriteVec(out, g.train_index());
+    WriteVec(out, g.val_index());
+    WriteVec(out, g.test_index());
   }
-  if (!ok) return Status::Internal("short write to " + path);
-  return Status::OK();
 }
 
-Result<HeteroGraph> LoadHeteroGraph(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::NotFound("cannot open: " + path);
-  uint32_t magic = 0, version = 0;
-  if (!ReadPod(f.get(), &magic) || magic != kMagic) {
-    return Status::InvalidArgument("not a FreeHGC graph file: " + path);
-  }
-  if (!ReadPod(f.get(), &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported graph file version");
-  }
+/// Parses the body (everything past the header fields).
+Result<HeteroGraph> ReadBody(ByteReader& r) {
   HeteroGraph g;
   int32_t num_types = 0;
-  if (!ReadPod(f.get(), &num_types) || num_types < 0 || num_types > 4096) {
+  if (!ReadPod(r, &num_types) || num_types < 0 || num_types > 4096) {
     return Status::Internal("bad type count");
   }
   for (int32_t t = 0; t < num_types; ++t) {
     std::string name;
     int32_t count = 0;
-    if (!ReadString(f.get(), &name) || !ReadPod(f.get(), &count)) {
+    if (!ReadString(r, &name) || !ReadPod(r, &count)) {
       return Status::Internal("truncated type table");
     }
     auto added = g.AddNodeType(name, count);
     if (!added.ok()) return added.status();
   }
   int32_t num_rel = 0;
-  if (!ReadPod(f.get(), &num_rel) || num_rel < 0 || num_rel > 65536) {
+  if (!ReadPod(r, &num_rel) || num_rel < 0 || num_rel > 65536) {
     return Status::Internal("bad relation count");
   }
-  for (int32_t r = 0; r < num_rel; ++r) {
+  for (int32_t rel_i = 0; rel_i < num_rel; ++rel_i) {
     std::string name;
     TypeId src = -1, dst = -1;
-    if (!ReadString(f.get(), &name) || !ReadPod(f.get(), &src) ||
-        !ReadPod(f.get(), &dst)) {
+    if (!ReadString(r, &name) || !ReadPod(r, &src) || !ReadPod(r, &dst)) {
       return Status::Internal("truncated relation header");
     }
-    FREEHGC_ASSIGN_OR_RETURN(CsrMatrix adj, ReadCsr(f.get()));
+    FREEHGC_ASSIGN_OR_RETURN(CsrMatrix adj, ReadCsr(r));
     auto added = g.AddRelation(name, src, dst, std::move(adj));
     if (!added.ok()) return added.status();
   }
   for (int32_t t = 0; t < num_types; ++t) {
     uint8_t has = 0;
-    if (!ReadPod(f.get(), &has)) return Status::Internal("truncated flags");
+    if (!ReadPod(r, &has)) return Status::Internal("truncated flags");
     if (has) {
-      FREEHGC_ASSIGN_OR_RETURN(Matrix m, ReadMatrix(f.get()));
+      FREEHGC_ASSIGN_OR_RETURN(Matrix m, ReadMatrix(r));
       FREEHGC_RETURN_IF_ERROR(g.SetFeatures(t, std::move(m)));
     }
   }
   int32_t target = -1;
-  if (!ReadPod(f.get(), &target)) return Status::Internal("truncated target");
+  if (!ReadPod(r, &target)) return Status::Internal("truncated target");
   if (target >= 0) {
     int32_t num_classes = 0;
     std::vector<int32_t> labels, train, val, test;
-    if (!ReadPod(f.get(), &num_classes) || !ReadVec(f.get(), &labels) ||
-        !ReadVec(f.get(), &train) || !ReadVec(f.get(), &val) ||
-        !ReadVec(f.get(), &test)) {
+    if (!ReadPod(r, &num_classes) || !ReadVec(r, &labels) ||
+        !ReadVec(r, &train) || !ReadVec(r, &val) || !ReadVec(r, &test)) {
       return Status::Internal("truncated label block");
     }
     FREEHGC_RETURN_IF_ERROR(g.SetTarget(target, std::move(labels),
@@ -198,6 +215,91 @@ Result<HeteroGraph> LoadHeteroGraph(const std::string& path) {
                                        std::move(test)));
   }
   FREEHGC_RETURN_IF_ERROR(g.Validate());
+  return g;
+}
+
+}  // namespace
+
+Result<std::string> SerializeHeteroGraph(const HeteroGraph& g) {
+  FREEHGC_RETURN_IF_ERROR(g.Validate());
+  std::string body;
+  WriteBody(body, g);
+  const uint64_t size = body.size();
+  const uint32_t crc = Crc32(body.data(), body.size());
+  std::string out;
+  out.reserve(sizeof(kMagic) + sizeof(kVersion) + sizeof(size) +
+              sizeof(crc) + body.size());
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, size);
+  WritePod(out, crc);
+  out.append(body);
+  return out;
+}
+
+Result<HeteroGraph> DeserializeHeteroGraph(std::string_view bytes) {
+  ByteReader r(bytes);
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(r, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("not a FreeHGC graph container");
+  }
+  if (!ReadPod(r, &version)) {
+    return Status::InvalidArgument("truncated graph container header");
+  }
+  size_t body_off = sizeof(magic) + sizeof(version);
+  if (version == kVersion) {
+    uint64_t size = 0;
+    uint32_t crc = 0;
+    if (!ReadPod(r, &size) || !ReadPod(r, &crc)) {
+      return Status::InvalidArgument("truncated graph container header");
+    }
+    body_off += sizeof(size) + sizeof(crc);
+    if (bytes.size() - body_off != size) {
+      return Status::InvalidArgument(StrFormat(
+          "truncated graph container: body has %zu of %llu bytes",
+          bytes.size() - body_off, static_cast<unsigned long long>(size)));
+    }
+    const uint32_t actual = Crc32(bytes.data() + body_off, size);
+    if (actual != crc) {
+      return Status::InvalidArgument(StrFormat(
+          "graph container checksum mismatch (stored %08x, computed %08x)",
+          crc, actual));
+    }
+  } else if (version != kVersionLegacy) {
+    return Status::InvalidArgument("unsupported graph file version");
+  }
+  // Version 1 has no size/checksum: the body parser's bounds checks are
+  // the only truncation defense (kept for old files).
+  return ReadBody(r);
+}
+
+Status SaveHeteroGraph(const HeteroGraph& g, const std::string& path) {
+  FREEHGC_ASSIGN_OR_RETURN(std::string bytes, SerializeHeteroGraph(g));
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<HeteroGraph> LoadHeteroGraph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    bytes.append(buf, n);
+  }
+  if (std::ferror(f.get()) != 0) {
+    return Status::Internal("read error: " + path);
+  }
+  auto g = DeserializeHeteroGraph(bytes);
+  if (!g.ok() &&
+      g.status().message().rfind("not a FreeHGC graph container", 0) == 0) {
+    return Status::InvalidArgument("not a FreeHGC graph file: " + path);
+  }
   return g;
 }
 

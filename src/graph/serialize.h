@@ -2,6 +2,7 @@
 #define FREEHGC_GRAPH_SERIALIZE_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -10,13 +11,25 @@
 namespace freehgc {
 
 /// Writes a HeteroGraph to a self-contained binary file (magic + version +
-/// types, relations as CSR, features, labels, splits). Condensed graphs
-/// round-trip exactly, so a condensation can be run once and shipped.
+/// payload size + CRC-32 + types, relations as CSR, features, labels,
+/// splits). Condensed graphs round-trip exactly, so a condensation can be
+/// run once and shipped. Format version 2: the header carries the payload
+/// byte count and a CRC-32 of the payload, so truncation and corruption
+/// are detected before any graph state is constructed.
 Status SaveHeteroGraph(const HeteroGraph& g, const std::string& path);
 
 /// Reads a file written by SaveHeteroGraph. Fails with InvalidArgument on
-/// magic/version mismatch and Internal on truncation.
+/// magic/version mismatch and, for version-2 containers, on truncation or
+/// checksum mismatch. Version-1 files (no checksum) still load.
 Result<HeteroGraph> LoadHeteroGraph(const std::string& path);
+
+/// Serializes to the same self-contained container SaveHeteroGraph writes,
+/// but in memory — the payload format of serve-layer graph uploads.
+Result<std::string> SerializeHeteroGraph(const HeteroGraph& g);
+
+/// Parses a container produced by SerializeHeteroGraph/SaveHeteroGraph
+/// from memory, with the same integrity checks as LoadHeteroGraph.
+Result<HeteroGraph> DeserializeHeteroGraph(std::string_view bytes);
 
 /// Loads a heterogeneous graph from plain CSV files, the interchange
 /// format for bringing real datasets into the library:

@@ -31,6 +31,34 @@ std::string I64(int64_t v) {
 
 }  // namespace
 
+int64_t Histogram::ApproxQuantile(double q) const {
+  const int64_t total = Count();
+  if (total <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceiling), then walk the buckets.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  int64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const int64_t n = BucketCount(b);
+    if (n == 0) continue;
+    if (cum + n >= rank) {
+      // Bucket b holds values in (lower, upper]; interpolate by the
+      // sample's position inside the bucket.
+      const int64_t upper = b == 0 ? 1 : (int64_t{1} << b);
+      const int64_t lower = b <= 1 ? (b == 0 ? 0 : 1) : (int64_t{1} << (b - 1));
+      const double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(n);
+      return lower +
+             static_cast<int64_t>(frac * static_cast<double>(upper - lower));
+    }
+    cum += n;
+  }
+  return Sum() / total;  // counts raced with buckets; fall back to mean
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* r = new MetricsRegistry();
   return *r;

@@ -105,6 +105,14 @@ class Histogram {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   }
 
+  /// Approximate q-quantile (q in [0, 1]) from the bucket counts: finds
+  /// the bucket holding the q-th sample and interpolates linearly inside
+  /// it, so the error is bounded by the bucket width (a factor of two).
+  /// Returns 0 for an empty histogram. Serving-layer latency summaries
+  /// (p50/p95/p99 at shutdown) are the primary consumer; exact
+  /// percentiles, where needed, come from raw samples (bench_serve_load).
+  int64_t ApproxQuantile(double q) const;
+
   /// Bucket for value v: 0 for v <= 1, otherwise floor(log2(v - 1)) + 1,
   /// clamped to the last bucket.
   static int BucketIndex(int64_t v) {

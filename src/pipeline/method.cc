@@ -186,6 +186,17 @@ const CondensationMethod* MethodRegistry::Find(const std::string& key) const {
   return it == impl_->methods.end() ? nullptr : it->second.get();
 }
 
+Result<const CondensationMethod*> MethodRegistry::FindOrError(
+    const std::string& key) const {
+  const CondensationMethod* method = Find(key);
+  if (method == nullptr) {
+    return Status::NotFound(StrFormat(
+        "no condensation method registered as '%s' (registered: %s)",
+        key.c_str(), Join(Keys(), ", ").c_str()));
+  }
+  return method;
+}
+
 std::vector<std::string> MethodRegistry::Keys() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   std::vector<std::string> keys;
@@ -204,11 +215,8 @@ Result<MethodRun> RunMethod(const hgnn::EvalContext& ctx,
                             const std::string& key, const RunSpec& spec,
                             const hgnn::HgnnConfig& eval_cfg,
                             const PipelineEnv& env) {
-  const CondensationMethod* method = MethodRegistry::Global().Find(key);
-  if (method == nullptr) {
-    return Status::NotFound(
-        StrFormat("no condensation method registered as '%s'", key.c_str()));
-  }
+  FREEHGC_ASSIGN_OR_RETURN(const CondensationMethod* method,
+                           MethodRegistry::Global().FindOrError(key));
   MethodRun out;
   auto data = method->Condense(ctx, spec, env);
   if (!data.ok()) {

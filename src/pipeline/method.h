@@ -102,6 +102,11 @@ class MethodRegistry {
   /// Null when no method holds `key`.
   const CondensationMethod* Find(const std::string& key) const;
 
+  /// Like Find, but an unknown key becomes a NotFound status whose
+  /// message lists every registered key — the serve layer and CLIs
+  /// forward it verbatim, so callers learn what exists.
+  Result<const CondensationMethod*> FindOrError(const std::string& key) const;
+
   /// Registered keys, sorted.
   std::vector<std::string> Keys() const;
 

@@ -1,0 +1,116 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+#include "serve/wire.h"
+
+namespace freehgc::serve {
+
+ServeClient::~ServeClient() { Close(); }
+
+Status ServeClient::Connect(int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(
+        StrFormat("socket() failed: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    Close();
+    return Status::Unavailable(StrFormat("cannot connect to 127.0.0.1:%d: %s",
+                                         port, std::strerror(err)));
+  }
+  return Status::OK();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::string> ServeClient::RoundTrip(std::string payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  FREEHGC_RETURN_IF_ERROR(WriteFrame(fd_, payload));
+  FREEHGC_ASSIGN_OR_RETURN(std::string frame, ReadFrame(fd_));
+  FREEHGC_ASSIGN_OR_RETURN(WireResponse response, DecodeResponse(frame));
+  FREEHGC_RETURN_IF_ERROR(response.status);
+  return std::move(response.body);
+}
+
+Status ServeClient::Ping() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kPing));
+  return RoundTrip(w.Take()).status();
+}
+
+Result<GraphInfo> ServeClient::RegisterGenerator(const std::string& name,
+                                                 const std::string& preset,
+                                                 uint64_t seed, double scale) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kRegisterGenerator));
+  w.PutString(name);
+  w.PutString(preset);
+  w.PutU64(seed);
+  w.PutF64(scale);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, RoundTrip(w.Take()));
+  WireReader r(body);
+  return DecodeGraphInfo(r);
+}
+
+Result<GraphInfo> ServeClient::UploadGraph(const std::string& name,
+                                           std::string_view container) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kUploadGraph));
+  w.PutString(name);
+  w.PutString(container);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, RoundTrip(w.Take()));
+  WireReader r(body);
+  return DecodeGraphInfo(r);
+}
+
+Result<std::vector<GraphInfo>> ServeClient::ListGraphs() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kListGraphs));
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, RoundTrip(w.Take()));
+  WireReader r(body);
+  return DecodeGraphInfoList(r);
+}
+
+Result<CondenseReply> ServeClient::Condense(const CondenseRequest& request) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kCondense));
+  EncodeCondenseRequest(w, request);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, RoundTrip(w.Take()));
+  WireReader r(body);
+  return DecodeCondenseReply(r);
+}
+
+Result<std::string> ServeClient::Stats() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kStats));
+  return RoundTrip(w.Take());
+}
+
+Status ServeClient::Shutdown() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kShutdown));
+  return RoundTrip(w.Take()).status();
+}
+
+}  // namespace freehgc::serve

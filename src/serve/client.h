@@ -1,0 +1,67 @@
+#ifndef FREEHGC_SERVE_CLIENT_H_
+#define FREEHGC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/graph_store.h"
+#include "serve/scheduler.h"
+
+namespace freehgc::serve {
+
+/// Blocking TCP client for a freehgc_server: one connection, one
+/// request/response in flight at a time (open several clients for
+/// concurrency — the server is thread-per-connection). Methods surface
+/// the server's status verbatim, so e.g. a shed request is the same
+/// kResourceExhausted the in-process API returns.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trip health check.
+  Status Ping();
+
+  /// Builds `preset` server-side under (seed, scale) and registers it as
+  /// `name`. scale <= 0 uses the preset default.
+  Result<GraphInfo> RegisterGenerator(const std::string& name,
+                                      const std::string& preset,
+                                      uint64_t seed, double scale);
+
+  /// Uploads a SaveHeteroGraph/SerializeHeteroGraph container.
+  Result<GraphInfo> UploadGraph(const std::string& name,
+                                std::string_view container);
+
+  Result<std::vector<GraphInfo>> ListGraphs();
+
+  /// Runs one condensation request to completion (blocking).
+  Result<CondenseReply> Condense(const CondenseRequest& request);
+
+  /// The server's StatsJson snapshot.
+  Result<std::string> Stats();
+
+  /// Asks the server to stop (it drains in-flight work before exiting).
+  Status Shutdown();
+
+ private:
+  /// Sends one framed request and decodes the response envelope; a non-OK
+  /// server status comes back as that status.
+  Result<std::string> RoundTrip(std::string payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace freehgc::serve
+
+#endif  // FREEHGC_SERVE_CLIENT_H_

@@ -1,0 +1,127 @@
+#include "serve/graph_store.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "datasets/generator.h"
+#include "graph/serialize.h"
+#include "obs/metrics.h"
+
+namespace freehgc::serve {
+
+Result<GraphInfo> GraphStore::Register(const std::string& name,
+                                       HeteroGraph graph) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must not be empty");
+  }
+  FREEHGC_RETURN_IF_ERROR(graph.Validate());
+  return Insert(name, std::move(graph));
+}
+
+Result<GraphInfo> GraphStore::RegisterSerialized(const std::string& name,
+                                                 std::string_view container) {
+  FREEHGC_ASSIGN_OR_RETURN(HeteroGraph g, DeserializeHeteroGraph(container));
+  return Register(name, std::move(g));
+}
+
+Result<GraphInfo> GraphStore::RegisterGenerator(const std::string& name,
+                                                const std::string& preset,
+                                                uint64_t seed, double scale,
+                                                exec::ExecContext* ctx) {
+  FREEHGC_ASSIGN_OR_RETURN(
+      HeteroGraph g,
+      datasets::MakeByName(preset, seed, scale > 0 ? scale : 1.0, ctx));
+  return Register(name, std::move(g));
+}
+
+Result<GraphInfo> GraphStore::Insert(const std::string& name,
+                                     HeteroGraph graph) {
+  GraphInfo info;
+  info.name = name;
+  info.fingerprint = graph.ContentFingerprint();
+  info.nodes = graph.TotalNodes();
+  info.edges = graph.TotalEdges();
+  info.memory_bytes = graph.MemoryBytes();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it != graphs_.end()) {
+    if (it->second.info.fingerprint == info.fingerprint) {
+      return it->second.info;  // idempotent re-registration
+    }
+    return Status::FailedPrecondition(StrFormat(
+        "graph '%s' already registered with different content "
+        "(resident %016llx, new %016llx)",
+        name.c_str(),
+        static_cast<unsigned long long>(it->second.info.fingerprint),
+        static_cast<unsigned long long>(info.fingerprint)));
+  }
+  Entry entry;
+  entry.graph = std::make_shared<const HeteroGraph>(std::move(graph));
+  entry.info = info;
+  graphs_.emplace(name, std::move(entry));
+  UpdateGauges();
+  return info;
+}
+
+Result<GraphStore::GraphRef> GraphStore::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no resident graph named '" + name + "'");
+  }
+  return it->second.graph;
+}
+
+Result<GraphInfo> GraphStore::Info(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no resident graph named '" + name + "'");
+  }
+  return it->second.info;
+}
+
+std::vector<GraphInfo> GraphStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GraphInfo> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) out.push_back(entry.info);
+  return out;
+}
+
+bool GraphStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool erased = graphs_.erase(name) > 0;
+  if (erased) UpdateGauges();
+  return erased;
+}
+
+int64_t GraphStore::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(graphs_.size());
+}
+
+size_t GraphStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [name, entry] : graphs_) {
+    bytes += entry.info.memory_bytes;
+  }
+  return bytes;
+}
+
+void GraphStore::UpdateGauges() const {
+  static obs::Gauge& count =
+      obs::MetricsRegistry::Global().GetGauge("serve.store.graphs");
+  static obs::Gauge& bytes =
+      obs::MetricsRegistry::Global().GetGauge("serve.store.bytes");
+  count.Set(static_cast<int64_t>(graphs_.size()));
+  size_t total = 0;
+  for (const auto& [name, entry] : graphs_) {
+    total += entry.info.memory_bytes;
+  }
+  bytes.Set(static_cast<int64_t>(total));
+}
+
+}  // namespace freehgc::serve

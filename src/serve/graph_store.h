@@ -1,0 +1,100 @@
+#ifndef FREEHGC_SERVE_GRAPH_STORE_H_
+#define FREEHGC_SERVE_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_context.h"
+#include "graph/hetero_graph.h"
+
+namespace freehgc::serve {
+
+/// Catalog entry for one resident graph.
+struct GraphInfo {
+  std::string name;
+  /// HeteroGraph::ContentFingerprint of the resident copy — the identity
+  /// the scheduler and ArtifactCache key on.
+  uint64_t fingerprint = 0;
+  int64_t nodes = 0;
+  int64_t edges = 0;
+  /// Approximate resident bytes (HeteroGraph::MemoryBytes).
+  size_t memory_bytes = 0;
+};
+
+/// Registry of resident HeteroGraphs, the serving layer's object store:
+/// graphs enter once (uploaded as a SaveHeteroGraph container or built by
+/// a named synthetic generator) and every request against the same name
+/// shares the one immutable copy through a stable shared_ptr — in-process
+/// vineyard-style object sharing. A reference stays valid for as long as
+/// the caller holds it, even across Remove (removal only unlinks the
+/// name; in-flight requests keep the graph alive).
+///
+/// Thread-safe. Registration is idempotent on identical content: a name
+/// collision with the same fingerprint returns the existing entry, a
+/// collision with different content is FailedPrecondition (a resident
+/// graph never changes under a request's feet).
+class GraphStore {
+ public:
+  using GraphRef = std::shared_ptr<const HeteroGraph>;
+
+  GraphStore() = default;
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Registers an already-built graph under `name`.
+  Result<GraphInfo> Register(const std::string& name, HeteroGraph graph);
+
+  /// Registers a graph from a SaveHeteroGraph/SerializeHeteroGraph
+  /// container (the upload path). Corrupt or truncated payloads are
+  /// InvalidArgument — nothing is registered.
+  Result<GraphInfo> RegisterSerialized(const std::string& name,
+                                       std::string_view container);
+
+  /// Registers `preset` (datasets::MakeByName: "acm", "toy", ...) built
+  /// deterministically under (seed, scale). scale <= 0 uses the preset's
+  /// repo default.
+  Result<GraphInfo> RegisterGenerator(const std::string& name,
+                                      const std::string& preset,
+                                      uint64_t seed, double scale,
+                                      exec::ExecContext* ctx = nullptr);
+
+  /// Shared reference to a resident graph. NotFound when `name` is not
+  /// registered.
+  Result<GraphRef> Get(const std::string& name) const;
+
+  /// Catalog entry for `name`.
+  Result<GraphInfo> Info(const std::string& name) const;
+
+  /// All resident graphs, sorted by name.
+  std::vector<GraphInfo> List() const;
+
+  /// Unlinks `name` (existing references stay valid). Returns whether the
+  /// name was registered.
+  bool Remove(const std::string& name);
+
+  /// Resident graphs / bytes (mirrored into the serve.store.* gauges).
+  int64_t Count() const;
+  size_t TotalBytes() const;
+
+ private:
+  struct Entry {
+    GraphRef graph;
+    GraphInfo info;
+  };
+
+  Result<GraphInfo> Insert(const std::string& name, HeteroGraph graph);
+  void UpdateGauges() const;  // callers hold mu_
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> graphs_;
+};
+
+}  // namespace freehgc::serve
+
+#endif  // FREEHGC_SERVE_GRAPH_STORE_H_

@@ -1,0 +1,259 @@
+#include "serve/scheduler.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace freehgc::serve {
+
+namespace {
+
+struct SchedulerMetrics {
+  obs::Gauge& queue_depth;
+  obs::Gauge& inflight;
+  obs::Counter& admitted;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& shed;
+  obs::Counter& cancelled;
+  obs::Counter& expired;
+  obs::Histogram& queue_ns;
+  obs::Histogram& run_ns;
+  obs::Histogram& total_ns;
+
+  static SchedulerMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static SchedulerMetrics m{
+        reg.GetGauge("serve.queue_depth"),
+        reg.GetGauge("serve.inflight"),
+        reg.GetCounter("serve.requests.admitted"),
+        reg.GetCounter("serve.requests.completed"),
+        reg.GetCounter("serve.requests.failed"),
+        reg.GetCounter("serve.requests.shed"),
+        reg.GetCounter("serve.requests.cancelled"),
+        reg.GetCounter("serve.requests.expired"),
+        reg.GetHistogram("serve.latency.queue_ns"),
+        reg.GetHistogram("serve.latency.run_ns"),
+        reg.GetHistogram("serve.latency.total_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+Result<CondenseReply>& RequestTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return result_.has_value(); });
+  return *result_;
+}
+
+bool RequestTicket::Done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_.has_value();
+}
+
+RequestScheduler::RequestScheduler(int slots, int queue_capacity,
+                                   int threads_per_slot, WorkFn work)
+    : queue_capacity_(queue_capacity > 0 ? queue_capacity : 1),
+      work_(std::move(work)) {
+  if (slots < 1) slots = 1;
+  const int per_slot =
+      threads_per_slot > 0 ? threads_per_slot : exec::ThreadsPerSlot(slots);
+  slot_exec_.reserve(static_cast<size_t>(slots));
+  workers_.reserve(static_cast<size_t>(slots));
+  for (int s = 0; s < slots; ++s) {
+    slot_exec_.push_back(std::make_unique<exec::ExecContext>(per_slot));
+  }
+  for (int s = 0; s < slots; ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+RequestScheduler::~RequestScheduler() { Shutdown(ShutdownMode::kDrain); }
+
+Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
+  auto& m = SchedulerMetrics::Get();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!accepting_) {
+    return Status::Unavailable("scheduler is shutting down");
+  }
+  if (static_cast<int>(queue_.size()) >= queue_capacity_) {
+    ++stats_.shed;
+    m.shed.Increment();
+    return Status::ResourceExhausted(
+        StrFormat("admission queue full (%d queued, capacity %d)",
+                  static_cast<int>(queue_.size()), queue_capacity_));
+  }
+  const uint64_t id = next_id_++;
+  const int priority = request.priority;
+  const int64_t deadline_ms = request.deadline_ms;
+  auto ticket =
+      TicketPtr(new RequestTicket(id, std::move(request)));
+  ticket->submit_ns_ = obs::NowNs();
+  if (deadline_ms > 0) {
+    ticket->deadline_ns_ = ticket->submit_ns_ + deadline_ms * 1'000'000;
+  }
+  queue_.emplace(std::make_pair(priority, id), ticket);
+  ++stats_.admitted;
+  m.admitted.Increment();
+  UpdateGauges();
+  lock.unlock();
+  work_cv_.notify_one();
+  return ticket;
+}
+
+bool RequestScheduler::Cancel(uint64_t id) {
+  TicketPtr ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->second->id() == id) {
+        ticket = it->second;
+        queue_.erase(it);
+        ++stats_.cancelled;
+        SchedulerMetrics::Get().cancelled.Increment();
+        UpdateGauges();
+        break;
+      }
+    }
+  }
+  if (!ticket) return false;
+  Complete(ticket, Status::Cancelled(
+                       StrFormat("request %llu cancelled while queued",
+                                 static_cast<unsigned long long>(id))));
+  drain_cv_.notify_all();
+  return true;
+}
+
+void RequestScheduler::Shutdown(ShutdownMode mode) {
+  std::vector<TicketPtr> rejected;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    accepting_ = false;
+    if (mode == ShutdownMode::kCancelQueued) {
+      for (auto& [key, ticket] : queue_) {
+        rejected.push_back(ticket);
+        ++stats_.cancelled;
+        SchedulerMetrics::Get().cancelled.Increment();
+      }
+      queue_.clear();
+      UpdateGauges();
+    }
+  }
+  for (auto& ticket : rejected) {
+    Complete(ticket, Status::Unavailable(
+                         "scheduler shut down before the request ran"));
+  }
+  {
+    // Drain: wait until queued work is gone and every slot is idle, then
+    // tell the workers to exit.
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] {
+      return queue_.empty() && stats_.inflight == 0;
+    });
+    if (stop_) return;  // an earlier Shutdown already joined the workers
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+SchedulerStats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RequestScheduler::WorkerLoop(int slot) {
+  auto& m = SchedulerMetrics::Get();
+  exec::ExecContext* ctx = slot_exec_[static_cast<size_t>(slot)].get();
+  for (;;) {
+    TicketPtr ticket;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      // Dequeue, shedding queued requests whose deadline already passed —
+      // this is the point that guarantees an expired request never runs.
+      while (!queue_.empty()) {
+        auto it = queue_.begin();
+        TicketPtr head = it->second;
+        queue_.erase(it);
+        if (head->deadline_ns_ > 0 && obs::NowNs() > head->deadline_ns_) {
+          ++stats_.expired;
+          m.expired.Increment();
+          UpdateGauges();
+          lock.unlock();
+          Complete(head,
+                   Status::DeadlineExceeded(StrFormat(
+                       "request %llu expired after %lld ms in the queue",
+                       static_cast<unsigned long long>(head->id()),
+                       static_cast<long long>(
+                           head->request().deadline_ms))));
+          drain_cv_.notify_all();
+          lock.lock();
+          continue;
+        }
+        ticket = std::move(head);
+        break;
+      }
+      if (!ticket) continue;
+      ++stats_.inflight;
+      UpdateGauges();
+    }
+
+    const int64_t start_ns = obs::NowNs();
+    const int64_t queue_ns = start_ns - ticket->submit_ns_;
+    Result<CondenseReply> result = [&] {
+      FREEHGC_TRACE_SPAN("serve.request");
+      return work_(ticket->request(), ctx);
+    }();
+    const int64_t end_ns = obs::NowNs();
+    if (result.ok()) {
+      result.value().queue_seconds = static_cast<double>(queue_ns) * 1e-9;
+      result.value().total_seconds =
+          static_cast<double>(end_ns - ticket->submit_ns_) * 1e-9;
+    }
+    m.queue_ns.Observe(queue_ns);
+    m.run_ns.Observe(end_ns - start_ns);
+    m.total_ns.Observe(end_ns - ticket->submit_ns_);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --stats_.inflight;
+      if (result.ok()) {
+        ++stats_.completed;
+        m.completed.Increment();
+      } else {
+        ++stats_.failed;
+        m.failed.Increment();
+      }
+      UpdateGauges();
+    }
+    Complete(ticket, std::move(result));
+    drain_cv_.notify_all();
+  }
+}
+
+void RequestScheduler::Complete(const TicketPtr& ticket,
+                                Result<CondenseReply> result) {
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu_);
+    if (ticket->result_.has_value()) return;  // already terminal
+    ticket->result_.emplace(std::move(result));
+  }
+  ticket->cv_.notify_all();
+}
+
+void RequestScheduler::UpdateGauges() {
+  stats_.queue_depth = static_cast<int64_t>(queue_.size());
+  auto& m = SchedulerMetrics::Get();
+  m.queue_depth.Set(stats_.queue_depth);
+  m.inflight.Set(stats_.inflight);
+}
+
+}  // namespace freehgc::serve

@@ -1,0 +1,192 @@
+#ifndef FREEHGC_SERVE_SCHEDULER_H_
+#define FREEHGC_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_context.h"
+
+namespace freehgc::serve {
+
+/// One condensation request against a resident graph.
+struct CondenseRequest {
+  /// GraphStore name of the graph to condense.
+  std::string graph;
+  /// MethodRegistry key ("freehgc", "herding", ...).
+  std::string method = "freehgc";
+  double ratio = 0.1;
+  uint64_t seed = 1;
+  /// Meta-path configuration; together with `graph` this is the artifact
+  /// identity — requests sharing it reuse the same cached evaluation
+  /// context and composed adjacencies. max_hops <= 0 resolves to 2.
+  int max_hops = 2;
+  int max_paths = 12;
+  int64_t max_row_nnz = 512;
+  /// Also train an HGNN on the condensed output and report accuracy.
+  bool evaluate = false;
+  /// Ship the condensed graph back as a SerializeHeteroGraph container.
+  bool return_graph = false;
+  /// Admission priority: lower values run first; FIFO within a priority.
+  int priority = 0;
+  /// Queue deadline in milliseconds from submission (0 = none). A request
+  /// whose deadline passes while still queued is never executed.
+  int64_t deadline_ms = 0;
+};
+
+/// What a completed condense request returns.
+struct CondenseReply {
+  int64_t nodes = 0;
+  int64_t edges = 0;
+  size_t storage_bytes = 0;
+  /// Wall-clock of the condensation stage alone.
+  double condense_seconds = 0.0;
+  /// Queue wait and end-to-end (admission to completion) wall-clock.
+  double queue_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Test accuracy / macro-F1 in percent; valid when `evaluated`.
+  bool evaluated = false;
+  float accuracy = 0.0f;
+  float macro_f1 = 0.0f;
+  /// Serialized condensed graph (CondenseRequest::return_graph).
+  std::string graph_bytes;
+  /// Fingerprint of the full graph the request ran against.
+  uint64_t graph_fingerprint = 0;
+};
+
+/// Completion handle for a submitted request. Wait() blocks until the
+/// request reaches a terminal state: completed (value), failed (error
+/// status), shed at shutdown (kUnavailable), cancelled (kCancelled), or
+/// deadline-expired in the queue (kDeadlineExceeded).
+class RequestTicket {
+ public:
+  uint64_t id() const { return id_; }
+  const CondenseRequest& request() const { return request_; }
+
+  /// Blocks until terminal; the reference stays valid while the ticket is
+  /// alive. Idempotent.
+  Result<CondenseReply>& Wait();
+
+  /// Non-blocking: terminal yet?
+  bool Done() const;
+
+ private:
+  friend class RequestScheduler;
+  RequestTicket(uint64_t id, CondenseRequest request)
+      : id_(id), request_(std::move(request)) {}
+
+  const uint64_t id_;
+  const CondenseRequest request_;
+  int64_t submit_ns_ = 0;
+  int64_t deadline_ns_ = 0;  // absolute (obs::NowNs clock); 0 = none
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Result<CondenseReply>> result_;
+};
+
+using TicketPtr = std::shared_ptr<RequestTicket>;
+
+/// How Shutdown treats requests still in the queue (running requests
+/// always finish — cancellation is cooperative and request bodies are not
+/// interrupted).
+enum class ShutdownMode {
+  /// Execute everything already admitted, then stop.
+  kDrain,
+  /// Fail queued requests with kUnavailable; only running ones finish.
+  kCancelQueued,
+};
+
+/// Scheduler counters (also mirrored into obs as serve.* metrics).
+struct SchedulerStats {
+  int64_t admitted = 0;
+  int64_t completed = 0;   // terminal with a value
+  int64_t failed = 0;      // terminal with an error from the work body
+  int64_t shed = 0;        // rejected at admission (queue full)
+  int64_t cancelled = 0;   // removed from the queue by Cancel/shutdown
+  int64_t expired = 0;     // queue deadline passed before execution
+  int64_t queue_depth = 0;
+  int64_t inflight = 0;
+};
+
+/// Bounded-admission request scheduler: a priority-FIFO queue feeding N
+/// worker slots. Each slot owns its own single-driver ExecContext (the
+/// exec layer's contract) sized by exec::ThreadsPerSlot, so S slots
+/// together use the machine's thread budget without oversubscription;
+/// what the slots *share* is whatever the work function closes over
+/// (the serve layer passes the GraphStore + ArtifactCache, which are
+/// thread-safe).
+///
+/// Overload semantics: admission beyond `queue_capacity` queued requests
+/// is shed immediately with kResourceExhausted — the queue never blocks a
+/// submitter and never grows unboundedly. Queued requests can be
+/// cancelled or expire (deadline) without ever executing; running
+/// requests always run to completion.
+class RequestScheduler {
+ public:
+  /// The per-request work body, run on a worker slot's thread with that
+  /// slot's ExecContext. Must be safe to call concurrently from different
+  /// slots (all serve-layer shared state is thread-safe).
+  using WorkFn = std::function<Result<CondenseReply>(
+      const CondenseRequest&, exec::ExecContext*)>;
+
+  /// `threads_per_slot` 0 resolves to exec::ThreadsPerSlot(slots).
+  RequestScheduler(int slots, int queue_capacity, int threads_per_slot,
+                   WorkFn work);
+
+  /// Drains (kDrain) if Shutdown was never called.
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Admits a request. kResourceExhausted when the queue is full,
+  /// kUnavailable after Shutdown.
+  Result<TicketPtr> Submit(CondenseRequest request);
+
+  /// Removes a still-queued request; its ticket completes with
+  /// kCancelled and the work body never runs. False when the request
+  /// already started (or finished) — running work is never interrupted.
+  bool Cancel(uint64_t id);
+
+  /// Stops admission, disposes of the queue per `mode`, waits for every
+  /// worker slot to go idle, and joins them. Idempotent.
+  void Shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  SchedulerStats stats() const;
+
+  int slots() const { return static_cast<int>(workers_.size()); }
+  int queue_capacity() const { return queue_capacity_; }
+
+ private:
+  void WorkerLoop(int slot);
+  void Complete(const TicketPtr& ticket, Result<CondenseReply> result);
+  void UpdateGauges();  // callers hold mu_
+
+  const int queue_capacity_;
+  WorkFn work_;
+  std::vector<std::unique_ptr<exec::ExecContext>> slot_exec_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stop
+  std::condition_variable drain_cv_;  // Shutdown: queue empty + idle
+  /// (priority, admission seq) -> ticket; begin() is the next request.
+  std::map<std::pair<int, uint64_t>, TicketPtr> queue_;
+  uint64_t next_id_ = 1;
+  bool accepting_ = true;
+  bool stop_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace freehgc::serve
+
+#endif  // FREEHGC_SERVE_SCHEDULER_H_

@@ -1,0 +1,224 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace freehgc::serve {
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  service_ = std::make_unique<ServeService>(options_.serve);
+}
+
+Server::~Server() {
+  RequestStop();
+  Wait();
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+Status Server::Start() {
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Internal(
+        StrFormat("pipe() failed: %s", std::strerror(errno)));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(
+        StrFormat("socket() failed: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "cannot bind 127.0.0.1:%d: %s", options_.port,
+        std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::Internal(
+        StrFormat("listen() failed: %s", std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::Internal(
+        StrFormat("getsockname() failed: %s", std::strerror(errno)));
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    // Async-signal-safe: one write, result deliberately ignored (a full
+    // pipe still wakes the poll).
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!drained_) {
+      drained_ = true;
+      drain = true;
+    }
+  }
+  if (drain) service_->Shutdown(ShutdownMode::kDrain);
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        if (stop_.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      FREEHGC_LOG(Warning) << "serve: poll() failed: "
+                           << std::strerror(errno);
+      break;
+    }
+    if (stop_.load(std::memory_order_acquire) ||
+        (fds[1].revents & POLLIN) != 0) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      FREEHGC_LOG(Warning) << "serve: accept() failed: "
+                           << std::strerror(errno);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { HandleConnection(conn); });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Half-close open connections: reads see EOF (handler threads unblock),
+  // but in-flight requests can still write their responses.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+void Server::HandleConnection(int fd) {
+  for (;;) {
+    Result<std::string> payload = ReadFrame(fd);
+    if (!payload.ok()) {
+      if (payload.status().code() != StatusCode::kUnavailable) {
+        FREEHGC_LOG(Warning) << "serve: dropping connection: "
+                             << payload.status().ToString();
+      }
+      break;
+    }
+    const std::string response = HandleRequest(*payload);
+    if (!WriteFrame(fd, response).ok()) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+    if (*it == fd) {
+      conn_fds_.erase(it);
+      break;
+    }
+  }
+}
+
+std::string Server::HandleRequest(std::string_view payload) {
+  WireReader r(payload);
+  auto type = r.GetU8();
+  if (!type.ok()) return EncodeResponse(type.status(), "");
+  switch (static_cast<MsgType>(*type)) {
+    case MsgType::kPing:
+      return EncodeResponse(Status::OK(), "");
+    case MsgType::kRegisterGenerator: {
+      auto name = r.GetString();
+      if (!name.ok()) return EncodeResponse(name.status(), "");
+      auto preset = r.GetString();
+      if (!preset.ok()) return EncodeResponse(preset.status(), "");
+      auto seed = r.GetU64();
+      if (!seed.ok()) return EncodeResponse(seed.status(), "");
+      auto scale = r.GetF64();
+      if (!scale.ok()) return EncodeResponse(scale.status(), "");
+      auto info = service_->store().RegisterGenerator(*name, *preset, *seed,
+                                                      *scale);
+      if (!info.ok()) return EncodeResponse(info.status(), "");
+      WireWriter w;
+      EncodeGraphInfo(w, *info);
+      return EncodeResponse(Status::OK(), w.payload());
+    }
+    case MsgType::kUploadGraph: {
+      auto name = r.GetString();
+      if (!name.ok()) return EncodeResponse(name.status(), "");
+      auto container = r.GetString();
+      if (!container.ok()) return EncodeResponse(container.status(), "");
+      auto info = service_->store().RegisterSerialized(*name, *container);
+      if (!info.ok()) return EncodeResponse(info.status(), "");
+      WireWriter w;
+      EncodeGraphInfo(w, *info);
+      return EncodeResponse(Status::OK(), w.payload());
+    }
+    case MsgType::kListGraphs: {
+      WireWriter w;
+      EncodeGraphInfoList(w, service_->store().List());
+      return EncodeResponse(Status::OK(), w.payload());
+    }
+    case MsgType::kCondense: {
+      auto req = DecodeCondenseRequest(r);
+      if (!req.ok()) return EncodeResponse(req.status(), "");
+      // Synchronous per connection; concurrency comes from concurrent
+      // connections feeding the scheduler's slots.
+      auto reply = service_->Condense(std::move(*req));
+      if (!reply.ok()) return EncodeResponse(reply.status(), "");
+      WireWriter w;
+      EncodeCondenseReply(w, *reply);
+      return EncodeResponse(Status::OK(), w.payload());
+    }
+    case MsgType::kStats:
+      return EncodeResponse(Status::OK(), service_->StatsJson());
+    case MsgType::kShutdown:
+      RequestStop();
+      return EncodeResponse(Status::OK(), "");
+  }
+  return EncodeResponse(
+      Status::InvalidArgument(StrFormat("unknown message type %u",
+                                        static_cast<unsigned>(*type))),
+      "");
+}
+
+}  // namespace freehgc::serve

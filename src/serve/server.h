@@ -1,0 +1,80 @@
+#ifndef FREEHGC_SERVE_SERVER_H_
+#define FREEHGC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace freehgc::serve {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back from
+  /// port() after Start — the test and the --port-file flag rely on it).
+  int port = 0;
+  ServeOptions serve;
+};
+
+/// Local TCP front-end for a ServeService: accepts connections on
+/// 127.0.0.1, speaks the wire.h protocol, one handler thread per
+/// connection (the scheduler underneath provides the actual request
+/// concurrency and admission control).
+///
+/// Shutdown is graceful and signal-safe: RequestStop only writes one byte
+/// to a self-pipe (async-signal-safe, so SIGINT/SIGTERM handlers may call
+/// it), the accept loop's poll() wakes on it, new connections stop, open
+/// connections get SHUT_RD (in-flight requests still write their
+/// responses), and the service drains every admitted request before
+/// Wait() returns.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. InvalidArgument /
+  /// Internal on socket failures (e.g. port in use).
+  Status Start();
+
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+
+  ServeService& service() { return *service_; }
+
+  /// Async-signal-safe stop request; returns immediately.
+  void RequestStop();
+
+  /// Blocks until the server has stopped (RequestStop or a kShutdown
+  /// message), all connections are closed, and the service has drained.
+  void Wait();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Decodes one request payload and produces the encoded response.
+  std::string HandleRequest(std::string_view payload);
+
+  ServerOptions options_;
+  std::unique_ptr<ServeService> service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+  bool drained_ = false;
+};
+
+}  // namespace freehgc::serve
+
+#endif  // FREEHGC_SERVE_SERVER_H_

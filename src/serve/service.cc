@@ -1,0 +1,184 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "graph/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/method.h"
+
+namespace freehgc::serve {
+
+/// One coalesced evaluation context. `graph` keeps the resident copy
+/// alive for as long as the entry exists (EvalContext::full borrows it),
+/// so a Remove from the store cannot invalidate a cached context.
+struct ServeService::EvalEntry {
+  std::once_flag once;
+  GraphStore::GraphRef graph;
+  uint64_t fingerprint = 0;
+  hgnn::EvalContext ctx;
+};
+
+ServeService::ServeService(ServeOptions options)
+    : options_(std::move(options)) {
+  scheduler_ = std::make_unique<RequestScheduler>(
+      options_.slots, options_.queue_capacity, options_.threads_per_slot,
+      [this](const CondenseRequest& request, exec::ExecContext* ctx) {
+        return Execute(request, ctx);
+      });
+}
+
+ServeService::~ServeService() { Shutdown(ShutdownMode::kDrain); }
+
+Result<TicketPtr> ServeService::Submit(CondenseRequest request) {
+  if (request.ratio <= 0.0 || request.ratio > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("ratio must be in (0, 1], got %g", request.ratio));
+  }
+  // Validate graph + method now so a bad request fails fast instead of
+  // occupying a queue slot only to fail on a worker.
+  FREEHGC_RETURN_IF_ERROR(store_.Info(request.graph).status());
+  FREEHGC_RETURN_IF_ERROR(
+      pipeline::MethodRegistry::Global().FindOrError(request.method)
+          .status());
+  return scheduler_->Submit(std::move(request));
+}
+
+Result<CondenseReply> ServeService::Condense(CondenseRequest request) {
+  FREEHGC_ASSIGN_OR_RETURN(TicketPtr ticket, Submit(std::move(request)));
+  return ticket->Wait();
+}
+
+bool ServeService::Cancel(uint64_t id) { return scheduler_->Cancel(id); }
+
+void ServeService::Shutdown(ShutdownMode mode) { scheduler_->Shutdown(mode); }
+
+std::shared_ptr<ServeService::EvalEntry> ServeService::GetOrBuildEvalContext(
+    const GraphStore::GraphRef& graph, const hgnn::PropagateOptions& opts,
+    exec::ExecContext* ctx) {
+  const uint64_t fp = cache_.FingerprintOf(*graph);
+  const EvalKey key{fp, opts.max_hops, opts.max_paths, opts.max_row_nnz};
+  std::shared_ptr<EvalEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(eval_mu_);
+    auto& slot = eval_contexts_[key];
+    if (!slot) slot = std::make_shared<EvalEntry>();
+    entry = slot;
+  }
+  // The first request through builds; concurrent duplicates block here
+  // instead of each paying the SpGEMM + propagation cost.
+  std::call_once(entry->once, [&] {
+    FREEHGC_TRACE_SPAN("serve.build_eval_context");
+    entry->graph = graph;
+    entry->fingerprint = fp;
+    entry->ctx = hgnn::BuildEvalContext(*graph, opts, ctx, &cache_);
+    eval_context_builds_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.evalctx.builds")
+        .Increment();
+  });
+  obs::MetricsRegistry::Global().GetCounter("serve.evalctx.lookups")
+      .Increment();
+  return entry;
+}
+
+Result<CondenseReply> ServeService::Execute(const CondenseRequest& request,
+                                            exec::ExecContext* ctx) {
+  FREEHGC_ASSIGN_OR_RETURN(GraphStore::GraphRef graph,
+                           store_.Get(request.graph));
+  hgnn::PropagateOptions popts;
+  popts.max_hops = request.max_hops > 0 ? request.max_hops : 2;
+  popts.max_paths = request.max_paths;
+  popts.max_row_nnz = request.max_row_nnz;
+  std::shared_ptr<EvalEntry> entry = GetOrBuildEvalContext(graph, popts, ctx);
+
+  FREEHGC_ASSIGN_OR_RETURN(
+      const pipeline::CondensationMethod* method,
+      pipeline::MethodRegistry::Global().FindOrError(request.method));
+
+  pipeline::RunSpec spec;
+  spec.ratio = request.ratio;
+  spec.seed = request.seed;
+  pipeline::PipelineEnv env;
+  env.exec = ctx;
+  env.cache = &cache_;
+  FREEHGC_ASSIGN_OR_RETURN(pipeline::CondensedData data,
+                           method->Condense(entry->ctx, spec, env));
+
+  CondenseReply reply;
+  reply.graph_fingerprint = entry->fingerprint;
+  reply.condense_seconds = data.seconds;
+  reply.storage_bytes = data.storage_bytes;
+  if (!data.synthetic) {
+    reply.nodes = data.graph.TotalNodes();
+    reply.edges = data.graph.TotalEdges();
+  }
+
+  if (request.evaluate) {
+    // Same seed derivation as pipeline::RunMethod, so a served evaluation
+    // reproduces the sweep's numbers exactly.
+    hgnn::HgnnConfig cfg = options_.eval;
+    cfg.seed = request.seed ^ 0xeea1ULL;
+    const hgnn::EvalMetrics metrics =
+        data.synthetic
+            ? hgnn::TrainOnBlocks(entry->ctx, data.blocks, data.labels, cfg)
+            : hgnn::TrainAndEvaluate(entry->ctx, data.graph, cfg, ctx);
+    reply.evaluated = true;
+    reply.accuracy = metrics.test_accuracy * 100.0f;
+    reply.macro_f1 = metrics.macro_f1 * 100.0f;
+  }
+
+  if (request.return_graph) {
+    if (data.synthetic) {
+      return Status::InvalidArgument(StrFormat(
+          "method '%s' produces synthetic feature blocks, not a graph; "
+          "return_graph is unsupported for it",
+          request.method.c_str()));
+    }
+    FREEHGC_ASSIGN_OR_RETURN(reply.graph_bytes,
+                             SerializeHeteroGraph(data.graph));
+  }
+  return reply;
+}
+
+std::string ServeService::StatsJson() const {
+  const SchedulerStats s = scheduler_->stats();
+  const pipeline::ArtifactCache::Stats c = cache_.stats();
+  auto& reg = obs::MetricsRegistry::Global();
+  const obs::Histogram& total = reg.GetHistogram("serve.latency.total_ns");
+  std::string out = "{\n";
+  out += StrFormat("  \"slots\": %d,\n", scheduler_->slots());
+  out += StrFormat("  \"queue_capacity\": %d,\n",
+                   scheduler_->queue_capacity());
+  out += StrFormat(
+      "  \"requests\": {\"admitted\": %lld, \"completed\": %lld, "
+      "\"failed\": %lld, \"shed\": %lld, \"cancelled\": %lld, "
+      "\"expired\": %lld},\n",
+      static_cast<long long>(s.admitted), static_cast<long long>(s.completed),
+      static_cast<long long>(s.failed), static_cast<long long>(s.shed),
+      static_cast<long long>(s.cancelled), static_cast<long long>(s.expired));
+  out += StrFormat("  \"queue_depth\": %lld,\n",
+                   static_cast<long long>(s.queue_depth));
+  out += StrFormat("  \"inflight\": %lld,\n",
+                   static_cast<long long>(s.inflight));
+  out += StrFormat("  \"store\": {\"graphs\": %lld, \"bytes\": %zu},\n",
+                   static_cast<long long>(store_.Count()),
+                   store_.TotalBytes());
+  out += StrFormat(
+      "  \"artifact_cache\": {\"hits\": %lld, \"misses\": %lld, "
+      "\"bytes\": %zu},\n",
+      static_cast<long long>(c.hits), static_cast<long long>(c.misses),
+      c.bytes);
+  out += StrFormat("  \"eval_context_builds\": %lld,\n",
+                   static_cast<long long>(eval_context_builds()));
+  out += StrFormat(
+      "  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}\n",
+      static_cast<double>(total.ApproxQuantile(0.50)) * 1e-6,
+      static_cast<double>(total.ApproxQuantile(0.95)) * 1e-6,
+      static_cast<double>(total.ApproxQuantile(0.99)) * 1e-6);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace freehgc::serve

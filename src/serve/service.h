@@ -1,0 +1,119 @@
+#ifndef FREEHGC_SERVE_SERVICE_H_
+#define FREEHGC_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "hgnn/models.h"
+#include "hgnn/trainer.h"
+#include "pipeline/artifact_cache.h"
+#include "serve/graph_store.h"
+#include "serve/scheduler.h"
+
+namespace freehgc::serve {
+
+/// Service configuration.
+struct ServeOptions {
+  /// Concurrent worker slots (each runs one request on its own
+  /// ExecContext; see RequestScheduler).
+  int slots = 2;
+  /// Bounded admission queue; submissions beyond it are shed with
+  /// kResourceExhausted.
+  int queue_capacity = 32;
+  /// Threads per slot ExecContext; 0 = exec::ThreadsPerSlot(slots).
+  int threads_per_slot = 0;
+  /// Evaluator config for CondenseRequest::evaluate. Serving default is
+  /// smaller than the research default (hidden 32, 60 epochs, no early
+  /// stopping) so evaluated requests have bounded latency.
+  hgnn::HgnnConfig eval;
+
+  ServeOptions() {
+    eval.kind = hgnn::HgnnKind::kSeHGNN;
+    eval.hidden = 32;
+    eval.epochs = 60;
+    eval.patience = 0;
+  }
+};
+
+/// The condensation service: a GraphStore of resident graphs, one shared
+/// ArtifactCache, a coalesced per-(graph, meta-path config) EvalContext
+/// cache, and a RequestScheduler whose work body runs MethodRegistry
+/// condensers against the shared state.
+///
+/// Coalescing: requests against the same (graph fingerprint, max_hops,
+/// max_paths, max_row_nnz) share one EvalContext — the expensive
+/// enumerate-paths + SpGEMM + propagate step runs once (the first request
+/// builds, concurrent duplicates block on the build, later ones hit), and
+/// the composed adjacencies inside it land in the ArtifactCache where
+/// condensation itself re-reads them. Determinism: all shared artifacts
+/// are outputs of deterministic kernels, so concurrent requests return
+/// results bit-identical to sequential execution (tests/serve_test.cc).
+class ServeService {
+ public:
+  explicit ServeService(ServeOptions options = {});
+  ~ServeService();
+
+  ServeService(const ServeService&) = delete;
+  ServeService& operator=(const ServeService&) = delete;
+
+  GraphStore& store() { return store_; }
+  pipeline::ArtifactCache& cache() { return cache_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// Asynchronous submission (validated first: unknown graph names and
+  /// out-of-range ratios fail here, before occupying a queue slot).
+  Result<TicketPtr> Submit(CondenseRequest request);
+
+  /// Synchronous convenience: Submit + Wait.
+  Result<CondenseReply> Condense(CondenseRequest request);
+
+  /// Cancels a still-queued request (see RequestScheduler::Cancel).
+  bool Cancel(uint64_t id);
+
+  /// Stops admission and drains (or cancels queued) requests. Idempotent;
+  /// the destructor drains if never called.
+  void Shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  SchedulerStats scheduler_stats() const { return scheduler_->stats(); }
+
+  /// How many EvalContexts were actually built — the coalescing test
+  /// asserts this stays at 1 for K same-config requests.
+  int64_t eval_context_builds() const {
+    return eval_context_builds_.load(std::memory_order_relaxed);
+  }
+
+  /// One-line-per-field JSON summary (request counters, store and cache
+  /// occupancy, latency quantiles) — what the server dumps on shutdown.
+  std::string StatsJson() const;
+
+ private:
+  struct EvalEntry;
+
+  /// The scheduler work body (runs on a slot thread).
+  Result<CondenseReply> Execute(const CondenseRequest& request,
+                                exec::ExecContext* ctx);
+  std::shared_ptr<EvalEntry> GetOrBuildEvalContext(
+      const GraphStore::GraphRef& graph, const hgnn::PropagateOptions& opts,
+      exec::ExecContext* ctx);
+
+  const ServeOptions options_;
+  GraphStore store_;
+  pipeline::ArtifactCache cache_;
+
+  /// (graph fingerprint, max_hops, max_paths, max_row_nnz) -> entry.
+  using EvalKey = std::tuple<uint64_t, int, int, int64_t>;
+  std::mutex eval_mu_;
+  std::map<EvalKey, std::shared_ptr<EvalEntry>> eval_contexts_;
+  std::atomic<int64_t> eval_context_builds_{0};
+
+  std::unique_ptr<RequestScheduler> scheduler_;  // last: uses the above
+};
+
+}  // namespace freehgc::serve
+
+#endif  // FREEHGC_SERVE_SERVICE_H_

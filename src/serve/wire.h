@@ -1,0 +1,111 @@
+#ifndef FREEHGC_SERVE_WIRE_H_
+#define FREEHGC_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/graph_store.h"
+#include "serve/scheduler.h"
+
+namespace freehgc::serve {
+
+/// Length-prefixed binary protocol spoken by freehgc_server /
+/// freehgc_client over local TCP.
+///
+/// Framing: every message is a u32 little-endian byte length followed by
+/// that many payload bytes. A request payload is a u8 message type plus
+/// type-specific fields; a response payload is a u8 status code, a
+/// length-prefixed error message (empty on OK), and a type-specific body.
+/// Integers are little-endian; strings and blobs are u32 length + bytes;
+/// doubles are IEEE-754 bit patterns in a u64.
+///
+/// The protocol is local-only plumbing (the server binds 127.0.0.1), so
+/// there is no versioning handshake — client and server ship together.
+
+/// Hard cap on a single frame; larger announcements are rejected before
+/// allocation (a graph upload is the only large payload).
+constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+enum class MsgType : uint8_t {
+  kPing = 1,
+  kRegisterGenerator = 2,
+  kUploadGraph = 3,
+  kListGraphs = 4,
+  kCondense = 5,
+  kStats = 6,
+  kShutdown = 7,
+};
+
+/// Appends little-endian fields to a payload buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF64(double v);
+  void PutString(std::string_view s);
+
+  const std::string& payload() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a received payload. Every getter returns an
+/// error (never reads past the end) on a short or malformed payload.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view payload) : data_(payload) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetF64();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Blocking frame I/O over a connected socket/pipe fd (restarts on
+/// EINTR). WriteFrame sends the u32 length prefix + payload; ReadFrame
+/// returns the payload. A clean EOF at a frame boundary is kUnavailable
+/// ("connection closed") — the server loop's disconnect signal.
+Status WriteFrame(int fd, std::string_view payload);
+Result<std::string> ReadFrame(int fd);
+
+/// Response envelope: status + type-specific body bytes.
+struct WireResponse {
+  Status status;
+  std::string body;
+};
+
+/// Encodes/decodes the response envelope (u8 code, message, body).
+std::string EncodeResponse(const Status& status, std::string_view body);
+Result<WireResponse> DecodeResponse(std::string_view payload);
+
+/// Field codecs shared by client and server. Decoders validate bounds;
+/// codecs are exact inverses (tests/serve_test.cc round-trips them).
+void EncodeCondenseRequest(WireWriter& w, const CondenseRequest& req);
+Result<CondenseRequest> DecodeCondenseRequest(WireReader& r);
+void EncodeCondenseReply(WireWriter& w, const CondenseReply& reply);
+Result<CondenseReply> DecodeCondenseReply(WireReader& r);
+void EncodeGraphInfo(WireWriter& w, const GraphInfo& info);
+Result<GraphInfo> DecodeGraphInfo(WireReader& r);
+void EncodeGraphInfoList(WireWriter& w, const std::vector<GraphInfo>& infos);
+Result<std::vector<GraphInfo>> DecodeGraphInfoList(WireReader& r);
+
+}  // namespace freehgc::serve
+
+#endif  // FREEHGC_SERVE_WIRE_H_

@@ -207,6 +207,32 @@ TEST(MetricsTest, HistogramBucketsPowerOfTwo) {
   EXPECT_EQ(h.BucketCount(7), 1);  // 100 -> (64, 128]
 }
 
+TEST(MetricsTest, HistogramApproxQuantile) {
+  obs::Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test.obs_quantile");
+  h.Reset();
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0);  // empty
+
+  // 100 samples of 1000: every quantile lands in 1000's bucket,
+  // (512, 1024], so the estimate is bounded by a factor of two.
+  for (int i = 0; i < 100; ++i) h.Observe(1000);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const int64_t est = h.ApproxQuantile(q);
+    EXPECT_GT(est, 512) << "q=" << q;
+    EXPECT_LE(est, 1024) << "q=" << q;
+  }
+
+  // A bimodal distribution: p50 must sit in the low mode's bucket and
+  // p99 in the high mode's.
+  h.Reset();
+  for (int i = 0; i < 90; ++i) h.Observe(10);
+  for (int i = 0; i < 10; ++i) h.Observe(100000);
+  EXPECT_LE(h.ApproxQuantile(0.5), 16);
+  EXPECT_GT(h.ApproxQuantile(0.99), 65536);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.ApproxQuantile(0.25), h.ApproxQuantile(0.75));
+}
+
 /// The determinism contract extended to metrics: every *value* metric a
 /// kernel emits is a sum of per-chunk contributions with a thread-count
 /// independent chunk layout, so 1, 2 and 4 workers must agree bit for

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <string_view>
 
 #include "core/freehgc.h"
 #include "datasets/generator.h"
@@ -81,6 +83,111 @@ TEST(SerializeTest, RejectsTruncatedFile) {
   std::fclose(f);
   ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
   EXPECT_FALSE(LoadHeteroGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, InMemoryRoundTrip) {
+  const HeteroGraph g = datasets::MakeToy(11);
+  auto bytes = SerializeHeteroGraph(g);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto back = DeserializeHeteroGraph(*bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->TotalNodes(), g.TotalNodes());
+  EXPECT_EQ(back->TotalEdges(), g.TotalEdges());
+  EXPECT_EQ(back->ContentFingerprint(), g.ContentFingerprint());
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  const HeteroGraph g = datasets::MakeToy(11);
+  auto bytes = SerializeHeteroGraph(g);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = *bytes;
+  corrupt[0] = 'X';
+  auto res = DeserializeHeteroGraph(corrupt);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(res.status().message().find("not a FreeHGC graph"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, RejectsTruncationAtEveryRegion) {
+  const HeteroGraph g = datasets::MakeToy(11);
+  auto bytes = SerializeHeteroGraph(g);
+  ASSERT_TRUE(bytes.ok());
+  const std::string& full = *bytes;
+  // Header is magic(4) + version(4) + body size(8) + crc(4) = 20 bytes.
+  const size_t cuts[] = {0, 3, 4, 7, 8, 15, 19, 20, full.size() / 2,
+                         full.size() - 1};
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, full.size());
+    auto res = DeserializeHeteroGraph(std::string_view(full).substr(0, cut));
+    EXPECT_FALSE(res.ok()) << "truncation at byte " << cut << " accepted";
+    EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument)
+        << "at byte " << cut << ": " << res.status().ToString();
+  }
+}
+
+TEST(SerializeTest, RejectsChecksumMismatch) {
+  const HeteroGraph g = datasets::MakeToy(11);
+  auto bytes = SerializeHeteroGraph(g);
+  ASSERT_TRUE(bytes.ok());
+  // Flip one bit in the body (past the 20-byte header): the size still
+  // matches, so only the CRC catches it.
+  std::string corrupt = *bytes;
+  corrupt[corrupt.size() - 1] =
+      static_cast<char>(corrupt[corrupt.size() - 1] ^ 0x01);
+  auto res = DeserializeHeteroGraph(corrupt);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(res.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SerializeTest, LoadsLegacyVersion1Container) {
+  const HeteroGraph g = datasets::MakeToy(11);
+  auto bytes = SerializeHeteroGraph(g);
+  ASSERT_TRUE(bytes.ok());
+  // A version-1 container is magic + version + body, with no size/crc
+  // header: rebuild one from the v2 bytes.
+  std::string legacy = bytes->substr(0, 4);  // magic
+  const uint32_t v1 = 1;
+  legacy.append(reinterpret_cast<const char*>(&v1), sizeof(v1));
+  legacy.append(bytes->substr(20));  // body
+  auto res = DeserializeHeteroGraph(legacy);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->ContentFingerprint(), g.ContentFingerprint());
+}
+
+TEST(SerializeTest, RejectsUnsupportedVersion) {
+  const HeteroGraph g = datasets::MakeToy(11);
+  auto bytes = SerializeHeteroGraph(g);
+  ASSERT_TRUE(bytes.ok());
+  std::string future = *bytes;
+  const uint32_t v99 = 99;
+  std::memcpy(future.data() + 4, &v99, sizeof(v99));
+  auto res = DeserializeHeteroGraph(future);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().message().find("version"), std::string::npos);
+}
+
+TEST(SerializeTest, CorruptFileOnDiskIsRejected) {
+  const HeteroGraph g = datasets::MakeToy(3);
+  const std::string path = TempPath("corrupt.fhgc");
+  ASSERT_TRUE(SaveHeteroGraph(g, path).ok());
+  {
+    // Flip a byte in the middle of the body.
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  auto res = LoadHeteroGraph(path);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,592 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/generator.h"
+#include "graph/serialize.h"
+#include "pipeline/method.h"
+#include "serve/client.h"
+#include "serve/graph_store.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace freehgc::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GraphStore
+
+TEST(GraphStoreTest, RegisterGetInfoListRemove) {
+  GraphStore store;
+  auto info = store.Register("toy", datasets::MakeToy(5));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->name, "toy");
+  EXPECT_GT(info->nodes, 0);
+  EXPECT_GT(info->memory_bytes, 0u);
+
+  auto ref = store.Get("toy");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ((*ref)->TotalNodes(), info->nodes);
+  EXPECT_EQ(store.Count(), 1);
+  EXPECT_EQ(store.List().size(), 1u);
+  EXPECT_EQ(store.Get("missing").status().code(), StatusCode::kNotFound);
+
+  // References survive Remove: the store only unlinks the name.
+  GraphStore::GraphRef held = *ref;
+  EXPECT_TRUE(store.Remove("toy"));
+  EXPECT_FALSE(store.Remove("toy"));
+  EXPECT_EQ(store.Count(), 0);
+  EXPECT_EQ(held->TotalNodes(), info->nodes);
+}
+
+TEST(GraphStoreTest, IdempotentOnSameContentConflictOnDifferent) {
+  GraphStore store;
+  ASSERT_TRUE(store.Register("g", datasets::MakeToy(5)).ok());
+  // Same bytes: fine (idempotent upload retry).
+  EXPECT_TRUE(store.Register("g", datasets::MakeToy(5)).ok());
+  // Different content under the same name: refused.
+  auto conflict = store.Register("g", datasets::MakeToy(6));
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphStoreTest, SerializedUploadRoundTripsAndRejectsCorrupt) {
+  const HeteroGraph g = datasets::MakeToy(9);
+  auto bytes = SerializeHeteroGraph(g);
+  ASSERT_TRUE(bytes.ok());
+
+  GraphStore store;
+  auto info = store.RegisterSerialized("up", *bytes);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->fingerprint, g.ContentFingerprint());
+
+  std::string corrupt = *bytes;
+  corrupt[corrupt.size() / 2] =
+      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x5a);
+  auto bad = store.RegisterSerialized("bad", corrupt);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Count(), 1);  // nothing was registered
+
+  auto trunc = store.RegisterSerialized(
+      "short", std::string_view(*bytes).substr(0, bytes->size() / 3));
+  ASSERT_FALSE(trunc.ok());
+  EXPECT_EQ(trunc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphStoreTest, GeneratorPresets) {
+  GraphStore store;
+  ASSERT_TRUE(store.RegisterGenerator("t", "toy", 1, 0.0).ok());
+  EXPECT_EQ(store.RegisterGenerator("x", "no_such_preset", 1, 1.0)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// MethodRegistry satellite: unknown keys name what exists.
+
+TEST(MethodRegistryTest, UnknownKeyErrorListsRegisteredMethods) {
+  auto res = pipeline::MethodRegistry::Global().FindOrError("nope");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+  const std::string& msg = res.status().message();
+  EXPECT_NE(msg.find("'nope'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("freehgc"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("herding"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// RequestScheduler, driven by stub work bodies.
+
+/// Work body that blocks until released — lets tests fill slots and the
+/// queue deterministically.
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> entered{0};
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void BlockUntilReleased() {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  }
+  void WaitForEntered(int n) {
+    while (entered.load() < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+TEST(SchedulerTest, OverloadShedsWithResourceExhaustedWithoutDeadlock) {
+  Latch latch;
+  RequestScheduler sched(
+      /*slots=*/1, /*queue_capacity=*/2, /*threads_per_slot=*/1,
+      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+        latch.BlockUntilReleased();
+        return CondenseReply{};
+      });
+
+  // One request occupies the slot, two fill the queue.
+  auto running = sched.Submit({});
+  ASSERT_TRUE(running.ok());
+  latch.WaitForEntered(1);
+  auto q1 = sched.Submit({});
+  auto q2 = sched.Submit({});
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+
+  // Queue is at capacity: the next submission is shed, not stalled.
+  auto shed = sched.Submit({});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(sched.stats().shed, 1);
+
+  latch.Release();
+  EXPECT_TRUE((*running)->Wait().ok());
+  EXPECT_TRUE((*q1)->Wait().ok());
+  EXPECT_TRUE((*q2)->Wait().ok());
+  sched.Shutdown();
+  EXPECT_EQ(sched.stats().completed, 3);
+}
+
+TEST(SchedulerTest, CancelledQueuedRequestNeverRuns) {
+  Latch latch;
+  std::atomic<int> executed{0};
+  RequestScheduler sched(
+      1, 8, 1,
+      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+        executed.fetch_add(1);
+        latch.BlockUntilReleased();
+        return CondenseReply{};
+      });
+
+  auto running = sched.Submit({});
+  ASSERT_TRUE(running.ok());
+  latch.WaitForEntered(1);
+  auto queued = sched.Submit({});
+  ASSERT_TRUE(queued.ok());
+
+  EXPECT_TRUE(sched.Cancel((*queued)->id()));
+  EXPECT_FALSE(sched.Cancel((*queued)->id()));  // already terminal
+  EXPECT_FALSE(sched.Cancel((*running)->id()));  // running: not cancellable
+  EXPECT_EQ((*queued)->Wait().status().code(), StatusCode::kCancelled);
+
+  latch.Release();
+  EXPECT_TRUE((*running)->Wait().ok());
+  sched.Shutdown();
+  EXPECT_EQ(executed.load(), 1);  // the cancelled request never ran
+  EXPECT_EQ(sched.stats().cancelled, 1);
+}
+
+TEST(SchedulerTest, ExpiredQueuedRequestNeverRuns) {
+  Latch latch;
+  std::atomic<int> executed{0};
+  RequestScheduler sched(
+      1, 8, 1,
+      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+        executed.fetch_add(1);
+        latch.BlockUntilReleased();
+        return CondenseReply{};
+      });
+
+  auto running = sched.Submit({});
+  ASSERT_TRUE(running.ok());
+  latch.WaitForEntered(1);
+  CondenseRequest short_deadline;
+  short_deadline.deadline_ms = 20;
+  auto queued = sched.Submit(short_deadline);
+  ASSERT_TRUE(queued.ok());
+
+  // Hold the slot well past the deadline, then release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  latch.Release();
+  EXPECT_EQ((*queued)->Wait().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE((*running)->Wait().ok());
+  sched.Shutdown();
+  EXPECT_EQ(executed.load(), 1);
+  EXPECT_EQ(sched.stats().expired, 1);
+}
+
+TEST(SchedulerTest, PriorityOrderFifoWithinPriority) {
+  Latch latch;
+  std::mutex order_mu;
+  std::vector<uint64_t> order;
+  RequestScheduler sched(
+      1, 16, 1,
+      [&](const CondenseRequest& req,
+          exec::ExecContext*) -> Result<CondenseReply> {
+        if (req.seed == 0) {
+          latch.BlockUntilReleased();  // the slot-occupier
+        } else {
+          std::lock_guard<std::mutex> lock(order_mu);
+          order.push_back(req.seed);
+        }
+        return CondenseReply{};
+      });
+
+  CondenseRequest blocker;
+  blocker.seed = 0;
+  ASSERT_TRUE(sched.Submit(blocker).ok());
+  latch.WaitForEntered(1);
+
+  // Queue: two low-priority, then two high-priority. High (smaller value)
+  // must run first; FIFO inside each class.
+  for (uint64_t seed : {101, 102}) {
+    CondenseRequest r;
+    r.seed = seed;
+    r.priority = 5;
+    ASSERT_TRUE(sched.Submit(r).ok());
+  }
+  for (uint64_t seed : {201, 202}) {
+    CondenseRequest r;
+    r.seed = seed;
+    r.priority = 1;
+    ASSERT_TRUE(sched.Submit(r).ok());
+  }
+  latch.Release();
+  sched.Shutdown();
+  EXPECT_EQ(order, (std::vector<uint64_t>{201, 202, 101, 102}));
+}
+
+TEST(SchedulerTest, GracefulShutdownDrainsInflightAndQueued) {
+  Latch latch;
+  std::atomic<int> executed{0};
+  RequestScheduler sched(
+      1, 8, 1,
+      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+        executed.fetch_add(1);
+        latch.BlockUntilReleased();
+        return CondenseReply{};
+      });
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 4; ++i) {
+    auto t = sched.Submit({});
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  latch.WaitForEntered(1);
+  // Release from a helper thread so Shutdown (which blocks on the drain)
+  // can be the call under test.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    latch.Release();
+  });
+  sched.Shutdown(ShutdownMode::kDrain);
+  releaser.join();
+  EXPECT_EQ(executed.load(), 4);
+  for (auto& t : tickets) EXPECT_TRUE(t->Wait().ok());
+  // Post-shutdown submissions are refused.
+  EXPECT_EQ(sched.Submit({}).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SchedulerTest, CancelQueuedShutdownFailsQueuedRuns) {
+  Latch latch;
+  std::atomic<int> executed{0};
+  RequestScheduler sched(
+      1, 8, 1,
+      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+        executed.fetch_add(1);
+        latch.BlockUntilReleased();
+        return CondenseReply{};
+      });
+  auto running = sched.Submit({});
+  auto queued = sched.Submit({});
+  ASSERT_TRUE(running.ok());
+  ASSERT_TRUE(queued.ok());
+  latch.WaitForEntered(1);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    latch.Release();
+  });
+  sched.Shutdown(ShutdownMode::kCancelQueued);
+  releaser.join();
+  EXPECT_EQ(executed.load(), 1);  // the queued request was dropped
+  EXPECT_TRUE((*running)->Wait().ok());
+  EXPECT_EQ((*queued)->Wait().status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// ServeService: real condensation through the scheduler.
+
+ServeOptions SmallServeOptions(int slots) {
+  ServeOptions opts;
+  opts.slots = slots;
+  opts.queue_capacity = 64;
+  opts.threads_per_slot = 1;
+  return opts;
+}
+
+CondenseRequest ToyRequest(uint64_t seed) {
+  CondenseRequest req;
+  req.graph = "toy";
+  req.method = "freehgc";
+  req.ratio = 0.3;
+  req.seed = seed;
+  req.max_paths = 6;
+  req.return_graph = true;
+  return req;
+}
+
+/// Acceptance (a): K concurrent requests on the same graph are
+/// bit-identical to sequential execution. Serialized output is the
+/// byte-exact witness.
+TEST(ServeServiceTest, ConcurrentResultsBitIdenticalToSequential) {
+  constexpr int kRequests = 8;
+  const uint64_t seeds[kRequests] = {1, 2, 3, 1, 2, 7, 7, 11};
+
+  // Sequential reference: one slot, submitted one at a time.
+  std::vector<std::string> reference;
+  {
+    ServeService service(SmallServeOptions(1));
+    ASSERT_TRUE(service.store().Register("toy", datasets::MakeToy(5)).ok());
+    for (uint64_t seed : seeds) {
+      auto reply = service.Condense(ToyRequest(seed));
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      reference.push_back(reply->graph_bytes);
+    }
+    service.Shutdown();
+  }
+
+  // Concurrent run: 4 slots, all submitted up front.
+  ServeService service(SmallServeOptions(4));
+  ASSERT_TRUE(service.store().Register("toy", datasets::MakeToy(5)).ok());
+  std::vector<TicketPtr> tickets;
+  for (uint64_t seed : seeds) {
+    auto t = service.Submit(ToyRequest(seed));
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    tickets.push_back(*t);
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    Result<CondenseReply>& reply = tickets[static_cast<size_t>(i)]->Wait();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->graph_bytes, reference[static_cast<size_t>(i)])
+        << "request " << i << " (seed " << seeds[i]
+        << ") diverged from sequential execution";
+  }
+  service.Shutdown();
+}
+
+/// Coalescing: K same-config requests build the EvalContext once.
+TEST(ServeServiceTest, SameConfigRequestsCoalesceEvalContext) {
+  ServeService service(SmallServeOptions(4));
+  ASSERT_TRUE(service.store().Register("toy", datasets::MakeToy(5)).ok());
+  std::vector<TicketPtr> tickets;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto t = service.Submit(ToyRequest(seed));
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  for (auto& t : tickets) ASSERT_TRUE(t->Wait().ok());
+  EXPECT_EQ(service.eval_context_builds(), 1);
+
+  // A different meta-path config is a different context.
+  CondenseRequest other = ToyRequest(1);
+  other.max_paths = 3;
+  ASSERT_TRUE(service.Condense(other).ok());
+  EXPECT_EQ(service.eval_context_builds(), 2);
+  service.Shutdown();
+}
+
+TEST(ServeServiceTest, ValidatesBeforeAdmission) {
+  ServeService service(SmallServeOptions(1));
+  ASSERT_TRUE(service.store().Register("toy", datasets::MakeToy(5)).ok());
+
+  CondenseRequest unknown_graph = ToyRequest(1);
+  unknown_graph.graph = "nope";
+  EXPECT_EQ(service.Submit(unknown_graph).status().code(),
+            StatusCode::kNotFound);
+
+  CondenseRequest unknown_method = ToyRequest(1);
+  unknown_method.method = "nope";
+  auto res = service.Submit(unknown_method);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(res.status().message().find("registered:"), std::string::npos);
+
+  CondenseRequest bad_ratio = ToyRequest(1);
+  bad_ratio.ratio = 1.5;
+  EXPECT_EQ(service.Submit(bad_ratio).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.scheduler_stats().admitted, 0);
+  service.Shutdown();
+}
+
+TEST(ServeServiceTest, EvaluateReproducesPipelineRunMethod) {
+  const HeteroGraph toy = datasets::MakeToy(5);
+  ServeService service(SmallServeOptions(1));
+  ASSERT_TRUE(service.store().Register("toy", toy).ok());
+  CondenseRequest req = ToyRequest(3);
+  req.evaluate = true;
+  auto reply = service.Condense(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->evaluated);
+
+  // The same run through the pipeline layer directly.
+  hgnn::PropagateOptions popts;
+  popts.max_paths = req.max_paths;
+  hgnn::EvalContext ctx = hgnn::BuildEvalContext(toy, popts);
+  pipeline::RunSpec spec;
+  spec.ratio = req.ratio;
+  spec.seed = req.seed;
+  auto run = pipeline::RunMethod(ctx, "freehgc", spec,
+                                 service.options().eval);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FLOAT_EQ(reply->accuracy, run->accuracy);
+  EXPECT_FLOAT_EQ(reply->macro_f1, run->macro_f1);
+  service.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs.
+
+TEST(WireTest, CodecsRoundTrip) {
+  CondenseRequest req;
+  req.graph = "acm";
+  req.method = "herding";
+  req.ratio = 0.05;
+  req.seed = 42;
+  req.max_hops = 3;
+  req.max_paths = 7;
+  req.max_row_nnz = 256;
+  req.evaluate = true;
+  req.return_graph = true;
+  req.priority = -2;
+  req.deadline_ms = 1500;
+  WireWriter w;
+  EncodeCondenseRequest(w, req);
+  WireReader r(w.payload());
+  auto back = DecodeCondenseRequest(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->graph, req.graph);
+  EXPECT_EQ(back->method, req.method);
+  EXPECT_EQ(back->ratio, req.ratio);
+  EXPECT_EQ(back->seed, req.seed);
+  EXPECT_EQ(back->max_hops, req.max_hops);
+  EXPECT_EQ(back->max_paths, req.max_paths);
+  EXPECT_EQ(back->max_row_nnz, req.max_row_nnz);
+  EXPECT_EQ(back->evaluate, req.evaluate);
+  EXPECT_EQ(back->return_graph, req.return_graph);
+  EXPECT_EQ(back->priority, req.priority);
+  EXPECT_EQ(back->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  CondenseReply reply;
+  reply.nodes = 42;
+  reply.edges = 100;
+  reply.storage_bytes = 2680;
+  reply.condense_seconds = 0.125;
+  reply.evaluated = true;
+  reply.accuracy = 96.5f;
+  reply.graph_bytes = std::string("\x00\x01\x02", 3);
+  reply.graph_fingerprint = 0xdeadbeefcafef00dULL;
+  WireWriter w2;
+  EncodeCondenseReply(w2, reply);
+  WireReader r2(w2.payload());
+  auto reply_back = DecodeCondenseReply(r2);
+  ASSERT_TRUE(reply_back.ok());
+  EXPECT_EQ(reply_back->nodes, reply.nodes);
+  EXPECT_EQ(reply_back->storage_bytes, reply.storage_bytes);
+  EXPECT_EQ(reply_back->graph_bytes, reply.graph_bytes);
+  EXPECT_EQ(reply_back->graph_fingerprint, reply.graph_fingerprint);
+  EXPECT_FLOAT_EQ(reply_back->accuracy, reply.accuracy);
+}
+
+TEST(WireTest, ReaderRejectsShortPayloads) {
+  WireWriter w;
+  w.PutString("hello");
+  const std::string payload = w.payload();
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    WireReader r(std::string_view(payload).substr(0, cut));
+    EXPECT_FALSE(r.GetString().ok()) << "cut=" << cut;
+  }
+  WireReader r(payload);
+  auto s = r.GetString();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "hello");
+}
+
+TEST(WireTest, ResponseEnvelopeCarriesStatus) {
+  const std::string payload =
+      EncodeResponse(Status::ResourceExhausted("queue full"), "body");
+  auto resp = DecodeResponse(payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(resp->status.message(), "queue full");
+  EXPECT_EQ(resp->body, "body");
+}
+
+// ---------------------------------------------------------------------------
+// TCP loopback end-to-end.
+
+TEST(ServerTest, LoopbackRoundTripAndGracefulShutdown) {
+  ServerOptions options;
+  options.serve = SmallServeOptions(2);
+  Server server(options);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << st.ToString();
+  }
+  ASSERT_GT(server.port(), 0);
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  auto info = client.RegisterGenerator("toy", "toy", 5, 0.0);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GT(info->nodes, 0);
+
+  // Upload path: serialize locally, upload under a new name.
+  auto bytes = SerializeHeteroGraph(datasets::MakeToy(7));
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(client.UploadGraph("toy7", *bytes).ok());
+  auto corrupt = *bytes;
+  corrupt[corrupt.size() - 1] ^= 0x01;
+  EXPECT_EQ(client.UploadGraph("bad", corrupt).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto list = client.ListGraphs();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);
+
+  CondenseRequest req = ToyRequest(3);
+  auto reply = client.Condense(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_GT(reply->nodes, 0);
+  EXPECT_FALSE(reply->graph_bytes.empty());
+  // The returned container parses and matches the in-process result.
+  ServeService local(SmallServeOptions(1));
+  ASSERT_TRUE(local.store().Register("toy", datasets::MakeToy(5)).ok());
+  auto local_reply = local.Condense(req);
+  ASSERT_TRUE(local_reply.ok());
+  EXPECT_EQ(reply->graph_bytes, local_reply->graph_bytes);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"completed\": 1"), std::string::npos) << *stats;
+
+  ASSERT_TRUE(client.Shutdown().ok());
+  server.Wait();  // drains and returns
+  EXPECT_EQ(server.service().scheduler_stats().inflight, 0);
+  EXPECT_EQ(server.service().scheduler_stats().queue_depth, 0);
+}
+
+}  // namespace
+}  // namespace freehgc::serve

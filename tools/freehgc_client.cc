@@ -1,0 +1,213 @@
+// freehgc_client: command-line front-end for a running freehgc_server.
+//
+//   freehgc_client --port=P ping
+//   freehgc_client --port=P register NAME PRESET [--seed=1] [--scale=1.0]
+//   freehgc_client --port=P upload NAME FILE
+//   freehgc_client --port=P list
+//   freehgc_client --port=P condense GRAPH [--method=freehgc] [--ratio=0.1]
+//                  [--seed=1] [--max-hops=2] [--max-paths=12]
+//                  [--evaluate] [--output=FILE] [--deadline-ms=0]
+//   freehgc_client --port=P stats
+//   freehgc_client --port=P shutdown
+//
+// --port-file=PATH reads the port a server wrote with its own
+// --port-file flag.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace {
+
+using freehgc::Status;
+using freehgc::serve::CondenseRequest;
+using freehgc::serve::GraphInfo;
+using freehgc::serve::ServeClient;
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "freehgc_client: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+bool FlagValue(const std::string& arg, const char* prefix,
+               std::string* out) {
+  const std::string p = prefix;
+  if (arg.rfind(p, 0) != 0) return false;
+  *out = arg.substr(p.size());
+  return true;
+}
+
+void PrintInfo(const GraphInfo& info) {
+  std::printf("%-16s fp=%016llx nodes=%lld edges=%lld bytes=%zu\n",
+              info.name.c_str(),
+              static_cast<unsigned long long>(info.fingerprint),
+              static_cast<long long>(info.nodes),
+              static_cast<long long>(info.edges), info.memory_bytes);
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(size > 0 ? static_cast<size_t>(size) : 0);
+  const bool ok =
+      out->empty() || std::fread(out->data(), 1, out->size(), f) ==
+                          out->size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  std::string command;
+  std::vector<std::string> positional;
+  CondenseRequest req;
+  std::string output;
+  uint64_t seed = 1;
+  double scale = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (FlagValue(arg, "--port=", &v)) {
+      port = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--port-file=", &v)) {
+      std::string contents;
+      if (!ReadFile(v, &contents)) {
+        std::fprintf(stderr, "cannot read port file %s\n", v.c_str());
+        return 2;
+      }
+      port = std::atoi(contents.c_str());
+    } else if (FlagValue(arg, "--method=", &v)) {
+      req.method = v;
+    } else if (FlagValue(arg, "--ratio=", &v)) {
+      req.ratio = std::atof(v.c_str());
+    } else if (FlagValue(arg, "--seed=", &v)) {
+      seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (FlagValue(arg, "--scale=", &v)) {
+      scale = std::atof(v.c_str());
+    } else if (FlagValue(arg, "--max-hops=", &v)) {
+      req.max_hops = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--max-paths=", &v)) {
+      req.max_paths = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--deadline-ms=", &v)) {
+      req.deadline_ms = std::atoll(v.c_str());
+    } else if (FlagValue(arg, "--output=", &v)) {
+      output = v;
+    } else if (arg == "--evaluate") {
+      req.evaluate = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (port <= 0 || command.empty()) {
+    std::fprintf(stderr,
+                 "usage: freehgc_client --port=P (or --port-file=PATH) "
+                 "ping|register|upload|list|condense|stats|shutdown ...\n");
+    return 2;
+  }
+
+  ServeClient client;
+  if (Status st = client.Connect(port); !st.ok()) return Fail(st);
+
+  if (command == "ping") {
+    if (Status st = client.Ping(); !st.ok()) return Fail(st);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "register") {
+    if (positional.size() != 2) {
+      std::fprintf(stderr, "usage: register NAME PRESET\n");
+      return 2;
+    }
+    auto info =
+        client.RegisterGenerator(positional[0], positional[1], seed, scale);
+    if (!info.ok()) return Fail(info.status());
+    PrintInfo(*info);
+    return 0;
+  }
+  if (command == "upload") {
+    if (positional.size() != 2) {
+      std::fprintf(stderr, "usage: upload NAME FILE\n");
+      return 2;
+    }
+    std::string container;
+    if (!ReadFile(positional[1], &container)) {
+      std::fprintf(stderr, "cannot read %s\n", positional[1].c_str());
+      return 1;
+    }
+    auto info = client.UploadGraph(positional[0], container);
+    if (!info.ok()) return Fail(info.status());
+    PrintInfo(*info);
+    return 0;
+  }
+  if (command == "list") {
+    auto infos = client.ListGraphs();
+    if (!infos.ok()) return Fail(infos.status());
+    for (const GraphInfo& info : *infos) PrintInfo(info);
+    return 0;
+  }
+  if (command == "condense") {
+    if (positional.size() != 1) {
+      std::fprintf(stderr, "usage: condense GRAPH [flags]\n");
+      return 2;
+    }
+    req.graph = positional[0];
+    req.seed = seed;
+    req.return_graph = !output.empty();
+    auto reply = client.Condense(req);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf(
+        "condensed %s with %s: %lld nodes, %lld edges, %zu bytes "
+        "(condense %.3fs, queue %.3fs, total %.3fs)\n",
+        req.graph.c_str(), req.method.c_str(),
+        static_cast<long long>(reply->nodes),
+        static_cast<long long>(reply->edges), reply->storage_bytes,
+        reply->condense_seconds, reply->queue_seconds, reply->total_seconds);
+    if (reply->evaluated) {
+      std::printf("accuracy %.2f%%, macro-F1 %.2f%%\n",
+                  static_cast<double>(reply->accuracy),
+                  static_cast<double>(reply->macro_f1));
+    }
+    if (!output.empty()) {
+      FILE* f = std::fopen(output.c_str(), "wb");
+      if (f == nullptr ||
+          std::fwrite(reply->graph_bytes.data(), 1,
+                      reply->graph_bytes.size(),
+                      f) != reply->graph_bytes.size()) {
+        if (f != nullptr) std::fclose(f);
+        std::fprintf(stderr, "cannot write %s\n", output.c_str());
+        return 1;
+      }
+      std::fclose(f);
+      std::printf("wrote condensed graph to %s (%zu bytes)\n",
+                  output.c_str(), reply->graph_bytes.size());
+    }
+    return 0;
+  }
+  if (command == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("%s", stats->c_str());
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (Status st = client.Shutdown(); !st.ok()) return Fail(st);
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,84 @@
+// freehgc_server: long-lived condensation service on 127.0.0.1.
+//
+//   freehgc_server [--port=0] [--port-file=PATH] [--slots=2]
+//                  [--queue-capacity=32] [--threads-per-slot=0]
+//
+// Binds the requested port (0 = ephemeral; the bound port is printed and
+// optionally written to --port-file so scripts can find it), serves the
+// wire.h protocol until SIGINT/SIGTERM or a client shutdown message, then
+// drains every admitted request and dumps a final stats summary.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/server.h"
+
+namespace {
+
+freehgc::serve::Server* g_server = nullptr;
+
+// Async-signal-safe: RequestStop is one atomic store + one pipe write.
+void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+bool ParseIntFlag(const std::string& arg, const char* prefix, int* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::atoi(arg.c_str() + std::string(prefix).size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  freehgc::serve::ServerOptions options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseIntFlag(arg, "--port=", &options.port) ||
+        ParseIntFlag(arg, "--slots=", &options.serve.slots) ||
+        ParseIntFlag(arg, "--queue-capacity=",
+                     &options.serve.queue_capacity) ||
+        ParseIntFlag(arg, "--threads-per-slot=",
+                     &options.serve.threads_per_slot)) {
+      continue;
+    }
+    if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = arg.substr(std::string("--port-file=").size());
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return 2;
+  }
+
+  freehgc::serve::Server server(options);
+  const freehgc::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "freehgc_server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("freehgc_server listening on 127.0.0.1:%d (%d slots, queue %d)\n",
+              server.port(), server.service().options().slots,
+              server.service().options().queue_capacity);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    if (FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "%d\n", server.port());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+    }
+  }
+
+  server.Wait();
+  g_server = nullptr;
+  std::printf("freehgc_server drained; final stats:\n%s",
+              server.service().StatsJson().c_str());
+  return 0;
+}
