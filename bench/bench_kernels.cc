@@ -1,0 +1,267 @@
+// Sparse-kernel microbenchmark (two-pass SpGEMM overhaul acceptance):
+// times every hot kernel in sparse/ops.h against its single-threaded
+// reference (sparse/reference.h) and, for SpGEMM, the cold path (fresh
+// symbolic pass per product) against the warm path (symbolic plan served
+// from a pipeline::ArtifactCache) on the meta-path composition workload.
+// Writes BENCH_kernels.json.
+//
+// Warm-plan SpGEMM must beat cold-plan SpGEMM strictly (FREEHGC_CHECK):
+// the warm path pays only operand fingerprinting plus the numeric fill,
+// the cold path additionally pays the merge + per-row sort of the
+// symbolic pass. `--smoke` runs a scaled-down workload with the same
+// assertion (CI gate); both modes exit non-zero on violation.
+//
+// All timed paths are bit-identical to their references (enforced by
+// tests/sparse_reference_test.cc; spot-checked here via CsrMatrix
+// equality on the composition results), so the comparison is pure speed.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "metapath/metapath.h"
+#include "obs/trace.h"
+#include "pipeline/artifact_cache.h"
+#include "sparse/ops.h"
+#include "sparse/reference.h"
+
+namespace freehgc::bench {
+namespace {
+
+template <typename Fn>
+int64_t BestOfNs(int reps, Fn&& fn) {
+  int64_t best = INT64_MAX;
+  for (int i = 0; i < reps; ++i) {
+    const int64_t t0 = obs::NowNs();
+    fn();
+    const int64_t dt = obs::NowNs() - t0;
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+struct KernelRow {
+  std::string name;
+  int64_t reference_ns = 0;
+  int64_t optimized_ns = 0;
+};
+
+double Speedup(int64_t reference_ns, int64_t optimized_ns) {
+  return optimized_ns > 0 ? static_cast<double>(reference_ns) /
+                                static_cast<double>(optimized_ns)
+                          : 0.0;
+}
+
+/// Keeps results observable so the timed calls cannot be elided.
+int64_t g_sink = 0;
+void Consume(const CsrMatrix& m) { g_sink += m.nnz(); }
+void Consume(const Matrix& m) {
+  g_sink += static_cast<int64_t>(m.size() > 0 ? m.data()[0] : 0);
+}
+void Consume(const std::vector<float>& v) {
+  g_sink += static_cast<int64_t>(v.size());
+}
+
+int Run(bool smoke) {
+  const int reps = smoke ? 2 : 5;
+  const double scale = smoke ? 0.25 : 1.0;
+  const int threads = BenchThreads();
+  exec::ExecContext& ex = exec::DefaultExec();
+  PrintHeader(smoke ? "Sparse kernels (smoke)" : "Sparse kernels");
+  std::printf("threads=%d scale=%.2f reps(best-of)=%d\n", threads, scale,
+              reps);
+
+  auto graph_res = datasets::MakeByName("acm", 1, scale, &ex);
+  FREEHGC_CHECK(graph_res.ok());
+  const HeteroGraph g = std::move(graph_res).value();
+
+  // --- Meta-path composition workload: cold vs warm symbolic plans ------
+  // Every SpGEMM operand pair of the >=2-hop paths, exactly as
+  // ComposeAdjacency chains them (row-normalized relation adjacencies).
+  MetaPathOptions mp;
+  mp.max_hops = smoke ? 2 : 3;
+  const auto all_paths = EnumerateMetaPaths(g, g.target_type(), mp);
+  std::vector<MetaPath> paths;
+  for (const auto& p : all_paths) {
+    if (p.hops() >= 2) paths.push_back(p);
+  }
+  FREEHGC_CHECK(!paths.empty()) << "workload needs multi-hop paths";
+  const int64_t budget = 512;  // pipeline-default row budget
+
+  const int64_t cold_ns = BestOfNs(reps, [&] {
+    for (const auto& p : paths) {
+      Consume(ComposeAdjacency(g, p, budget, &ex));
+    }
+  });
+
+  pipeline::ArtifactCache plans;
+  // Populate the plan memo once (the artifact memo is not involved:
+  // ComposeAdjacency is called directly, so only Plan() lookups occur).
+  for (const auto& p : paths) {
+    Consume(ComposeAdjacency(g, p, budget, &ex, &plans));
+  }
+  const auto populated = plans.stats();
+  const int64_t warm_ns = BestOfNs(reps, [&] {
+    for (const auto& p : paths) {
+      Consume(ComposeAdjacency(g, p, budget, &ex, &plans));
+    }
+  });
+  // Same bits either way (the differential suite proves this per kernel;
+  // this is the workload-level spot check).
+  FREEHGC_CHECK(ComposeAdjacency(g, paths[0], budget, &ex) ==
+                ComposeAdjacency(g, paths[0], budget, &ex, &plans));
+
+  std::printf("compose %zu paths: cold %.3f ms, warm-plan %.3f ms "
+              "(%.2fx, %" PRId64 " plans reused)\n",
+              paths.size(), static_cast<double>(cold_ns) * 1e-6,
+              static_cast<double>(warm_ns) * 1e-6,
+              Speedup(cold_ns, warm_ns),
+              plans.stats().plan_hits);
+
+  // --- Per-kernel reference vs optimized --------------------------------
+  // Operands: the largest relation adjacency (rectangular) and one
+  // composed square adjacency (power-law-ish after composition).
+  const CsrMatrix* rect = &g.relation(0).adj;
+  for (RelationId r = 1; r < g.NumRelations(); ++r) {
+    if (g.relation(r).adj.nnz() > rect->nnz()) rect = &g.relation(r).adj;
+  }
+  const MetaPath* round_trip = nullptr;
+  for (const auto& p : paths) {
+    if (p.start_type() == p.end_type()) {
+      round_trip = &p;
+      break;
+    }
+  }
+  FREEHGC_CHECK(round_trip != nullptr) << "no round-trip meta-path";
+  const CsrMatrix square =
+      ComposeAdjacency(g, *round_trip, /*max_row_nnz=*/0, &ex);
+  FREEHGC_CHECK(square.rows() == square.cols());
+  const CsrMatrix square_t = sparse::Transpose(square, &ex);
+  const CsrMatrix sym = sparse::SymNormalize(
+      sparse::reference::SpGemmRef(square, square_t, budget), &ex);
+
+  Rng rng(7);
+  Matrix feats(rect->cols(), 64);
+  for (int64_t i = 0; i < feats.size(); ++i) {
+    feats.data()[i] = rng.NextUniform(-1.0f, 1.0f);
+  }
+  Matrix feats_rows(rect->rows(), 64);
+  for (int64_t i = 0; i < feats_rows.size(); ++i) {
+    feats_rows.data()[i] = rng.NextUniform(-1.0f, 1.0f);
+  }
+  std::vector<float> vec(static_cast<size_t>(rect->cols()));
+  for (auto& v : vec) v = rng.NextUniform(-1.0f, 1.0f);
+  std::vector<float> vec_rows(static_cast<size_t>(rect->rows()));
+  for (auto& v : vec_rows) v = rng.NextUniform(-1.0f, 1.0f);
+  std::vector<float> teleport(static_cast<size_t>(sym.rows()),
+                              1.0f / static_cast<float>(sym.rows()));
+  const int ppr_iters = smoke ? 5 : 15;
+
+  std::vector<KernelRow> rows;
+  auto add = [&](const std::string& name, int64_t ref_ns, int64_t opt_ns) {
+    rows.push_back({name, ref_ns, opt_ns});
+    std::printf("%-14s reference %10.3f ms  optimized %10.3f ms  %6.2fx\n",
+                name.c_str(), static_cast<double>(ref_ns) * 1e-6,
+                static_cast<double>(opt_ns) * 1e-6,
+                Speedup(ref_ns, opt_ns));
+  };
+
+  add("transpose",
+      BestOfNs(reps, [&] { Consume(sparse::reference::TransposeRef(*rect)); }),
+      BestOfNs(reps, [&] { Consume(sparse::Transpose(*rect, &ex)); }));
+  add("row_normalize",
+      BestOfNs(reps,
+               [&] { Consume(sparse::reference::RowNormalizeRef(*rect)); }),
+      BestOfNs(reps, [&] { Consume(sparse::RowNormalize(*rect, &ex)); }));
+  add("sym_normalize",
+      BestOfNs(reps,
+               [&] { Consume(sparse::reference::SymNormalizeRef(sym)); }),
+      BestOfNs(reps, [&] { Consume(sparse::SymNormalize(sym, &ex)); }));
+  add("spgemm",
+      BestOfNs(reps, [&] {
+        Consume(sparse::reference::SpGemmRef(square, square_t, budget));
+      }),
+      BestOfNs(reps, [&] {
+        Consume(sparse::SpGemm(square, square_t, budget, &ex));
+      }));
+  add("spmm_dense",
+      BestOfNs(reps,
+               [&] { Consume(sparse::reference::SpMmDenseRef(*rect, feats)); }),
+      BestOfNs(reps, [&] { Consume(sparse::SpMmDense(*rect, feats, &ex)); }));
+  add("spmm_dense_t",
+      BestOfNs(reps, [&] {
+        Consume(sparse::reference::SpMmDenseTRef(*rect, feats_rows));
+      }),
+      BestOfNs(reps,
+               [&] { Consume(sparse::SpMmDenseT(*rect, feats_rows, &ex)); }));
+  add("spmv",
+      BestOfNs(reps, [&] { Consume(sparse::reference::SpMvRef(*rect, vec)); }),
+      BestOfNs(reps, [&] { Consume(sparse::SpMv(*rect, vec, &ex)); }));
+  add("spmv_t",
+      BestOfNs(reps,
+               [&] { Consume(sparse::reference::SpMvTRef(*rect, vec_rows)); }),
+      BestOfNs(reps, [&] { Consume(sparse::SpMvT(*rect, vec_rows, &ex)); }));
+  add("ppr",
+      BestOfNs(reps, [&] {
+        Consume(sparse::reference::PprScoresRef(sym, teleport, 0.15f,
+                                                ppr_iters, 0.0f));
+      }),
+      BestOfNs(reps, [&] {
+        Consume(
+            sparse::PprScores(sym, teleport, 0.15f, ppr_iters, 0.0f, &ex));
+      }));
+
+  // --- JSON -------------------------------------------------------------
+  std::string json = "{\n";
+  json += StrFormat("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  json += StrFormat("  \"dataset\": \"acm\",\n  \"scale\": %.2f,\n", scale);
+  json += StrFormat("  \"threads\": %d,\n  \"reps\": %d,\n", threads, reps);
+  json += StrFormat(
+      "  \"spgemm_plan\": {\"paths\": %zu, \"row_budget\": %lld, "
+      "\"cold_ns\": %lld, \"warm_ns\": %lld, \"speedup\": %.4f, "
+      "\"plans_cached\": %lld, \"plan_bytes\": %zu},\n",
+      paths.size(), static_cast<long long>(budget),
+      static_cast<long long>(cold_ns), static_cast<long long>(warm_ns),
+      Speedup(cold_ns, warm_ns),
+      static_cast<long long>(populated.plan_misses), populated.bytes);
+  json += "  \"kernels\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json += StrFormat(
+        "    {\"name\": \"%s\", \"reference_ns\": %lld, "
+        "\"optimized_ns\": %lld, \"speedup\": %.4f}%s\n",
+        rows[i].name.c_str(), static_cast<long long>(rows[i].reference_ns),
+        static_cast<long long>(rows[i].optimized_ns),
+        Speedup(rows[i].reference_ns, rows[i].optimized_ns),
+        i + 1 < rows.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += StrFormat("  \"sink\": %lld,\n", static_cast<long long>(g_sink));
+  json += "  \"metrics\": " + MetricsSnapshotJson() + "\n";
+  json += "}\n";
+  WriteTextFile("BENCH_kernels.json", json);
+  std::printf("wrote BENCH_kernels.json\n");
+
+  // The acceptance gate, after the JSON is on disk so a failure still
+  // leaves the numbers available for inspection.
+  FREEHGC_CHECK(warm_ns < cold_ns)
+      << "warm-plan SpGEMM (" << warm_ns
+      << " ns) must strictly beat cold-plan (" << cold_ns << " ns)";
+  return 0;
+}
+
+}  // namespace
+}  // namespace freehgc::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return freehgc::bench::Run(smoke);
+}

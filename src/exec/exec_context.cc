@@ -67,4 +67,9 @@ ExecContext& DefaultExec() {
   return *ctx;
 }
 
+Workspace& NestedWorkspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
 }  // namespace freehgc::exec

@@ -16,6 +16,14 @@
 
 namespace freehgc::exec {
 
+/// Per-thread scratch arena for *nested* parallel regions: when a kernel
+/// issues a ParallelFor from inside another ParallelFor body, the nested
+/// call runs serially on the calling thread with this workspace instead
+/// of the pool's per-worker arenas (which the enclosing chunk may still
+/// be using). One level of nesting is supported; deeper nesting would
+/// alias this arena, so kernels must not rely on it.
+Workspace& NestedWorkspace();
+
 /// Execution context shared by every hot path of the library: a fixed
 /// thread pool, deterministic parallel-for / ordered parallel-reduce
 /// primitives, and one reusable Workspace per worker.
@@ -64,6 +72,20 @@ class ExecContext {
     if (n <= 0) return;
     const int64_t chunk = ChunkSize(n, grain);
     const int64_t num_chunks = (n + chunk - 1) / chunk;
+    if (ThreadPool::InParallelRegion()) {
+      // Nested parallel region (a kernel called from inside another
+      // ParallelFor body, e.g. a per-relation Transpose): the pool's
+      // invoke state is single-driver, so a nested invoke would corrupt
+      // the outer invoke and deadlock. Run the same chunk layout
+      // serially on this thread instead — bit-identical output, and a
+      // dedicated per-thread workspace so the nested kernel cannot
+      // alias buffers the enclosing chunk is still using.
+      Workspace& ws = NestedWorkspace();
+      for (int64_t c = 0; c < num_chunks; ++c) {
+        fn(c * chunk, std::min(n, (c + 1) * chunk), ws);
+      }
+      return;
+    }
     // Per-invoke observability (spans, clock reads, exec.* counters) is
     // gated on one branch: iterative kernels issue thousands of tiny
     // invokes, and even a non-inlined counter call per invoke shows up
@@ -75,6 +97,7 @@ class ExecContext {
     if (num_threads() == 1 || num_chunks == 1) {
       Workspace& ws = workspace(0);
       auto run_serial = [&] {
+        ThreadPool::RegionScope in_region;
         for (int64_t c = 0; c < num_chunks; ++c) {
           fn(c * chunk, std::min(n, (c + 1) * chunk), ws);
         }

@@ -6,6 +6,15 @@
 
 namespace freehgc::exec {
 
+namespace {
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+ThreadPool::RegionScope::RegionScope() { t_in_parallel_region = true; }
+ThreadPool::RegionScope::~RegionScope() { t_in_parallel_region = false; }
+
 ThreadPool::ThreadPool(int size) {
   const int n = size < 1 ? 1 : size;
   threads_.reserve(static_cast<size_t>(n - 1));
@@ -38,7 +47,10 @@ void ThreadPool::WorkerLoop(int worker) {
       seen = generation_;
       body = body_;
     }
-    (*body)(worker);
+    {
+      RegionScope in_region;
+      (*body)(worker);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_one();
@@ -48,6 +60,7 @@ void ThreadPool::WorkerLoop(int worker) {
 
 void ThreadPool::ParallelInvoke(const std::function<void(int)>& body) {
   if (threads_.empty()) {
+    RegionScope in_region;
     body(0);
     return;
   }
@@ -58,7 +71,10 @@ void ThreadPool::ParallelInvoke(const std::function<void(int)>& body) {
     ++generation_;
   }
   work_cv_.notify_all();
-  body(0);
+  {
+    RegionScope in_region;
+    body(0);
+  }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
   body_ = nullptr;

@@ -40,7 +40,34 @@ class ThreadPool {
   /// worker 0 executed on the calling thread. Returns once every body has
   /// finished. Exceptions must be contained by `body` (ExecContext's
   /// ParallelFor captures and rethrows them on the caller).
+  ///
+  /// ParallelInvoke is single-driver: it must not be called while the
+  /// calling thread is already executing an invoke body (the generation/
+  /// pending bookkeeping is per-pool, not per-invoke, and a nested call
+  /// would corrupt the outer invoke's state and deadlock the driver).
+  /// Callers that may run inside a parallel region check
+  /// InParallelRegion() and degrade to a serial loop instead —
+  /// ExecContext::ParallelFor does this automatically.
   void ParallelInvoke(const std::function<void(int)>& body);
+
+  /// True while the calling thread is executing a ParallelInvoke body
+  /// (either as a pool worker or as the invoking thread). Process-wide:
+  /// the flag is thread-local, so it also reports regions driven by
+  /// *other* pools, which is exactly the conservative answer nested
+  /// kernels want. Out-of-line on purpose: the flag is a thread_local
+  /// private to thread_pool.cc, so no other TU touches TLS directly
+  /// (cross-TU TLS wrappers miscompile under some sanitizer setups).
+  static bool InParallelRegion();
+
+  /// RAII setter for the thread-local region flag, exception-safe so a
+  /// throwing body (contained or not) cannot leave the flag stuck.
+  /// ParallelInvoke arms it around every body; ExecContext also arms it
+  /// around its inline serial path so nested kernels behave identically
+  /// at every thread count.
+  struct RegionScope {
+    RegionScope();
+    ~RegionScope();
+  };
 
  private:
   void WorkerLoop(int worker);

@@ -33,6 +33,15 @@ class Workspace {
     return touched_;
   }
 
+  /// Byte marker array of at least `n` entries, all zero — the sparse
+  /// accumulator of symbolic (structure-only) passes, where no float
+  /// value is needed. Same invariant as ZeroedAccum: the caller must
+  /// re-zero exactly the entries it marked before returning.
+  std::vector<uint8_t>& ZeroedMark(size_t n) {
+    if (mark_.size() < n) mark_.resize(n, 0);
+    return mark_;
+  }
+
   /// Float scratch of exactly `n` entries, value-initialized to `fill`.
   std::vector<float>& F32(size_t n, float fill = 0.0f) {
     f32_.assign(n, fill);
@@ -68,6 +77,7 @@ class Workspace {
   /// "exec.workspace_bytes_hwm" gauge.
   size_t BytesReserved() const {
     return accum_.capacity() * sizeof(float) +
+           mark_.capacity() * sizeof(uint8_t) +
            touched_.capacity() * sizeof(int32_t) +
            (f32_.capacity() + f32b_.capacity()) * sizeof(float) +
            f64_.capacity() * sizeof(double) +
@@ -77,6 +87,7 @@ class Workspace {
 
  private:
   std::vector<float> accum_;
+  std::vector<uint8_t> mark_;
   std::vector<int32_t> touched_;
   std::vector<float> f32_, f32b_;
   std::vector<double> f64_;

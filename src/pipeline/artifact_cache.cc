@@ -40,6 +40,18 @@ obs::Counter& MissCounter() {
   return c;
 }
 
+obs::Counter& PlanHitCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.cache.plan_hits");
+  return c;
+}
+
+obs::Counter& PlanMissCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.cache.plan_misses");
+  return c;
+}
+
 obs::Gauge& BytesGauge() {
   static obs::Gauge& g =
       obs::MetricsRegistry::Global().GetGauge("pipeline.cache.bytes");
@@ -115,12 +127,40 @@ const CsrMatrix& ArtifactCache::Composed(const HeteroGraph& g,
     }
   }
   // Compose outside the lock: the SpGEMM chain is the expensive part and
-  // must not serialize unrelated lookups.
-  auto composed =
-      std::make_unique<CsrMatrix>(ComposeAdjacency(g, p, max_row_nnz, ctx));
+  // must not serialize unrelated lookups. The chain's symbolic passes
+  // route back through this cache, so compositions sharing operand pairs
+  // (path prefixes, other budgets) skip straight to the numeric pass.
+  auto composed = std::make_unique<CsrMatrix>(
+      ComposeAdjacency(g, p, max_row_nnz, ctx, this));
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = adjacencies_.emplace(key, std::move(composed));
   RecordMiss();
+  if (inserted) AddBytes(it->second->MemoryBytes());
+  return *it->second;
+}
+
+const sparse::SpGemmPlan& ArtifactCache::Plan(const CsrMatrix& a,
+                                              const CsrMatrix& b,
+                                              exec::ExecContext* ctx) {
+  // Hashing both operands is O(nnz) per lookup — far below the symbolic
+  // pass it saves (merge + per-row sort), and conservative: equal
+  // fingerprints imply equal sparsity patterns.
+  const PlanKey key{a.ContentFingerprint(), b.ContentFingerprint()};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++stats_.plan_hits;
+      PlanHitCounter().Increment();
+      return *it->second;
+    }
+  }
+  auto plan = std::make_unique<sparse::SpGemmPlan>(
+      sparse::SpGemmSymbolic(a, b, ctx));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  ++stats_.plan_misses;
+  PlanMissCounter().Increment();
   if (inserted) AddBytes(it->second->MemoryBytes());
   return *it->second;
 }
@@ -179,6 +219,7 @@ void ArtifactCache::Clear() {
   adjacencies_.clear();
   propagated_.clear();
   baselines_.clear();
+  plans_.clear();
   stats_ = Stats{};
   BytesGauge().Set(0);
 }

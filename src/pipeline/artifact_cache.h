@@ -15,6 +15,7 @@
 #include "hgnn/propagate.h"
 #include "hgnn/trainer.h"
 #include "metapath/metapath.h"
+#include "sparse/ops.h"
 
 namespace freehgc::pipeline {
 
@@ -37,7 +38,8 @@ namespace freehgc::pipeline {
 /// (entries are heap-allocated and never evicted). Hit/miss/bytes are
 /// mirrored into the obs registry as pipeline.cache.{hits,misses} counters
 /// and the pipeline.cache.bytes gauge.
-class ArtifactCache final : public AdjacencyCache {
+class ArtifactCache final : public AdjacencyCache,
+                            public sparse::SpGemmPlanCache {
  public:
   ArtifactCache() = default;
   ArtifactCache(const ArtifactCache&) = delete;
@@ -47,6 +49,17 @@ class ArtifactCache final : public AdjacencyCache {
   const CsrMatrix& Composed(const HeteroGraph& g, const MetaPath& p,
                             int64_t max_row_nnz,
                             exec::ExecContext* ctx) override;
+
+  // sparse::SpGemmPlanCache — symbolic SpGEMM plans keyed by the operand
+  // pair's ContentFingerprints. Composed() misses route their SpGEMM
+  // chain through this, so two adjacency cells sharing a path prefix (or
+  // one path at two max_row_nnz budgets — plans are budget-independent)
+  // share symbolic work even though the adjacency entries themselves are
+  // distinct. Plan lookups are tallied separately from artifact lookups
+  // (plan_hits/plan_misses): an artifact miss whose plans all hit is
+  // still an artifact miss.
+  const sparse::SpGemmPlan& Plan(const CsrMatrix& a, const CsrMatrix& b,
+                                 exec::ExecContext* ctx) override;
 
   /// Whole-graph propagated feature blocks for (g, paths, max_row_nnz)
   /// (what hgnn::BuildEvalContext computes). The path compositions inside
@@ -69,7 +82,11 @@ class ArtifactCache final : public AdjacencyCache {
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
-    /// Approximate resident bytes of cached artifacts.
+    /// SpGEMM symbolic-plan lookups, counted apart from artifact lookups
+    /// (mirrored as pipeline.cache.plan_{hits,misses} counters).
+    int64_t plan_hits = 0;
+    int64_t plan_misses = 0;
+    /// Approximate resident bytes of cached artifacts (plans included).
     size_t bytes = 0;
   };
   Stats stats() const;
@@ -90,6 +107,8 @@ class ArtifactCache final : public AdjacencyCache {
   using PropKey = std::tuple<uint64_t, uint64_t, int64_t>;
   /// (graph fp, config signature).
   using BaselineKey = std::pair<uint64_t, uint64_t>;
+  /// (operand a fp, operand b fp).
+  using PlanKey = std::pair<uint64_t, uint64_t>;
 
   void RecordHit();
   void RecordMiss();
@@ -100,6 +119,7 @@ class ArtifactCache final : public AdjacencyCache {
   std::map<AdjKey, std::unique_ptr<CsrMatrix>> adjacencies_;
   std::map<PropKey, std::unique_ptr<hgnn::PropagatedFeatures>> propagated_;
   std::map<BaselineKey, hgnn::EvalMetrics> baselines_;
+  std::map<PlanKey, std::unique_ptr<sparse::SpGemmPlan>> plans_;
   Stats stats_;
 };
 

@@ -167,9 +167,10 @@ std::string ServeService::StatsJson() const {
                    store_.TotalBytes());
   out += StrFormat(
       "  \"artifact_cache\": {\"hits\": %lld, \"misses\": %lld, "
-      "\"bytes\": %zu},\n",
+      "\"plan_hits\": %lld, \"plan_misses\": %lld, \"bytes\": %zu},\n",
       static_cast<long long>(c.hits), static_cast<long long>(c.misses),
-      c.bytes);
+      static_cast<long long>(c.plan_hits),
+      static_cast<long long>(c.plan_misses), c.bytes);
   out += StrFormat("  \"eval_context_builds\": %lld,\n",
                    static_cast<long long>(eval_context_builds()));
   out += StrFormat(

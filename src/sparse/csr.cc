@@ -1,6 +1,7 @@
 #include "sparse/csr.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/string_util.h"
 
@@ -100,6 +101,68 @@ bool CsrMatrix::Contains(int32_t r, int32_t c) const {
   if (r < 0 || r >= rows_) return false;
   auto idx = RowIndices(r);
   return std::binary_search(idx.begin(), idx.end(), c);
+}
+
+Status CsrMatrix::Validate() const {
+  if (rows_ < 0 || cols_ < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+  if (indptr_.size() != static_cast<size_t>(rows_) + 1) {
+    return Status::InvalidArgument("indptr size must be rows + 1");
+  }
+  if (indices_.size() != values_.size()) {
+    return Status::InvalidArgument("indices/values size mismatch");
+  }
+  if (indptr_.front() != 0 ||
+      indptr_.back() != static_cast<int64_t>(indices_.size())) {
+    return Status::InvalidArgument("indptr endpoints inconsistent with nnz");
+  }
+  for (int32_t r = 0; r < rows_; ++r) {
+    const int64_t begin = indptr_[static_cast<size_t>(r)];
+    const int64_t end = indptr_[static_cast<size_t>(r) + 1];
+    if (begin > end) {
+      return Status::InvalidArgument(
+          StrFormat("indptr decreases at row %d", r));
+    }
+    int32_t prev = -1;
+    for (int64_t k = begin; k < end; ++k) {
+      const int32_t c = indices_[static_cast<size_t>(k)];
+      if (c < 0 || c >= cols_) {
+        return Status::OutOfRange(
+            StrFormat("row %d: column %d outside [0, %d)", r, c, cols_));
+      }
+      if (c <= prev) {
+        return Status::InvalidArgument(StrFormat(
+            "row %d: column indices not strictly ascending (%d after %d)", r,
+            c, prev));
+      }
+      prev = c;
+      if (!std::isfinite(values_[static_cast<size_t>(k)])) {
+        return Status::InvalidArgument(
+            StrFormat("row %d: non-finite value at column %d", r, c));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t CsrMatrix::ContentFingerprint() const {
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = kOffset;
+  auto mix_bytes = [&](const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+  };
+  const int64_t dims[2] = {rows_, cols_};
+  mix_bytes(dims, sizeof(dims));
+  mix_bytes(indptr_.data(), indptr_.size() * sizeof(int64_t));
+  mix_bytes(indices_.data(), indices_.size() * sizeof(int32_t));
+  mix_bytes(values_.data(), values_.size() * sizeof(float));
+  return h;
 }
 
 }  // namespace freehgc

@@ -81,6 +81,20 @@ class CsrMatrix {
   /// True when entry (r, c) exists.
   bool Contains(int32_t r, int32_t c) const;
 
+  /// Full invariant check: monotone indptr with consistent endpoints,
+  /// in-range and strictly ascending (hence unique) column indices per
+  /// row, and finite values. Every kernel in sparse/ops.cc upholds these
+  /// invariants; debug builds assert them after each op, and the
+  /// differential test suite asserts them after every kernel call.
+  /// FromParts checks only the structural subset (it must stay cheap on
+  /// the deserialization path); call this for the full contract.
+  Status Validate() const;
+
+  /// Order-sensitive 64-bit FNV-1a hash of shape, structure, and values.
+  /// Used by pipeline::ArtifactCache to key reusable SpGEMM plans by
+  /// operand identity.
+  uint64_t ContentFingerprint() const;
+
   bool operator==(const CsrMatrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ &&
            indptr_ == other.indptr_ && indices_ == other.indices_ &&

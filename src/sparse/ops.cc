@@ -21,29 +21,106 @@ constexpr int64_t kRowMergeGrain = 64;   // SpGEMM row merges
 constexpr int64_t kRowScaleGrain = 512;  // normalize / SpMv rows
 constexpr int64_t kAxpyGrain = 2048;     // elementwise vector updates
 
+// Column-block width of the SpMmDense inner loop: 64 floats (256 B, four
+// cache lines) of the output row stay hot while a row's sparse entries
+// stream by. Blocking only reorders the (entry, column) loop nest; each
+// output element still accumulates its products in ascending entry
+// order, so values are bit-identical to the unblocked loop.
+constexpr int64_t kSpMmColBlock = 64;
+
+// Transpose chunks are wider than the generic 256-chunk cap allows: each
+// chunk owns a full column histogram (cols * 8 bytes), so the chunk
+// count — not the thread count, which must not affect layout — bounds
+// the transient scratch at 16 histograms.
+int64_t TransposeGrain(int64_t n) {
+  return std::max<int64_t>(2048, (n + 15) / 16);
+}
+
+// Debug builds assert the full CSR contract (sorted unique columns,
+// monotone indptr, finite values) after every structure-producing
+// kernel; release builds skip the O(nnz) scan.
+const CsrMatrix& DebugValidated(const CsrMatrix& m) {
+#ifndef NDEBUG
+  const Status s = m.Validate();
+  FREEHGC_CHECK(s.ok()) << s.ToString();
+#endif
+  return m;
+}
+
 }  // namespace
 
-CsrMatrix Transpose(const CsrMatrix& a) {
+CsrMatrix Transpose(const CsrMatrix& a, exec::ExecContext* ctx) {
+  FREEHGC_TRACE_SPAN("transpose");
   const int32_t rows = a.rows(), cols = a.cols();
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  const int64_t grain = TransposeGrain(rows);
+  const int64_t chunk = exec::ExecContext::ChunkSize(rows, grain);
+  const int64_t num_chunks = exec::ExecContext::NumChunks(rows, grain);
+
+  // Pass 1 — per-chunk column histograms (disjoint slices of one flat
+  // array, so no synchronization and no order dependence).
+  std::vector<int64_t> counts(
+      static_cast<size_t>(num_chunks) * static_cast<size_t>(cols), 0);
+  ex.ParallelFor(rows, grain,
+                 [&](int64_t begin, int64_t end, exec::Workspace&) {
+                   int64_t* cnt = counts.data() +
+                                  (begin / chunk) * static_cast<int64_t>(cols);
+                   for (int64_t r = begin; r < end; ++r) {
+                     for (int32_t c : a.RowIndices(static_cast<int32_t>(r))) {
+                       ++cnt[c];
+                     }
+                   }
+                 });
+
+  // Column totals become the output indptr; the histograms then turn into
+  // per-chunk write cursors (chunk c's slot for column j starts after
+  // every lower chunk's entries of j). Entries of a column are written in
+  // ascending source-row order — chunks cover ascending row ranges and
+  // each chunk scans its rows in order — so output rows come out sorted
+  // and the result is bit-identical to the sequential transpose.
   std::vector<int64_t> indptr(static_cast<size_t>(cols) + 1, 0);
-  for (int32_t c : a.indices()) ++indptr[static_cast<size_t>(c) + 1];
-  for (size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
-  std::vector<int32_t> indices(a.indices().size());
-  std::vector<float> values(a.values().size());
-  std::vector<int64_t> cursor(indptr.begin(), indptr.end() - 1);
-  for (int32_t r = 0; r < rows; ++r) {
-    auto idx = a.RowIndices(r);
-    auto val = a.RowValues(r);
-    for (size_t k = 0; k < idx.size(); ++k) {
-      const int64_t pos = cursor[static_cast<size_t>(idx[k])]++;
-      indices[static_cast<size_t>(pos)] = r;
-      values[static_cast<size_t>(pos)] = val[k];
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t* cnt = counts.data() + c * static_cast<int64_t>(cols);
+    for (int32_t j = 0; j < cols; ++j) {
+      indptr[static_cast<size_t>(j) + 1] += cnt[j];
     }
   }
+  for (size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
+  {
+    std::vector<int64_t> run(indptr.begin(), indptr.end() - 1);
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      int64_t* cnt = counts.data() + c * static_cast<int64_t>(cols);
+      for (int32_t j = 0; j < cols; ++j) {
+        const int64_t tmp = cnt[j];
+        cnt[j] = run[static_cast<size_t>(j)];
+        run[static_cast<size_t>(j)] += tmp;
+      }
+    }
+  }
+
+  // Pass 2 — scatter into the reserved slots.
+  std::vector<int32_t> indices(a.indices().size());
+  std::vector<float> values(a.values().size());
+  ex.ParallelFor(
+      rows, grain, [&](int64_t begin, int64_t end, exec::Workspace&) {
+        int64_t* cursor =
+            counts.data() + (begin / chunk) * static_cast<int64_t>(cols);
+        for (int64_t r = begin; r < end; ++r) {
+          auto idx = a.RowIndices(static_cast<int32_t>(r));
+          auto val = a.RowValues(static_cast<int32_t>(r));
+          for (size_t k = 0; k < idx.size(); ++k) {
+            const int64_t pos = cursor[idx[k]]++;
+            indices[static_cast<size_t>(pos)] = static_cast<int32_t>(r);
+            values[static_cast<size_t>(pos)] = val[k];
+          }
+        }
+      });
   auto res = CsrMatrix::FromParts(cols, rows, std::move(indptr),
                                   std::move(indices), std::move(values));
   FREEHGC_CHECK(res.ok());
-  return std::move(res).value();
+  CsrMatrix out = std::move(res).value();
+  DebugValidated(out);
+  return out;
 }
 
 CsrMatrix RowNormalize(const CsrMatrix& a, exec::ExecContext* ctx) {
@@ -95,10 +172,80 @@ CsrMatrix SymNormalize(const CsrMatrix& a, exec::ExecContext* ctx) {
   return out;
 }
 
-CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
-                 exec::ExecContext* ctx) {
+SpGemmPlan SpGemmSymbolic(const CsrMatrix& a, const CsrMatrix& b,
+                          exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.cols() == b.rows());
-  FREEHGC_TRACE_SPAN("spgemm");
+  FREEHGC_TRACE_SPAN("spgemm.symbolic");
+  static obs::Counter& symbolic_calls =
+      obs::MetricsRegistry::Global().GetCounter("spgemm.symbolic_calls");
+  symbolic_calls.Increment();
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  const int32_t m = a.rows(), n = b.cols();
+  const int64_t chunk = exec::ExecContext::ChunkSize(m, kRowMergeGrain);
+  const int64_t num_chunks = exec::ExecContext::NumChunks(m, kRowMergeGrain);
+
+  SpGemmPlan plan;
+  plan.a_rows = m;
+  plan.a_cols = a.cols();
+  plan.b_cols = n;
+  plan.indptr.assign(static_cast<size_t>(m) + 1, 0);
+
+  // Per-row set merges with a byte-marker sparse accumulator; each chunk
+  // stages its rows' sorted column lists, spliced below at offsets known
+  // from the prefix-summed per-row counts.
+  std::vector<std::vector<int32_t>> chunk_indices(
+      static_cast<size_t>(num_chunks));
+  ex.ParallelFor(m, kRowMergeGrain, [&](int64_t begin, int64_t end,
+                                        exec::Workspace& ws) {
+    std::vector<uint8_t>& mark = ws.ZeroedMark(static_cast<size_t>(n));
+    std::vector<int32_t>& touched = ws.Touched();
+    auto& indices = chunk_indices[static_cast<size_t>(begin / chunk)];
+    for (int64_t i = begin; i < end; ++i) {
+      touched.clear();
+      auto ai = a.RowIndices(static_cast<int32_t>(i));
+      for (int32_t p : ai) {
+        for (int32_t j : b.RowIndices(p)) {
+          if (!mark[static_cast<size_t>(j)]) {
+            mark[static_cast<size_t>(j)] = 1;
+            touched.push_back(j);
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      for (int32_t j : touched) {
+        indices.push_back(j);
+        mark[static_cast<size_t>(j)] = 0;
+      }
+      plan.indptr[static_cast<size_t>(i) + 1] =
+          static_cast<int64_t>(touched.size());
+    }
+  });
+
+  for (size_t i = 1; i < plan.indptr.size(); ++i) {
+    plan.indptr[i] += plan.indptr[i - 1];
+  }
+  plan.indices.resize(static_cast<size_t>(plan.indptr.back()));
+  ex.ParallelFor(num_chunks, 1,
+                 [&](int64_t begin, int64_t end, exec::Workspace&) {
+                   for (int64_t c = begin; c < end; ++c) {
+                     const size_t offset = static_cast<size_t>(
+                         plan.indptr[static_cast<size_t>(c * chunk)]);
+                     const auto& ci = chunk_indices[static_cast<size_t>(c)];
+                     std::copy(ci.begin(), ci.end(),
+                               plan.indices.begin() + offset);
+                   }
+                 });
+  return plan;
+}
+
+CsrMatrix SpGemmNumeric(const CsrMatrix& a, const CsrMatrix& b,
+                        const SpGemmPlan& plan, int64_t max_row_nnz,
+                        exec::ExecContext* ctx) {
+  FREEHGC_CHECK(a.cols() == b.rows());
+  FREEHGC_CHECK(plan.a_rows == a.rows());
+  FREEHGC_CHECK(plan.a_cols == a.cols());
+  FREEHGC_CHECK(plan.b_cols == b.cols());
+  FREEHGC_TRACE_SPAN("spgemm.numeric");
   // Value metrics (flops = multiply-adds performed, rows truncated and
   // entries dropped by the max_row_nnz budget) accumulate per chunk and
   // land as one atomic add each, so totals are chunk-layout-deterministic
@@ -118,28 +265,19 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
   calls.Increment();
   exec::ExecContext& ex = exec::Resolve(ctx);
   const int32_t m = a.rows(), n = b.cols();
-  const int64_t chunk = exec::ExecContext::ChunkSize(m, kRowMergeGrain);
-  const int64_t num_chunks = exec::ExecContext::NumChunks(m, kRowMergeGrain);
 
-  // Stage 1 — row merges, chunk-local output. Each chunk stages its rows'
-  // (indices, values) in its own buffers; the sparse accumulator (SPA)
-  // and touched-column list come from the worker's Workspace and are
-  // reused across chunks and across SpGemm calls (no per-call churn).
-  std::vector<int64_t> indptr(static_cast<size_t>(m) + 1, 0);
-  std::vector<std::vector<int32_t>> chunk_indices(
-      static_cast<size_t>(num_chunks));
-  std::vector<std::vector<float>> chunk_values(
-      static_cast<size_t>(num_chunks));
+  // Pass 1 — fill values at the plan's exact offsets (no staging, no
+  // sort, no grow-as-you-go buffers: the plan already fixes where every
+  // structural entry lands). Per-row kept counts — exact zeros dropped,
+  // max_row_nnz budget applied — land in out_indptr for the prefix sum.
+  std::vector<float> plan_values(static_cast<size_t>(plan.nnz()));
+  std::vector<int64_t> out_indptr(static_cast<size_t>(m) + 1, 0);
   ex.ParallelFor(m, kRowMergeGrain, [&](int64_t begin, int64_t end,
                                         exec::Workspace& ws) {
     std::vector<float>& accum = ws.ZeroedAccum(static_cast<size_t>(n));
-    std::vector<int32_t>& touched = ws.Touched();
-    auto& indices = chunk_indices[static_cast<size_t>(begin / chunk)];
-    auto& values = chunk_values[static_cast<size_t>(begin / chunk)];
     int64_t flops = 0, truncated = 0, dropped = 0;
     obs::LocalHistogram row_hist;
     for (int64_t i = begin; i < end; ++i) {
-      touched.clear();
       auto ai = a.RowIndices(static_cast<int32_t>(i));
       auto av = a.RowValues(static_cast<int32_t>(i));
       for (size_t k = 0; k < ai.size(); ++k) {
@@ -149,41 +287,27 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
         auto bv = b.RowValues(p);
         flops += static_cast<int64_t>(bi.size());
         for (size_t t = 0; t < bi.size(); ++t) {
-          const int32_t j = bi[t];
-          if (accum[static_cast<size_t>(j)] == 0.0f) touched.push_back(j);
-          accum[static_cast<size_t>(j)] += apv * bv[t];
+          accum[static_cast<size_t>(bi[t])] += apv * bv[t];
         }
       }
-      if (max_row_nnz > 0 &&
-          static_cast<int64_t>(touched.size()) > max_row_nnz) {
-        // Budgeted densification: keep the largest-magnitude entries.
-        std::nth_element(
-            touched.begin(), touched.begin() + max_row_nnz, touched.end(),
-            [&](int32_t x, int32_t y) {
-              return std::fabs(accum[static_cast<size_t>(x)]) >
-                     std::fabs(accum[static_cast<size_t>(y)]);
-            });
-        for (size_t t = static_cast<size_t>(max_row_nnz); t < touched.size();
-             ++t) {
-          accum[static_cast<size_t>(touched[t])] = 0.0f;
-        }
-        ++truncated;
-        dropped += static_cast<int64_t>(touched.size()) - max_row_nnz;
-        touched.resize(static_cast<size_t>(max_row_nnz));
-      }
-      std::sort(touched.begin(), touched.end());
-      int64_t row_nnz = 0;
-      for (int32_t j : touched) {
+      const int64_t base = plan.indptr[static_cast<size_t>(i)];
+      const int64_t row_nnz = plan.indptr[static_cast<size_t>(i) + 1] - base;
+      int64_t nonzero = 0;
+      for (int64_t k = 0; k < row_nnz; ++k) {
+        const int32_t j = plan.indices[static_cast<size_t>(base + k)];
         const float v = accum[static_cast<size_t>(j)];
-        if (v != 0.0f) {
-          indices.push_back(j);
-          values.push_back(v);
-          ++row_nnz;
-        }
+        plan_values[static_cast<size_t>(base + k)] = v;
         accum[static_cast<size_t>(j)] = 0.0f;
+        if (v != 0.0f) ++nonzero;
       }
-      row_hist.Observe(row_nnz);
-      indptr[static_cast<size_t>(i) + 1] = row_nnz;
+      int64_t kept = nonzero;
+      if (max_row_nnz > 0 && nonzero > max_row_nnz) {
+        kept = max_row_nnz;
+        ++truncated;
+        dropped += nonzero - max_row_nnz;
+      }
+      row_hist.Observe(kept);
+      out_indptr[static_cast<size_t>(i) + 1] = kept;
     }
     row_hist.FlushTo(row_nnz_hist);
     flops_ctr.Add(flops);
@@ -193,27 +317,98 @@ CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
     }
   });
 
-  // Stage 2 — prefix-sum the per-row counts, then splice the chunk
-  // buffers at their offsets (chunk c's data starts at indptr[c * chunk]).
-  for (size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
-  std::vector<int32_t> indices(static_cast<size_t>(indptr.back()));
-  std::vector<float> values(static_cast<size_t>(indptr.back()));
-  ex.ParallelFor(num_chunks, 1, [&](int64_t begin, int64_t end,
-                                    exec::Workspace&) {
-    for (int64_t c = begin; c < end; ++c) {
-      const size_t offset =
-          static_cast<size_t>(indptr[static_cast<size_t>(c * chunk)]);
-      const auto& ci = chunk_indices[static_cast<size_t>(c)];
-      const auto& cv = chunk_values[static_cast<size_t>(c)];
-      std::copy(ci.begin(), ci.end(), indices.begin() + offset);
-      std::copy(cv.begin(), cv.end(), values.begin() + offset);
+  for (size_t i = 1; i < out_indptr.size(); ++i) {
+    out_indptr[i] += out_indptr[i - 1];
+  }
+  const int64_t out_nnz = out_indptr.back();
+  out_nnz_ctr.Add(out_nnz);
+
+  if (out_nnz == plan.nnz()) {
+    // Structure unchanged (no budget hit, no exact zeros): the plan's
+    // pattern is the output pattern and the values are already in place.
+    std::vector<int32_t> indices(plan.indices);
+    auto res = CsrMatrix::FromParts(m, n, std::move(out_indptr),
+                                    std::move(indices),
+                                    std::move(plan_values));
+    FREEHGC_CHECK(res.ok());
+    CsrMatrix out = std::move(res).value();
+    DebugValidated(out);
+    return out;
+  }
+
+  // Pass 2 — compact the surviving entries to their final offsets. The
+  // budget keeps the max_row_nnz entries largest by (|value|, then
+  // smaller column index): the column tie-break makes the comparator a
+  // total order, so the selected set is independent of candidate order —
+  // hence of thread count and of plan reuse.
+  std::vector<int32_t> indices(static_cast<size_t>(out_nnz));
+  std::vector<float> values(static_cast<size_t>(out_nnz));
+  ex.ParallelFor(m, kRowMergeGrain, [&](int64_t begin, int64_t end,
+                                        exec::Workspace& ws) {
+    std::vector<int32_t>& cand = ws.Touched();
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t base = plan.indptr[static_cast<size_t>(i)];
+      const int64_t row_nnz = plan.indptr[static_cast<size_t>(i) + 1] - base;
+      const int64_t out_base = out_indptr[static_cast<size_t>(i)];
+      const int64_t kept = out_indptr[static_cast<size_t>(i) + 1] - out_base;
+      if (kept == row_nnz) {
+        std::copy(plan.indices.begin() + base,
+                  plan.indices.begin() + base + row_nnz,
+                  indices.begin() + out_base);
+        std::copy(plan_values.begin() + base,
+                  plan_values.begin() + base + row_nnz,
+                  values.begin() + out_base);
+        continue;
+      }
+      cand.clear();
+      for (int64_t k = 0; k < row_nnz; ++k) {
+        if (plan_values[static_cast<size_t>(base + k)] != 0.0f) {
+          cand.push_back(static_cast<int32_t>(k));
+        }
+      }
+      if (static_cast<int64_t>(cand.size()) > kept) {
+        // Partial select, not a full sort; plan columns are ascending,
+        // so smaller in-row offset == smaller column index.
+        std::nth_element(
+            cand.begin(), cand.begin() + kept, cand.end(),
+            [&](int32_t x, int32_t y) {
+              const float ax =
+                  std::fabs(plan_values[static_cast<size_t>(base + x)]);
+              const float ay =
+                  std::fabs(plan_values[static_cast<size_t>(base + y)]);
+              if (ax != ay) return ax > ay;
+              return x < y;
+            });
+        cand.resize(static_cast<size_t>(kept));
+        std::sort(cand.begin(), cand.end());
+      }
+      for (size_t t = 0; t < cand.size(); ++t) {
+        const int64_t src = base + cand[t];
+        indices[static_cast<size_t>(out_base) + t] =
+            plan.indices[static_cast<size_t>(src)];
+        values[static_cast<size_t>(out_base) + t] =
+            plan_values[static_cast<size_t>(src)];
+      }
     }
   });
-  out_nnz_ctr.Add(indptr.back());
-  auto res = CsrMatrix::FromParts(m, n, std::move(indptr), std::move(indices),
-                                  std::move(values));
+  auto res = CsrMatrix::FromParts(m, n, std::move(out_indptr),
+                                  std::move(indices), std::move(values));
   FREEHGC_CHECK(res.ok());
-  return std::move(res).value();
+  CsrMatrix out = std::move(res).value();
+  DebugValidated(out);
+  return out;
+}
+
+CsrMatrix SpGemm(const CsrMatrix& a, const CsrMatrix& b, int64_t max_row_nnz,
+                 exec::ExecContext* ctx, SpGemmPlanCache* plans) {
+  FREEHGC_CHECK(a.cols() == b.rows());
+  FREEHGC_TRACE_SPAN("spgemm");
+  if (plans != nullptr) {
+    const SpGemmPlan& plan = plans->Plan(a, b, ctx);
+    return SpGemmNumeric(a, b, plan, max_row_nnz, ctx);
+  }
+  const SpGemmPlan plan = SpGemmSymbolic(a, b, ctx);
+  return SpGemmNumeric(a, b, plan, max_row_nnz, ctx);
 }
 
 Matrix SpMmDense(const CsrMatrix& a, const Matrix& x,
@@ -221,6 +416,7 @@ Matrix SpMmDense(const CsrMatrix& a, const Matrix& x,
   FREEHGC_CHECK(a.cols() == x.rows());
   FREEHGC_TRACE_SPAN("spmm_dense");
   Matrix out(a.rows(), x.cols());
+  const int64_t d = x.cols();
   exec::Resolve(ctx).ParallelFor(
       a.rows(), kRowMergeGrain,
       [&](int64_t begin, int64_t end, exec::Workspace&) {
@@ -228,30 +424,27 @@ Matrix SpMmDense(const CsrMatrix& a, const Matrix& x,
           float* out_row = out.Row(r);
           auto idx = a.RowIndices(static_cast<int32_t>(r));
           auto val = a.RowValues(static_cast<int32_t>(r));
-          for (size_t k = 0; k < idx.size(); ++k) {
-            const float* x_row = x.Row(idx[k]);
-            const float v = val[k];
-            for (int64_t c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
+          for (int64_t c0 = 0; c0 < d; c0 += kSpMmColBlock) {
+            const int64_t c1 = std::min(d, c0 + kSpMmColBlock);
+            for (size_t k = 0; k < idx.size(); ++k) {
+              const float* x_row = x.Row(idx[k]);
+              const float v = val[k];
+              for (int64_t c = c0; c < c1; ++c) {
+                out_row[c] += v * x_row[c];
+              }
+            }
           }
         }
       });
   return out;
 }
 
-Matrix SpMmDenseT(const CsrMatrix& a, const Matrix& x) {
+Matrix SpMmDenseT(const CsrMatrix& a, const Matrix& x,
+                  exec::ExecContext* ctx) {
   FREEHGC_CHECK(a.rows() == x.rows());
-  Matrix out(a.cols(), x.cols());
-  for (int32_t r = 0; r < a.rows(); ++r) {
-    const float* x_row = x.Row(r);
-    auto idx = a.RowIndices(r);
-    auto val = a.RowValues(r);
-    for (size_t k = 0; k < idx.size(); ++k) {
-      float* out_row = out.Row(idx[k]);
-      const float v = val[k];
-      for (int64_t c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
-    }
-  }
-  return out;
+  FREEHGC_TRACE_SPAN("spmm_dense_t");
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  return SpMmDense(Transpose(a, &ex), x, &ex);
 }
 
 void SpMvInto(const CsrMatrix& a, const std::vector<float>& x,
@@ -280,19 +473,11 @@ std::vector<float> SpMv(const CsrMatrix& a, const std::vector<float>& x,
   return y;
 }
 
-std::vector<float> SpMvT(const CsrMatrix& a, const std::vector<float>& x) {
+std::vector<float> SpMvT(const CsrMatrix& a, const std::vector<float>& x,
+                         exec::ExecContext* ctx) {
   FREEHGC_CHECK(static_cast<int32_t>(x.size()) == a.rows());
-  std::vector<float> y(static_cast<size_t>(a.cols()), 0.0f);
-  for (int32_t r = 0; r < a.rows(); ++r) {
-    const float xv = x[static_cast<size_t>(r)];
-    if (xv == 0.0f) continue;
-    auto idx = a.RowIndices(r);
-    auto val = a.RowValues(r);
-    for (size_t k = 0; k < idx.size(); ++k) {
-      y[static_cast<size_t>(idx[k])] += val[k] * xv;
-    }
-  }
-  return y;
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  return SpMv(Transpose(a, &ex), x, &ex);
 }
 
 CsrMatrix Submatrix(const CsrMatrix& a, const std::vector<int32_t>& row_keep,
@@ -375,7 +560,7 @@ std::vector<float> PprScores(const CsrMatrix& a,
   // A^T pi as a row-parallel gather over the materialized transpose: the
   // per-element accumulation order (ascending source row) matches the
   // sequential column-scatter exactly, so the refactor is bit-preserving.
-  const CsrMatrix at = Transpose(a);
+  const CsrMatrix at = Transpose(a, &ex);
   std::vector<float> pi = teleport;
   std::vector<float> propagated;  // reused across iterations
   for (int it = 0; it < max_iters; ++it) {

@@ -103,6 +103,53 @@ TEST(ExecContextTest, ParallelForPropagatesException) {
   }
 }
 
+TEST(ExecContextTest, NestedParallelForRunsSeriallyAndTerminates) {
+  // A kernel issuing ParallelFor from inside another ParallelFor body
+  // (e.g. sparse::Transpose under the per-relation loop of
+  // EnsureReverseRelations) must not re-enter the pool's single-driver
+  // invoke — it degrades to a serial loop on the calling thread. Before
+  // the InParallelRegion guard this deadlocked at >= 2 threads whenever
+  // the inner range spanned multiple chunks.
+  for (int threads : {1, 2, 4}) {
+    exec::ExecContext ex(threads);
+    const int64_t outer = 8;
+    const int64_t inner = 100000;  // multiple chunks at grain 1
+    std::vector<int64_t> sums(static_cast<size_t>(outer), 0);
+    ex.ParallelFor(outer, 1, [&](int64_t ob, int64_t oe, exec::Workspace&) {
+      for (int64_t o = ob; o < oe; ++o) {
+        EXPECT_TRUE(exec::ThreadPool::InParallelRegion());
+        std::atomic<int64_t> sum{0};
+        ex.ParallelFor(inner, 1,
+                       [&](int64_t b, int64_t e, exec::Workspace&) {
+                         for (int64_t i = b; i < e; ++i) sum += i;
+                       });
+        sums[static_cast<size_t>(o)] = sum;
+      }
+    });
+    EXPECT_FALSE(exec::ThreadPool::InParallelRegion());
+    for (int64_t o = 0; o < outer; ++o) {
+      EXPECT_EQ(sums[static_cast<size_t>(o)], inner * (inner - 1) / 2)
+          << "outer " << o << " threads " << threads;
+    }
+  }
+}
+
+TEST(ExecContextTest, NestedWorkspaceIsDistinctFromWorkerArenas) {
+  // The nested serial path hands out NestedWorkspace(), never the
+  // enclosing chunk's per-worker arena: a kernel mid-use of its own
+  // workspace can safely call a workspace-using kernel.
+  exec::ExecContext ex(2);
+  std::atomic<bool> aliased{false};
+  ex.ParallelFor(4, 1, [&](int64_t ob, int64_t oe, exec::Workspace& outer) {
+    for (int64_t o = ob; o < oe; ++o) {
+      ex.ParallelFor(2, 1, [&](int64_t, int64_t, exec::Workspace& nested) {
+        if (&nested == &outer) aliased = true;
+      });
+    }
+  });
+  EXPECT_FALSE(aliased);
+}
+
 TEST(ExecContextTest, ParallelReduceMatchesSequentialFold) {
   for (int threads : {1, 2, 4}) {
     exec::ExecContext ex(threads);

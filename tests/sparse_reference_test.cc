@@ -1,0 +1,342 @@
+// Differential test harness for the optimized sparse kernels: every
+// kernel in sparse/ops.h is compared bit-for-bit against the naive
+// single-threaded references in sparse/reference.h, on a seeded corpus
+// of adversarial shapes, across thread counts {1, 2, 4} and — for
+// SpGEMM — with and without symbolic-plan reuse. Exact float equality
+// throughout (EXPECT_EQ on the raw arrays, no tolerances): the
+// optimized kernels' determinism contract promises the references'
+// accumulation orders per output element, so any drift is a bug.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dense/matrix.h"
+#include "exec/exec_context.h"
+#include "sparse/csr.h"
+#include "sparse/ops.h"
+#include "sparse/reference.h"
+
+namespace freehgc {
+namespace {
+
+CsrMatrix FromCooOrDie(int32_t rows, int32_t cols,
+                       std::vector<CooEntry> entries) {
+  auto res = CsrMatrix::FromCoo(rows, cols, std::move(entries));
+  EXPECT_TRUE(res.ok());
+  return std::move(res).value();
+}
+
+/// Uniformly random sparse matrix with values in [-2, 2).
+CsrMatrix RandomSparse(int32_t rows, int32_t cols, double density,
+                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  for (int32_t r = 0; r < rows; ++r) {
+    for (int32_t c = 0; c < cols; ++c) {
+      if (rng.NextDouble() < density) {
+        entries.push_back({r, c, rng.NextUniform(-2.0f, 2.0f)});
+      }
+    }
+  }
+  return FromCooOrDie(rows, cols, std::move(entries));
+}
+
+/// Power-law-ish row degrees: a handful of hub rows own most entries —
+/// the degree profile where static chunking is most lopsided.
+CsrMatrix PowerLawSparse(int32_t rows, int32_t cols, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  for (int32_t r = 0; r < rows; ++r) {
+    const int32_t degree =
+        r % 37 == 0 ? cols / 2 : static_cast<int32_t>(rng.NextBounded(4));
+    for (int32_t k = 0; k < degree; ++k) {
+      entries.push_back({r, static_cast<int32_t>(rng.NextBounded(
+                                static_cast<uint64_t>(cols))),
+                         rng.NextUniform(-2.0f, 2.0f)});
+    }
+  }
+  return FromCooOrDie(rows, cols, std::move(entries));
+}
+
+/// Matrix with a band of empty rows in the middle and several zero-degree
+/// trailing columns (never referenced by any entry).
+CsrMatrix GappySparse(int32_t rows, int32_t cols, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  for (int32_t r = 0; r < rows; ++r) {
+    if (r >= rows / 3 && r < 2 * rows / 3) continue;  // empty-row band
+    const int32_t reachable = std::max(1, cols - 5);
+    for (int32_t k = 0; k < 3; ++k) {
+      entries.push_back({r, static_cast<int32_t>(rng.NextBounded(
+                                static_cast<uint64_t>(reachable))),
+                         rng.NextUniform(-2.0f, 2.0f)});
+    }
+  }
+  return FromCooOrDie(rows, cols, std::move(entries));
+}
+
+/// Matrix holding explicitly stored zero values (and pairs that cancel
+/// when multiplied), exercising the numeric pass's zero-drop compaction.
+CsrMatrix ZeroValuedSparse(int32_t rows, int32_t cols) {
+  std::vector<CooEntry> entries;
+  for (int32_t r = 0; r < rows; ++r) {
+    entries.push_back({r, r % cols, 0.0f});  // stored zero
+    entries.push_back({r, (r + 1) % cols, r % 2 == 0 ? 1.5f : -1.5f});
+  }
+  return FromCooOrDie(rows, cols, std::move(entries));
+}
+
+struct CorpusEntry {
+  std::string name;
+  CsrMatrix m;
+};
+
+/// The seeded corpus: adversarial shapes for chunking, scatter, and
+/// compaction paths.
+std::vector<CorpusEntry> Corpus() {
+  std::vector<CorpusEntry> corpus;
+  corpus.push_back({"power_law_square", PowerLawSparse(300, 300, 7)});
+  corpus.push_back({"rect_wide", RandomSparse(40, 500, 0.05, 11)});
+  corpus.push_back({"rect_tall", RandomSparse(500, 40, 0.05, 13)});
+  corpus.push_back({"empty_rows_zero_cols", GappySparse(200, 64, 17)});
+  corpus.push_back({"all_empty", CsrMatrix(50, 30)});  // zero nnz
+  corpus.push_back({"stored_zeros", ZeroValuedSparse(60, 60)});
+  corpus.push_back({"one_by_n", RandomSparse(1, 400, 0.3, 19)});
+  corpus.push_back({"n_by_one", RandomSparse(400, 1, 0.3, 23)});
+  return corpus;
+}
+
+/// Test-local SpGemmPlanCache: memoizes one plan per operand pair by
+/// address (sufficient inside a single test body).
+class TestPlanCache : public sparse::SpGemmPlanCache {
+ public:
+  const sparse::SpGemmPlan& Plan(const CsrMatrix& a, const CsrMatrix& b,
+                                 exec::ExecContext* ctx) override {
+    const auto key = std::make_pair(&a, &b);
+    auto it = plans_.find(key);
+    if (it == plans_.end()) {
+      it = plans_
+               .emplace(key, std::make_unique<sparse::SpGemmPlan>(
+                                 sparse::SpGemmSymbolic(a, b, ctx)))
+               .first;
+    } else {
+      ++hits_;
+    }
+    return *it->second;
+  }
+  int hits() const { return hits_; }
+
+ private:
+  std::map<std::pair<const CsrMatrix*, const CsrMatrix*>,
+           std::unique_ptr<sparse::SpGemmPlan>>
+      plans_;
+  int hits_ = 0;
+};
+
+void ExpectBitIdentical(const CsrMatrix& got, const CsrMatrix& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.rows(), want.rows()) << context;
+  ASSERT_EQ(got.cols(), want.cols()) << context;
+  EXPECT_EQ(got.indptr(), want.indptr()) << context;
+  EXPECT_EQ(got.indices(), want.indices()) << context;
+  EXPECT_EQ(got.values(), want.values()) << context;  // exact, no tolerance
+}
+
+void ExpectValid(const CsrMatrix& m, const std::string& context) {
+  const Status s = m.Validate();
+  EXPECT_TRUE(s.ok()) << context << ": " << s.ToString();
+}
+
+/// Thread counts every kernel must agree across. 1 doubles as the "is
+/// the parallel path value-preserving at all" anchor.
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+TEST(SparseReferenceTest, TransposeMatchesReference) {
+  for (const auto& e : Corpus()) {
+    const CsrMatrix want = sparse::reference::TransposeRef(e.m);
+    ExpectValid(want, e.name + " reference");
+    for (int threads : kThreadCounts) {
+      exec::ExecContext ex(threads);
+      const CsrMatrix got = sparse::Transpose(e.m, &ex);
+      const std::string context =
+          e.name + " threads=" + std::to_string(threads);
+      ExpectValid(got, context);
+      ExpectBitIdentical(got, want, context);
+    }
+  }
+}
+
+TEST(SparseReferenceTest, NormalizeMatchesReference) {
+  for (const auto& e : Corpus()) {
+    const CsrMatrix want_row = sparse::reference::RowNormalizeRef(e.m);
+    for (int threads : kThreadCounts) {
+      exec::ExecContext ex(threads);
+      const std::string context =
+          e.name + " threads=" + std::to_string(threads);
+      const CsrMatrix got_row = sparse::RowNormalize(e.m, &ex);
+      ExpectValid(got_row, context);
+      ExpectBitIdentical(got_row, want_row, "row_normalize " + context);
+      if (e.m.rows() == e.m.cols()) {
+        const CsrMatrix want_sym = sparse::reference::SymNormalizeRef(e.m);
+        const CsrMatrix got_sym = sparse::SymNormalize(e.m, &ex);
+        ExpectValid(got_sym, context);
+        ExpectBitIdentical(got_sym, want_sym, "sym_normalize " + context);
+      }
+    }
+  }
+}
+
+TEST(SparseReferenceTest, SpGemmMatchesReferenceAcrossThreadsAndPlanReuse) {
+  for (const auto& e : Corpus()) {
+    // Square the matrix against its own transpose so every corpus shape
+    // yields a composable pair (m x n) * (n x m).
+    const CsrMatrix bt = sparse::reference::TransposeRef(e.m);
+    for (int64_t budget : {int64_t{0}, int64_t{8}}) {
+      const CsrMatrix want = sparse::reference::SpGemmRef(e.m, bt, budget);
+      ExpectValid(want, e.name + " reference");
+      for (int threads : kThreadCounts) {
+        exec::ExecContext ex(threads);
+        const std::string context = e.name +
+                                    " budget=" + std::to_string(budget) +
+                                    " threads=" + std::to_string(threads);
+        // Plan reuse off: fresh symbolic pass inside SpGemm.
+        const CsrMatrix cold = sparse::SpGemm(e.m, bt, budget, &ex);
+        ExpectValid(cold, context + " cold");
+        ExpectBitIdentical(cold, want, context + " cold");
+        // Plan reuse on: first call populates, second is served the
+        // memoized plan. Both must equal the reference.
+        TestPlanCache plans;
+        const CsrMatrix warm0 =
+            sparse::SpGemm(e.m, bt, budget, &ex, &plans);
+        const CsrMatrix warm1 =
+            sparse::SpGemm(e.m, bt, budget, &ex, &plans);
+        EXPECT_EQ(plans.hits(), 1) << context;
+        ExpectValid(warm1, context + " warm");
+        ExpectBitIdentical(warm0, want, context + " plan-miss");
+        ExpectBitIdentical(warm1, want, context + " plan-hit");
+      }
+    }
+  }
+}
+
+TEST(SparseReferenceTest, SpMmDenseMatchesReference) {
+  for (const auto& e : Corpus()) {
+    Rng rng(101);
+    // 70 columns straddles the 64-wide cache block (one full block plus
+    // a ragged tail).
+    Matrix x(e.m.cols(), 70);
+    for (int64_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = rng.NextUniform(-1.0f, 1.0f);
+    }
+    Matrix xt(e.m.rows(), 70);
+    for (int64_t i = 0; i < xt.size(); ++i) {
+      xt.data()[i] = rng.NextUniform(-1.0f, 1.0f);
+    }
+    const Matrix want = sparse::reference::SpMmDenseRef(e.m, x);
+    const Matrix want_t = sparse::reference::SpMmDenseTRef(e.m, xt);
+    for (int threads : kThreadCounts) {
+      exec::ExecContext ex(threads);
+      const std::string context =
+          e.name + " threads=" + std::to_string(threads);
+      EXPECT_TRUE(sparse::SpMmDense(e.m, x, &ex) == want) << context;
+      EXPECT_TRUE(sparse::SpMmDenseT(e.m, xt, &ex) == want_t) << context;
+    }
+  }
+}
+
+TEST(SparseReferenceTest, SpMvMatchesReference) {
+  for (const auto& e : Corpus()) {
+    Rng rng(103);
+    std::vector<float> x(static_cast<size_t>(e.m.cols()));
+    for (auto& v : x) v = rng.NextUniform(-1.0f, 1.0f);
+    std::vector<float> xt(static_cast<size_t>(e.m.rows()));
+    for (auto& v : xt) v = rng.NextUniform(-1.0f, 1.0f);
+    const std::vector<float> want = sparse::reference::SpMvRef(e.m, x);
+    const std::vector<float> want_t = sparse::reference::SpMvTRef(e.m, xt);
+    for (int threads : kThreadCounts) {
+      exec::ExecContext ex(threads);
+      const std::string context =
+          e.name + " threads=" + std::to_string(threads);
+      EXPECT_EQ(sparse::SpMv(e.m, x, &ex), want) << context;
+      EXPECT_EQ(sparse::SpMvT(e.m, xt, &ex), want_t) << context;
+    }
+  }
+}
+
+TEST(SparseReferenceTest, PprScoresMatchesReference) {
+  // tol = 0 pins both sides to exactly max_iters iterations: the
+  // optimized kernel's chunked double reduction associates the L1 delta
+  // differently from the reference's sequential fold, so a nonzero tol
+  // could stop them on different iterations even though every pi update
+  // is bit-identical.
+  const CsrMatrix a =
+      sparse::reference::SymNormalizeRef(PowerLawSparse(250, 250, 29));
+  std::vector<float> teleport(250, 1.0f / 250.0f);
+  const std::vector<float> want =
+      sparse::reference::PprScoresRef(a, teleport, 0.15f, 20, 0.0f);
+  for (int threads : kThreadCounts) {
+    exec::ExecContext ex(threads);
+    EXPECT_EQ(sparse::PprScores(a, teleport, 0.15f, 20, 0.0f, &ex), want)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SparseReferenceTest, SymbolicPlanIsBudgetIndependentSuperset) {
+  const CsrMatrix a = PowerLawSparse(120, 120, 31);
+  const CsrMatrix b = sparse::reference::TransposeRef(a);
+  const sparse::SpGemmPlan plan = sparse::SpGemmSymbolic(a, b);
+  // One plan serves every budget.
+  for (int64_t budget : {int64_t{0}, int64_t{4}, int64_t{32}}) {
+    const CsrMatrix want = sparse::reference::SpGemmRef(a, b, budget);
+    const CsrMatrix got = sparse::SpGemmNumeric(a, b, plan, budget);
+    ExpectBitIdentical(got, want, "budget=" + std::to_string(budget));
+    // The plan's structure contains every surviving output entry.
+    for (int32_t r = 0; r < got.rows(); ++r) {
+      for (int32_t c : got.RowIndices(r)) {
+        const auto row = plan.indices.begin() + plan.indptr[r];
+        const auto row_end = plan.indices.begin() + plan.indptr[r + 1];
+        EXPECT_TRUE(std::binary_search(row, row_end, c));
+      }
+    }
+  }
+}
+
+TEST(SparseReferenceTest, PruningTieBreakKeepsSmallerColumns) {
+  // Row 0 of a*b has four entries of equal magnitude 1.0 at columns
+  // 0..3. With max_row_nnz = 2 the pinned rule (|value| desc, then
+  // smaller column) must keep columns {0, 1} — at every thread count,
+  // with and without a plan, and regardless of sign.
+  std::vector<CooEntry> ae, be;
+  for (int32_t c = 0; c < 4; ++c) {
+    ae.push_back({0, c, 1.0f});
+    be.push_back({c, c, c % 2 == 0 ? 1.0f : -1.0f});
+  }
+  const CsrMatrix a = FromCooOrDie(1, 4, std::move(ae));
+  const CsrMatrix b = FromCooOrDie(4, 4, std::move(be));
+  for (int threads : kThreadCounts) {
+    exec::ExecContext ex(threads);
+    TestPlanCache plans;
+    for (sparse::SpGemmPlanCache* p :
+         {static_cast<sparse::SpGemmPlanCache*>(nullptr),
+          static_cast<sparse::SpGemmPlanCache*>(&plans)}) {
+      const CsrMatrix got = sparse::SpGemm(a, b, 2, &ex, p);
+      ASSERT_EQ(got.RowNnz(0), 2);
+      EXPECT_EQ(got.RowIndices(0)[0], 0);
+      EXPECT_EQ(got.RowIndices(0)[1], 1);
+      EXPECT_EQ(got.RowValues(0)[0], 1.0f);
+      EXPECT_EQ(got.RowValues(0)[1], -1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace freehgc

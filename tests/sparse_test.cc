@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "sparse/csr.h"
@@ -70,6 +71,48 @@ TEST(CsrTest, FromPartsValidates) {
   EXPECT_FALSE(CsrMatrix::FromParts(2, 2, {0, 1, 2}, {0, 5}, {1, 1}).ok());
   // indices/values mismatch
   EXPECT_FALSE(CsrMatrix::FromParts(2, 2, {0, 1, 2}, {0, 1}, {1}).ok());
+}
+
+TEST(CsrTest, ValidateAcceptsWellFormedMatrices) {
+  EXPECT_TRUE(CsrMatrix().Validate().ok());
+  EXPECT_TRUE(CsrMatrix(3, 5).Validate().ok());
+  EXPECT_TRUE(RandomSparse(20, 30, 0.2, 41).Validate().ok());
+}
+
+TEST(CsrTest, ValidateRejectsCorruptedStructure) {
+  // FromParts checks only the cheap structural subset, so these
+  // corruptions slip past construction; Validate must reject them.
+  // Unsorted columns within a row:
+  auto unsorted = CsrMatrix::FromParts(1, 3, {0, 2}, {2, 0}, {1.0f, 1.0f});
+  ASSERT_TRUE(unsorted.ok());
+  EXPECT_FALSE(unsorted->Validate().ok());
+  // Duplicate column within a row:
+  auto dup = CsrMatrix::FromParts(1, 3, {0, 2}, {1, 1}, {1.0f, 1.0f});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(dup->Validate().ok());
+}
+
+TEST(CsrTest, ValidateRejectsNonFiniteValues) {
+  CsrMatrix m = FromCooOrDie(2, 2, {{0, 0, 1.0f}, {1, 1, 2.0f}});
+  ASSERT_TRUE(m.Validate().ok());
+  m.mutable_values()[0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(m.Validate().ok());
+  m.mutable_values()[0] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(m.Validate().ok());
+  m.mutable_values()[0] = 1.0f;
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(CsrTest, ContentFingerprintSeparatesStructureAndValues) {
+  const CsrMatrix a = FromCooOrDie(2, 2, {{0, 0, 1.0f}, {1, 1, 2.0f}});
+  CsrMatrix same = a;
+  EXPECT_EQ(a.ContentFingerprint(), same.ContentFingerprint());
+  // A value change alone must change the fingerprint (plans are keyed
+  // conservatively by full content, not just the sparsity pattern).
+  same.mutable_values()[0] = 3.0f;
+  EXPECT_NE(a.ContentFingerprint(), same.ContentFingerprint());
+  const CsrMatrix other = FromCooOrDie(2, 2, {{0, 1, 1.0f}, {1, 1, 2.0f}});
+  EXPECT_NE(a.ContentFingerprint(), other.ContentFingerprint());
 }
 
 TEST(CsrTest, BasicAccessors) {
