@@ -1,0 +1,52 @@
+#ifndef FREEHGC_COMMON_FNV_H_
+#define FREEHGC_COMMON_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace freehgc {
+
+/// FNV-1a over raw bytes, chained. Structure separators are mixed in as
+/// one-byte tags so e.g. (counts, labels) boundaries cannot alias. This is
+/// the canonical content hash of the library: HeteroGraph and CsrMatrix
+/// fingerprints, the ArtifactCache keys, and the v3 container's stored
+/// fingerprint all mix through this exact byte sequence, so a fingerprint
+/// computed while streaming a graph to disk matches the one a heap load of
+/// the same graph computes later.
+struct Fnv {
+  uint64_t h = 1469598103934665603ULL;
+
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  template <typename T>
+  void Pod(const T& v) {
+    Bytes(&v, sizeof(T));
+  }
+  /// Length-prefixed array: u64 element count, then the raw bytes.
+  template <typename T>
+  void Span(std::span<const T> v) {
+    Pod(static_cast<uint64_t>(v.size()));
+    Bytes(v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    Span(std::span<const T>(v));
+  }
+  void Str(const std::string& s) {
+    Pod(static_cast<uint64_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  void Tag(unsigned char t) { Bytes(&t, 1); }
+};
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_FNV_H_

@@ -1,0 +1,97 @@
+#include "common/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace freehgc {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("cannot open: " + path);
+    return Status::Internal("open(" + path + "): " +
+                            std::string(std::strerror(errno)));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat(" + path + "): " +
+                            std::string(std::strerror(err)));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  MappedFile f;
+  f.path_ = path;
+  f.size_ = static_cast<size_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* addr = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::ResourceExhausted("mmap(" + path + "): " +
+                                       std::string(std::strerror(err)));
+    }
+    f.data_ = static_cast<const uint8_t*>(addr);
+  }
+  // The mapping pins the inode; the descriptor is no longer needed.
+  ::close(fd);
+  return f;
+}
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::OpenShared(
+    const std::string& path) {
+  FREEHGC_ASSIGN_OR_RETURN(MappedFile f, Open(path));
+  return std::make_shared<const MappedFile>(std::move(f));
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_),
+      path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Reset(); }
+
+void MappedFile::Reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+void MappedFile::Advise(AccessPattern pattern) const {
+  if (data_ == nullptr) return;
+  int advice = MADV_NORMAL;
+  switch (pattern) {
+    case AccessPattern::kNormal: advice = MADV_NORMAL; break;
+    case AccessPattern::kSequential: advice = MADV_SEQUENTIAL; break;
+    case AccessPattern::kRandom: advice = MADV_RANDOM; break;
+    case AccessPattern::kWillNeed: advice = MADV_WILLNEED; break;
+  }
+  ::madvise(const_cast<uint8_t*>(data_), size_, advice);
+}
+
+}  // namespace freehgc

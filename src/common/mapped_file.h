@@ -1,0 +1,58 @@
+#ifndef FREEHGC_COMMON_MAPPED_FILE_H_
+#define FREEHGC_COMMON_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace freehgc {
+
+/// Read-only memory-mapped file (RAII). The mapping lives for the
+/// lifetime of the object; zero-copy consumers (mapped CsrMatrix /
+/// Matrix storage) hold the owning shared_ptr as their keepalive so the
+/// pages stay valid for as long as any view does.
+///
+/// Empty files map to a (nullptr, 0) view rather than failing: a v3
+/// container is never empty, but generic callers shouldn't have to
+/// special-case zero-length inputs.
+class MappedFile {
+ public:
+  enum class AccessPattern { kNormal, kSequential, kRandom, kWillNeed };
+
+  /// Opens and maps `path` read-only.
+  static Result<MappedFile> Open(const std::string& path);
+
+  /// Open + wrap in a shared_ptr, the form storage keepalives want.
+  static Result<std::shared_ptr<const MappedFile>> OpenShared(
+      const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Forwards to madvise; advisory, so failures are swallowed (the
+  /// mapping stays correct either way).
+  void Advise(AccessPattern pattern) const;
+
+ private:
+  MappedFile() = default;
+  void Reset() noexcept;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_MAPPED_FILE_H_

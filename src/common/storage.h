@@ -1,0 +1,137 @@
+#ifndef FREEHGC_COMMON_STORAGE_H_
+#define FREEHGC_COMMON_STORAGE_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace freehgc {
+
+/// A typed array that either owns its elements (std::vector) or views
+/// external read-only memory kept alive by a shared keepalive token —
+/// typically a MappedFile holding a v3 graph container. The core storage
+/// primitive behind zero-copy graph loading: CsrMatrix and Matrix store
+/// their arrays through ArrayRef so every kernel reads through the same
+/// span regardless of backing.
+///
+/// Invariant: `view_` always describes the current contents — it points
+/// into `owned_` in the owned state and into the external memory in the
+/// view state — so readers take the branch-free `span()` path.
+///
+/// Semantics:
+///   - Copying an owned ArrayRef deep-copies; copying a view shares the
+///     view and its keepalive (cheap, refcount bump).
+///   - `Mutable()` detaches a view into owned storage (copy-on-write).
+///     Callers may overwrite elements in place but must not change the
+///     size through the returned reference (rebind with `operator=`
+///     instead); growth would dangle the cached span.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  /// Owned storage, adopting the vector.
+  /*implicit*/ ArrayRef(std::vector<T> v)
+      : owned_(std::move(v)), view_(owned_) {}
+
+  /// Non-owning view; `keepalive` (may be null for borrowed test data)
+  /// pins the external memory.
+  static ArrayRef View(std::span<const T> s,
+                       std::shared_ptr<const void> keepalive) {
+    ArrayRef r;
+    r.view_ = s;
+    r.keepalive_ = std::move(keepalive);
+    r.is_view_ = true;
+    return r;
+  }
+
+  ArrayRef(const ArrayRef& other) { Assign(other); }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this != &other) Assign(other);
+    return *this;
+  }
+
+  ArrayRef(ArrayRef&& other) noexcept { AssignMove(std::move(other)); }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this != &other) AssignMove(std::move(other));
+    return *this;
+  }
+
+  ArrayRef& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    view_ = owned_;
+    keepalive_.reset();
+    is_view_ = false;
+    return *this;
+  }
+
+  std::span<const T> span() const { return view_; }
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+
+  bool is_view() const { return is_view_; }
+
+  /// Heap bytes this ArrayRef itself holds (0 for views — the bytes
+  /// belong to the mapping).
+  size_t OwnedBytes() const {
+    return is_view_ ? 0 : owned_.size() * sizeof(T);
+  }
+
+  /// Mutable access; detaches views into owned storage first. See the
+  /// class comment for the no-resize contract.
+  std::vector<T>& Mutable() {
+    if (is_view_) {
+      owned_.assign(view_.begin(), view_.end());
+      view_ = owned_;
+      keepalive_.reset();
+      is_view_ = false;
+    }
+    return owned_;
+  }
+
+ private:
+  void Assign(const ArrayRef& other) {
+    if (other.is_view_) {
+      owned_.clear();
+      view_ = other.view_;
+      keepalive_ = other.keepalive_;
+      is_view_ = true;
+    } else {
+      owned_ = other.owned_;
+      view_ = owned_;
+      keepalive_.reset();
+      is_view_ = false;
+    }
+  }
+
+  void AssignMove(ArrayRef&& other) noexcept {
+    if (other.is_view_) {
+      owned_.clear();
+      view_ = other.view_;
+      keepalive_ = std::move(other.keepalive_);
+      is_view_ = true;
+    } else {
+      owned_ = std::move(other.owned_);
+      view_ = owned_;
+      keepalive_.reset();
+      is_view_ = false;
+    }
+    other.owned_.clear();
+    other.view_ = {};
+    other.keepalive_.reset();
+    other.is_view_ = false;
+  }
+
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  std::shared_ptr<const void> keepalive_;
+  bool is_view_ = false;
+};
+
+}  // namespace freehgc
+
+#endif  // FREEHGC_COMMON_STORAGE_H_

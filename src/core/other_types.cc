@@ -91,8 +91,15 @@ std::vector<int32_t> CondenseFatherType(
         for (int32_t t : selected_targets) {
           teleport[static_cast<size_t>(t)] = teleport_mass;
         }
-        const std::vector<float> pi = sparse::PprScores(
-            block, teleport, opts.alpha, opts.max_iters, 1e-6f, &ex);
+        // The bipartite block is bit-exactly symmetric: BipartiteBlock
+        // mirrors each entry with the same value, and SymNormalize scales
+        // mirror entries by the same single-rounded inv_sqrt product. So
+        // PPR can iterate over the block itself instead of materializing
+        // its transpose — at graph scale that transient (the transposed
+        // copy plus its column histograms) is larger than the block.
+        const std::vector<float> pi =
+            sparse::PprScores(block, teleport, opts.alpha, opts.max_iters,
+                              1e-6f, &ex, /*symmetric=*/true);
         for (int32_t j = 0; j < ns; ++j) {
           influence[static_cast<size_t>(j)] +=
               static_cast<double>(pi[static_cast<size_t>(nt + j)]);

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <unordered_map>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "sparse/ops.h"
 
 namespace freehgc::datasets {
 
@@ -26,10 +29,163 @@ int32_t ParetoDegree(Rng& rng, double mean, double alpha, int32_t cap) {
   return deg;
 }
 
-}  // namespace
+/// Where generated pieces go. GenerateCore drives one random draw
+/// sequence and hands every finished artifact to a sink: the heap sink
+/// assembles a HeteroGraph (the historical Generate), the v3 sink streams
+/// sections straight to disk. The reverse-relation logic lives in the
+/// core, so both outputs get identical relation order by construction.
+class GenSink {
+ public:
+  virtual ~GenSink() = default;
+  virtual Status AddNodeType(const std::string& name, int32_t count) = 0;
+  /// Relations arrive in final order: all forwards, then reverses.
+  virtual Status AddRelation(const std::string& name, TypeId src, TypeId dst,
+                             CsrMatrix adj) = 0;
+  /// Read-back of relation `i`'s adjacency for transposing. Valid until
+  /// EndRelations.
+  virtual const CsrMatrix& RelationAdj(size_t i) const = 0;
+  /// No more relations; the sink may free any CSR staging.
+  virtual Status EndRelations() = 0;
+  virtual Status BeginFeatures(TypeId type, int64_t rows, int64_t cols) = 0;
+  virtual Status AppendFeatureRows(const float* data, int64_t num_rows) = 0;
+  virtual Status EndFeatures() = 0;
+  virtual Status SetTarget(TypeId type, const std::vector<int32_t>& labels,
+                           int32_t num_classes) = 0;
+  virtual Status SetSplit(const std::vector<int32_t>& train,
+                          const std::vector<int32_t>& val,
+                          const std::vector<int32_t>& test) = 0;
+};
 
-Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
-                             exec::ExecContext* ctx) {
+/// Assembles a heap HeteroGraph; byte-identical to the pre-sink
+/// generator output.
+class HeapSink : public GenSink {
+ public:
+  Status AddNodeType(const std::string& name, int32_t count) override {
+    return g.AddNodeType(name, count).status();
+  }
+  Status AddRelation(const std::string& name, TypeId src, TypeId dst,
+                     CsrMatrix adj) override {
+    return g.AddRelation(name, src, dst, std::move(adj)).status();
+  }
+  const CsrMatrix& RelationAdj(size_t i) const override {
+    return g.relation(static_cast<RelationId>(i)).adj;
+  }
+  Status EndRelations() override { return Status::OK(); }
+  Status BeginFeatures(TypeId type, int64_t rows, int64_t cols) override {
+    feat_type_ = type;
+    feat_ = Matrix(rows, cols);
+    feat_row_ = 0;
+    return Status::OK();
+  }
+  Status AppendFeatureRows(const float* data, int64_t num_rows) override {
+    std::memcpy(feat_.Row(feat_row_), data,
+                static_cast<size_t>(num_rows) *
+                    static_cast<size_t>(feat_.cols()) * sizeof(float));
+    feat_row_ += num_rows;
+    return Status::OK();
+  }
+  Status EndFeatures() override {
+    return g.SetFeatures(feat_type_, std::move(feat_));
+  }
+  Status SetTarget(TypeId type, const std::vector<int32_t>& labels,
+                   int32_t num_classes) override {
+    return g.SetTarget(type, labels, num_classes);
+  }
+  Status SetSplit(const std::vector<int32_t>& train,
+                  const std::vector<int32_t>& val,
+                  const std::vector<int32_t>& test) override {
+    return g.SetSplit(train, val, test);
+  }
+
+  HeteroGraph g;
+
+ private:
+  TypeId feat_type_ = -1;
+  Matrix feat_;
+  int64_t feat_row_ = 0;
+};
+
+/// Streams into a HeteroGraphV3Writer while folding every artifact into
+/// an FNV hash with HeteroGraph::ContentFingerprint's exact canonical
+/// byte sequence — generation order matches fingerprint order, which is
+/// what makes the incremental hash possible.
+class V3Sink : public GenSink {
+ public:
+  explicit V3Sink(HeteroGraphV3Writer writer) : w_(std::move(writer)) {
+    fnv_.Tag(0x01);
+  }
+  Status AddNodeType(const std::string& name, int32_t count) override {
+    fnv_.Str(name);
+    fnv_.Pod(count);
+    return w_.AddNodeType(name, count);
+  }
+  Status AddRelation(const std::string& name, TypeId src, TypeId dst,
+                     CsrMatrix adj) override {
+    if (staged_.empty()) fnv_.Tag(0x02);
+    fnv_.Str(name);
+    fnv_.Pod(src);
+    fnv_.Pod(dst);
+    fnv_.Span(adj.indptr());
+    fnv_.Span(adj.indices());
+    fnv_.Span(adj.values());
+    FREEHGC_RETURN_IF_ERROR(w_.AddRelation(name, src, dst, adj));
+    staged_.push_back(std::move(adj));
+    return Status::OK();
+  }
+  const CsrMatrix& RelationAdj(size_t i) const override {
+    return staged_[i];
+  }
+  Status EndRelations() override {
+    if (staged_.empty()) fnv_.Tag(0x02);  // zero-relation schema
+    staged_.clear();
+    staged_.shrink_to_fit();
+    fnv_.Tag(0x03);
+    return Status::OK();
+  }
+  Status BeginFeatures(TypeId type, int64_t rows, int64_t cols) override {
+    fnv_.Pod(rows);
+    fnv_.Pod(cols);
+    row_bytes_ = static_cast<size_t>(cols) * sizeof(float);
+    return w_.BeginFeatures(type, rows, cols);
+  }
+  Status AppendFeatureRows(const float* data, int64_t num_rows) override {
+    FREEHGC_RETURN_IF_ERROR(w_.AppendFeatureRows(data, num_rows));
+    fnv_.Bytes(data, static_cast<size_t>(num_rows) * row_bytes_);
+    return Status::OK();
+  }
+  Status EndFeatures() override { return w_.EndFeatures(); }
+  Status SetTarget(TypeId type, const std::vector<int32_t>& labels,
+                   int32_t num_classes) override {
+    fnv_.Tag(0x04);
+    fnv_.Pod(type);
+    fnv_.Pod(num_classes);
+    fnv_.Vec(labels);
+    return w_.SetTarget(type, labels, num_classes);
+  }
+  Status SetSplit(const std::vector<int32_t>& train,
+                  const std::vector<int32_t>& val,
+                  const std::vector<int32_t>& test) override {
+    fnv_.Tag(0x05);
+    fnv_.Vec(train);
+    fnv_.Vec(val);
+    fnv_.Vec(test);
+    FREEHGC_RETURN_IF_ERROR(w_.SetSplit(train, val, test));
+    return Status::OK();
+  }
+  Result<V3WriteSummary> Finish() {
+    FREEHGC_RETURN_IF_ERROR(w_.SetContentFingerprint(fnv_.h));
+    return w_.Finish();
+  }
+
+ private:
+  HeteroGraphV3Writer w_;
+  Fnv fnv_;
+  std::vector<CsrMatrix> staged_;
+  size_t row_bytes_ = 0;
+};
+
+Status GenerateCore(const SchemaConfig& config, uint64_t seed,
+                    exec::ExecContext* ctx, GenSink& sink) {
   if (config.types.empty()) {
     return Status::InvalidArgument("schema has no node types");
   }
@@ -37,11 +193,19 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
     return Status::InvalidArgument("need at least two classes");
   }
   Rng rng(seed);
-  HeteroGraph g;
   std::unordered_map<std::string, TypeId> type_ids;
+  std::vector<int32_t> counts;
   for (const auto& t : config.types) {
-    FREEHGC_ASSIGN_OR_RETURN(TypeId id, g.AddNodeType(t.name, t.count));
-    type_ids[t.name] = id;
+    if (t.count < 0) {
+      return Status::InvalidArgument("negative node count: " + t.name);
+    }
+    if (!type_ids.emplace(t.name, static_cast<TypeId>(counts.size()))
+             .second) {
+      return Status::InvalidArgument("duplicate node type: " + t.name);
+    }
+    counts.push_back(t.count);
+    FREEHGC_RETURN_IF_ERROR(
+        sink.AddNodeType(t.name, t.count));
   }
   auto target_it = type_ids.find(config.target);
   if (target_it == type_ids.end()) {
@@ -49,6 +213,9 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
                                    config.target);
   }
   const TypeId target = target_it->second;
+  const auto node_count = [&](TypeId t) {
+    return counts[static_cast<size_t>(t)];
+  };
 
   // Latent community per node of every type; target communities double as
   // labels. Community sizes are mildly skewed (like real class
@@ -76,10 +243,10 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
   // Mixed-membership target nodes: a secondary community blended into
   // edges and features (see SchemaConfig::ambiguous_fraction).
   std::vector<int32_t> second_com(
-      static_cast<size_t>(g.NodeCount(target)), -1);
-  std::vector<float> blend(static_cast<size_t>(g.NodeCount(target)), 0.0f);
+      static_cast<size_t>(node_count(target)), -1);
+  std::vector<float> blend(static_cast<size_t>(node_count(target)), 0.0f);
   if (config.ambiguous_fraction > 0.0 && config.num_classes > 1) {
-    for (int32_t v = 0; v < g.NodeCount(target); ++v) {
+    for (int32_t v = 0; v < node_count(target); ++v) {
       if (rng.NextDouble() < config.ambiguous_fraction) {
         const int32_t c1 =
             community[static_cast<size_t>(target)][static_cast<size_t>(v)];
@@ -104,7 +271,16 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
     }
   }
 
-  // Edges.
+  // Edges. Forward relations stream to the sink as they finish; the
+  // reverse transposes follow once all forwards exist (mirroring
+  // HeteroGraph::EnsureReverseRelations exactly, so both sinks see the
+  // same relation order a heap graph would have).
+  struct RelMeta {
+    std::string name;
+    TypeId src;
+    TypeId dst;
+  };
+  std::vector<RelMeta> rels;
   for (const auto& r : config.relations) {
     auto src_it = type_ids.find(r.src);
     auto dst_it = type_ids.find(r.dst);
@@ -114,8 +290,8 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
     }
     const TypeId src = src_it->second;
     const TypeId dst = dst_it->second;
-    const int32_t ns = g.NodeCount(src);
-    const int32_t nd = g.NodeCount(dst);
+    const int32_t ns = node_count(src);
+    const int32_t nd = node_count(dst);
     if (ns == 0 || nd == 0) {
       return Status::InvalidArgument("relation over empty type: " + r.name);
     }
@@ -179,13 +355,56 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
     // Duplicate endpoint picks collapse to a single weighted entry; reset
     // weights to 1 (unweighted graphs, as in the paper's datasets).
     for (auto& v : adj.mutable_values()) v = 1.0f;
-    auto rel = g.AddRelation(r.name, src, dst, std::move(adj));
-    if (!rel.ok()) return rel.status();
+    FREEHGC_RETURN_IF_ERROR(
+        sink.AddRelation(r.name, src, dst, std::move(adj)));
+    rels.push_back({r.name, src, dst});
   }
-  g.EnsureReverseRelations(ctx);
+  // Reverse relations, with EnsureReverseRelations' candidate logic:
+  // relations lacking a schema-level reverse get "rev_<name>"; symmetric
+  // self-relations are their own reverse and are skipped.
+  {
+    const size_t original = rels.size();
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < original; ++i) {
+      bool has_reverse = false;
+      if (rels[i].src != rels[i].dst) {
+        for (size_t j = 0; j < original; ++j) {
+          if (j != i && rels[j].src == rels[i].dst &&
+              rels[j].dst == rels[i].src) {
+            has_reverse = true;
+            break;
+          }
+        }
+      }
+      if (!has_reverse) candidates.push_back(i);
+    }
+    std::vector<CsrMatrix> transposed(candidates.size());
+    exec::Resolve(ctx).ParallelFor(
+        static_cast<int64_t>(candidates.size()), 1,
+        [&](int64_t begin, int64_t end, exec::Workspace&) {
+          for (int64_t k = begin; k < end; ++k) {
+            transposed[static_cast<size_t>(k)] = sparse::Transpose(
+                sink.RelationAdj(candidates[static_cast<size_t>(k)]));
+          }
+        });
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      const size_t i = candidates[k];
+      if (rels[i].src == rels[i].dst &&
+          transposed[k] == sink.RelationAdj(i)) {
+        continue;
+      }
+      FREEHGC_RETURN_IF_ERROR(sink.AddRelation(
+          "rev_" + rels[i].name, rels[i].dst, rels[i].src,
+          std::move(transposed[k])));
+    }
+  }
+  FREEHGC_RETURN_IF_ERROR(sink.EndRelations());
 
   // Features: community centroid + Gaussian noise (target type gets
-  // `feature_noise`, other types `feature_noise_other`).
+  // `feature_noise`, other types `feature_noise_other`). Rows leave in
+  // fixed-size chunks so the streaming sink never holds a full matrix;
+  // the draw sequence is row-major either way.
+  constexpr int32_t kFeatureChunkRows = 65536;
   for (size_t ti = 0; ti < config.types.size(); ++ti) {
     const auto& t = config.types[ti];
     const double other = config.feature_noise_other >= 0.0
@@ -210,7 +429,12 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
       }
       centroids = std::move(mixed);
     }
-    Matrix feats(t.count, t.feat_dim);
+    FREEHGC_RETURN_IF_ERROR(
+        sink.BeginFeatures(static_cast<TypeId>(ti), t.count, t.feat_dim));
+    std::vector<float> chunk(
+        static_cast<size_t>(std::min(t.count, kFeatureChunkRows)) *
+        static_cast<size_t>(t.feat_dim));
+    int32_t chunk_rows = 0;
     for (int32_t v = 0; v < t.count; ++v) {
       const int32_t c = community[ti][static_cast<size_t>(v)];
       const float* mu = centroids.Row(c);
@@ -221,15 +445,24 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
           ambiguous ? centroids.Row(second_com[static_cast<size_t>(v)])
                     : nullptr;
       const float a = ambiguous ? blend[static_cast<size_t>(v)] : 0.0f;
-      float* row = feats.Row(v);
+      float* row = chunk.data() + static_cast<size_t>(chunk_rows) *
+                                      static_cast<size_t>(t.feat_dim);
       for (int32_t d = 0; d < t.feat_dim; ++d) {
         const float base = ambiguous ? (1.0f - a) * mu[d] + a * mu2[d]
                                      : mu[d];
         row[d] = base + rng.NextGaussian(0.0f, noise);
       }
+      if (++chunk_rows == kFeatureChunkRows) {
+        FREEHGC_RETURN_IF_ERROR(
+            sink.AppendFeatureRows(chunk.data(), chunk_rows));
+        chunk_rows = 0;
+      }
     }
-    FREEHGC_RETURN_IF_ERROR(
-        g.SetFeatures(static_cast<TypeId>(ti), std::move(feats)));
+    if (chunk_rows > 0) {
+      FREEHGC_RETURN_IF_ERROR(
+          sink.AppendFeatureRows(chunk.data(), chunk_rows));
+    }
+    FREEHGC_RETURN_IF_ERROR(sink.EndFeatures());
   }
 
   // Labels and split. A fraction of labels is flipped to plant an
@@ -246,8 +479,8 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
     }
   }
   FREEHGC_RETURN_IF_ERROR(
-      g.SetTarget(target, std::move(labels), config.num_classes));
-  const int32_t n = g.NodeCount(target);
+      sink.SetTarget(target, labels, config.num_classes));
+  const int32_t n = node_count(target);
   std::vector<int32_t> perm(static_cast<size_t>(n));
   for (int32_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
   rng.Shuffle(perm);
@@ -259,10 +492,27 @@ Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
   std::vector<int32_t> val(perm.begin() + n_train,
                            perm.begin() + n_train + n_val);
   std::vector<int32_t> test(perm.begin() + n_train + n_val, perm.end());
-  FREEHGC_RETURN_IF_ERROR(g.SetSplit(std::move(train), std::move(val),
-                                     std::move(test)));
-  FREEHGC_RETURN_IF_ERROR(g.Validate());
-  return g;
+  return sink.SetSplit(train, val, test);
+}
+
+}  // namespace
+
+Result<HeteroGraph> Generate(const SchemaConfig& config, uint64_t seed,
+                             exec::ExecContext* ctx) {
+  HeapSink sink;
+  FREEHGC_RETURN_IF_ERROR(GenerateCore(config, seed, ctx, sink));
+  FREEHGC_RETURN_IF_ERROR(sink.g.Validate());
+  return std::move(sink.g);
+}
+
+Result<V3WriteSummary> GenerateToV3(const SchemaConfig& config,
+                                    uint64_t seed, const std::string& path,
+                                    exec::ExecContext* ctx) {
+  FREEHGC_ASSIGN_OR_RETURN(HeteroGraphV3Writer writer,
+                           HeteroGraphV3Writer::Create(path));
+  V3Sink sink(std::move(writer));
+  FREEHGC_RETURN_IF_ERROR(GenerateCore(config, seed, ctx, sink));
+  return sink.Finish();
 }
 
 namespace {
@@ -271,10 +521,7 @@ int32_t Scaled(int32_t base, double scale) {
   return std::max<int32_t>(4, static_cast<int32_t>(std::lround(base * scale)));
 }
 
-}  // namespace
-
-HeteroGraph MakeAcm(uint64_t seed, double scale,
-                    exec::ExecContext* ctx) {
+SchemaConfig AcmConfig(double scale) {
   SchemaConfig c;
   c.name = "acm";
   c.types = {{"paper", Scaled(3000, scale), 64},
@@ -287,16 +534,13 @@ HeteroGraph MakeAcm(uint64_t seed, double scale,
                  {"pt", "paper", "term", 6.0, 0.7}};
   c.target = "paper";
   c.num_classes = 3;
-    c.feature_noise = 2.0;
+  c.feature_noise = 2.0;
   c.feature_noise_other = 1.2;
   c.label_flip_fraction = 0.05;
-auto g = Generate(c, seed, ctx);
-  FREEHGC_CHECK(g.ok());
-  return std::move(g).value();
+  return c;
 }
 
-HeteroGraph MakeDblp(uint64_t seed, double scale,
-                     exec::ExecContext* ctx) {
+SchemaConfig DblpConfig(double scale) {
   SchemaConfig c;
   c.name = "dblp";
   c.types = {{"author", Scaled(2000, scale), 64},
@@ -308,16 +552,13 @@ HeteroGraph MakeDblp(uint64_t seed, double scale,
                  {"pv", "paper", "venue", 1.0, 0.9}};
   c.target = "author";
   c.num_classes = 4;
-    c.feature_noise = 1.5;
+  c.feature_noise = 1.5;
   c.feature_noise_other = 1.2;
   c.label_flip_fraction = 0.04;
-auto g = Generate(c, seed, ctx);
-  FREEHGC_CHECK(g.ok());
-  return std::move(g).value();
+  return c;
 }
 
-HeteroGraph MakeImdb(uint64_t seed, double scale,
-                     exec::ExecContext* ctx) {
+SchemaConfig ImdbConfig(double scale) {
   SchemaConfig c;
   c.name = "imdb";
   c.types = {{"movie", Scaled(2500, scale), 64},
@@ -331,16 +572,13 @@ HeteroGraph MakeImdb(uint64_t seed, double scale,
   c.num_classes = 5;
   // IMDB is the hardest HGB dataset (whole-graph accuracy ~68%); use
   // heavier feature noise and weaker affinity to mirror that.
-    c.feature_noise = 2.5;
+  c.feature_noise = 2.5;
   c.feature_noise_other = 2.0;
   c.class_confusion = 0.42;
-auto g = Generate(c, seed, ctx);
-  FREEHGC_CHECK(g.ok());
-  return std::move(g).value();
+  return c;
 }
 
-HeteroGraph MakeFreebase(uint64_t seed, double scale,
-                         exec::ExecContext* ctx) {
+SchemaConfig FreebaseConfig(double scale) {
   SchemaConfig c;
   c.name = "freebase";
   c.types = {{"book", Scaled(4000, scale), 48},
@@ -373,16 +611,13 @@ HeteroGraph MakeFreebase(uint64_t seed, double scale,
                  {"ss", "sports", "sports", 1.5, 0.8}};
   c.target = "book";
   c.num_classes = 7;
-    c.feature_noise = 2.5;
+  c.feature_noise = 2.5;
   c.feature_noise_other = 1.8;
   c.class_confusion = 0.45;
-auto g = Generate(c, seed, ctx);
-  FREEHGC_CHECK(g.ok());
-  return std::move(g).value();
+  return c;
 }
 
-HeteroGraph MakeAminer(uint64_t seed, double scale,
-                       exec::ExecContext* ctx) {
+SchemaConfig AminerConfig(double scale) {
   SchemaConfig c;
   c.name = "aminer";
   // Paper: 4.89M nodes (author/paper/venue), 2 edge types. Scaled to ~111k
@@ -395,16 +630,13 @@ HeteroGraph MakeAminer(uint64_t seed, double scale,
                  {"pv", "paper", "venue", 1.0, 0.9}};
   c.target = "author";
   c.num_classes = 8;
-    c.feature_noise = 1.5;
+  c.feature_noise = 1.5;
   c.feature_noise_other = 1.0;
   c.class_confusion = 0.06;
-auto g = Generate(c, seed, ctx);
-  FREEHGC_CHECK(g.ok());
-  return std::move(g).value();
+  return c;
 }
 
-HeteroGraph MakeMutag(uint64_t seed, double scale,
-                      exec::ExecContext* ctx) {
+SchemaConfig MutagConfig(double scale) {
   SchemaConfig c;
   c.name = "mutag";
   c.types = {{"d", Scaled(3000, scale), 32},
@@ -440,16 +672,13 @@ HeteroGraph MakeMutag(uint64_t seed, double scale,
                  {"e_c", "element", "charge", 1.0, 0.5}};
   c.target = "d";
   c.num_classes = 2;
-    c.feature_noise = 2.0;
+  c.feature_noise = 2.0;
   c.feature_noise_other = 2.0;
   c.class_confusion = 0.38;
-auto g = Generate(c, seed, ctx);
-  FREEHGC_CHECK(g.ok());
-  return std::move(g).value();
+  return c;
 }
 
-HeteroGraph MakeAm(uint64_t seed, double scale,
-                   exec::ExecContext* ctx) {
+SchemaConfig AmConfig(double scale) {
   SchemaConfig c;
   c.name = "am";
   c.types = {{"proxy", Scaled(5000, scale), 32},
@@ -479,15 +708,13 @@ HeteroGraph MakeAm(uint64_t seed, double scale,
                  {"ag_ag", "agent", "agent", 1.0, 0.6}};
   c.target = "proxy";
   c.num_classes = 11;
-    c.feature_noise = 2.0;
+  c.feature_noise = 2.0;
   c.feature_noise_other = 1.2;
   c.class_confusion = 0.12;
-auto g = Generate(c, seed, ctx);
-  FREEHGC_CHECK(g.ok());
-  return std::move(g).value();
+  return c;
 }
 
-HeteroGraph MakeToy(uint64_t seed) {
+SchemaConfig ToyConfig() {
   SchemaConfig c;
   c.name = "toy";
   c.types = {{"t", 60, 8}, {"f", 40, 8}, {"l", 50, 8}};
@@ -496,22 +723,67 @@ HeteroGraph MakeToy(uint64_t seed) {
   c.num_classes = 3;
   c.train_fraction = 0.4;
   c.val_fraction = 0.1;
-  auto g = Generate(c, seed);
+  return c;
+}
+
+HeteroGraph MustGenerate(const SchemaConfig& c, uint64_t seed,
+                         exec::ExecContext* ctx) {
+  auto g = Generate(c, seed, ctx);
   FREEHGC_CHECK(g.ok());
   return std::move(g).value();
 }
 
+}  // namespace
+
+Result<SchemaConfig> PresetConfig(const std::string& name, double scale) {
+  if (name == "acm") return AcmConfig(scale);
+  if (name == "dblp") return DblpConfig(scale);
+  if (name == "imdb") return ImdbConfig(scale);
+  if (name == "freebase") return FreebaseConfig(scale);
+  if (name == "aminer") return AminerConfig(scale);
+  if (name == "mutag") return MutagConfig(scale);
+  if (name == "am") return AmConfig(scale);
+  if (name == "toy") return ToyConfig();
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+HeteroGraph MakeAcm(uint64_t seed, double scale, exec::ExecContext* ctx) {
+  return MustGenerate(AcmConfig(scale), seed, ctx);
+}
+
+HeteroGraph MakeDblp(uint64_t seed, double scale, exec::ExecContext* ctx) {
+  return MustGenerate(DblpConfig(scale), seed, ctx);
+}
+
+HeteroGraph MakeImdb(uint64_t seed, double scale, exec::ExecContext* ctx) {
+  return MustGenerate(ImdbConfig(scale), seed, ctx);
+}
+
+HeteroGraph MakeFreebase(uint64_t seed, double scale,
+                         exec::ExecContext* ctx) {
+  return MustGenerate(FreebaseConfig(scale), seed, ctx);
+}
+
+HeteroGraph MakeAminer(uint64_t seed, double scale, exec::ExecContext* ctx) {
+  return MustGenerate(AminerConfig(scale), seed, ctx);
+}
+
+HeteroGraph MakeMutag(uint64_t seed, double scale, exec::ExecContext* ctx) {
+  return MustGenerate(MutagConfig(scale), seed, ctx);
+}
+
+HeteroGraph MakeAm(uint64_t seed, double scale, exec::ExecContext* ctx) {
+  return MustGenerate(AmConfig(scale), seed, ctx);
+}
+
+HeteroGraph MakeToy(uint64_t seed) {
+  return MustGenerate(ToyConfig(), seed, nullptr);
+}
+
 Result<HeteroGraph> MakeByName(const std::string& name, uint64_t seed,
                                double scale, exec::ExecContext* ctx) {
-  if (name == "acm") return MakeAcm(seed, scale, ctx);
-  if (name == "dblp") return MakeDblp(seed, scale, ctx);
-  if (name == "imdb") return MakeImdb(seed, scale, ctx);
-  if (name == "freebase") return MakeFreebase(seed, scale, ctx);
-  if (name == "aminer") return MakeAminer(seed, scale, ctx);
-  if (name == "mutag") return MakeMutag(seed, scale, ctx);
-  if (name == "am") return MakeAm(seed, scale, ctx);
-  if (name == "toy") return MakeToy(seed);
-  return Status::NotFound("unknown dataset: " + name);
+  FREEHGC_ASSIGN_OR_RETURN(SchemaConfig c, PresetConfig(name, scale));
+  return Generate(c, seed, ctx);
 }
 
 int RecommendedHops(const std::string& name) {

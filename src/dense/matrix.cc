@@ -9,18 +9,33 @@ namespace freehgc {
 
 Matrix::Matrix(int64_t rows, int64_t cols)
     : rows_(rows), cols_(cols),
-      data_(static_cast<size_t>(rows * cols), 0.0f) {
+      data_(std::vector<float>(static_cast<size_t>(rows * cols), 0.0f)) {
   FREEHGC_CHECK(rows >= 0 && cols >= 0);
 }
 
-void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+Matrix Matrix::FromView(int64_t rows, int64_t cols,
+                        std::span<const float> data,
+                        std::shared_ptr<const void> keepalive) {
+  FREEHGC_CHECK(rows >= 0 && cols >= 0 &&
+                data.size() == static_cast<size_t>(rows * cols));
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = ArrayRef<float>::View(data, std::move(keepalive));
+  return m;
+}
+
+void Matrix::Fill(float v) {
+  auto& d = data_.Mutable();
+  std::fill(d.begin(), d.end(), v);
+}
 
 void Matrix::FillUniform(Rng& rng, float lo, float hi) {
-  for (auto& x : data_) x = rng.NextUniform(lo, hi);
+  for (auto& x : data_.Mutable()) x = rng.NextUniform(lo, hi);
 }
 
 void Matrix::FillGaussian(Rng& rng, float stddev) {
-  for (auto& x : data_) x = rng.NextGaussian(0.0f, stddev);
+  for (auto& x : data_.Mutable()) x = rng.NextGaussian(0.0f, stddev);
 }
 
 void Matrix::FillGlorot(Rng& rng) {

@@ -1,15 +1,26 @@
 #ifndef FREEHGC_DENSE_MATRIX_H_
 #define FREEHGC_DENSE_MATRIX_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/storage.h"
 
 namespace freehgc {
 
 /// Dense row-major float matrix. The workhorse container for node features
-/// and neural-network activations. Copyable and movable; copies are deep.
+/// and neural-network activations. Copyable and movable; copies of owned
+/// matrices are deep, copies of mapped views share the view.
+///
+/// Storage is an ArrayRef<float>: owned heap memory for every computed
+/// matrix, or a zero-copy view over a mapped v3 container section for
+/// feature matrices of mapped graphs (see common/storage.h). Mutating
+/// accessors detach a view into owned storage first (copy-on-write), so
+/// all dense kernels work unchanged on either backing.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
@@ -17,6 +28,12 @@ class Matrix {
 
   /// rows x cols matrix, zero-initialized.
   Matrix(int64_t rows, int64_t cols);
+
+  /// Wraps external row-major data without copying; `keepalive` pins the
+  /// memory. `data` must hold rows*cols floats.
+  static Matrix FromView(int64_t rows, int64_t cols,
+                         std::span<const float> data,
+                         std::shared_ptr<const void> keepalive);
 
   Matrix(const Matrix&) = default;
   Matrix& operator=(const Matrix&) = default;
@@ -28,15 +45,21 @@ class Matrix {
   int64_t size() const { return rows_ * cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
-  float& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float& At(int64_t r, int64_t c) { return data_.Mutable()[r * cols_ + c]; }
   float At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
 
   /// Pointer to the start of row r.
-  float* Row(int64_t r) { return data_.data() + r * cols_; }
+  float* Row(int64_t r) { return data_.Mutable().data() + r * cols_; }
   const float* Row(int64_t r) const { return data_.data() + r * cols_; }
 
-  float* data() { return data_.data(); }
+  float* data() { return data_.Mutable().data(); }
   const float* data() const { return data_.data(); }
+
+  /// True when the matrix views external (mapped) memory.
+  bool is_mapped() const { return data_.is_view(); }
+
+  /// Heap bytes owned by this matrix (0 while mapped).
+  size_t OwnedBytes() const { return data_.OwnedBytes(); }
 
   /// Sets every entry to v.
   void Fill(float v);
@@ -59,14 +82,16 @@ class Matrix {
   Matrix ConcatCols(const Matrix& other) const;
 
   bool operator==(const Matrix& other) const {
+    const std::span<const float> a = data_.span();
+    const std::span<const float> b = other.data_.span();
     return rows_ == other.rows_ && cols_ == other.cols_ &&
-           data_ == other.data_;
+           a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
   }
 
  private:
   int64_t rows_;
   int64_t cols_;
-  std::vector<float> data_;
+  ArrayRef<float> data_;
 };
 
 namespace dense {

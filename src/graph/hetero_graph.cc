@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "common/fnv.h"
 #include "common/string_util.h"
 #include "sparse/ops.h"
 
@@ -180,39 +181,30 @@ size_t HeteroGraph::MemoryBytes() const {
   return bytes;
 }
 
-namespace {
+size_t HeteroGraph::ResidentHeapBytes() const {
+  size_t bytes = 0;
+  for (const auto& r : relations_) bytes += r.adj.OwnedBytes();
+  for (const auto& f : features_) bytes += f.OwnedBytes();
+  bytes += labels_.size() * sizeof(int32_t);
+  bytes += (train_index_.size() + val_index_.size() + test_index_.size()) *
+           sizeof(int32_t);
+  return bytes;
+}
 
-/// FNV-1a over raw bytes, chained. Structure separators are mixed in as
-/// one-byte tags so e.g. (counts, labels) boundaries cannot alias.
-struct Fnv {
-  uint64_t h = 1469598103934665603ULL;
-
-  void Bytes(const void* data, size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
+bool HeteroGraph::IsMapped() const {
+  for (const auto& r : relations_) {
+    if (r.adj.is_mapped()) return true;
   }
-  template <typename T>
-  void Pod(const T& v) {
-    Bytes(&v, sizeof(T));
+  for (const auto& f : features_) {
+    if (f.is_mapped()) return true;
   }
-  template <typename T>
-  void Vec(const std::vector<T>& v) {
-    Pod(static_cast<uint64_t>(v.size()));
-    Bytes(v.data(), v.size() * sizeof(T));
-  }
-  void Str(const std::string& s) {
-    Pod(static_cast<uint64_t>(s.size()));
-    Bytes(s.data(), s.size());
-  }
-  void Tag(unsigned char t) { Bytes(&t, 1); }
-};
-
-}  // namespace
+  return false;
+}
 
 uint64_t HeteroGraph::ContentFingerprint() const {
+  // The byte sequence below is the canonical graph identity; the v3
+  // container stores this exact hash in its header (computed while
+  // streaming) so a mapped registration can skip the recompute.
   Fnv f;
   f.Tag(0x01);
   for (size_t t = 0; t < type_names_.size(); ++t) {
@@ -224,9 +216,9 @@ uint64_t HeteroGraph::ContentFingerprint() const {
     f.Str(r.name);
     f.Pod(r.src_type);
     f.Pod(r.dst_type);
-    f.Vec(r.adj.indptr());
-    f.Vec(r.adj.indices());
-    f.Vec(r.adj.values());
+    f.Span(r.adj.indptr());
+    f.Span(r.adj.indices());
+    f.Span(r.adj.values());
   }
   f.Tag(0x03);
   for (const auto& feat : features_) {

@@ -115,8 +115,17 @@ class HeteroGraph {
   int64_t TotalEdges() const;
 
   /// Approximate storage footprint (adjacency + features + labels), used
-  /// by the Table VII storage comparison.
+  /// by the Table VII storage comparison. Counts logical bytes, identical
+  /// for owned and mapped backings.
   size_t MemoryBytes() const;
+
+  /// Heap bytes actually owned by this graph: ~MemoryBytes() for a heap
+  /// load, only labels/splits for a mapped v3 graph (the arrays live in
+  /// the page cache). Feeds the serve layer's store.resident_bytes gauge.
+  size_t ResidentHeapBytes() const;
+
+  /// True when any relation or feature matrix views a mapped container.
+  bool IsMapped() const;
 
   /// 64-bit content hash over everything that affects computation results:
   /// type names/counts, relations (name, endpoints, full CSR arrays),

@@ -1,97 +1,62 @@
 #include "graph/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <span>
 
 #include "common/crc32.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "graph/serialize_internal.h"
 
 namespace freehgc {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x46484743;  // "FHGC"
-// Version 1: magic, version, body. Version 2 inserts a u64 body size and
-// a CRC-32 of the body between the version field and the body, so loads
-// reject truncated or corrupted containers before building any state.
-constexpr uint32_t kVersionLegacy = 1;
-constexpr uint32_t kVersion = 2;
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+using serialize_internal::ByteReader;
+using serialize_internal::FilePtr;
+using serialize_internal::kMagic;
+using serialize_internal::kVersionLegacy;
+using serialize_internal::kVersionV2;
+using serialize_internal::kVersionV3;
+using serialize_internal::ReadPod;
+using serialize_internal::ReadString;
+using serialize_internal::WriteBytes;
+using serialize_internal::WritePod;
+using serialize_internal::WriteString;
 
 // Serialization targets a std::string (infallible appends); parsing reads
 // from an in-memory view with bounds checks, which is what lets the
 // version-2 container verify size and checksum before any graph state is
 // built (and lets the serve layer parse uploads without touching disk).
 
-void WriteBytes(std::string& out, const void* data, size_t n) {
-  if (n > 0) out.append(static_cast<const char*>(data), n);
-}
-
 template <typename T>
-void WritePod(std::string& out, const T& v) {
-  WriteBytes(out, &v, sizeof(T));
-}
-
-void WriteString(std::string& out, const std::string& s) {
-  WritePod(out, static_cast<uint32_t>(s.size()));
-  WriteBytes(out, s.data(), s.size());
+void WriteSpan(std::string& out, std::span<const T> v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  WriteBytes(out, v.data(), v.size() * sizeof(T));
 }
 
 template <typename T>
 void WriteVec(std::string& out, const std::vector<T>& v) {
-  WritePod(out, static_cast<uint64_t>(v.size()));
-  WriteBytes(out, v.data(), v.size() * sizeof(T));
+  WriteSpan(out, std::span<const T>(v));
 }
 
 void WriteCsr(std::string& out, const CsrMatrix& m) {
   WritePod(out, m.rows());
   WritePod(out, m.cols());
-  WriteVec(out, m.indptr());
-  WriteVec(out, m.indices());
-  WriteVec(out, m.values());
+  WriteSpan(out, m.indptr());
+  WriteSpan(out, m.indices());
+  WriteSpan(out, m.values());
 }
 
 void WriteMatrix(std::string& out, const Matrix& m) {
   WritePod(out, m.rows());
   WritePod(out, m.cols());
   WriteBytes(out, m.data(), static_cast<size_t>(m.size()) * sizeof(float));
-}
-
-/// Bounds-checked reader over a byte view.
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view data) : data_(data) {}
-
-  bool Read(void* dst, size_t n) {
-    if (data_.size() - pos_ < n) return false;
-    if (n > 0) std::memcpy(dst, data_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-
- private:
-  std::string_view data_;
-  size_t pos_ = 0;
-};
-
-template <typename T>
-bool ReadPod(ByteReader& r, T* v) {
-  return r.Read(v, sizeof(T));
-}
-
-bool ReadString(ByteReader& r, std::string* s) {
-  uint32_t n = 0;
-  if (!ReadPod(r, &n) || n > (1u << 20)) return false;
-  s->resize(n);
-  return r.Read(s->data(), n);
 }
 
 template <typename T>
@@ -227,10 +192,10 @@ Result<std::string> SerializeHeteroGraph(const HeteroGraph& g) {
   const uint64_t size = body.size();
   const uint32_t crc = Crc32(body.data(), body.size());
   std::string out;
-  out.reserve(sizeof(kMagic) + sizeof(kVersion) + sizeof(size) +
+  out.reserve(sizeof(kMagic) + sizeof(kVersionV2) + sizeof(size) +
               sizeof(crc) + body.size());
   WritePod(out, kMagic);
-  WritePod(out, kVersion);
+  WritePod(out, kVersionV2);
   WritePod(out, size);
   WritePod(out, crc);
   out.append(body);
@@ -246,8 +211,13 @@ Result<HeteroGraph> DeserializeHeteroGraph(std::string_view bytes) {
   if (!ReadPod(r, &version)) {
     return Status::InvalidArgument("truncated graph container header");
   }
+  if (version == kVersionV3) {
+    // In-memory v3 buffers are transient, so the parse deep-copies into
+    // owned storage instead of handing out views.
+    return serialize_internal::ParseV3Memory(bytes);
+  }
   size_t body_off = sizeof(magic) + sizeof(version);
-  if (version == kVersion) {
+  if (version == kVersionV2) {
     uint64_t size = 0;
     uint32_t crc = 0;
     if (!ReadPod(r, &size) || !ReadPod(r, &crc)) {
@@ -273,20 +243,48 @@ Result<HeteroGraph> DeserializeHeteroGraph(std::string_view bytes) {
   return ReadBody(r);
 }
 
-Status SaveHeteroGraph(const HeteroGraph& g, const std::string& path) {
-  FREEHGC_ASSIGN_OR_RETURN(std::string bytes, SerializeHeteroGraph(g));
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
-  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
-    return Status::Internal("short write to " + path);
+namespace {
+
+/// Writes `bytes` to a ".tmp" sibling of `path`, flushes it to stable
+/// storage and atomically renames it into place, so a crash mid-write can
+/// never leave a torn file under the target name.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  FilePtr f(std::fopen(tmp.c_str(), "wb"));
+  if (!f) return Status::InvalidArgument("cannot open for write: " + tmp);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size() ||
+      std::fflush(f.get()) != 0 || ::fsync(::fileno(f.get())) != 0) {
+    f.reset();
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  f.reset();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveHeteroGraph(const HeteroGraph& g, const std::string& path) {
+  FREEHGC_ASSIGN_OR_RETURN(std::string bytes, SerializeHeteroGraph(g));
+  return WriteFileAtomic(path, bytes);
 }
 
 Result<HeteroGraph> LoadHeteroGraph(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::NotFound("cannot open: " + path);
-  std::string bytes;
+  // Peek the header: v3 containers are mapped, never slurped to heap.
+  uint32_t head[2] = {0, 0};
+  const size_t head_n = std::fread(head, 1, sizeof(head), f.get());
+  if (head_n == sizeof(head) && head[0] == kMagic && head[1] == kVersionV3) {
+    f.reset();
+    FREEHGC_ASSIGN_OR_RETURN(MappedGraph mg, MapHeteroGraphDetailed(path));
+    return std::move(mg.graph);
+  }
+  std::string bytes(reinterpret_cast<const char*>(head), head_n);
   char buf[1 << 16];
   size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
@@ -302,6 +300,103 @@ Result<HeteroGraph> LoadHeteroGraph(const std::string& path) {
   }
   return g;
 }
+
+namespace serialize_internal {
+
+namespace {
+
+template <typename T>
+bool ReadPodF(std::FILE* f, T* v) {
+  return std::fread(v, 1, sizeof(T), f) == sizeof(T);
+}
+
+bool ReadStringF(std::FILE* f, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadPodF(f, &n) || n > (1u << 20)) return false;
+  s->resize(n);
+  return std::fread(s->data(), 1, n, f) == n;
+}
+
+/// Skips a length-prefixed array, returning its element count.
+template <typename T>
+bool SkipArrayF(std::FILE* f, uint64_t* count) {
+  uint64_t n = 0;
+  if (!ReadPodF(f, &n) || n > (1ull << 33)) return false;
+  *count = n;
+  return std::fseek(f, static_cast<long>(n * sizeof(T)), SEEK_CUR) == 0;
+}
+
+}  // namespace
+
+Result<ContainerSummary> InspectLegacyContainer(const std::string& path,
+                                                uint32_t version,
+                                                std::FILE* f) {
+  ContainerSummary out;
+  out.version = version;
+  out.crc_ok = true;  // v1 has no checksum to fail
+  // The v1/v2 stream: magic, version, [size, crc (v2)], body.
+  long body_off = static_cast<long>(2 * sizeof(uint32_t));
+  if (version == kVersionV2) {
+    uint64_t size = 0;
+    uint32_t crc = 0;
+    if (std::fseek(f, body_off, SEEK_SET) != 0 || !ReadPodF(f, &size) ||
+        !ReadPodF(f, &crc)) {
+      return Status::InvalidArgument("truncated graph container header");
+    }
+    body_off += static_cast<long>(sizeof(size) + sizeof(crc));
+    // First pass: stream the body through the CRC in fixed-size chunks.
+    uint32_t actual = 0;
+    uint64_t seen = 0;
+    char buf[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      actual = Crc32(buf, n, actual);
+      seen += n;
+    }
+    if (std::ferror(f) != 0) return Status::Internal("read error: " + path);
+    out.crc_ok = (seen == size && actual == crc);
+  }
+  // Second (or only) pass: walk the body structure, fseeking over array
+  // payloads so nothing large is materialized.
+  if (std::fseek(f, body_off, SEEK_SET) != 0) {
+    return Status::InvalidArgument("truncated graph container: " + path);
+  }
+  const auto truncated = [&path]() {
+    return Status::InvalidArgument("truncated graph container body: " + path);
+  };
+  int32_t num_types = 0;
+  if (!ReadPodF(f, &num_types) || num_types < 0 || num_types > 4096) {
+    return truncated();
+  }
+  for (int32_t t = 0; t < num_types; ++t) {
+    std::string name;
+    int32_t count = 0;
+    if (!ReadStringF(f, &name) || !ReadPodF(f, &count)) return truncated();
+    out.types.emplace_back(std::move(name), count);
+  }
+  int32_t num_rel = 0;
+  if (!ReadPodF(f, &num_rel) || num_rel < 0 || num_rel > 65536) {
+    return truncated();
+  }
+  for (int32_t i = 0; i < num_rel; ++i) {
+    RelationSummary rs;
+    uint64_t indptr_n = 0, nnz = 0, values_n = 0;
+    if (!ReadStringF(f, &rs.name) || !ReadPodF(f, &rs.src_type) ||
+        !ReadPodF(f, &rs.dst_type) || !ReadPodF(f, &rs.rows) ||
+        !ReadPodF(f, &rs.cols) || !SkipArrayF<int64_t>(f, &indptr_n) ||
+        !SkipArrayF<int32_t>(f, &nnz) || !SkipArrayF<float>(f, &values_n)) {
+      return truncated();
+    }
+    rs.nnz = static_cast<int64_t>(nnz);
+    out.relations.push_back(std::move(rs));
+  }
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    out.file_bytes = static_cast<uint64_t>(std::ftell(f));
+  }
+  return out;
+}
+
+}  // namespace serialize_internal
 
 namespace {
 

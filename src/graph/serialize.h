@@ -1,8 +1,13 @@
 #ifndef FREEHGC_GRAPH_SERIALIZE_H_
 #define FREEHGC_GRAPH_SERIALIZE_H_
 
+#include <cstdint>
+#include <cstdio>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -15,12 +20,17 @@ namespace freehgc {
 /// splits). Condensed graphs round-trip exactly, so a condensation can be
 /// run once and shipped. Format version 2: the header carries the payload
 /// byte count and a CRC-32 of the payload, so truncation and corruption
-/// are detected before any graph state is constructed.
+/// are detected before any graph state is constructed. Crash-safe: the
+/// container is written to a ".tmp" sibling, fsynced, and atomically
+/// renamed into place, so a killed writer never leaves a torn file under
+/// the target name.
 Status SaveHeteroGraph(const HeteroGraph& g, const std::string& path);
 
-/// Reads a file written by SaveHeteroGraph. Fails with InvalidArgument on
-/// magic/version mismatch and, for version-2 containers, on truncation or
-/// checksum mismatch. Version-1 files (no checksum) still load.
+/// Reads a file written by SaveHeteroGraph or SaveHeteroGraphV3. Fails
+/// with InvalidArgument on magic/version mismatch and, for version >= 2
+/// containers, on truncation or checksum mismatch. Version-1 files (no
+/// checksum) still load. v1/v2 load via the heap path; v3 files are
+/// memory-mapped (the returned graph's storage views the mapping).
 Result<HeteroGraph> LoadHeteroGraph(const std::string& path);
 
 /// Serializes to the same self-contained container SaveHeteroGraph writes,
@@ -29,7 +39,152 @@ Result<std::string> SerializeHeteroGraph(const HeteroGraph& g);
 
 /// Parses a container produced by SerializeHeteroGraph/SaveHeteroGraph
 /// from memory, with the same integrity checks as LoadHeteroGraph.
+/// Understands v1/v2 bodies and in-memory v3 containers (the latter are
+/// deep-copied into owned storage, since the buffer is transient).
 Result<HeteroGraph> DeserializeHeteroGraph(std::string_view bytes);
+
+// --- v3 page-aligned container -------------------------------------------
+//
+// Format version 3 is a mappable container: a fixed 4096-byte header, every
+// array payload in its own page-aligned section, and a section table (with
+// per-section CRC-32) at the end of the file. MapHeteroGraph returns a
+// HeteroGraph whose CSR adjacencies and feature matrices view the mapping
+// directly — zero copies of indptr/indices/values/features; only the small
+// label/split arrays are materialized on the heap. The header stores the
+// graph's ContentFingerprint, so registration of a mapped graph never has
+// to touch the large payload pages beyond CRC verification.
+
+/// Outcome of writing a v3 container.
+struct V3WriteSummary {
+  uint64_t fingerprint = 0;  ///< content fingerprint stored in the header
+  uint64_t file_bytes = 0;   ///< total container size on disk
+  int64_t nodes = 0;         ///< total nodes across types
+  int64_t edges = 0;         ///< total directed edges across relations
+};
+
+/// Streaming writer for v3 containers. Sections are written to a ".tmp"
+/// sibling as they are appended, so a multi-gigabyte graph can be produced
+/// without ever materializing it in memory (see datasets::GenerateToV3).
+/// Call order: AddNodeType* (all types first), then AddRelation* /
+/// feature blocks / SetTarget / SetSplit in any order, then
+/// SetContentFingerprint, then Finish (which writes the meta section,
+/// section table and header, fsyncs and atomically renames into place).
+/// Destroying an unfinished writer deletes the temporary file.
+class HeteroGraphV3Writer {
+ public:
+  static Result<HeteroGraphV3Writer> Create(const std::string& path);
+
+  HeteroGraphV3Writer(HeteroGraphV3Writer&& other) noexcept;
+  HeteroGraphV3Writer& operator=(HeteroGraphV3Writer&& other) noexcept;
+  HeteroGraphV3Writer(const HeteroGraphV3Writer&) = delete;
+  HeteroGraphV3Writer& operator=(const HeteroGraphV3Writer&) = delete;
+  ~HeteroGraphV3Writer();
+
+  /// Registers a node type; all types must be added before relations.
+  Status AddNodeType(const std::string& name, int32_t count);
+
+  /// Appends a relation; writes its indptr/indices/values sections now.
+  Status AddRelation(const std::string& name, TypeId src, TypeId dst,
+                     const CsrMatrix& adj);
+
+  /// Starts the feature matrix of `type`; rows must equal its node count.
+  Status BeginFeatures(TypeId type, int64_t rows, int64_t cols);
+  /// Appends `num_rows` rows (row-major, cols floats each) to the open
+  /// feature block. Rows may arrive in any chunking.
+  Status AppendFeatureRows(const float* data, int64_t num_rows);
+  /// Closes the feature block; fails if fewer rows arrived than declared.
+  Status EndFeatures();
+
+  /// Convenience: writes a whole feature matrix in one call.
+  Status AddFeatures(TypeId type, const Matrix& features);
+
+  /// Declares the target type with labels (one per target node).
+  Status SetTarget(TypeId type, std::span<const int32_t> labels,
+                   int32_t num_classes);
+
+  /// Sets the train/val/test split (requires SetTarget first).
+  Status SetSplit(std::span<const int32_t> train,
+                  std::span<const int32_t> val,
+                  std::span<const int32_t> test);
+
+  /// Records the content fingerprint the header will carry. Required
+  /// before Finish; must equal HeteroGraph::ContentFingerprint() of the
+  /// graph the sections describe (SaveHeteroGraphV3 guarantees this; the
+  /// streaming generator computes it incrementally).
+  Status SetContentFingerprint(uint64_t fingerprint);
+
+  /// Writes meta + section table + header, fsyncs, renames into place.
+  Result<V3WriteSummary> Finish();
+
+  /// Deletes the temporary file without publishing anything.
+  void Abandon();
+
+ private:
+  HeteroGraphV3Writer() = default;
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+/// Writes `g` as a v3 container (crash-safe, atomic publish).
+Result<V3WriteSummary> SaveHeteroGraphV3(const HeteroGraph& g,
+                                         const std::string& path);
+
+/// A mapped v3 graph plus the container metadata that came with it.
+struct MappedGraph {
+  HeteroGraph graph;         ///< storage views the mapping (zero-copy)
+  uint64_t fingerprint = 0;  ///< content fingerprint from the header
+  uint64_t file_bytes = 0;   ///< container size (== mapped bytes)
+};
+
+/// Memory-maps a v3 container. Every section CRC is verified against the
+/// mapping before any view is handed out; the mapping stays alive for as
+/// long as any copy of the returned graph (or one of its matrices) does.
+Result<MappedGraph> MapHeteroGraphDetailed(const std::string& path);
+
+/// MapHeteroGraphDetailed without the metadata.
+Result<HeteroGraph> MapHeteroGraph(const std::string& path);
+
+// --- Container inspection -------------------------------------------------
+
+/// One section table entry as reported by InspectContainer.
+struct SectionSummary {
+  std::string kind;         ///< "meta", "indptr", "indices", ...
+  uint32_t index = 0;       ///< relation / type ordinal the section belongs to
+  uint64_t offset = 0;      ///< byte offset in the file (4096-aligned)
+  uint64_t size = 0;        ///< payload bytes
+  uint64_t logical_count = 0;  ///< element count (rows+1, nnz, floats, ...)
+  uint32_t stored_crc = 0;  ///< CRC-32 recorded in the table
+  bool crc_ok = false;      ///< recomputed CRC matches
+};
+
+/// Per-relation structure as recorded in the meta section.
+struct RelationSummary {
+  std::string name;
+  int32_t src_type = -1;
+  int32_t dst_type = -1;
+  int32_t rows = 0;
+  int32_t cols = 0;
+  int64_t nnz = 0;
+};
+
+/// Header/section-table view of a container, gathered without loading any
+/// graph state. For v3 files the per-section CRCs are re-verified by
+/// streaming the file; for v2 the single body CRC is checked; v1 has no
+/// checksum (crc_ok is trivially true).
+struct ContainerSummary {
+  uint32_t version = 0;
+  uint64_t file_bytes = 0;
+  uint64_t fingerprint = 0;  ///< v3 only; 0 otherwise
+  bool crc_ok = false;       ///< all checksums match
+  std::vector<std::pair<std::string, int64_t>> types;  ///< name, node count
+  std::vector<RelationSummary> relations;
+  std::vector<SectionSummary> sections;  ///< v3 only
+};
+
+/// Reads header, section table and structural metadata from any supported
+/// container version, streaming the file for CRC verification (constant
+/// memory; values are never materialized).
+Result<ContainerSummary> InspectContainer(const std::string& path);
 
 /// Loads a heterogeneous graph from plain CSV files, the interchange
 /// format for bringing real datasets into the library:

@@ -1,0 +1,97 @@
+#ifndef FREEHGC_GRAPH_SERIALIZE_INTERNAL_H_
+#define FREEHGC_GRAPH_SERIALIZE_INTERNAL_H_
+
+// Shared pieces of the container codecs: the v1/v2 byte-stream helpers in
+// serialize.cc and the v3 page-aligned container in container_v3.cc both
+// read length-prefixed strings and PODs from byte views, and both need the
+// container magic / version registry to dispatch on.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/serialize.h"
+
+namespace freehgc {
+namespace serialize_internal {
+
+inline constexpr uint32_t kMagic = 0x46484743;  // "FHGC"
+// Version 1: magic, version, body. Version 2 inserts a u64 body size and
+// a CRC-32 of the body between the version field and the body, so loads
+// reject truncated or corrupted containers before building any state.
+// Version 3 is the page-aligned mappable container (container_v3.cc).
+inline constexpr uint32_t kVersionLegacy = 1;
+inline constexpr uint32_t kVersionV2 = 2;
+inline constexpr uint32_t kVersionV3 = 3;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+inline void WriteBytes(std::string& out, const void* data, size_t n) {
+  if (n > 0) out.append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void WritePod(std::string& out, const T& v) {
+  WriteBytes(out, &v, sizeof(T));
+}
+
+inline void WriteString(std::string& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  WriteBytes(out, s.data(), s.size());
+}
+
+/// Bounds-checked reader over a byte view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool Read(void* dst, size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    if (n > 0) std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+template <typename T>
+bool ReadPod(ByteReader& r, T* v) {
+  return r.Read(v, sizeof(T));
+}
+
+inline bool ReadString(ByteReader& r, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadPod(r, &n) || n > (1u << 20)) return false;
+  s->resize(n);
+  return r.Read(s->data(), n);
+}
+
+/// Structural inspection of a v1/v2 container by streaming the file
+/// (implemented in serialize.cc, next to the body format it skips over).
+Result<ContainerSummary> InspectLegacyContainer(const std::string& path,
+                                                uint32_t version,
+                                                std::FILE* f);
+
+/// Parses an in-memory v3 container into owned storage (deep copy); the
+/// upload path of the serve layer hands transient buffers here.
+/// Implemented in container_v3.cc.
+Result<HeteroGraph> ParseV3Memory(std::string_view bytes);
+
+}  // namespace serialize_internal
+}  // namespace freehgc
+
+#endif  // FREEHGC_GRAPH_SERIALIZE_INTERNAL_H_

@@ -1,13 +1,27 @@
 #include "serve/graph_store.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "datasets/generator.h"
 #include "graph/serialize.h"
 #include "obs/metrics.h"
 
 namespace freehgc::serve {
+
+namespace {
+
+void ObserveLoad(const char* histogram, const Timer& timer) {
+  obs::MetricsRegistry::Global().GetHistogram(histogram).Observe(
+      static_cast<int64_t>(timer.ElapsedSeconds() * 1e9));
+}
+
+}  // namespace
 
 Result<GraphInfo> GraphStore::Register(const std::string& name,
                                        HeteroGraph graph) {
@@ -15,13 +29,61 @@ Result<GraphInfo> GraphStore::Register(const std::string& name,
     return Status::InvalidArgument("graph name must not be empty");
   }
   FREEHGC_RETURN_IF_ERROR(graph.Validate());
-  return Insert(name, std::move(graph));
+  const uint64_t fingerprint = graph.ContentFingerprint();
+  return Insert(name, std::move(graph), fingerprint, {});
 }
 
 Result<GraphInfo> GraphStore::RegisterSerialized(const std::string& name,
                                                  std::string_view container) {
+  std::string spool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spool = spool_dir_;
+  }
+  Timer timer;
   FREEHGC_ASSIGN_OR_RETURN(HeteroGraph g, DeserializeHeteroGraph(container));
-  return Register(name, std::move(g));
+  if (spool.empty()) {
+    auto info = Register(name, std::move(g));
+    if (info.ok()) ObserveLoad("store.load.heap_ns", timer);
+    return info;
+  }
+  // Spool-on-upload: persist as a v3 container keyed by content
+  // fingerprint, free the heap copy, and re-register mapped. Identical
+  // content re-uploads rewrite the same file (atomically), so the spool
+  // dir never accumulates duplicates.
+  FREEHGC_RETURN_IF_ERROR(g.Validate());
+  const uint64_t fp = g.ContentFingerprint();
+  const std::string path = StrFormat(
+      "%s/%016llx.fhgc", spool.c_str(), static_cast<unsigned long long>(fp));
+  FREEHGC_RETURN_IF_ERROR(SaveHeteroGraphV3(g, path).status());
+  g = HeteroGraph();
+  return RegisterMappedFile(name, path);
+}
+
+Result<GraphInfo> GraphStore::RegisterMappedFile(const std::string& name,
+                                                 const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must not be empty");
+  }
+  Timer timer;
+  FREEHGC_ASSIGN_OR_RETURN(MappedGraph mg, MapHeteroGraphDetailed(path));
+  FREEHGC_RETURN_IF_ERROR(mg.graph.Validate());
+  auto info = Insert(name, std::move(mg.graph), mg.fingerprint, path);
+  if (info.ok()) ObserveLoad("store.load.mapped_ns", timer);
+  return info;
+}
+
+Status GraphStore::SetSpoolDir(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("spool dir must not be empty");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal(StrFormat("cannot create spool dir %s: %s",
+                                      dir.c_str(), std::strerror(errno)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  spool_dir_ = dir;
+  return Status::OK();
 }
 
 Result<GraphInfo> GraphStore::RegisterGenerator(const std::string& name,
@@ -35,13 +97,17 @@ Result<GraphInfo> GraphStore::RegisterGenerator(const std::string& name,
 }
 
 Result<GraphInfo> GraphStore::Insert(const std::string& name,
-                                     HeteroGraph graph) {
+                                     HeteroGraph graph, uint64_t fingerprint,
+                                     std::string source_path) {
   GraphInfo info;
   info.name = name;
-  info.fingerprint = graph.ContentFingerprint();
+  info.fingerprint = fingerprint;
   info.nodes = graph.TotalNodes();
   info.edges = graph.TotalEdges();
   info.memory_bytes = graph.MemoryBytes();
+  info.mapped = graph.IsMapped();
+  info.source_path = std::move(source_path);
+  const size_t resident = graph.ResidentHeapBytes();
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(name);
@@ -59,6 +125,7 @@ Result<GraphInfo> GraphStore::Insert(const std::string& name,
   Entry entry;
   entry.graph = std::make_shared<const HeteroGraph>(std::move(graph));
   entry.info = info;
+  entry.resident_bytes = resident;
   graphs_.emplace(name, std::move(entry));
   UpdateGauges();
   return info;
@@ -111,17 +178,40 @@ size_t GraphStore::TotalBytes() const {
   return bytes;
 }
 
+int64_t GraphStore::MappedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t mapped = 0;
+  for (const auto& [name, entry] : graphs_) {
+    if (entry.info.mapped) ++mapped;
+  }
+  return mapped;
+}
+
+size_t GraphStore::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [name, entry] : graphs_) {
+    bytes += entry.resident_bytes;
+  }
+  return bytes;
+}
+
 void GraphStore::UpdateGauges() const {
   static obs::Gauge& count =
       obs::MetricsRegistry::Global().GetGauge("serve.store.graphs");
   static obs::Gauge& bytes =
       obs::MetricsRegistry::Global().GetGauge("serve.store.bytes");
+  static obs::Gauge& resident =
+      obs::MetricsRegistry::Global().GetGauge("store.resident_bytes");
   count.Set(static_cast<int64_t>(graphs_.size()));
   size_t total = 0;
+  size_t res = 0;
   for (const auto& [name, entry] : graphs_) {
     total += entry.info.memory_bytes;
+    res += entry.resident_bytes;
   }
   bytes.Set(static_cast<int64_t>(total));
+  resident.Set(static_cast<int64_t>(res));
 }
 
 }  // namespace freehgc::serve

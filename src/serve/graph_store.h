@@ -23,8 +23,14 @@ struct GraphInfo {
   uint64_t fingerprint = 0;
   int64_t nodes = 0;
   int64_t edges = 0;
-  /// Approximate resident bytes (HeteroGraph::MemoryBytes).
+  /// Approximate logical bytes (HeteroGraph::MemoryBytes) — identical for
+  /// heap and mapped residents.
   size_t memory_bytes = 0;
+  /// True when the resident copy's CSR/feature arrays view a mapped v3
+  /// container (pages live in the page cache, not the heap).
+  bool mapped = false;
+  /// Backing container path for mapped graphs; empty for heap residents.
+  std::string source_path;
 };
 
 /// Registry of resident HeteroGraphs, the serving layer's object store:
@@ -52,9 +58,25 @@ class GraphStore {
 
   /// Registers a graph from a SaveHeteroGraph/SerializeHeteroGraph
   /// container (the upload path). Corrupt or truncated payloads are
-  /// InvalidArgument — nothing is registered.
+  /// InvalidArgument — nothing is registered. With a spool dir set, the
+  /// upload is persisted as a v3 container (named by content fingerprint)
+  /// and re-registered as a mapped graph, so the heap copy is freed and
+  /// the resident arrays are page-cache-backed.
   Result<GraphInfo> RegisterSerialized(const std::string& name,
                                        std::string_view container);
+
+  /// Registers the v3 container at `path` as a mapped (zero-copy)
+  /// resident graph. Every section CRC is verified, after which the
+  /// container's stored content fingerprint is trusted — mapped
+  /// registration skips the full-graph FNV pass a heap load pays. The
+  /// entry's shared_ptr keeps the mapping alive, even across Remove.
+  Result<GraphInfo> RegisterMappedFile(const std::string& name,
+                                       const std::string& path);
+
+  /// Enables spool-on-upload (see RegisterSerialized). Creates `dir` if
+  /// missing; spooled containers are left behind on shutdown so a
+  /// restarted server can re-register them with RegisterMappedFile.
+  Status SetSpoolDir(const std::string& dir);
 
   /// Registers `preset` (datasets::MakeByName: "acm", "toy", ...) built
   /// deterministically under (seed, scale). scale <= 0 uses the preset's
@@ -82,17 +104,28 @@ class GraphStore {
   int64_t Count() const;
   size_t TotalBytes() const;
 
+  /// Resident graphs backed by mapped containers.
+  int64_t MappedCount() const;
+
+  /// Heap bytes actually owned by resident graphs (mapped arrays live in
+  /// the page cache and are excluded) — the store.resident_bytes gauge.
+  size_t ResidentBytes() const;
+
  private:
   struct Entry {
     GraphRef graph;
     GraphInfo info;
+    /// HeteroGraph::ResidentHeapBytes at registration (immutable after).
+    size_t resident_bytes = 0;
   };
 
-  Result<GraphInfo> Insert(const std::string& name, HeteroGraph graph);
+  Result<GraphInfo> Insert(const std::string& name, HeteroGraph graph,
+                           uint64_t fingerprint, std::string source_path);
   void UpdateGauges() const;  // callers hold mu_
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> graphs_;
+  std::string spool_dir_;  // empty = spool-on-upload disabled
 };
 
 }  // namespace freehgc::serve

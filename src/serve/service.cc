@@ -162,9 +162,12 @@ std::string ServeService::StatsJson() const {
                    static_cast<long long>(s.queue_depth));
   out += StrFormat("  \"inflight\": %lld,\n",
                    static_cast<long long>(s.inflight));
-  out += StrFormat("  \"store\": {\"graphs\": %lld, \"bytes\": %zu},\n",
-                   static_cast<long long>(store_.Count()),
-                   store_.TotalBytes());
+  out += StrFormat(
+      "  \"store\": {\"graphs\": %lld, \"mapped\": %lld, \"bytes\": %zu, "
+      "\"resident_bytes\": %zu},\n",
+      static_cast<long long>(store_.Count()),
+      static_cast<long long>(store_.MappedCount()), store_.TotalBytes(),
+      store_.ResidentBytes());
   out += StrFormat(
       "  \"artifact_cache\": {\"hits\": %lld, \"misses\": %lld, "
       "\"plan_hits\": %lld, \"plan_misses\": %lld, \"bytes\": %zu},\n",

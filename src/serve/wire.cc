@@ -265,6 +265,8 @@ void EncodeGraphInfo(WireWriter& w, const GraphInfo& info) {
   w.PutI64(info.nodes);
   w.PutI64(info.edges);
   w.PutU64(info.memory_bytes);
+  w.PutU8(info.mapped ? 1 : 0);
+  w.PutString(info.source_path);
 }
 
 Result<GraphInfo> DecodeGraphInfo(WireReader& r) {
@@ -275,6 +277,9 @@ Result<GraphInfo> DecodeGraphInfo(WireReader& r) {
   FREEHGC_ASSIGN_OR_RETURN(info.edges, r.GetI64());
   FREEHGC_ASSIGN_OR_RETURN(uint64_t bytes, r.GetU64());
   info.memory_bytes = static_cast<size_t>(bytes);
+  FREEHGC_ASSIGN_OR_RETURN(uint8_t mapped, r.GetU8());
+  info.mapped = mapped != 0;
+  FREEHGC_ASSIGN_OR_RETURN(info.source_path, r.GetString());
   return info;
 }
 
@@ -285,9 +290,9 @@ void EncodeGraphInfoList(WireWriter& w, const std::vector<GraphInfo>& infos) {
 
 Result<std::vector<GraphInfo>> DecodeGraphInfoList(WireReader& r) {
   FREEHGC_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
-  // 36 = the minimum encoded GraphInfo (empty name); bounds the reserve
-  // against a malformed count.
-  if (count > r.remaining() / 36) {
+  // 41 = the minimum encoded GraphInfo (empty name + empty source path);
+  // bounds the reserve against a malformed count.
+  if (count > r.remaining() / 41) {
     return Status::InvalidArgument(
         "malformed wire payload: graph list count exceeds payload");
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fnv.h"
 #include "common/string_util.h"
 
 namespace freehgc {
@@ -23,9 +24,11 @@ Result<CsrMatrix> CsrMatrix::FromCoo(int32_t rows, int32_t cols,
             [](const CooEntry& a, const CooEntry& b) {
               return a.row != b.row ? a.row < b.row : a.col < b.col;
             });
-  CsrMatrix m(rows, cols);
-  m.indices_.reserve(entries.size());
-  m.values_.reserve(entries.size());
+  std::vector<int64_t> indptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+  indices.reserve(entries.size());
+  values.reserve(entries.size());
   size_t i = 0;
   for (int32_t r = 0; r < rows; ++r) {
     while (i < entries.size() && entries[i].row == r) {
@@ -37,19 +40,27 @@ Result<CsrMatrix> CsrMatrix::FromCoo(int32_t rows, int32_t cols,
         v += entries[i].value;
         ++i;
       }
-      m.indices_.push_back(c);
-      m.values_.push_back(v);
+      indices.push_back(c);
+      values.push_back(v);
     }
-    m.indptr_[static_cast<size_t>(r) + 1] =
-        static_cast<int64_t>(m.indices_.size());
+    indptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(indices.size());
   }
+  CsrMatrix m(rows, cols);
+  m.indptr_ = std::move(indptr);
+  m.indices_ = std::move(indices);
+  m.values_ = std::move(values);
   return m;
 }
 
-Result<CsrMatrix> CsrMatrix::FromParts(int32_t rows, int32_t cols,
-                                       std::vector<int64_t> indptr,
-                                       std::vector<int32_t> indices,
-                                       std::vector<float> values) {
+namespace {
+
+/// Shared structural validation over spans (FromParts and FromView).
+/// Branch-free reductions: mapped loads validate multi-GB arrays, so
+/// these loops must vectorize instead of branching per element.
+Status ValidateParts(int32_t rows, int32_t cols,
+                     std::span<const int64_t> indptr,
+                     std::span<const int32_t> indices,
+                     std::span<const float> values) {
   if (rows < 0 || cols < 0) {
     return Status::InvalidArgument("negative matrix dimensions");
   }
@@ -63,20 +74,53 @@ Result<CsrMatrix> CsrMatrix::FromParts(int32_t rows, int32_t cols,
       indptr.back() != static_cast<int64_t>(indices.size())) {
     return Status::InvalidArgument("indptr endpoints inconsistent with nnz");
   }
+  int64_t decreases = 0;
   for (size_t r = 0; r + 1 < indptr.size(); ++r) {
-    if (indptr[r] > indptr[r + 1]) {
-      return Status::InvalidArgument("indptr must be non-decreasing");
-    }
+    decreases += indptr[r] > indptr[r + 1] ? 1 : 0;
   }
-  for (int32_t c : indices) {
-    if (c < 0 || c >= cols) {
-      return Status::OutOfRange("column index outside [0, cols)");
-    }
+  if (decreases != 0) {
+    return Status::InvalidArgument("indptr must be non-decreasing");
   }
+  int32_t min_col = 0;
+  int32_t max_col = -1;
+  for (const int32_t c : indices) {
+    min_col = std::min(min_col, c);
+    max_col = std::max(max_col, c);
+  }
+  if (min_col < 0 || max_col >= cols) {
+    return Status::OutOfRange("column index outside [0, cols)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CsrMatrix> CsrMatrix::FromParts(int32_t rows, int32_t cols,
+                                       std::vector<int64_t> indptr,
+                                       std::vector<int32_t> indices,
+                                       std::vector<float> values) {
+  FREEHGC_RETURN_IF_ERROR(
+      ValidateParts(rows, cols, indptr, indices, values));
   CsrMatrix m(rows, cols);
   m.indptr_ = std::move(indptr);
   m.indices_ = std::move(indices);
   m.values_ = std::move(values);
+  return m;
+}
+
+Result<CsrMatrix> CsrMatrix::FromView(int32_t rows, int32_t cols,
+                                      std::span<const int64_t> indptr,
+                                      std::span<const int32_t> indices,
+                                      std::span<const float> values,
+                                      std::shared_ptr<const void> keepalive) {
+  FREEHGC_RETURN_IF_ERROR(
+      ValidateParts(rows, cols, indptr, indices, values));
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.indptr_ = ArrayRef<int64_t>::View(indptr, keepalive);
+  m.indices_ = ArrayRef<int32_t>::View(indices, keepalive);
+  m.values_ = ArrayRef<float>::View(values, std::move(keepalive));
   return m;
 }
 
@@ -113,8 +157,8 @@ Status CsrMatrix::Validate() const {
   if (indices_.size() != values_.size()) {
     return Status::InvalidArgument("indices/values size mismatch");
   }
-  if (indptr_.front() != 0 ||
-      indptr_.back() != static_cast<int64_t>(indices_.size())) {
+  if (indptr_[0] != 0 ||
+      indptr_[indptr_.size() - 1] != static_cast<int64_t>(indices_.size())) {
     return Status::InvalidArgument("indptr endpoints inconsistent with nnz");
   }
   for (int32_t r = 0; r < rows_; ++r) {
@@ -147,22 +191,22 @@ Status CsrMatrix::Validate() const {
 }
 
 uint64_t CsrMatrix::ContentFingerprint() const {
-  constexpr uint64_t kOffset = 1469598103934665603ULL;
-  constexpr uint64_t kPrime = 1099511628211ULL;
-  uint64_t h = kOffset;
-  auto mix_bytes = [&](const void* data, size_t len) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < len; ++i) {
-      h ^= p[i];
-      h *= kPrime;
-    }
-  };
+  Fnv f;
   const int64_t dims[2] = {rows_, cols_};
-  mix_bytes(dims, sizeof(dims));
-  mix_bytes(indptr_.data(), indptr_.size() * sizeof(int64_t));
-  mix_bytes(indices_.data(), indices_.size() * sizeof(int32_t));
-  mix_bytes(values_.data(), values_.size() * sizeof(float));
-  return h;
+  f.Bytes(dims, sizeof(dims));
+  f.Bytes(indptr_.data(), indptr_.size() * sizeof(int64_t));
+  f.Bytes(indices_.data(), indices_.size() * sizeof(int32_t));
+  f.Bytes(values_.data(), values_.size() * sizeof(float));
+  return f.h;
+}
+
+bool CsrMatrix::operator==(const CsrMatrix& other) const {
+  auto eq = [](auto a, auto b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  };
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         eq(indptr(), other.indptr()) && eq(indices(), other.indices()) &&
+         eq(values(), other.values());
 }
 
 }  // namespace freehgc

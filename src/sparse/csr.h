@@ -2,11 +2,13 @@
 #define FREEHGC_SPARSE_CSR_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/storage.h"
 
 namespace freehgc {
 
@@ -23,6 +25,14 @@ struct CooEntry {
 /// heterogeneous graph and every composed meta-path adjacency is a
 /// CsrMatrix. Rows/cols are int32 node ids local to a node type; indptr is
 /// int64 so edge counts may exceed 2^31.
+///
+/// Storage is either owned (heap vectors, the default for every kernel
+/// output) or a zero-copy view over external memory — the v3 mapped
+/// container path builds matrices with FromView over mmap'd sections,
+/// pinned by a keepalive shared_ptr (see common/storage.h). All read
+/// accessors are identical across backings; mutable_values() copies a
+/// view into owned storage first (copy-on-write), so kernels never
+/// observe the difference.
 class CsrMatrix {
  public:
   /// Empty 0x0 matrix.
@@ -31,7 +41,7 @@ class CsrMatrix {
   /// rows x cols matrix with no entries.
   CsrMatrix(int32_t rows, int32_t cols)
       : rows_(rows), cols_(cols),
-        indptr_(static_cast<size_t>(rows) + 1, 0) {}
+        indptr_(std::vector<int64_t>(static_cast<size_t>(rows) + 1, 0)) {}
 
   /// Builds from (possibly duplicated, unsorted) COO entries; duplicate
   /// coordinates are summed. Fails if any coordinate is out of range.
@@ -44,6 +54,17 @@ class CsrMatrix {
                                      std::vector<int64_t> indptr,
                                      std::vector<int32_t> indices,
                                      std::vector<float> values);
+
+  /// Wraps external CSR arrays without copying; `keepalive` pins the
+  /// memory (a MappedFile for container-backed matrices). Runs the same
+  /// structural validation as FromParts, with branch-free loops — this is
+  /// the per-relation cost of a mapped graph load, so it must scan at
+  /// memory bandwidth rather than branch per element.
+  static Result<CsrMatrix> FromView(int32_t rows, int32_t cols,
+                                    std::span<const int64_t> indptr,
+                                    std::span<const int32_t> indices,
+                                    std::span<const float> values,
+                                    std::shared_ptr<const void> keepalive);
 
   int32_t rows() const { return rows_; }
   int32_t cols() const { return cols_; }
@@ -63,10 +84,18 @@ class CsrMatrix {
 
   int64_t RowNnz(int32_t r) const { return indptr_[r + 1] - indptr_[r]; }
 
-  const std::vector<int64_t>& indptr() const { return indptr_; }
-  const std::vector<int32_t>& indices() const { return indices_; }
-  const std::vector<float>& values() const { return values_; }
-  std::vector<float>& mutable_values() { return values_; }
+  std::span<const int64_t> indptr() const { return indptr_.span(); }
+  std::span<const int32_t> indices() const { return indices_.span(); }
+  std::span<const float> values() const { return values_.span(); }
+
+  /// In-place value mutation; detaches mapped storage (copy-on-write).
+  /// Do not resize through the returned reference.
+  std::vector<float>& mutable_values() { return values_.Mutable(); }
+
+  /// True when any array views external (mapped) memory.
+  bool is_mapped() const {
+    return indptr_.is_view() || indices_.is_view() || values_.is_view();
+  }
 
   /// Sum of values in row r.
   float RowSum(int32_t r) const;
@@ -74,9 +103,16 @@ class CsrMatrix {
   /// Out-degree (#entries) per row.
   std::vector<int64_t> RowDegrees() const;
 
-  /// Approximate heap footprint in bytes (used by the Table VII storage
-  /// accounting).
+  /// Approximate logical footprint in bytes (used by the Table VII
+  /// storage accounting); identical for owned and mapped backings.
   size_t MemoryBytes() const;
+
+  /// Heap bytes actually owned by this matrix: equals MemoryBytes() when
+  /// owned, ~0 when every array views a mapping.
+  size_t OwnedBytes() const {
+    return indptr_.OwnedBytes() + indices_.OwnedBytes() +
+           values_.OwnedBytes();
+  }
 
   /// True when entry (r, c) exists.
   bool Contains(int32_t r, int32_t c) const;
@@ -95,18 +131,14 @@ class CsrMatrix {
   /// operand identity.
   uint64_t ContentFingerprint() const;
 
-  bool operator==(const CsrMatrix& other) const {
-    return rows_ == other.rows_ && cols_ == other.cols_ &&
-           indptr_ == other.indptr_ && indices_ == other.indices_ &&
-           values_ == other.values_;
-  }
+  bool operator==(const CsrMatrix& other) const;
 
  private:
   int32_t rows_ = 0;
   int32_t cols_ = 0;
-  std::vector<int64_t> indptr_ = {0};
-  std::vector<int32_t> indices_;
-  std::vector<float> values_;
+  ArrayRef<int64_t> indptr_ = std::vector<int64_t>{0};
+  ArrayRef<int32_t> indices_;
+  ArrayRef<float> values_;
 };
 
 }  // namespace freehgc

@@ -31,9 +31,19 @@ constexpr int64_t kSpMmColBlock = 64;
 // Transpose chunks are wider than the generic 256-chunk cap allows: each
 // chunk owns a full column histogram (cols * 8 bytes), so the chunk
 // count — not the thread count, which must not affect layout — bounds
-// the transient scratch at 16 histograms.
-int64_t TransposeGrain(int64_t n) {
-  return std::max<int64_t>(2048, (n + 15) / 16);
+// the transient scratch. At most 16 histograms, and fewer when the
+// matrix is wide: the scratch budget is capped at 16 MiB so transposing
+// a graph-scale matrix (hundreds of thousands of columns) does not
+// transiently allocate more than the matrix itself. The chunk count is a
+// pure function of the shape, never the thread count, so the output
+// layout stays bit-identical to the sequential transpose.
+int64_t TransposeGrain(int64_t rows, int64_t cols) {
+  constexpr int64_t kScratchBudgetBytes = int64_t{16} << 20;
+  const int64_t by_mem =
+      std::max<int64_t>(1, kScratchBudgetBytes / (std::max<int64_t>(1, cols) *
+                                                  int64_t{sizeof(int64_t)}));
+  const int64_t chunks = std::min<int64_t>(16, by_mem);
+  return std::max<int64_t>(2048, (rows + chunks - 1) / chunks);
 }
 
 // Debug builds assert the full CSR contract (sorted unique columns,
@@ -53,7 +63,7 @@ CsrMatrix Transpose(const CsrMatrix& a, exec::ExecContext* ctx) {
   FREEHGC_TRACE_SPAN("transpose");
   const int32_t rows = a.rows(), cols = a.cols();
   exec::ExecContext& ex = exec::Resolve(ctx);
-  const int64_t grain = TransposeGrain(rows);
+  const int64_t grain = TransposeGrain(rows, cols);
   const int64_t chunk = exec::ExecContext::ChunkSize(rows, grain);
   const int64_t num_chunks = exec::ExecContext::NumChunks(rows, grain);
 
@@ -550,7 +560,7 @@ CsrMatrix Symmetrize(const CsrMatrix& a) {
 std::vector<float> PprScores(const CsrMatrix& a,
                              const std::vector<float>& teleport, float alpha,
                              int max_iters, float tol,
-                             exec::ExecContext* ctx) {
+                             exec::ExecContext* ctx, bool symmetric) {
   FREEHGC_CHECK(a.rows() == a.cols());
   FREEHGC_CHECK(static_cast<int32_t>(teleport.size()) == a.rows());
   FREEHGC_TRACE_SPAN("ppr");
@@ -560,7 +570,12 @@ std::vector<float> PprScores(const CsrMatrix& a,
   // A^T pi as a row-parallel gather over the materialized transpose: the
   // per-element accumulation order (ascending source row) matches the
   // sequential column-scatter exactly, so the refactor is bit-preserving.
-  const CsrMatrix at = Transpose(a, &ex);
+  // A bit-exactly symmetric input (caller-asserted) needs no transpose at
+  // all — a^T == a including value order, so iterating over `a` itself
+  // produces the same bits without the transposed copy.
+  const CsrMatrix at_owned =
+      symmetric ? CsrMatrix() : Transpose(a, &ex);
+  const CsrMatrix& at = symmetric ? a : at_owned;
   std::vector<float> pi = teleport;
   std::vector<float> propagated;  // reused across iterations
   for (int it = 0; it < max_iters; ++it) {

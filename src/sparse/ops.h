@@ -156,11 +156,18 @@ CsrMatrix Symmetrize(const CsrMatrix& a);
 /// which is exactly the aggregate neighbor-influence score of Eq. (13).
 ///
 /// Internally materializes a^T once so each iteration is a row-parallel
-/// gather SpMv; the L1 delta uses an ordered chunk reduction.
+/// gather SpMv; the L1 delta uses an ordered chunk reduction. Callers
+/// whose matrix is bit-exactly symmetric (structure and values — e.g. a
+/// SymNormalize'd bipartite block, whose mirror entries multiply the same
+/// value by the same single-rounded inv_sqrt product) may pass
+/// `symmetric = true` to skip the transpose entirely: a^T == a
+/// bit-for-bit, so the iterates are unchanged while the peak transient
+/// drops by the transposed copy plus its histogram scratch.
 std::vector<float> PprScores(const CsrMatrix& a,
                              const std::vector<float>& teleport, float alpha,
                              int max_iters = 50, float tol = 1e-6f,
-                             exec::ExecContext* ctx = nullptr);
+                             exec::ExecContext* ctx = nullptr,
+                             bool symmetric = false);
 
 }  // namespace freehgc::sparse
 

@@ -1,10 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
 #include <set>
+#include <span>
+#include <vector>
 
+#include "common/crc32.h"
+#include "common/mapped_file.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/storage.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table.h"
@@ -267,6 +275,138 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_LE(a, b);  // monotone
   t.Reset();
   EXPECT_LE(t.ElapsedSeconds(), b / 1e3);
+}
+
+// --- Crc32 -----------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The standard CRC-32 check value ("123456789" under IEEE 802.3).
+  const char check[] = "123456789";
+  EXPECT_EQ(Crc32(check, 9), 0xcbf43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalChainingEqualsOneShot) {
+  Rng rng(7);
+  std::vector<uint8_t> buf(10000);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.NextU64());
+  const uint32_t whole = Crc32(buf.data(), buf.size());
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{4095}, size_t{4096},
+                     size_t{9999}, buf.size()}) {
+    const uint32_t head = Crc32(buf.data(), cut);
+    EXPECT_EQ(Crc32(buf.data() + cut, buf.size() - cut, head), whole)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Crc32Test, SimdAndPortableKernelsAgree) {
+  // Differential: the dispatching kernel vs the slice-by-8 reference, at
+  // lengths straddling the SIMD kernel's block and tail handling.
+  Rng rng(13);
+  std::vector<uint8_t> buf(70000);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.NextU64());
+  for (size_t n : {size_t{0}, size_t{1}, size_t{15}, size_t{16}, size_t{63},
+                   size_t{64}, size_t{65}, size_t{255}, size_t{4096},
+                   size_t{65521}, buf.size()}) {
+    // Offset by 3 so the SIMD path also exercises misaligned input.
+    const size_t off = n < 3 ? 0 : 3;
+    const size_t len = n - off;
+    EXPECT_EQ(Crc32(buf.data() + off, len, 0x1234u),
+              internal::Crc32Portable(buf.data() + off, len, 0x1234u))
+        << "n=" << n;
+  }
+}
+
+// --- MappedFile ------------------------------------------------------------
+
+TEST(MappedFileTest, MapsFileContentsReadOnly) {
+  const std::string path = "/tmp/freehgc_test_mapped_file.bin";
+  const std::string content = "freehgc mapped-file test payload";
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+  auto mf = MappedFile::Open(path);
+  ASSERT_TRUE(mf.ok()) << mf.status().ToString();
+  ASSERT_EQ(mf->size(), content.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(mf->data()),
+                        mf->size()),
+            content);
+  EXPECT_EQ(mf->path(), path);
+  // Advisory hints must never break the mapping.
+  for (auto p : {MappedFile::AccessPattern::kSequential,
+                 MappedFile::AccessPattern::kRandom,
+                 MappedFile::AccessPattern::kWillNeed,
+                 MappedFile::AccessPattern::kNormal}) {
+    mf->Advise(p);
+    EXPECT_EQ(mf->data()[0], static_cast<uint8_t>('f'));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsAnError) {
+  EXPECT_FALSE(MappedFile::Open("/tmp/freehgc_no_such_file_xyz").ok());
+}
+
+TEST(MappedFileTest, EmptyFileMapsToNullView) {
+  const std::string path = "/tmp/freehgc_test_mapped_empty.bin";
+  std::fclose(std::fopen(path.c_str(), "wb"));
+  auto mf = MappedFile::Open(path);
+  ASSERT_TRUE(mf.ok()) << mf.status().ToString();
+  EXPECT_EQ(mf->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, SharedMappingOutlivesUnlink) {
+  const std::string path = "/tmp/freehgc_test_mapped_shared.bin";
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("keepalive", f);
+    std::fclose(f);
+  }
+  auto mf = MappedFile::OpenShared(path);
+  ASSERT_TRUE(mf.ok());
+  std::remove(path.c_str());  // pages stay valid until the last ref drops
+  std::shared_ptr<const MappedFile> held = *mf;
+  EXPECT_EQ(held->size(), 9u);
+  EXPECT_EQ(held->data()[0], static_cast<uint8_t>('k'));
+}
+
+// --- ArrayRef --------------------------------------------------------------
+
+TEST(ArrayRefTest, OwnedAndViewStates) {
+  ArrayRef<int32_t> owned(std::vector<int32_t>{1, 2, 3});
+  EXPECT_FALSE(owned.is_view());
+  EXPECT_EQ(owned.size(), 3u);
+  EXPECT_EQ(owned.OwnedBytes(), 3 * sizeof(int32_t));
+  EXPECT_EQ(owned[2], 3);
+
+  const std::vector<int32_t> backing = {7, 8, 9, 10};
+  auto keepalive = std::make_shared<int>(0);
+  ArrayRef<int32_t> view = ArrayRef<int32_t>::View(
+      std::span<const int32_t>(backing), keepalive);
+  EXPECT_TRUE(view.is_view());
+  EXPECT_EQ(view.OwnedBytes(), 0u);
+  EXPECT_EQ(view.data(), backing.data());  // zero-copy
+
+  // Copying a view shares the keepalive; copying owned deep-copies.
+  ArrayRef<int32_t> view_copy = view;
+  EXPECT_TRUE(view_copy.is_view());
+  EXPECT_EQ(view_copy.data(), backing.data());
+  EXPECT_GE(keepalive.use_count(), 3);
+  ArrayRef<int32_t> owned_copy = owned;
+  EXPECT_NE(owned_copy.data(), owned.data());
+
+  // Mutable() detaches copy-on-write: the view becomes owned, the
+  // backing is untouched.
+  view_copy.Mutable()[0] = 99;
+  EXPECT_FALSE(view_copy.is_view());
+  EXPECT_EQ(view_copy[0], 99);
+  EXPECT_EQ(backing[0], 7);
+  EXPECT_EQ(view[0], 7);
 }
 
 }  // namespace

@@ -182,5 +182,54 @@ TEST(PresetTest, ClassDistributionCoversAllClasses) {
   for (int32_t c : counts) EXPECT_GT(c, 0);
 }
 
+TEST(PresetTest, PresetConfigMatchesMakeByName) {
+  for (const char* name : {"acm", "dblp", "toy"}) {
+    auto c = datasets::PresetConfig(name, 0.05);
+    ASSERT_TRUE(c.ok()) << name;
+    auto direct = MakeByName(name, 3, 0.05);
+    ASSERT_TRUE(direct.ok());
+    auto via_config = Generate(*c, 3);
+    ASSERT_TRUE(via_config.ok());
+    EXPECT_EQ(direct->ContentFingerprint(), via_config->ContentFingerprint())
+        << name;
+  }
+  EXPECT_FALSE(datasets::PresetConfig("nope").ok());
+}
+
+TEST(GeneratorV3Test, StreamedContainerIsBitIdenticalToHeapGraph) {
+  // The tentpole equivalence: GenerateToV3 shares Generate's draw
+  // sequence and its incremental fingerprint must equal the heap graph's
+  // ContentFingerprint — proving the streamed container holds the exact
+  // same bytes (types, CSR arrays, features, labels, splits).
+  auto config = datasets::PresetConfig("dblp", 0.05);
+  ASSERT_TRUE(config.ok());
+  const std::string path = "/tmp/freehgc_test_gen_v3.fhgc";
+  auto summary = datasets::GenerateToV3(*config, 11, path);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+
+  auto heap = Generate(*config, 11);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_EQ(summary->fingerprint, heap->ContentFingerprint());
+  EXPECT_EQ(summary->nodes, heap->TotalNodes());
+  EXPECT_EQ(summary->edges, heap->TotalEdges());
+
+  auto mapped = MapHeteroGraphDetailed(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->fingerprint, heap->ContentFingerprint());
+  EXPECT_EQ(mapped->graph.ContentFingerprint(), heap->ContentFingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(GeneratorV3Test, StreamedAminerPresetRoundTrips) {
+  auto config = datasets::PresetConfig("aminer", 0.01);
+  ASSERT_TRUE(config.ok());
+  const std::string path = "/tmp/freehgc_test_gen_v3_aminer.fhgc";
+  auto summary = datasets::GenerateToV3(*config, 7, path);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  auto heap = datasets::MakeAminer(7, 0.01);
+  EXPECT_EQ(summary->fingerprint, heap.ContentFingerprint());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace freehgc

@@ -2,10 +2,14 @@
 // pipeline, and the qualitative orderings the paper's evaluation rests on.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "baselines/coreset.h"
 #include "core/freehgc.h"
 #include "datasets/generator.h"
 #include "eval/experiment.h"
+#include "graph/serialize.h"
 #include "hgnn/trainer.h"
 
 namespace freehgc {
@@ -124,6 +128,30 @@ TEST(IntegrationTest, WholePipelineDeterministic) {
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_FLOAT_EQ(a->accuracy, b->accuracy);
   EXPECT_EQ(a->storage_bytes, b->storage_bytes);
+}
+
+TEST(IntegrationTest, MappedGraphCondensesBitIdenticallyToHeapGraph) {
+  // The zero-copy acceptance property end to end: run the full FreeHGC
+  // pipeline once against the heap-resident graph and once against the
+  // same graph mapped from a v3 container. Every kernel reads through
+  // ArrayRef spans, so the condensed outputs must be bit-identical, not
+  // just statistically close.
+  const HeteroGraph heap = datasets::MakeAcm(117, /*scale=*/0.15);
+  const std::string path = "/tmp/freehgc_test_integration_v3.fhgc";
+  ASSERT_TRUE(SaveHeteroGraphV3(heap, path).ok());
+  auto mapped = MapHeteroGraph(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  ASSERT_EQ(mapped->ContentFingerprint(), heap.ContentFingerprint());
+  core::FreeHgcOptions opts;
+  opts.ratio = 0.05;
+  opts.max_paths = 10;
+  auto a = core::Condense(heap, opts);
+  auto b = core::Condense(*mapped, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->graph.ContentFingerprint(), b->graph.ContentFingerprint());
+  EXPECT_EQ(a->graph.MemoryBytes(), b->graph.MemoryBytes());
+  std::remove(path.c_str());
 }
 
 TEST(IntegrationTest, DeepHierarchyDatasetEndToEnd) {

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/crc32.h"
 #include "core/freehgc.h"
 #include "datasets/generator.h"
 #include "graph/serialize.h"
@@ -15,6 +18,42 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return std::string("/tmp/freehgc_test_") + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+void ExpectGraphsEqual(const HeteroGraph& a, const HeteroGraph& b) {
+  ASSERT_EQ(a.NumNodeTypes(), b.NumNodeTypes());
+  ASSERT_EQ(a.NumRelations(), b.NumRelations());
+  for (TypeId t = 0; t < a.NumNodeTypes(); ++t) {
+    EXPECT_EQ(a.TypeName(t), b.TypeName(t));
+    EXPECT_EQ(a.NodeCount(t), b.NodeCount(t));
+    EXPECT_EQ(a.Features(t), b.Features(t));
+  }
+  for (RelationId r = 0; r < a.NumRelations(); ++r) {
+    EXPECT_EQ(a.relation(r).name, b.relation(r).name);
+    EXPECT_EQ(a.relation(r).src_type, b.relation(r).src_type);
+    EXPECT_EQ(a.relation(r).dst_type, b.relation(r).dst_type);
+    EXPECT_EQ(a.relation(r).adj, b.relation(r).adj);
+  }
+  EXPECT_EQ(a.target_type(), b.target_type());
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.num_classes(), b.num_classes());
+  EXPECT_EQ(a.train_index(), b.train_index());
+  EXPECT_EQ(a.val_index(), b.val_index());
+  EXPECT_EQ(a.test_index(), b.test_index());
+  EXPECT_EQ(a.ContentFingerprint(), b.ContentFingerprint());
 }
 
 TEST(SerializeTest, RoundTripsToyGraph) {
@@ -188,6 +227,303 @@ TEST(SerializeTest, CorruptFileOnDiskIsRejected) {
   auto res = LoadHeteroGraph(path);
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// --- v3 page-aligned container --------------------------------------------
+
+TEST(ContainerV3Test, MappedGraphMatchesHeapGraphExactly) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  const std::string path = TempPath("v3_roundtrip.fhgc");
+  auto saved = SaveHeteroGraphV3(g, path);
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  EXPECT_EQ(saved->fingerprint, g.ContentFingerprint());
+  EXPECT_EQ(saved->nodes, g.TotalNodes());
+  EXPECT_EQ(saved->edges, g.TotalEdges());
+
+  auto mapped = MapHeteroGraphDetailed(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->fingerprint, g.ContentFingerprint());
+  ExpectGraphsEqual(mapped->graph, g);
+  EXPECT_TRUE(mapped->graph.IsMapped());
+  EXPECT_FALSE(g.IsMapped());
+  // A mapped graph owns only labels/splits on the heap.
+  EXPECT_LT(mapped->graph.ResidentHeapBytes(), g.ResidentHeapBytes());
+  EXPECT_EQ(mapped->graph.MemoryBytes(), g.MemoryBytes());
+  std::remove(path.c_str());
+}
+
+TEST(ContainerV3Test, LoadHeteroGraphDispatchesToMapping) {
+  const HeteroGraph g = datasets::MakeToy(7);
+  const std::string path = TempPath("v3_load.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  auto loaded = LoadHeteroGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->IsMapped());
+  ExpectGraphsEqual(*loaded, g);
+  std::remove(path.c_str());
+}
+
+TEST(ContainerV3Test, MappingOutlivesTheGraphCopies) {
+  const HeteroGraph g = datasets::MakeToy(3);
+  const std::string path = TempPath("v3_keepalive.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  CsrMatrix adj;
+  {
+    auto mapped = MapHeteroGraph(path);
+    ASSERT_TRUE(mapped.ok());
+    adj = mapped->relation(0).adj;  // copy of a view shares the keepalive
+  }
+  std::remove(path.c_str());  // mapping survives the unlink
+  EXPECT_TRUE(adj.is_mapped());
+  EXPECT_TRUE(adj.Validate().ok());
+  EXPECT_GT(adj.nnz(), 0);
+}
+
+TEST(ContainerV3Test, InMemoryV3DeserializesToOwnedStorage) {
+  const HeteroGraph g = datasets::MakeToy(9);
+  const std::string path = TempPath("v3_inmem.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  std::remove(path.c_str());
+  auto back = DeserializeHeteroGraph(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_FALSE(back->IsMapped());
+  ExpectGraphsEqual(*back, g);
+}
+
+TEST(ContainerV3Test, InspectReportsSectionsAndStructure) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  const std::string path = TempPath("v3_inspect.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  auto info = InspectContainer(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, 3u);
+  EXPECT_TRUE(info->crc_ok);
+  EXPECT_EQ(info->fingerprint, g.ContentFingerprint());
+  ASSERT_EQ(info->types.size(), static_cast<size_t>(g.NumNodeTypes()));
+  ASSERT_EQ(info->relations.size(), static_cast<size_t>(g.NumRelations()));
+  for (RelationId r = 0; r < g.NumRelations(); ++r) {
+    EXPECT_EQ(info->relations[static_cast<size_t>(r)].name,
+              g.relation(r).name);
+    EXPECT_EQ(info->relations[static_cast<size_t>(r)].nnz,
+              g.relation(r).adj.nnz());
+  }
+  // meta + 3 per relation + features per type + labels + 3 splits.
+  const size_t expected = 1 + 3 * static_cast<size_t>(g.NumRelations()) +
+                          static_cast<size_t>(g.NumNodeTypes()) + 1 + 3;
+  EXPECT_EQ(info->sections.size(), expected);
+  for (const auto& s : info->sections) {
+    EXPECT_TRUE(s.crc_ok) << s.kind << "[" << s.index << "]";
+    EXPECT_EQ(s.offset % 4096, 0u) << s.kind;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ContainerV3Test, InspectStillWorksOnLegacyContainers) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  const std::string path = TempPath("v2_inspect.fhgc");
+  ASSERT_TRUE(SaveHeteroGraph(g, path).ok());
+  auto info = InspectContainer(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, 2u);
+  EXPECT_TRUE(info->crc_ok);
+  ASSERT_EQ(info->relations.size(), static_cast<size_t>(g.NumRelations()));
+  EXPECT_EQ(info->relations[0].nnz, g.relation(0).adj.nnz());
+  // Corrupt a byte: inspect should still succeed but report the bad CRC.
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x01);
+  WriteFileBytes(path, bytes);
+  info = InspectContainer(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->crc_ok);
+  std::remove(path.c_str());
+}
+
+TEST(ContainerV3Test, RejectsTruncationAtEverySectionBoundary) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  const std::string path = TempPath("v3_trunc.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  auto info = InspectContainer(path);
+  ASSERT_TRUE(info.ok());
+  const std::string full = ReadFileBytes(path);
+  std::vector<size_t> cuts = {0, 100, 4095, 4096};
+  for (const auto& s : info->sections) {
+    cuts.push_back(static_cast<size_t>(s.offset));
+    cuts.push_back(static_cast<size_t>(s.offset + s.size / 2));
+    cuts.push_back(static_cast<size_t>(s.offset + s.size));
+  }
+  cuts.push_back(full.size() - 1);
+  const std::string cut_path = TempPath("v3_trunc_cut.fhgc");
+  for (size_t cut : cuts) {
+    if (cut >= full.size()) continue;
+    WriteFileBytes(cut_path, std::string_view(full).substr(0, cut));
+    auto res = MapHeteroGraphDetailed(cut_path);
+    EXPECT_FALSE(res.ok()) << "truncation at byte " << cut << " accepted";
+    auto res2 = DeserializeHeteroGraph(std::string_view(full).substr(0, cut));
+    EXPECT_FALSE(res2.ok()) << "in-memory truncation at " << cut;
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(ContainerV3Test, RejectsBitFlipInEverySection) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  const std::string path = TempPath("v3_flip.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  auto info = InspectContainer(path);
+  ASSERT_TRUE(info.ok());
+  const std::string full = ReadFileBytes(path);
+  const std::string flip_path = TempPath("v3_flip_cur.fhgc");
+  for (const auto& s : info->sections) {
+    if (s.size == 0) continue;
+    std::string corrupt = full;
+    const size_t pos = static_cast<size_t>(s.offset + s.size / 2);
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    WriteFileBytes(flip_path, corrupt);
+    auto res = MapHeteroGraphDetailed(flip_path);
+    ASSERT_FALSE(res.ok()) << "bit flip in " << s.kind << " accepted";
+    EXPECT_NE(res.status().ToString().find("checksum"), std::string::npos)
+        << res.status().ToString();
+  }
+  std::remove(path.c_str());
+  std::remove(flip_path.c_str());
+}
+
+TEST(ContainerV3Test, RejectsMisalignedSection) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  const std::string path = TempPath("v3_misalign.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  std::remove(path.c_str());
+  // Header layout: table_offset at byte 24, table_crc at 48, header_crc
+  // at 52. Shift the first section's offset off the page boundary, then
+  // re-seal the table and header CRCs so only the alignment check fires.
+  uint64_t table_offset = 0, table_size = 0;
+  std::memcpy(&table_offset, bytes.data() + 24, 8);
+  std::memcpy(&table_size, bytes.data() + 32, 8);
+  uint64_t sec_offset = 0;  // section entry: magic,kind,index,crc, offset@16
+  std::memcpy(&sec_offset, bytes.data() + table_offset + 16, 8);
+  sec_offset += 8;
+  std::memcpy(bytes.data() + table_offset + 16, &sec_offset, 8);
+  const uint32_t table_crc = Crc32(bytes.data() + table_offset, table_size);
+  std::memcpy(bytes.data() + 48, &table_crc, 4);
+  const uint32_t header_crc = Crc32(bytes.data(), 52);
+  std::memcpy(bytes.data() + 52, &header_crc, 4);
+  auto res = DeserializeHeteroGraph(bytes);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().ToString().find("misaligned"), std::string::npos)
+      << res.status().ToString();
+}
+
+TEST(ContainerV3Test, RejectsTamperedFingerprint) {
+  const HeteroGraph g = datasets::MakeToy(5);
+  const std::string path = TempPath("v3_fp.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  std::remove(path.c_str());
+  // The content fingerprint lives at header byte 40 and is covered by the
+  // header CRC: flipping it without re-sealing must be detected.
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x01);
+  auto res = DeserializeHeteroGraph(bytes);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().ToString().find("header checksum"),
+            std::string::npos)
+      << res.status().ToString();
+}
+
+TEST(ContainerV3Test, AbandonedWriterLeavesNoFiles) {
+  const std::string path = TempPath("v3_abandon.fhgc");
+  {
+    auto w = HeteroGraphV3Writer::Create(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->AddNodeType("t", 4).ok());
+    // Writer destroyed without Finish: simulated crash.
+  }
+  std::FILE* f = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "tmp file left behind";
+  std::FILE* g = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(g, nullptr) << "target file published without Finish";
+}
+
+TEST(ContainerV3Test, SaveIsAtomicOverExistingFile) {
+  const HeteroGraph good = datasets::MakeToy(5);
+  const HeteroGraph other = datasets::MakeToy(6);
+  const std::string path = TempPath("v3_atomic.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(good, path).ok());
+  // A pre-existing stale tmp sibling must not break or corrupt a save.
+  WriteFileBytes(path + ".tmp", "stale partial write");
+  ASSERT_TRUE(SaveHeteroGraphV3(other, path).ok());
+  auto loaded = LoadHeteroGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ContentFingerprint(), other.ContentFingerprint());
+  // Same contract for the v2 writer.
+  WriteFileBytes(path + ".tmp", "stale partial write");
+  ASSERT_TRUE(SaveHeteroGraph(good, path).ok());
+  loaded = LoadHeteroGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ContentFingerprint(), good.ContentFingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(ContainerV3Test, StreamingWriterEnforcesItsContract) {
+  const std::string path = TempPath("v3_contract.fhgc");
+  auto w = HeteroGraphV3Writer::Create(path);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->AddNodeType("a", 3).ok());
+  EXPECT_FALSE(w->AddNodeType("a", 3).ok());  // duplicate type
+  auto adj = CsrMatrix::FromCoo(3, 3, {{0, 1, 1.0f}});
+  ASSERT_TRUE(adj.ok());
+  EXPECT_FALSE(w->AddRelation("r", 0, 5, *adj).ok());  // bad endpoint
+  ASSERT_TRUE(w->AddRelation("r", 0, 0, *adj).ok());
+  ASSERT_TRUE(w->BeginFeatures(0, 3, 2).ok());
+  EXPECT_FALSE(w->BeginFeatures(0, 3, 2).ok());  // already open
+  const float rows[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(w->AppendFeatureRows(rows, 2).ok());
+  EXPECT_FALSE(w->EndFeatures().ok());  // short of declared rows
+  ASSERT_TRUE(w->AppendFeatureRows(rows, 1).ok());
+  ASSERT_TRUE(w->EndFeatures().ok());
+  EXPECT_FALSE(w->Finish().ok());  // fingerprint not set
+  ASSERT_TRUE(w->SetContentFingerprint(1).ok());
+  // Fingerprint intentionally wrong for a real graph, but the writer only
+  // stores it; round-trip correctness of the value is SaveHeteroGraphV3's
+  // job and covered above.
+  auto summary = w->Finish();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->nodes, 3);
+  EXPECT_EQ(summary->edges, 1);
+  std::remove(path.c_str());
+}
+
+TEST(ContainerV3Test, RoundTripsGraphWithoutTargetOrFeatures) {
+  HeteroGraph g;
+  auto t0 = g.AddNodeType("only", 4);
+  ASSERT_TRUE(t0.ok());
+  auto adj = CsrMatrix::FromCoo(4, 4, {{0, 1, 1.0f}, {2, 3, 2.0f}});
+  ASSERT_TRUE(adj.ok());
+  ASSERT_TRUE(g.AddRelation("self", *t0, *t0, std::move(*adj)).ok());
+  const std::string path = TempPath("v3_minimal.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  auto mapped = MapHeteroGraph(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ExpectGraphsEqual(*mapped, g);
+  std::remove(path.c_str());
+}
+
+TEST(ContainerV3Test, RoundTripsEmptyRelation) {
+  HeteroGraph g;
+  auto t0 = g.AddNodeType("a", 3);
+  auto t1 = g.AddNodeType("b", 2);
+  ASSERT_TRUE(t0.ok() && t1.ok());
+  auto adj = CsrMatrix::FromCoo(3, 2, {});
+  ASSERT_TRUE(adj.ok());
+  ASSERT_TRUE(g.AddRelation("empty", *t0, *t1, std::move(*adj)).ok());
+  const std::string path = TempPath("v3_empty_rel.fhgc");
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+  auto mapped = MapHeteroGraph(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->relation(0).adj.nnz(), 0);
+  ExpectGraphsEqual(*mapped, g);
   std::remove(path.c_str());
 }
 

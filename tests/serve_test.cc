@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -89,6 +91,69 @@ TEST(GraphStoreTest, GeneratorPresets) {
                 .status()
                 .code(),
             StatusCode::kNotFound);
+}
+
+TEST(GraphStoreTest, MappedFileRegistrationIsZeroCopyResident) {
+  const HeteroGraph g = datasets::MakeToy(21);
+  const std::string path = "/tmp/freehgc_test_store_map.fhgc";
+  ASSERT_TRUE(SaveHeteroGraphV3(g, path).ok());
+
+  GraphStore store;
+  auto info = store.RegisterMappedFile("toy", path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->mapped);
+  EXPECT_EQ(info->source_path, path);
+  EXPECT_EQ(info->fingerprint, g.ContentFingerprint());
+  EXPECT_EQ(info->memory_bytes, g.MemoryBytes());
+  EXPECT_EQ(store.MappedCount(), 1);
+  // Mapped arrays live in the page cache: resident heap is only the
+  // labels/splits, far below the logical footprint.
+  EXPECT_LT(store.ResidentBytes(), info->memory_bytes);
+
+  auto ref = store.Get("toy");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE((*ref)->IsMapped());
+  EXPECT_EQ((*ref)->ContentFingerprint(), g.ContentFingerprint());
+
+  // The mapping survives Remove + file unlink while a reference is held.
+  GraphStore::GraphRef held = *ref;
+  EXPECT_TRUE(store.Remove("toy"));
+  std::remove(path.c_str());
+  EXPECT_EQ(held->ContentFingerprint(), g.ContentFingerprint());
+
+  auto missing = store.RegisterMappedFile("gone", path);
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(GraphStoreTest, SpoolDirTurnsUploadsIntoMappedResidents) {
+  const HeteroGraph g = datasets::MakeToy(33);
+  auto bytes = SerializeHeteroGraph(g);
+  ASSERT_TRUE(bytes.ok());
+
+  const std::string spool = "/tmp/freehgc_test_spool";
+  GraphStore store;
+  ASSERT_TRUE(store.SetSpoolDir(spool).ok());
+  auto info = store.RegisterSerialized("up", *bytes);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->mapped);
+  EXPECT_EQ(info->fingerprint, g.ContentFingerprint());
+  ASSERT_FALSE(info->source_path.empty());
+
+  // The spooled container is a valid v3 file a restarted server can
+  // re-register directly (catalog rehydration without re-upload).
+  auto remapped = MapHeteroGraphDetailed(info->source_path);
+  ASSERT_TRUE(remapped.ok()) << remapped.status().ToString();
+  EXPECT_EQ(remapped->fingerprint, g.ContentFingerprint());
+
+  // A condensation request against the mapped resident matches the heap
+  // answer bit for bit (the graphs are bit-identical by fingerprint).
+  auto ref = store.Get("up");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE((*ref)->IsMapped());
+  EXPECT_EQ((*ref)->labels(), g.labels());
+
+  std::remove(info->source_path.c_str());
+  ::rmdir(spool.c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -506,6 +571,29 @@ TEST(WireTest, CodecsRoundTrip) {
   EXPECT_EQ(reply_back->graph_bytes, reply.graph_bytes);
   EXPECT_EQ(reply_back->graph_fingerprint, reply.graph_fingerprint);
   EXPECT_FLOAT_EQ(reply_back->accuracy, reply.accuracy);
+}
+
+TEST(WireTest, GraphInfoCarriesMappedResidency) {
+  GraphInfo info;
+  info.name = "acm";
+  info.fingerprint = 0x1234abcd5678ef90ULL;
+  info.nodes = 10;
+  info.edges = 20;
+  info.memory_bytes = 4096;
+  info.mapped = true;
+  info.source_path = "/tmp/spool/x.fhgc";
+  WireWriter w;
+  EncodeGraphInfoList(w, {info});
+  WireReader r(w.payload());
+  auto back = DecodeGraphInfoList(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].name, info.name);
+  EXPECT_EQ((*back)[0].fingerprint, info.fingerprint);
+  EXPECT_EQ((*back)[0].memory_bytes, info.memory_bytes);
+  EXPECT_TRUE((*back)[0].mapped);
+  EXPECT_EQ((*back)[0].source_path, info.source_path);
+  EXPECT_EQ(r.remaining(), 0u);
 }
 
 TEST(WireTest, ReaderRejectsShortPayloads) {

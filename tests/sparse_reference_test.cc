@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/mapped_file.h"
 #include "common/rng.h"
 #include "dense/matrix.h"
 #include "exec/exec_context.h"
@@ -142,13 +144,19 @@ class TestPlanCache : public sparse::SpGemmPlanCache {
   int hits_ = 0;
 };
 
+template <typename T>
+std::vector<T> ToVec(std::span<const T> s) {
+  return {s.begin(), s.end()};
+}
+
 void ExpectBitIdentical(const CsrMatrix& got, const CsrMatrix& want,
                         const std::string& context) {
   ASSERT_EQ(got.rows(), want.rows()) << context;
   ASSERT_EQ(got.cols(), want.cols()) << context;
-  EXPECT_EQ(got.indptr(), want.indptr()) << context;
-  EXPECT_EQ(got.indices(), want.indices()) << context;
-  EXPECT_EQ(got.values(), want.values()) << context;  // exact, no tolerance
+  EXPECT_EQ(ToVec(got.indptr()), ToVec(want.indptr())) << context;
+  EXPECT_EQ(ToVec(got.indices()), ToVec(want.indices())) << context;
+  // Exact, no tolerance.
+  EXPECT_EQ(ToVec(got.values()), ToVec(want.values())) << context;
 }
 
 void ExpectValid(const CsrMatrix& m, const std::string& context) {
@@ -336,6 +344,60 @@ TEST(SparseReferenceTest, PruningTieBreakKeepsSmallerColumns) {
       EXPECT_EQ(got.RowValues(0)[1], -1.0f);
     }
   }
+}
+
+TEST(SparseReferenceTest, MappedViewsAreBitIdenticalToOwnedInKernels) {
+  // Differential over storage backing: the same CSR once owned and once
+  // as FromView spans over an actual mmap'd file (the v3 container load
+  // path). Every kernel must produce bit-identical output from either —
+  // kernels read through ArrayRef::span() and never see the backing.
+  const CsrMatrix a = RandomSparse(120, 100, 0.06, 21);
+  const CsrMatrix b = RandomSparse(100, 90, 0.06, 22);
+
+  const std::string path = "/tmp/freehgc_test_sparse_mapped.bin";
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    // indptr first keeps every array naturally aligned in the mapping:
+    // (rows + 1) * 8 is 8-aligned, the int32/float arrays need only 4.
+    std::fwrite(a.indptr().data(), sizeof(int64_t), a.indptr().size(), f);
+    std::fwrite(a.indices().data(), sizeof(int32_t), a.indices().size(), f);
+    std::fwrite(a.values().data(), sizeof(float), a.values().size(), f);
+    std::fclose(f);
+  }
+  auto mf = MappedFile::OpenShared(path);
+  ASSERT_TRUE(mf.ok());
+  const auto* base = (*mf)->data();
+  const size_t indptr_bytes = a.indptr().size() * sizeof(int64_t);
+  const size_t indices_bytes = a.indices().size() * sizeof(int32_t);
+  auto view = CsrMatrix::FromView(
+      a.rows(), a.cols(),
+      {reinterpret_cast<const int64_t*>(base), a.indptr().size()},
+      {reinterpret_cast<const int32_t*>(base + indptr_bytes),
+       a.indices().size()},
+      {reinterpret_cast<const float*>(base + indptr_bytes + indices_bytes),
+       a.values().size()},
+      *mf);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->values().data(),
+            reinterpret_cast<const float*>(base + indptr_bytes +
+                                           indices_bytes));  // zero-copy
+
+  EXPECT_TRUE(*view == a);
+  for (int threads : kThreadCounts) {
+    exec::ExecContext ex(threads);
+    EXPECT_TRUE(sparse::SpGemm(*view, b, 0, &ex) ==
+                sparse::SpGemm(a, b, 0, &ex));
+    EXPECT_TRUE(sparse::Transpose(*view, &ex) == sparse::Transpose(a, &ex));
+    EXPECT_TRUE(sparse::RowNormalize(*view, &ex) ==
+                sparse::RowNormalize(a, &ex));
+  }
+
+  // The kernels above must not have detached the view.
+  EXPECT_EQ(view->values().data(),
+            reinterpret_cast<const float*>(base + indptr_bytes +
+                                           indices_bytes));
+  std::remove(path.c_str());
 }
 
 }  // namespace

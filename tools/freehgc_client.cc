@@ -41,11 +41,13 @@ bool FlagValue(const std::string& arg, const char* prefix,
 }
 
 void PrintInfo(const GraphInfo& info) {
-  std::printf("%-16s fp=%016llx nodes=%lld edges=%lld bytes=%zu\n",
+  std::printf("%-16s fp=%016llx nodes=%lld edges=%lld bytes=%zu %s%s\n",
               info.name.c_str(),
               static_cast<unsigned long long>(info.fingerprint),
               static_cast<long long>(info.nodes),
-              static_cast<long long>(info.edges), info.memory_bytes);
+              static_cast<long long>(info.edges), info.memory_bytes,
+              info.mapped ? "mapped " : "heap",
+              info.mapped ? info.source_path.c_str() : "");
 }
 
 bool ReadFile(const std::string& path, std::string* out) {

@@ -2,16 +2,25 @@
 //
 //   freehgc_server [--port=0] [--port-file=PATH] [--slots=2]
 //                  [--queue-capacity=32] [--threads-per-slot=0]
+//                  [--spool-dir=PATH] [--map=NAME=PATH]...
 //
 // Binds the requested port (0 = ephemeral; the bound port is printed and
 // optionally written to --port-file so scripts can find it), serves the
 // wire.h protocol until SIGINT/SIGTERM or a client shutdown message, then
 // drains every admitted request and dumps a final stats summary.
+//
+// --spool-dir persists uploads as v3 containers and keeps them resident
+// as zero-copy mappings (page-cache-backed, not heap). --map pre-registers
+// an existing v3 container the same way — together they let a restarted
+// server rehydrate its catalog without re-uploading, and let graphs far
+// larger than RAM be served out-of-core.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "serve/server.h"
 
@@ -35,6 +44,8 @@ bool ParseIntFlag(const std::string& arg, const char* prefix, int* out) {
 int main(int argc, char** argv) {
   freehgc::serve::ServerOptions options;
   std::string port_file;
+  std::string spool_dir;
+  std::vector<std::pair<std::string, std::string>> maps;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseIntFlag(arg, "--port=", &options.port) ||
@@ -49,11 +60,44 @@ int main(int argc, char** argv) {
       port_file = arg.substr(std::string("--port-file=").size());
       continue;
     }
+    if (arg.rfind("--spool-dir=", 0) == 0) {
+      spool_dir = arg.substr(std::string("--spool-dir=").size());
+      continue;
+    }
+    if (arg.rfind("--map=", 0) == 0) {
+      const std::string spec = arg.substr(std::string("--map=").size());
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "--map expects NAME=PATH, got: %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      maps.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return 2;
   }
 
   freehgc::serve::Server server(options);
+  if (!spool_dir.empty()) {
+    const freehgc::Status st = server.service().store().SetSpoolDir(spool_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "freehgc_server: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto& [name, path] : maps) {
+    const auto info = server.service().store().RegisterMappedFile(name, path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "freehgc_server: cannot map %s: %s\n", name.c_str(),
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("mapped %s from %s (%lld nodes, %lld edges)\n", name.c_str(),
+                path.c_str(), static_cast<long long>(info->nodes),
+                static_cast<long long>(info->edges));
+  }
   const freehgc::Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "freehgc_server: %s\n", st.ToString().c_str());
