@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/exposition.h"
 #include "obs/trace.h"
 #include "serve/service.h"
 
@@ -28,10 +29,24 @@ struct PhaseResult {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Per-phase mean queue wait and execution time, recovered from the
+  /// METRICS snapshot delta (freehgc_serve_latency_{queue,exec}_ns) —
+  /// the split that shows whether added latency is contention (queue
+  /// grows) or slower kernels (exec grows).
+  double queue_mean_ms = 0.0;
+  double exec_mean_ms = 0.0;
   int64_t eval_context_builds = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
 };
+
+/// Sample value from a scraped METRICS snapshot (0 when absent).
+double Prom(const std::vector<obs::PromSample>& samples,
+            const std::string& name) {
+  double v = 0.0;
+  obs::FindPromValue(samples, name, &v);
+  return v;
+}
 
 /// Exact quantile from raw samples (nearest-rank), unlike the bucketed
 /// Histogram::ApproxQuantile the server's own summaries use.
@@ -70,6 +85,10 @@ PhaseResult RunPhase(serve::ServeService& service,
                      int clients) {
   const int64_t builds_before = service.eval_context_builds();
   const auto cache_before = service.cache().stats();
+  // Scrape the metrics registry exactly the way a remote poller would —
+  // the phase breakdown below must be recoverable from METRICS alone.
+  const auto prom_before =
+      obs::ParsePrometheusText(obs::PrometheusText());
 
   std::vector<std::vector<int64_t>> samples(
       static_cast<size_t>(clients));
@@ -92,12 +111,42 @@ PhaseResult RunPhase(serve::ServeService& service,
   std::vector<int64_t> all;
   for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
   const auto cache_after = service.cache().stats();
+  const auto prom_after = obs::ParsePrometheusText(obs::PrometheusText());
+
+  // Snapshot counters must agree with the bench's own accounting: every
+  // request this phase issued completed, and each one landed exactly one
+  // observation in both latency histograms.
+  const double completed_delta =
+      Prom(prom_after, "freehgc_serve_requests_completed_total") -
+      Prom(prom_before, "freehgc_serve_requests_completed_total");
+  FREEHGC_CHECK(completed_delta == static_cast<double>(workload.size()))
+      << "METRICS completed delta " << completed_delta << " != "
+      << workload.size() << " requests issued";
+  const double queue_count =
+      Prom(prom_after, "freehgc_serve_latency_queue_ns_count") -
+      Prom(prom_before, "freehgc_serve_latency_queue_ns_count");
+  const double exec_count =
+      Prom(prom_after, "freehgc_serve_latency_exec_ns_count") -
+      Prom(prom_before, "freehgc_serve_latency_exec_ns_count");
+  FREEHGC_CHECK(queue_count == completed_delta &&
+                exec_count == completed_delta)
+      << "latency histogram counts (queue " << queue_count << ", exec "
+      << exec_count << ") != completed " << completed_delta;
+
   PhaseResult out;
   out.wall_seconds = wall;
   out.throughput_rps = static_cast<double>(workload.size()) / wall;
   out.p50_ms = ExactQuantileMs(all, 0.50);
   out.p95_ms = ExactQuantileMs(all, 0.95);
   out.p99_ms = ExactQuantileMs(all, 0.99);
+  out.queue_mean_ms =
+      (Prom(prom_after, "freehgc_serve_latency_queue_ns_sum") -
+       Prom(prom_before, "freehgc_serve_latency_queue_ns_sum")) /
+      queue_count * 1e-6;
+  out.exec_mean_ms =
+      (Prom(prom_after, "freehgc_serve_latency_exec_ns_sum") -
+       Prom(prom_before, "freehgc_serve_latency_exec_ns_sum")) /
+      exec_count * 1e-6;
   out.eval_context_builds = service.eval_context_builds() - builds_before;
   out.cache_hits = cache_after.hits - cache_before.hits;
   out.cache_misses = cache_after.misses - cache_before.misses;
@@ -110,10 +159,12 @@ std::string PhaseJson(int slots, const char* phase, int requests,
       "    {\"slots\": %d, \"phase\": \"%s\", \"requests\": %d, "
       "\"wall_seconds\": %.4f, \"throughput_rps\": %.3f, "
       "\"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}, "
+      "\"breakdown_ms\": {\"queue_mean\": %.3f, \"exec_mean\": %.3f}, "
       "\"eval_context_builds\": %lld, "
       "\"cache\": {\"hits\": %lld, \"misses\": %lld}}",
       slots, phase, requests, r.wall_seconds, r.throughput_rps, r.p50_ms,
-      r.p95_ms, r.p99_ms, static_cast<long long>(r.eval_context_builds),
+      r.p95_ms, r.p99_ms, r.queue_mean_ms, r.exec_mean_ms,
+      static_cast<long long>(r.eval_context_builds),
       static_cast<long long>(r.cache_hits),
       static_cast<long long>(r.cache_misses));
 }
@@ -121,8 +172,10 @@ std::string PhaseJson(int slots, const char* phase, int requests,
 void Print(int slots, const char* phase, const PhaseResult& r) {
   std::printf(
       "%d slot(s) %-4s : %6.2f req/s  p50 %7.2f ms  p95 %7.2f ms  "
-      "p99 %7.2f ms  (%lld ctx builds, %lld cache hits)\n",
+      "p99 %7.2f ms  queue %7.2f ms  exec %7.2f ms  "
+      "(%lld ctx builds, %lld cache hits)\n",
       slots, phase, r.throughput_rps, r.p50_ms, r.p95_ms, r.p99_ms,
+      r.queue_mean_ms, r.exec_mean_ms,
       static_cast<long long>(r.eval_context_builds),
       static_cast<long long>(r.cache_hits));
   std::fflush(stdout);

@@ -1,0 +1,175 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace freehgc::obs {
+
+namespace {
+
+void CopyTruncated(char* dst, size_t cap, std::string_view s) {
+  const size_t n = std::min(s.size(), cap - 1);
+  std::memcpy(dst, s.data(), n);
+  dst[n] = '\0';
+}
+
+void AppendRecordJson(std::string& out, const FlightRecord& r) {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"id\": %" PRIu64 ", \"graph\": \"%s\", \"method\": \"%s\", "
+      "\"fingerprint\": \"%016" PRIx64 "\", \"slot\": %d, "
+      "\"priority\": %d, \"outcome\": \"%s\", \"evalctx_hit\": %s, "
+      "\"submit_ns\": %" PRId64 ", \"queue_ns\": %" PRId64 ", "
+      "\"exec_ns\": %" PRId64 ", \"total_ms\": %.3f}",
+      r.id, r.graph, r.method, r.fingerprint, r.slot, r.priority,
+      OutcomeName(r.outcome), r.evalctx_hit ? "true" : "false", r.submit_ns,
+      r.queue_ns, r.exec_ns, static_cast<double>(r.total_ns()) * 1e-6);
+  out += buf;
+}
+
+void AppendRecordArray(std::string& out, const char* key,
+                       const std::vector<FlightRecord>& records) {
+  out += "\"";
+  out += key;
+  out += "\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) out += ", ";
+    AppendRecordJson(out, records[i]);
+  }
+  out += "]";
+}
+
+}  // namespace
+
+const char* OutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kError:
+      return "error";
+    case RequestOutcome::kShed:
+      return "shed";
+    case RequestOutcome::kCancelled:
+      return "cancelled";
+    case RequestOutcome::kExpired:
+      return "expired";
+  }
+  return "unknown";
+}
+
+void FlightRecord::set_graph(std::string_view s) {
+  CopyTruncated(graph, sizeof(graph), s);
+}
+
+void FlightRecord::set_method(std::string_view s) {
+  CopyTruncated(method, sizeof(method), s);
+}
+
+FlightRecorder::FlightRecorder(size_t capacity, size_t outlier_capacity)
+    : capacity_(capacity > 0 ? capacity : 1),
+      outlier_capacity_(outlier_capacity > 0 ? outlier_capacity : 1),
+      ring_(new Slot[capacity_]) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* r = new FlightRecorder();
+  return *r;
+}
+
+void FlightRecorder::Record(const FlightRecord& rec) {
+  // Ring path: claim a unique ticket, mark the slot dirty (odd), copy,
+  // mark clean. Two writers land on the same physical slot only when
+  // they are exactly `capacity_` admissions apart mid-write — the reader
+  // protocol treats such a slot as unstable and skips it.
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[ticket % capacity_];
+  slot.seq.fetch_add(1, std::memory_order_acquire);
+  slot.rec = rec;
+  slot.seq.fetch_add(1, std::memory_order_release);
+
+  // Outlier paths. Errors always retain; the slowest set is gated by an
+  // unsynchronized threshold so the common fast request never locks.
+  const bool is_error = rec.outcome != RequestOutcome::kOk;
+  const bool maybe_slow =
+      rec.total_ns() >= slow_threshold_ns_.load(std::memory_order_relaxed);
+  if (!is_error && !maybe_slow) return;
+  std::lock_guard<std::mutex> lock(outlier_mu_);
+  if (is_error) {
+    errors_.push_back(rec);
+    if (errors_.size() > outlier_capacity_) errors_.pop_front();
+  }
+  if (slowest_.size() < outlier_capacity_ ||
+      rec.total_ns() > slowest_.back().total_ns()) {
+    auto pos = std::upper_bound(
+        slowest_.begin(), slowest_.end(), rec,
+        [](const FlightRecord& a, const FlightRecord& b) {
+          return a.total_ns() > b.total_ns();
+        });
+    slowest_.insert(pos, rec);
+    if (slowest_.size() > outlier_capacity_) slowest_.pop_back();
+    if (slowest_.size() == outlier_capacity_) {
+      slow_threshold_ns_.store(slowest_.back().total_ns(),
+                               std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<FlightRecord> FlightRecorder::Recent() const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t kept = std::min<uint64_t>(end, capacity_);
+  const uint64_t start = end - kept;
+  std::vector<FlightRecord> out;
+  out.reserve(kept);
+  for (uint64_t t = start; t < end; ++t) {
+    const Slot& slot = ring_[t % capacity_];
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 & 1) continue;  // mid-write
+    FlightRecord copy = slot.rec;
+    const uint64_t s2 = slot.seq.load(std::memory_order_acquire);
+    if (s1 != s2) continue;  // overwritten while copying
+    out.push_back(copy);
+  }
+  return out;
+}
+
+std::vector<FlightRecord> FlightRecorder::Slowest() const {
+  std::lock_guard<std::mutex> lock(outlier_mu_);
+  return slowest_;
+}
+
+std::vector<FlightRecord> FlightRecorder::Errors() const {
+  std::lock_guard<std::mutex> lock(outlier_mu_);
+  return {errors_.begin(), errors_.end()};
+}
+
+std::string FlightRecorder::DumpJson() const {
+  std::string out = "{";
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "\"capacity\": %zu, \"recorded\": %" PRId64 ", ", capacity_,
+                TotalRecorded());
+  out += head;
+  AppendRecordArray(out, "recent", Recent());
+  out += ", ";
+  AppendRecordArray(out, "slowest", Slowest());
+  out += ", ";
+  AppendRecordArray(out, "errors", Errors());
+  out += "}";
+  return out;
+}
+
+void FlightRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(outlier_mu_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    ring_[i].seq.store(0, std::memory_order_relaxed);
+    ring_[i].rec = FlightRecord{};
+  }
+  next_.store(0, std::memory_order_relaxed);
+  slow_threshold_ns_.store(0, std::memory_order_relaxed);
+  slowest_.clear();
+  errors_.clear();
+}
+
+}  // namespace freehgc::obs

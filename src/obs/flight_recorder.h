@@ -1,0 +1,120 @@
+#ifndef FREEHGC_OBS_FLIGHT_RECORDER_H_
+#define FREEHGC_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace freehgc::obs {
+
+/// Terminal outcome of one served request. Shared by the flight recorder
+/// and the access log so the two artifacts agree on vocabulary.
+enum class RequestOutcome : uint8_t {
+  kOk = 0,
+  kError = 1,
+  kShed = 2,
+  kCancelled = 3,
+  kExpired = 4,
+};
+
+const char* OutcomeName(RequestOutcome outcome);
+
+/// One completed-request record. POD with fixed-size strings so the ring
+/// can copy it without touching the allocator (graph/method names longer
+/// than the fields are truncated — they are labels, not identities; the
+/// fingerprint carries the identity).
+struct FlightRecord {
+  uint64_t id = 0;
+  uint64_t fingerprint = 0;
+  int64_t submit_ns = 0;  // obs::NowNs clock at admission
+  int64_t queue_ns = 0;
+  int64_t exec_ns = 0;
+  int32_t slot = -1;  // worker slot that ran it; -1 = never ran
+  int32_t priority = 0;
+  RequestOutcome outcome = RequestOutcome::kOk;
+  bool evalctx_hit = false;
+  char graph[24] = {};
+  char method[16] = {};
+
+  int64_t total_ns() const { return queue_ns + exec_ns; }
+  void set_graph(std::string_view s);
+  void set_method(std::string_view s);
+};
+
+/// In-memory black box for the serving layer: a fixed-size lock-free
+/// ring holding the last `capacity` terminal-request records, plus two
+/// always-retained outlier sets — the `outlier_capacity` slowest
+/// requests ever seen (by queue+exec time) and the last
+/// `outlier_capacity` non-OK requests. The ring answers "what was the
+/// server doing just now", the outliers answer "what were the worst
+/// requests since start" even after the ring has wrapped past them.
+///
+/// Recording is wait-free on the ring path: one fetch_add to claim a
+/// slot and a per-slot seqlock (odd while writing) so a concurrent dump
+/// skips records mid-write instead of tearing them. Outlier updates
+/// take a mutex, but only after an O(1) unsynchronized threshold check,
+/// so steady-state cost per request is the ring write. Dumps
+/// (DumpJson — the FLIGHT admin op and the SIGQUIT path) are
+/// best-effort snapshots: records being overwritten during the dump are
+/// dropped, never invented.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 256, size_t outlier_capacity = 8);
+
+  /// Process-wide recorder (leaked singleton, safe at exit).
+  static FlightRecorder& Global();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const FlightRecord& rec);
+
+  /// Stable records currently in the ring, oldest first.
+  std::vector<FlightRecord> Recent() const;
+
+  /// Slowest-ever records, slowest first.
+  std::vector<FlightRecord> Slowest() const;
+
+  /// Most recent non-OK records, oldest first.
+  std::vector<FlightRecord> Errors() const;
+
+  /// {"capacity":…, "recorded":…, "recent":[…], "slowest":[…],
+  ///  "errors":[…]} — one JSON object per record with per-stage timings.
+  std::string DumpJson() const;
+
+  /// Drops everything (tests only).
+  void Reset();
+
+  size_t capacity() const { return capacity_; }
+  int64_t TotalRecorded() const {
+    return static_cast<int64_t>(next_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // odd while a writer owns the slot
+    FlightRecord rec;
+  };
+
+  const size_t capacity_;
+  const size_t outlier_capacity_;
+  std::unique_ptr<Slot[]> ring_;
+  std::atomic<uint64_t> next_{0};
+
+  /// Unsynchronized fast-path gate for the slowest set: a record below
+  /// this total never takes the mutex. Monotone under the lock.
+  std::atomic<int64_t> slow_threshold_ns_{0};
+
+  mutable std::mutex outlier_mu_;
+  std::vector<FlightRecord> slowest_;  // sorted, slowest first
+  std::deque<FlightRecord> errors_;    // oldest first
+};
+
+}  // namespace freehgc::obs
+
+#endif  // FREEHGC_OBS_FLIGHT_RECORDER_H_

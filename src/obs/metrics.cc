@@ -121,6 +121,17 @@ std::string MetricsRegistry::DumpJson() const {
   return out;
 }
 
+void MetricsRegistry::Visit(
+    const std::function<void(const std::string&, const Counter&)>& counter,
+    const std::function<void(const std::string&, const Gauge&)>& gauge,
+    const std::function<void(const std::string&, const Histogram&)>& histogram)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) counter(name, *c);
+  for (const auto& [name, g] : gauges_) gauge(name, *g);
+  for (const auto& [name, h] : histograms_) histogram(name, *h);
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -191,6 +192,15 @@ class MetricsRegistry {
   /// Zeroes every registered metric (registrations persist). Tests and
   /// repeated bench sections use this to scope snapshots.
   void ResetAll();
+
+  /// Visits every registered metric in name order, holding the registry
+  /// mutex (callbacks must not call back into the registry). The
+  /// Prometheus exposition writer (obs/exposition.h) is the consumer.
+  void Visit(
+      const std::function<void(const std::string&, const Counter&)>& counter,
+      const std::function<void(const std::string&, const Gauge&)>& gauge,
+      const std::function<void(const std::string&, const Histogram&)>&
+          histogram) const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,50 @@
+#ifndef FREEHGC_OBS_RATE_WINDOW_H_
+#define FREEHGC_OBS_RATE_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+namespace freehgc::obs {
+
+/// Sliding-window rate estimator over samples of a cumulative counter:
+/// feed it (timestamp, cumulative value) pairs as you poll — e.g. the
+/// serve.requests.completed counter scraped from METRICS — and
+/// RatePerSec() is the average rate across the retained window. Samples
+/// older than `window_ns` are evicted (always keeping at least two so a
+/// slow poller still gets its last interval). freehgc_top's qps column
+/// is this over a 10 s window. Not thread-safe; one poller owns it.
+class RateWindow {
+ public:
+  explicit RateWindow(int64_t window_ns = 10'000'000'000)
+      : window_ns_(window_ns) {}
+
+  void Add(int64_t t_ns, double cumulative) {
+    samples_.emplace_back(t_ns, cumulative);
+    while (samples_.size() > 2 &&
+           t_ns - samples_.front().first > window_ns_) {
+      samples_.pop_front();
+    }
+  }
+
+  /// 0 until two samples exist or while time stands still. A counter
+  /// reset mid-window (server restart) reports 0 rather than a negative
+  /// rate.
+  double RatePerSec() const {
+    if (samples_.size() < 2) return 0.0;
+    const auto& [t0, v0] = samples_.front();
+    const auto& [t1, v1] = samples_.back();
+    if (t1 <= t0 || v1 < v0) return 0.0;
+    return (v1 - v0) / (static_cast<double>(t1 - t0) * 1e-9);
+  }
+
+  size_t samples() const { return samples_.size(); }
+
+ private:
+  int64_t window_ns_;
+  std::deque<std::pair<int64_t, double>> samples_;
+};
+
+}  // namespace freehgc::obs
+
+#endif  // FREEHGC_OBS_RATE_WINDOW_H_

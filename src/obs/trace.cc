@@ -16,6 +16,7 @@ namespace freehgc::obs {
 
 namespace internal {
 std::atomic<bool> g_tracing_enabled{false};
+thread_local uint64_t g_current_request_id = 0;
 }  // namespace internal
 
 namespace {
@@ -120,6 +121,7 @@ void ScopedSpan::Record(const char* name, int64_t begin_ns, int64_t end_ns,
   slot.name = name;
   slot.begin_ns = begin_ns;
   slot.end_ns = end_ns;
+  slot.request = internal::g_current_request_id;
   slot.tid = buf.tid;
   slot.worker = worker;
   buf.next = (buf.next + 1) % kRingCapacity;
@@ -206,23 +208,28 @@ bool WriteChromeTrace(const std::string& path) {
     }
   }
   for (const SpanRecord& s : spans) {
-    char line[320];
+    char line[384];
     const double ts_us = static_cast<double>(s.begin_ns) / 1e3;
     const double dur_us = static_cast<double>(s.end_ns - s.begin_ns) / 1e3;
-    if (s.worker >= 0) {
-      std::snprintf(line, sizeof(line),
-                    "%s  {\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
-                    "\"name\": \"%s\", \"ts\": %.3f, \"dur\": %.3f, "
-                    "\"args\": {\"worker\": %d}}",
-                    first ? "" : ",\n", s.tid, JsonEscape(s.name).c_str(),
-                    ts_us, dur_us, s.worker);
-    } else {
-      std::snprintf(line, sizeof(line),
-                    "%s  {\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
-                    "\"name\": \"%s\", \"ts\": %.3f, \"dur\": %.3f}",
-                    first ? "" : ",\n", s.tid, JsonEscape(s.name).c_str(),
-                    ts_us, dur_us);
+    // Optional args: ParallelFor worker index and serving request id.
+    // Filtering on "req" in the viewer isolates one request's span tree.
+    char args[96] = "";
+    if (s.worker >= 0 && s.request != 0) {
+      std::snprintf(args, sizeof(args),
+                    ", \"args\": {\"worker\": %d, \"req\": %llu}", s.worker,
+                    static_cast<unsigned long long>(s.request));
+    } else if (s.worker >= 0) {
+      std::snprintf(args, sizeof(args), ", \"args\": {\"worker\": %d}",
+                    s.worker);
+    } else if (s.request != 0) {
+      std::snprintf(args, sizeof(args), ", \"args\": {\"req\": %llu}",
+                    static_cast<unsigned long long>(s.request));
     }
+    std::snprintf(line, sizeof(line),
+                  "%s  {\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                  "\"name\": \"%s\", \"ts\": %.3f, \"dur\": %.3f%s}",
+                  first ? "" : ",\n", s.tid, JsonEscape(s.name).c_str(),
+                  ts_us, dur_us, args);
     out << line;
     first = false;
   }

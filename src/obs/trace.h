@@ -50,8 +50,36 @@ struct SpanRecord {
   const char* name;
   int64_t begin_ns;
   int64_t end_ns;
+  uint64_t request;  // serving-layer request id; 0 = none
   uint32_t tid;      // stable per-thread id (registration order)
   int32_t worker;    // ParallelFor worker index, -1 when not applicable
+};
+
+namespace internal {
+extern thread_local uint64_t g_current_request_id;
+}  // namespace internal
+
+/// The serving-layer request id attached to spans recorded by the
+/// calling thread (0 = none). Scheduler slots set it for the duration of
+/// a request body via ScopedRequestId; the Chrome-trace export emits it
+/// as a "req" arg so a request's full queue-wait/eval/kernel span tree
+/// is reconstructible by filtering on one id.
+inline uint64_t CurrentRequestId() { return internal::g_current_request_id; }
+
+/// RAII request-id scope (nest-safe: restores the previous id).
+class ScopedRequestId {
+ public:
+  explicit ScopedRequestId(uint64_t id)
+      : prev_(internal::g_current_request_id) {
+    internal::g_current_request_id = id;
+  }
+  ~ScopedRequestId() { internal::g_current_request_id = prev_; }
+
+  ScopedRequestId(const ScopedRequestId&) = delete;
+  ScopedRequestId& operator=(const ScopedRequestId&) = delete;
+
+ private:
+  uint64_t prev_;
 };
 
 /// Copies every span recorded so far (all threads, oldest first per

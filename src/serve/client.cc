@@ -107,6 +107,24 @@ Result<std::string> ServeClient::Stats() {
   return RoundTrip(w.Take());
 }
 
+Result<std::string> ServeClient::Metrics() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kMetrics));
+  return RoundTrip(w.Take());
+}
+
+Result<std::string> ServeClient::Health() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kHealth));
+  return RoundTrip(w.Take());
+}
+
+Result<std::string> ServeClient::FlightRecorderDump() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kFlightRecorder));
+  return RoundTrip(w.Take());
+}
+
 Status ServeClient::Shutdown() {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kShutdown));

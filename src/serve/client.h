@@ -51,6 +51,15 @@ class ServeClient {
   /// The server's StatsJson snapshot.
   Result<std::string> Stats();
 
+  /// Prometheus text exposition of the server's live metrics registry.
+  Result<std::string> Metrics();
+
+  /// Liveness JSON (status, uptime, slot/queue occupancy).
+  Result<std::string> Health();
+
+  /// Flight-recorder dump: last-N completed requests + retained outliers.
+  Result<std::string> FlightRecorderDump();
+
   /// Asks the server to stop (it drains in-flight work before exiting).
   Status Shutdown();
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,7 +21,7 @@ struct SchedulerMetrics {
   obs::Counter& cancelled;
   obs::Counter& expired;
   obs::Histogram& queue_ns;
-  obs::Histogram& run_ns;
+  obs::Histogram& exec_ns;
   obs::Histogram& total_ns;
 
   static SchedulerMetrics& Get() {
@@ -35,7 +36,7 @@ struct SchedulerMetrics {
         reg.GetCounter("serve.requests.cancelled"),
         reg.GetCounter("serve.requests.expired"),
         reg.GetHistogram("serve.latency.queue_ns"),
-        reg.GetHistogram("serve.latency.run_ns"),
+        reg.GetHistogram("serve.latency.exec_ns"),
         reg.GetHistogram("serve.latency.total_ns"),
     };
     return m;
@@ -74,6 +75,13 @@ RequestScheduler::RequestScheduler(int slots, int queue_capacity,
 
 RequestScheduler::~RequestScheduler() { Shutdown(ShutdownMode::kDrain); }
 
+void RequestScheduler::set_telemetry(obs::AccessLog* access_log,
+                                     AnnotateFn annotate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  access_log_ = access_log;
+  annotate_ = std::move(annotate);
+}
+
 Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
   auto& m = SchedulerMetrics::Get();
   std::unique_lock<std::mutex> lock(mu_);
@@ -83,9 +91,18 @@ Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
   if (static_cast<int>(queue_.size()) >= queue_capacity_) {
     ++stats_.shed;
     m.shed.Increment();
-    return Status::ResourceExhausted(
+    // Shed requests get an id too: the access log accounts for every
+    // admission decision, not just the admitted ones.
+    const uint64_t id = next_id_++;
+    Status status = Status::ResourceExhausted(
         StrFormat("admission queue full (%d queued, capacity %d)",
                   static_cast<int>(queue_.size()), queue_capacity_));
+    lock.unlock();
+    RecordTerminal(id, /*slot=*/-1, request, obs::NowNs(), /*queue_ns=*/0,
+                   /*exec_ns=*/0, obs::RequestOutcome::kShed,
+                   status.message(), /*evalctx_hit=*/false,
+                   /*fingerprint=*/0);
+    return status;
   }
   const uint64_t id = next_id_++;
   const int priority = request.priority;
@@ -121,9 +138,14 @@ bool RequestScheduler::Cancel(uint64_t id) {
     }
   }
   if (!ticket) return false;
-  Complete(ticket, Status::Cancelled(
-                       StrFormat("request %llu cancelled while queued",
-                                 static_cast<unsigned long long>(id))));
+  Status status = Status::Cancelled(
+      StrFormat("request %llu cancelled while queued",
+                static_cast<unsigned long long>(id)));
+  RecordTerminal(ticket->id(), /*slot=*/-1, ticket->request(),
+                 ticket->submit_ns_, obs::NowNs() - ticket->submit_ns_,
+                 /*exec_ns=*/0, obs::RequestOutcome::kCancelled,
+                 status.message(), /*evalctx_hit=*/false, /*fingerprint=*/0);
+  Complete(ticket, std::move(status));
   drain_cv_.notify_all();
   return true;
 }
@@ -144,8 +166,14 @@ void RequestScheduler::Shutdown(ShutdownMode mode) {
     }
   }
   for (auto& ticket : rejected) {
-    Complete(ticket, Status::Unavailable(
-                         "scheduler shut down before the request ran"));
+    Status status =
+        Status::Unavailable("scheduler shut down before the request ran");
+    RecordTerminal(ticket->id(), /*slot=*/-1, ticket->request(),
+                   ticket->submit_ns_, obs::NowNs() - ticket->submit_ns_,
+                   /*exec_ns=*/0, obs::RequestOutcome::kCancelled,
+                   status.message(), /*evalctx_hit=*/false,
+                   /*fingerprint=*/0);
+    Complete(ticket, std::move(status));
   }
   {
     // Drain: wait until queued work is gone and every slot is idle, then
@@ -169,6 +197,7 @@ SchedulerStats RequestScheduler::stats() const {
 }
 
 void RequestScheduler::WorkerLoop(int slot) {
+  obs::SetCurrentThreadNameIfUnset("slot-" + std::to_string(slot));
   auto& m = SchedulerMetrics::Get();
   exec::ExecContext* ctx = slot_exec_[static_cast<size_t>(slot)].get();
   for (;;) {
@@ -188,12 +217,16 @@ void RequestScheduler::WorkerLoop(int slot) {
           m.expired.Increment();
           UpdateGauges();
           lock.unlock();
-          Complete(head,
-                   Status::DeadlineExceeded(StrFormat(
-                       "request %llu expired after %lld ms in the queue",
-                       static_cast<unsigned long long>(head->id()),
-                       static_cast<long long>(
-                           head->request().deadline_ms))));
+          Status status = Status::DeadlineExceeded(StrFormat(
+              "request %llu expired after %lld ms in the queue",
+              static_cast<unsigned long long>(head->id()),
+              static_cast<long long>(head->request().deadline_ms)));
+          RecordTerminal(head->id(), /*slot=*/-1, head->request(),
+                         head->submit_ns_, obs::NowNs() - head->submit_ns_,
+                         /*exec_ns=*/0, obs::RequestOutcome::kExpired,
+                         status.message(), /*evalctx_hit=*/false,
+                         /*fingerprint=*/0);
+          Complete(head, std::move(status));
           drain_cv_.notify_all();
           lock.lock();
           continue;
@@ -208,18 +241,24 @@ void RequestScheduler::WorkerLoop(int slot) {
 
     const int64_t start_ns = obs::NowNs();
     const int64_t queue_ns = start_ns - ticket->submit_ns_;
+    const RequestContext rctx{ticket->id(), slot, ctx};
     Result<CondenseReply> result = [&] {
+      // Every span the body records (eval-context build, kernels,
+      // ParallelFor work) carries this request's id.
+      obs::ScopedRequestId req_scope(rctx.id);
       FREEHGC_TRACE_SPAN("serve.request");
-      return work_(ticket->request(), ctx);
+      return work_(ticket->request(), rctx);
     }();
     const int64_t end_ns = obs::NowNs();
+    const int64_t exec_ns = end_ns - start_ns;
     if (result.ok()) {
+      result.value().request_id = ticket->id();
       result.value().queue_seconds = static_cast<double>(queue_ns) * 1e-9;
       result.value().total_seconds =
           static_cast<double>(end_ns - ticket->submit_ns_) * 1e-9;
     }
     m.queue_ns.Observe(queue_ns);
-    m.run_ns.Observe(end_ns - start_ns);
+    m.exec_ns.Observe(exec_ns);
     m.total_ns.Observe(end_ns - ticket->submit_ns_);
 
     {
@@ -234,9 +273,57 @@ void RequestScheduler::WorkerLoop(int slot) {
       }
       UpdateGauges();
     }
+    if (result.ok()) {
+      const CondenseReply& reply = result.value();
+      RecordTerminal(ticket->id(), slot, ticket->request(),
+                     ticket->submit_ns_, queue_ns, exec_ns,
+                     obs::RequestOutcome::kOk, /*reason=*/{},
+                     reply.evalctx_hit, reply.graph_fingerprint);
+    } else {
+      RecordTerminal(ticket->id(), slot, ticket->request(),
+                     ticket->submit_ns_, queue_ns, exec_ns,
+                     obs::RequestOutcome::kError, result.status().message(),
+                     /*evalctx_hit=*/false, /*fingerprint=*/0);
+    }
     Complete(ticket, std::move(result));
     drain_cv_.notify_all();
   }
+}
+
+void RequestScheduler::RecordTerminal(
+    uint64_t id, int slot, const CondenseRequest& request, int64_t submit_ns,
+    int64_t queue_ns, int64_t exec_ns, obs::RequestOutcome outcome,
+    std::string_view reason, bool evalctx_hit, uint64_t fingerprint) {
+  obs::FlightRecord flight;
+  flight.id = id;
+  flight.fingerprint = fingerprint;
+  flight.submit_ns = submit_ns;
+  flight.queue_ns = queue_ns;
+  flight.exec_ns = exec_ns;
+  flight.slot = slot;
+  flight.priority = request.priority;
+  flight.outcome = outcome;
+  flight.evalctx_hit = evalctx_hit;
+  flight.set_graph(request.graph);
+  flight.set_method(request.method);
+  obs::FlightRecorder::Global().Record(flight);
+
+  if (access_log_ == nullptr || !access_log_->enabled()) return;
+  obs::AccessRecord rec;
+  rec.id = id;
+  rec.slot = slot;
+  rec.graph = request.graph;
+  rec.method = request.method;
+  rec.fingerprint = fingerprint;
+  rec.priority = request.priority;
+  rec.queue_ns = queue_ns;
+  rec.exec_ns = exec_ns;
+  rec.total_ns = queue_ns + exec_ns;
+  rec.outcome = outcome;
+  rec.reason = reason;
+  rec.evalctx_hit = evalctx_hit;
+  if (annotate_) annotate_(rec);
+  access_log_->Append(rec);
 }
 
 void RequestScheduler::Complete(const TicketPtr& ticket,

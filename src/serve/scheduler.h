@@ -9,11 +9,13 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "exec/exec_context.h"
+#include "obs/access_log.h"
 
 namespace freehgc::serve {
 
@@ -60,6 +62,21 @@ struct CondenseReply {
   std::string graph_bytes;
   /// Fingerprint of the full graph the request ran against.
   uint64_t graph_fingerprint = 0;
+  /// Scheduler-assigned request id, echoed over the wire so client-side
+  /// observations join against server-side spans and access-log lines.
+  uint64_t request_id = 0;
+  /// Whether the evaluation context was reused from the coalescing cache
+  /// (false = this request built it).
+  bool evalctx_hit = false;
+};
+
+/// Per-request execution context handed to the work body: the request id
+/// (also installed as the tracing request id for the body's duration),
+/// the worker slot index, and that slot's ExecContext.
+struct RequestContext {
+  uint64_t id = 0;
+  int slot = -1;
+  exec::ExecContext* exec = nullptr;
 };
 
 /// Completion handle for a submitted request. Wait() blocks until the
@@ -133,10 +150,15 @@ struct SchedulerStats {
 class RequestScheduler {
  public:
   /// The per-request work body, run on a worker slot's thread with that
-  /// slot's ExecContext. Must be safe to call concurrently from different
-  /// slots (all serve-layer shared state is thread-safe).
+  /// slot's ExecContext (via the RequestContext). Must be safe to call
+  /// concurrently from different slots (all serve-layer shared state is
+  /// thread-safe).
   using WorkFn = std::function<Result<CondenseReply>(
-      const CondenseRequest&, exec::ExecContext*)>;
+      const CondenseRequest&, const RequestContext&)>;
+
+  /// Telemetry enrichment hook: fills service-level fields (cumulative
+  /// cache counters) into an access record just before it is written.
+  using AnnotateFn = std::function<void(obs::AccessRecord&)>;
 
   /// `threads_per_slot` 0 resolves to exec::ThreadsPerSlot(slots).
   RequestScheduler(int slots, int queue_capacity, int threads_per_slot,
@@ -147,6 +169,12 @@ class RequestScheduler {
 
   RequestScheduler(const RequestScheduler&) = delete;
   RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Wires the structured access log and the per-record annotation hook.
+  /// Every terminal transition (ok/error/shed/cancelled/expired) then
+  /// emits one access-log line and one flight-recorder record. Must be
+  /// called before the first Submit; either argument may be null.
+  void set_telemetry(obs::AccessLog* access_log, AnnotateFn annotate);
 
   /// Admits a request. kResourceExhausted when the queue is full,
   /// kUnavailable after Shutdown.
@@ -170,9 +198,18 @@ class RequestScheduler {
   void WorkerLoop(int slot);
   void Complete(const TicketPtr& ticket, Result<CondenseReply> result);
   void UpdateGauges();  // callers hold mu_
+  /// Emits the access-log line + flight-recorder record for a request
+  /// reaching a terminal state. Never called under mu_ (the access log
+  /// does a write(2)).
+  void RecordTerminal(uint64_t id, int slot, const CondenseRequest& request,
+                      int64_t submit_ns, int64_t queue_ns, int64_t exec_ns,
+                      obs::RequestOutcome outcome, std::string_view reason,
+                      bool evalctx_hit, uint64_t fingerprint);
 
   const int queue_capacity_;
   WorkFn work_;
+  obs::AccessLog* access_log_ = nullptr;  // not owned
+  AnnotateFn annotate_;
   std::vector<std::unique_ptr<exec::ExecContext>> slot_exec_;
   std::vector<std::thread> workers_;
 

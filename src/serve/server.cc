@@ -12,6 +12,9 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 namespace freehgc::serve {
 
@@ -96,6 +99,7 @@ void Server::Wait() {
 }
 
 void Server::AcceptLoop() {
+  obs::SetCurrentThreadNameIfUnset("io-accept");
   for (;;) {
     pollfd fds[2];
     fds[0].fd = listen_fd_;
@@ -137,6 +141,7 @@ void Server::AcceptLoop() {
 }
 
 void Server::HandleConnection(int fd) {
+  obs::SetCurrentThreadNameIfUnset("io");
   for (;;) {
     Result<std::string> payload = ReadFrame(fd);
     if (!payload.ok()) {
@@ -211,6 +216,15 @@ std::string Server::HandleRequest(std::string_view payload) {
     }
     case MsgType::kStats:
       return EncodeResponse(Status::OK(), service_->StatsJson());
+    case MsgType::kMetrics:
+      // Prometheus text exposition of the live registry; scrape with
+      // `freehgc_client metrics` or watch with freehgc_top.
+      return EncodeResponse(Status::OK(), obs::PrometheusText());
+    case MsgType::kHealth:
+      return EncodeResponse(Status::OK(), service_->HealthJson());
+    case MsgType::kFlightRecorder:
+      return EncodeResponse(Status::OK(),
+                            obs::FlightRecorder::Global().DumpJson());
     case MsgType::kShutdown:
       RequestStop();
       return EncodeResponse(Status::OK(), "");

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "graph/serialize.h"
 #include "obs/metrics.h"
@@ -21,11 +22,27 @@ struct ServeService::EvalEntry {
 };
 
 ServeService::ServeService(ServeOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), start_ns_(obs::NowNs()) {
+  if (!options_.access_log_path.empty()) {
+    const Status st = access_log_.Open(options_.access_log_path);
+    if (!st.ok()) {
+      FREEHGC_LOG(Warning) << "access log disabled: " << st.message();
+    }
+  }
   scheduler_ = std::make_unique<RequestScheduler>(
       options_.slots, options_.queue_capacity, options_.threads_per_slot,
-      [this](const CondenseRequest& request, exec::ExecContext* ctx) {
-        return Execute(request, ctx);
+      [this](const CondenseRequest& request, const RequestContext& rctx) {
+        return Execute(request, rctx);
+      });
+  // Access-log annotation: stamp cumulative artifact/plan-cache counters
+  // onto each line so per-request deltas fall out of consecutive entries.
+  scheduler_->set_telemetry(
+      &access_log_, [this](obs::AccessRecord& rec) {
+        const pipeline::ArtifactCache::Stats c = cache_.stats();
+        rec.cache_hits = c.hits;
+        rec.cache_misses = c.misses;
+        rec.plan_hits = c.plan_hits;
+        rec.plan_misses = c.plan_misses;
       });
 }
 
@@ -56,7 +73,7 @@ void ServeService::Shutdown(ShutdownMode mode) { scheduler_->Shutdown(mode); }
 
 std::shared_ptr<ServeService::EvalEntry> ServeService::GetOrBuildEvalContext(
     const GraphStore::GraphRef& graph, const hgnn::PropagateOptions& opts,
-    exec::ExecContext* ctx) {
+    exec::ExecContext* ctx, bool* built) {
   const uint64_t fp = cache_.FingerprintOf(*graph);
   const EvalKey key{fp, opts.max_hops, opts.max_paths, opts.max_row_nnz};
   std::shared_ptr<EvalEntry> entry;
@@ -68,11 +85,13 @@ std::shared_ptr<ServeService::EvalEntry> ServeService::GetOrBuildEvalContext(
   }
   // The first request through builds; concurrent duplicates block here
   // instead of each paying the SpGEMM + propagation cost.
+  bool built_here = false;
   std::call_once(entry->once, [&] {
     FREEHGC_TRACE_SPAN("serve.build_eval_context");
     entry->graph = graph;
     entry->fingerprint = fp;
     entry->ctx = hgnn::BuildEvalContext(*graph, opts, ctx, &cache_);
+    built_here = true;
     eval_context_builds_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::Global()
         .GetCounter("serve.evalctx.builds")
@@ -80,18 +99,22 @@ std::shared_ptr<ServeService::EvalEntry> ServeService::GetOrBuildEvalContext(
   });
   obs::MetricsRegistry::Global().GetCounter("serve.evalctx.lookups")
       .Increment();
+  if (built != nullptr) *built = built_here;
   return entry;
 }
 
 Result<CondenseReply> ServeService::Execute(const CondenseRequest& request,
-                                            exec::ExecContext* ctx) {
+                                            const RequestContext& rctx) {
+  exec::ExecContext* ctx = rctx.exec;
   FREEHGC_ASSIGN_OR_RETURN(GraphStore::GraphRef graph,
                            store_.Get(request.graph));
   hgnn::PropagateOptions popts;
   popts.max_hops = request.max_hops > 0 ? request.max_hops : 2;
   popts.max_paths = request.max_paths;
   popts.max_row_nnz = request.max_row_nnz;
-  std::shared_ptr<EvalEntry> entry = GetOrBuildEvalContext(graph, popts, ctx);
+  bool built = false;
+  std::shared_ptr<EvalEntry> entry =
+      GetOrBuildEvalContext(graph, popts, ctx, &built);
 
   FREEHGC_ASSIGN_OR_RETURN(
       const pipeline::CondensationMethod* method,
@@ -107,6 +130,8 @@ Result<CondenseReply> ServeService::Execute(const CondenseRequest& request,
                            method->Condense(entry->ctx, spec, env));
 
   CondenseReply reply;
+  reply.request_id = rctx.id;
+  reply.evalctx_hit = !built;
   reply.graph_fingerprint = entry->fingerprint;
   reply.condense_seconds = data.seconds;
   reply.storage_bytes = data.storage_bytes;
@@ -176,6 +201,18 @@ std::string ServeService::StatsJson() const {
       static_cast<long long>(c.plan_misses), c.bytes);
   out += StrFormat("  \"eval_context_builds\": %lld,\n",
                    static_cast<long long>(eval_context_builds()));
+  const obs::Histogram& queue = reg.GetHistogram("serve.latency.queue_ns");
+  const obs::Histogram& exec = reg.GetHistogram("serve.latency.exec_ns");
+  out += StrFormat(
+      "  \"queue_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n",
+      static_cast<double>(queue.ApproxQuantile(0.50)) * 1e-6,
+      static_cast<double>(queue.ApproxQuantile(0.95)) * 1e-6,
+      static_cast<double>(queue.ApproxQuantile(0.99)) * 1e-6);
+  out += StrFormat(
+      "  \"exec_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n",
+      static_cast<double>(exec.ApproxQuantile(0.50)) * 1e-6,
+      static_cast<double>(exec.ApproxQuantile(0.95)) * 1e-6,
+      static_cast<double>(exec.ApproxQuantile(0.99)) * 1e-6);
   out += StrFormat(
       "  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}\n",
       static_cast<double>(total.ApproxQuantile(0.50)) * 1e-6,
@@ -183,6 +220,17 @@ std::string ServeService::StatsJson() const {
       static_cast<double>(total.ApproxQuantile(0.99)) * 1e-6);
   out += "}\n";
   return out;
+}
+
+std::string ServeService::HealthJson() const {
+  const SchedulerStats s = scheduler_->stats();
+  return StrFormat(
+      "{\"status\": \"ok\", \"uptime_seconds\": %.3f, \"slots\": %d, "
+      "\"queue_depth\": %lld, \"inflight\": %lld, \"graphs\": %lld}",
+      static_cast<double>(obs::NowNs() - start_ns_) * 1e-9,
+      scheduler_->slots(), static_cast<long long>(s.queue_depth),
+      static_cast<long long>(s.inflight),
+      static_cast<long long>(store_.Count()));
 }
 
 }  // namespace freehgc::serve

@@ -11,6 +11,7 @@
 
 #include "hgnn/models.h"
 #include "hgnn/trainer.h"
+#include "obs/access_log.h"
 #include "pipeline/artifact_cache.h"
 #include "serve/graph_store.h"
 #include "serve/scheduler.h"
@@ -27,6 +28,10 @@ struct ServeOptions {
   int queue_capacity = 32;
   /// Threads per slot ExecContext; 0 = exec::ThreadsPerSlot(slots).
   int threads_per_slot = 0;
+  /// When non-empty, every terminal request appends one JSONL line here
+  /// (see obs::AccessLog). Open failure logs a warning and disables the
+  /// log; it never fails service construction.
+  std::string access_log_path;
   /// Evaluator config for CondenseRequest::evaluate. Serving default is
   /// smaller than the research default (hidden 32, 60 epochs, no early
   /// stopping) so evaluated requests have bounded latency.
@@ -91,19 +96,31 @@ class ServeService {
   /// occupancy, latency quantiles) — what the server dumps on shutdown.
   std::string StatsJson() const;
 
+  /// Liveness summary for the HEALTH wire op: status, uptime, slot and
+  /// queue occupancy, resident graph count.
+  std::string HealthJson() const;
+
+  /// The access log wired into the scheduler (enabled() is false unless
+  /// ServeOptions::access_log_path was set and opened).
+  const obs::AccessLog& access_log() const { return access_log_; }
+
  private:
   struct EvalEntry;
 
   /// The scheduler work body (runs on a slot thread).
   Result<CondenseReply> Execute(const CondenseRequest& request,
-                                exec::ExecContext* ctx);
+                                const RequestContext& rctx);
+  /// `built` (optional) reports whether this call built the entry (false
+  /// = coalescing-cache hit).
   std::shared_ptr<EvalEntry> GetOrBuildEvalContext(
       const GraphStore::GraphRef& graph, const hgnn::PropagateOptions& opts,
-      exec::ExecContext* ctx);
+      exec::ExecContext* ctx, bool* built = nullptr);
 
   const ServeOptions options_;
   GraphStore store_;
   pipeline::ArtifactCache cache_;
+  obs::AccessLog access_log_;  // before scheduler_: outlives its writers
+  const int64_t start_ns_;
 
   /// (graph fingerprint, max_hops, max_paths, max_row_nnz) -> entry.
   using EvalKey = std::tuple<uint64_t, int, int, int64_t>;

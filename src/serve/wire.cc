@@ -237,6 +237,8 @@ void EncodeCondenseReply(WireWriter& w, const CondenseReply& reply) {
   w.PutF64(reply.macro_f1);
   w.PutString(reply.graph_bytes);
   w.PutU64(reply.graph_fingerprint);
+  w.PutU64(reply.request_id);
+  w.PutU8(reply.evalctx_hit ? 1 : 0);
 }
 
 Result<CondenseReply> DecodeCondenseReply(WireReader& r) {
@@ -256,6 +258,9 @@ Result<CondenseReply> DecodeCondenseReply(WireReader& r) {
   reply.macro_f1 = static_cast<float>(macro_f1);
   FREEHGC_ASSIGN_OR_RETURN(reply.graph_bytes, r.GetString());
   FREEHGC_ASSIGN_OR_RETURN(reply.graph_fingerprint, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(reply.request_id, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(uint8_t evalctx_hit, r.GetU8());
+  reply.evalctx_hit = evalctx_hit != 0;
   return reply;
 }
 

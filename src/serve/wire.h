@@ -37,6 +37,13 @@ enum class MsgType : uint8_t {
   kCondense = 5,
   kStats = 6,
   kShutdown = 7,
+  /// Admin/observability ops. kMetrics returns the Prometheus text
+  /// exposition of the live registry; kHealth a small liveness JSON;
+  /// kFlightRecorder the last-N-requests ring + retained outliers as
+  /// JSON. All three are read-only and carry no request fields.
+  kMetrics = 8,
+  kHealth = 9,
+  kFlightRecorder = 10,
 };
 
 /// Appends little-endian fields to a payload buffer.

@@ -12,6 +12,7 @@
 
 #include "datasets/generator.h"
 #include "graph/serialize.h"
+#include "obs/exposition.h"
 #include "pipeline/method.h"
 #include "serve/client.h"
 #include "serve/graph_store.h"
@@ -203,7 +204,7 @@ TEST(SchedulerTest, OverloadShedsWithResourceExhaustedWithoutDeadlock) {
   Latch latch;
   RequestScheduler sched(
       /*slots=*/1, /*queue_capacity=*/2, /*threads_per_slot=*/1,
-      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+      [&](const CondenseRequest&, const RequestContext&) -> Result<CondenseReply> {
         latch.BlockUntilReleased();
         return CondenseReply{};
       });
@@ -236,7 +237,7 @@ TEST(SchedulerTest, CancelledQueuedRequestNeverRuns) {
   std::atomic<int> executed{0};
   RequestScheduler sched(
       1, 8, 1,
-      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+      [&](const CondenseRequest&, const RequestContext&) -> Result<CondenseReply> {
         executed.fetch_add(1);
         latch.BlockUntilReleased();
         return CondenseReply{};
@@ -265,7 +266,7 @@ TEST(SchedulerTest, ExpiredQueuedRequestNeverRuns) {
   std::atomic<int> executed{0};
   RequestScheduler sched(
       1, 8, 1,
-      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+      [&](const CondenseRequest&, const RequestContext&) -> Result<CondenseReply> {
         executed.fetch_add(1);
         latch.BlockUntilReleased();
         return CondenseReply{};
@@ -296,7 +297,7 @@ TEST(SchedulerTest, PriorityOrderFifoWithinPriority) {
   RequestScheduler sched(
       1, 16, 1,
       [&](const CondenseRequest& req,
-          exec::ExecContext*) -> Result<CondenseReply> {
+          const RequestContext&) -> Result<CondenseReply> {
         if (req.seed == 0) {
           latch.BlockUntilReleased();  // the slot-occupier
         } else {
@@ -335,7 +336,7 @@ TEST(SchedulerTest, GracefulShutdownDrainsInflightAndQueued) {
   std::atomic<int> executed{0};
   RequestScheduler sched(
       1, 8, 1,
-      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+      [&](const CondenseRequest&, const RequestContext&) -> Result<CondenseReply> {
         executed.fetch_add(1);
         latch.BlockUntilReleased();
         return CondenseReply{};
@@ -366,7 +367,7 @@ TEST(SchedulerTest, CancelQueuedShutdownFailsQueuedRuns) {
   std::atomic<int> executed{0};
   RequestScheduler sched(
       1, 8, 1,
-      [&](const CondenseRequest&, exec::ExecContext*) -> Result<CondenseReply> {
+      [&](const CondenseRequest&, const RequestContext&) -> Result<CondenseReply> {
         executed.fetch_add(1);
         latch.BlockUntilReleased();
         return CondenseReply{};
@@ -561,6 +562,8 @@ TEST(WireTest, CodecsRoundTrip) {
   reply.accuracy = 96.5f;
   reply.graph_bytes = std::string("\x00\x01\x02", 3);
   reply.graph_fingerprint = 0xdeadbeefcafef00dULL;
+  reply.request_id = 7077;
+  reply.evalctx_hit = true;
   WireWriter w2;
   EncodeCondenseReply(w2, reply);
   WireReader r2(w2.payload());
@@ -571,6 +574,9 @@ TEST(WireTest, CodecsRoundTrip) {
   EXPECT_EQ(reply_back->graph_bytes, reply.graph_bytes);
   EXPECT_EQ(reply_back->graph_fingerprint, reply.graph_fingerprint);
   EXPECT_FLOAT_EQ(reply_back->accuracy, reply.accuracy);
+  EXPECT_EQ(reply_back->request_id, reply.request_id);
+  EXPECT_TRUE(reply_back->evalctx_hit);
+  EXPECT_EQ(r2.remaining(), 0u);
 }
 
 TEST(WireTest, GraphInfoCarriesMappedResidency) {
@@ -659,6 +665,15 @@ TEST(ServerTest, LoopbackRoundTripAndGracefulShutdown) {
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
   EXPECT_GT(reply->nodes, 0);
   EXPECT_FALSE(reply->graph_bytes.empty());
+  // The wire reply carries the scheduler-assigned request id and the
+  // eval-context coalescing outcome (first request on this graph config
+  // builds).
+  EXPECT_GT(reply->request_id, 0u);
+  EXPECT_FALSE(reply->evalctx_hit);
+  auto reply2 = client.Condense(req);
+  ASSERT_TRUE(reply2.ok());
+  EXPECT_GT(reply2->request_id, reply->request_id);
+  EXPECT_TRUE(reply2->evalctx_hit);
   // The returned container parses and matches the in-process result.
   ServeService local(SmallServeOptions(1));
   ASSERT_TRUE(local.store().Register("toy", datasets::MakeToy(5)).ok());
@@ -668,7 +683,37 @@ TEST(ServerTest, LoopbackRoundTripAndGracefulShutdown) {
 
   auto stats = client.Stats();
   ASSERT_TRUE(stats.ok());
-  EXPECT_NE(stats->find("\"completed\": 1"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"completed\": 2"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"queue_ms\""), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"exec_ms\""), std::string::npos) << *stats;
+
+  // Admin ops: METRICS is parseable Prometheus text containing the
+  // serving counters, HEALTH reports ok, and the flight recorder holds
+  // the requests this test just ran.
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const auto samples = obs::ParsePrometheusText(*metrics);
+  double completed = 0.0;
+  ASSERT_TRUE(obs::FindPromValue(
+      samples, "freehgc_serve_requests_completed_total", &completed))
+      << *metrics;
+  EXPECT_GE(completed, 2.0);
+  double exec_count = 0.0;
+  ASSERT_TRUE(obs::FindPromValue(samples,
+                                 "freehgc_serve_latency_exec_ns_count",
+                                 &exec_count));
+  EXPECT_GE(exec_count, 2.0);
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health->find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(health->find("\"slots\": 2"), std::string::npos) << *health;
+
+  auto flight = client.FlightRecorderDump();
+  ASSERT_TRUE(flight.ok());
+  EXPECT_NE(flight->find("\"recent\": ["), std::string::npos);
+  EXPECT_NE(flight->find("\"graph\": \"toy\""), std::string::npos)
+      << *flight;
 
   ASSERT_TRUE(client.Shutdown().ok());
   server.Wait();  // drains and returns

@@ -7,7 +7,11 @@
 //   freehgc_client --port=P condense GRAPH [--method=freehgc] [--ratio=0.1]
 //                  [--seed=1] [--max-hops=2] [--max-paths=12]
 //                  [--evaluate] [--output=FILE] [--deadline-ms=0]
+//                  [--priority=0]
 //   freehgc_client --port=P stats
+//   freehgc_client --port=P metrics     # Prometheus text exposition
+//   freehgc_client --port=P health      # liveness JSON
+//   freehgc_client --port=P flight      # flight-recorder dump (JSON)
 //   freehgc_client --port=P shutdown
 //
 // --port-file=PATH reads the port a server wrote with its own
@@ -101,6 +105,8 @@ int main(int argc, char** argv) {
       req.max_paths = std::atoi(v.c_str());
     } else if (FlagValue(arg, "--deadline-ms=", &v)) {
       req.deadline_ms = std::atoll(v.c_str());
+    } else if (FlagValue(arg, "--priority=", &v)) {
+      req.priority = std::atoi(v.c_str());
     } else if (FlagValue(arg, "--output=", &v)) {
       output = v;
     } else if (arg == "--evaluate") {
@@ -117,7 +123,8 @@ int main(int argc, char** argv) {
   if (port <= 0 || command.empty()) {
     std::fprintf(stderr,
                  "usage: freehgc_client --port=P (or --port-file=PATH) "
-                 "ping|register|upload|list|condense|stats|shutdown ...\n");
+                 "ping|register|upload|list|condense|stats|metrics|health|"
+                 "flight|shutdown ...\n");
     return 2;
   }
 
@@ -173,11 +180,14 @@ int main(int argc, char** argv) {
     if (!reply.ok()) return Fail(reply.status());
     std::printf(
         "condensed %s with %s: %lld nodes, %lld edges, %zu bytes "
-        "(condense %.3fs, queue %.3fs, total %.3fs)\n",
+        "(condense %.3fs, queue %.3fs, total %.3fs) "
+        "[req %llu, evalctx %s]\n",
         req.graph.c_str(), req.method.c_str(),
         static_cast<long long>(reply->nodes),
         static_cast<long long>(reply->edges), reply->storage_bytes,
-        reply->condense_seconds, reply->queue_seconds, reply->total_seconds);
+        reply->condense_seconds, reply->queue_seconds, reply->total_seconds,
+        static_cast<unsigned long long>(reply->request_id),
+        reply->evalctx_hit ? "hit" : "built");
     if (reply->evaluated) {
       std::printf("accuracy %.2f%%, macro-F1 %.2f%%\n",
                   static_cast<double>(reply->accuracy),
@@ -203,6 +213,24 @@ int main(int argc, char** argv) {
     auto stats = client.Stats();
     if (!stats.ok()) return Fail(stats.status());
     std::printf("%s", stats->c_str());
+    return 0;
+  }
+  if (command == "metrics") {
+    auto metrics = client.Metrics();
+    if (!metrics.ok()) return Fail(metrics.status());
+    std::printf("%s", metrics->c_str());
+    return 0;
+  }
+  if (command == "health") {
+    auto health = client.Health();
+    if (!health.ok()) return Fail(health.status());
+    std::printf("%s\n", health->c_str());
+    return 0;
+  }
+  if (command == "flight") {
+    auto dump = client.FlightRecorderDump();
+    if (!dump.ok()) return Fail(dump.status());
+    std::printf("%s\n", dump->c_str());
     return 0;
   }
   if (command == "shutdown") {

@@ -3,11 +3,18 @@
 //   freehgc_server [--port=0] [--port-file=PATH] [--slots=2]
 //                  [--queue-capacity=32] [--threads-per-slot=0]
 //                  [--spool-dir=PATH] [--map=NAME=PATH]...
+//                  [--access-log=PATH]
 //
 // Binds the requested port (0 = ephemeral; the bound port is printed and
 // optionally written to --port-file so scripts can find it), serves the
 // wire.h protocol until SIGINT/SIGTERM or a client shutdown message, then
 // drains every admitted request and dumps a final stats summary.
+//
+// --access-log appends one JSON line per terminal request (see
+// obs::AccessLog). SIGQUIT stops the server like SIGTERM but additionally
+// dumps the flight recorder (last-N requests + retained outliers) to
+// stdout after the drain — the post-mortem path when the server is
+// misbehaving.
 //
 // --spool-dir persists uploads as v3 containers and keeps them resident
 // as zero-copy mappings (page-cache-backed, not heap). --map pre-registers
@@ -22,14 +29,23 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "serve/server.h"
 
 namespace {
 
 freehgc::serve::Server* g_server = nullptr;
+volatile std::sig_atomic_t g_dump_flight_recorder = 0;
 
 // Async-signal-safe: RequestStop is one atomic store + one pipe write.
 void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+// SIGQUIT = stop + flight-recorder post-mortem. Only a flag is set here;
+// the dump itself runs on the main thread after Wait() returns.
+void HandleQuit(int /*sig*/) {
+  g_dump_flight_recorder = 1;
   if (g_server != nullptr) g_server->RequestStop();
 }
 
@@ -62,6 +78,11 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--spool-dir=", 0) == 0) {
       spool_dir = arg.substr(std::string("--spool-dir=").size());
+      continue;
+    }
+    if (arg.rfind("--access-log=", 0) == 0) {
+      options.serve.access_log_path =
+          arg.substr(std::string("--access-log=").size());
       continue;
     }
     if (arg.rfind("--map=", 0) == 0) {
@@ -106,6 +127,7 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGQUIT, HandleQuit);
 
   std::printf("freehgc_server listening on 127.0.0.1:%d (%d slots, queue %d)\n",
               server.port(), server.service().options().slots,
@@ -122,6 +144,10 @@ int main(int argc, char** argv) {
 
   server.Wait();
   g_server = nullptr;
+  if (g_dump_flight_recorder != 0) {
+    std::printf("flight recorder dump:\n%s\n",
+                freehgc::obs::FlightRecorder::Global().DumpJson().c_str());
+  }
   std::printf("freehgc_server drained; final stats:\n%s",
               server.service().StatsJson().c_str());
   return 0;

@@ -1,0 +1,143 @@
+// freehgc_top: live terminal dashboard for a running freehgc_server.
+//
+//   freehgc_top --port=P (or --port-file=PATH)
+//               [--interval-ms=1000] [--iterations=0] [--once]
+//
+// Polls the METRICS wire op each interval and renders one line per poll:
+// request throughput (qps over a 10 s sliding window), total-latency
+// p50/p95/p99 reconstructed from the scraped histogram buckets, queue
+// depth, inflight count, artifact-cache hit rate, and resident graph
+// bytes. --iterations=N exits after N polls (0 = until interrupted);
+// --once is --iterations=1 (handy in scripts and CI).
+//
+// Everything shown is derived from the same Prometheus text any scraper
+// sees — this tool is a reference consumer of the exposition format, not
+// a privileged one.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/rate_window.h"
+#include "obs/trace.h"
+#include "serve/client.h"
+
+namespace {
+
+using freehgc::Status;
+using freehgc::obs::PromSample;
+using freehgc::serve::ServeClient;
+
+bool FlagValue(const std::string& arg, const char* prefix, std::string* out) {
+  const std::string p = prefix;
+  if (arg.rfind(p, 0) != 0) return false;
+  *out = arg.substr(p.size());
+  return true;
+}
+
+bool ReadPortFile(const std::string& path, int* port) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  int value = 0;
+  const bool ok = std::fscanf(f, "%d", &value) == 1;
+  std::fclose(f);
+  if (ok) *port = value;
+  return ok;
+}
+
+double ValueOr(const std::vector<PromSample>& samples,
+               const std::string& name, double fallback) {
+  double v = fallback;
+  freehgc::obs::FindPromValue(samples, name, &v);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int interval_ms = 1000;
+  long iterations = 0;  // 0 = forever
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (FlagValue(arg, "--port=", &v)) {
+      port = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--port-file=", &v)) {
+      if (!ReadPortFile(v, &port)) {
+        std::fprintf(stderr, "cannot read port file %s\n", v.c_str());
+        return 2;
+      }
+    } else if (FlagValue(arg, "--interval-ms=", &v)) {
+      interval_ms = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--iterations=", &v)) {
+      iterations = std::atol(v.c_str());
+    } else if (arg == "--once") {
+      iterations = 1;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr,
+                 "usage: freehgc_top --port=P (or --port-file=PATH) "
+                 "[--interval-ms=1000] [--iterations=0] [--once]\n");
+    return 2;
+  }
+  if (interval_ms < 1) interval_ms = 1;
+
+  ServeClient client;
+  if (Status st = client.Connect(port); !st.ok()) {
+    std::fprintf(stderr, "freehgc_top: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%10s %9s %9s %9s %6s %9s %7s %10s\n", "qps", "p50ms",
+              "p95ms", "p99ms", "queue", "inflight", "cache%", "resident");
+  freehgc::obs::RateWindow qps;
+  for (long iter = 0; iterations == 0 || iter < iterations; ++iter) {
+    if (iter != 0) ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+    auto text = client.Metrics();
+    if (!text.ok()) {
+      std::fprintf(stderr, "freehgc_top: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<PromSample> samples =
+        freehgc::obs::ParsePrometheusText(*text);
+
+    const double terminal =
+        ValueOr(samples, "freehgc_serve_requests_completed_total", 0) +
+        ValueOr(samples, "freehgc_serve_requests_failed_total", 0);
+    qps.Add(freehgc::obs::NowNs(), terminal);
+
+    const auto buckets = freehgc::obs::PromBuckets(
+        samples, "freehgc_serve_latency_total_ns");
+    const double p50 =
+        freehgc::obs::QuantileFromCumulativeBuckets(buckets, 0.50) * 1e-6;
+    const double p95 =
+        freehgc::obs::QuantileFromCumulativeBuckets(buckets, 0.95) * 1e-6;
+    const double p99 =
+        freehgc::obs::QuantileFromCumulativeBuckets(buckets, 0.99) * 1e-6;
+
+    const double hits =
+        ValueOr(samples, "freehgc_pipeline_cache_hits_total", 0);
+    const double misses =
+        ValueOr(samples, "freehgc_pipeline_cache_misses_total", 0);
+    const double hit_rate =
+        hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0;
+
+    std::printf("%10.1f %9.2f %9.2f %9.2f %6.0f %9.0f %7.1f %9.1fM\n",
+                qps.RatePerSec(), p50, p95, p99,
+                ValueOr(samples, "freehgc_serve_queue_depth", 0),
+                ValueOr(samples, "freehgc_serve_inflight", 0), hit_rate,
+                ValueOr(samples, "freehgc_store_resident_bytes", 0) / 1e6);
+    std::fflush(stdout);
+  }
+  return 0;
+}
