@@ -1,0 +1,293 @@
+// Tiered-storage residency benchmark (spill tentpole acceptance): a full
+// serve-path CondenseRequest against an AMiner-scale mapped graph, run
+// three ways in separate processes:
+//
+//   baseline      no RLIMIT_DATA cap, no artifact budget — records the
+//                 condensed-graph fingerprint and the unbudgeted
+//                 ArtifactCache resident peak.
+//   capped        RLIMIT_DATA cap, still unbudgeted — must be REFUSED
+//                 (the allocator fails before the request completes).
+//   budgeted      the same cap, plus --spill-dir and an artifact budget
+//                 of 50% of the baseline cache peak — must complete and
+//                 produce a bit-identical condensed fingerprint.
+//
+// Each scenario re-execs this binary (fork alone would orphan the
+// parent's worker threads), so the cap applies to a whole fresh process
+// the way an operator's ulimit would. The cap is sized between the
+// measured budgeted peak (~96 MB at aminer scale 4) and the unbudgeted
+// peak (~188 MB): 128 MB.
+//
+// Appends a "spill" object to BENCH_container.json when bench_container
+// has already written it (run bench_container first), otherwise writes a
+// fresh file holding just the spill section.
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/serialize.h"
+#include "serve/service.h"
+
+namespace freehgc::bench {
+namespace {
+
+constexpr double kScale = 4.0;
+constexpr uint64_t kSeed = 1;
+constexpr size_t kCapBytes = 128ull << 20;
+const char* kGraphPath = "/tmp/freehgc_bench_spill.fhgc";
+const char* kSpillDir = "/tmp/freehgc_bench_spill_work";
+
+int64_t ProcStatusBytes(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key, 0) != 0) continue;
+    long long kb = 0;
+    if (std::sscanf(line.c_str() + std::strlen(key) + 1, "%lld", &kb) == 1) {
+      return kb * 1024;
+    }
+  }
+  return -1;
+}
+
+/// One serve-path run inside a (possibly rlimit-capped) child process.
+/// Results go to `result_path` as key=value lines; the parent decides
+/// pass/fail from the exit status plus those values.
+int RunScenario(size_t cap_bytes, size_t budget_bytes,
+                const std::string& result_path) {
+  if (cap_bytes != 0) {
+    struct rlimit rl;
+    FREEHGC_CHECK(::getrlimit(RLIMIT_DATA, &rl) == 0);
+    rl.rlim_cur = cap_bytes;
+    FREEHGC_CHECK(::setrlimit(RLIMIT_DATA, &rl) == 0);
+  }
+  serve::ServeOptions options;
+  options.slots = 1;
+  if (budget_bytes != 0) {
+    options.spill_dir = kSpillDir;
+    options.artifact_budget_bytes = budget_bytes;
+  }
+  serve::ServeService service(options);
+  auto info = service.store().RegisterMappedFile("g", kGraphPath);
+  FREEHGC_CHECK(info.ok()) << info.status().ToString();
+  FREEHGC_CHECK(info->mapped);
+
+  serve::CondenseRequest request;
+  request.graph = "g";
+  request.method = "herding";
+  request.ratio = 0.01;
+  request.max_hops = 1;
+  request.max_paths = 2;
+  request.evaluate = false;
+  request.return_graph = true;
+  auto reply = service.Condense(request);
+  FREEHGC_CHECK(reply.ok()) << reply.status().ToString();
+  auto condensed = DeserializeHeteroGraph(reply->graph_bytes);
+  FREEHGC_CHECK(condensed.ok());
+
+  const auto cache = service.cache().stats();
+  std::ofstream out(result_path);
+  out << StrFormat("fingerprint=%016llx\n",
+                   static_cast<unsigned long long>(
+                       condensed->ContentFingerprint()));
+  out << StrFormat("cache_peak_resident=%zu\n", cache.peak_resident_bytes);
+  out << StrFormat("cache_resident_end=%zu\n", cache.resident_bytes);
+  out << StrFormat("spills=%lld\n", static_cast<long long>(cache.spills));
+  out << StrFormat("restores=%lld\n", static_cast<long long>(cache.restores));
+  out << StrFormat("spill_bytes=%zu\n", cache.spill_bytes);
+  out << StrFormat("data_bytes=%lld\n",
+                   static_cast<long long>(ProcStatusBytes("VmData")));
+  return out ? 0 : 1;
+}
+
+struct ChildResult {
+  int exit_code = -1;       // -1 when killed by a signal
+  bool completed = false;   // exited normally with status 0
+  std::map<std::string, std::string> values;
+};
+
+ChildResult Spawn(const char* self, size_t cap_bytes, size_t budget_bytes,
+                  const std::string& result_path) {
+  std::remove(result_path.c_str());
+  const std::string cap_arg = StrFormat("--cap-bytes=%zu", cap_bytes);
+  const std::string budget_arg = StrFormat("--budget-bytes=%zu", budget_bytes);
+  const std::string result_arg = "--result=" + result_path;
+  const pid_t pid = ::fork();
+  FREEHGC_CHECK(pid >= 0);
+  if (pid == 0) {
+    ::execl(self, self, "--scenario", cap_arg.c_str(), budget_arg.c_str(),
+            result_arg.c_str(), static_cast<char*>(nullptr));
+    std::_Exit(127);  // execl only returns on failure
+  }
+  int status = 0;
+  FREEHGC_CHECK(::waitpid(pid, &status, 0) == pid);
+  ChildResult r;
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  r.completed = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  std::ifstream in(result_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    r.values[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  // A capped child that died mid-request may have no result file; that
+  // is the expected "refused" shape, not an error.
+  return r;
+}
+
+std::string Value(const ChildResult& r, const std::string& key) {
+  auto it = r.values.find(key);
+  return it == r.values.end() ? std::string() : it->second;
+}
+
+/// Splices `section` (a complete `"spill": {...}` member) into an
+/// existing BENCH_container.json, or writes a fresh file around it.
+void RecordJson(const std::string& section) {
+  const char* path = "BENCH_container.json";
+  std::string existing;
+  {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    existing = ss.str();
+  }
+  const size_t close = existing.rfind('}');
+  std::string json;
+  if (close != std::string::npos && existing.find("\"spill\"") ==
+                                        std::string::npos) {
+    json = existing.substr(0, close) + ",\n  " + section + "\n}\n";
+  } else {
+    json = "{\n  \"bench\": \"container\",\n  " + section + "\n}\n";
+  }
+  WriteTextFile(path, json);
+  std::printf("recorded spill section in %s\n", path);
+}
+
+int RunParent(const char* self) {
+  PrintHeader("spill: budgeted serve residency under RLIMIT_DATA");
+  const HeteroGraph g =
+      datasets::MakeAminer(kSeed, kScale, &exec::DefaultExec());
+  auto saved = SaveHeteroGraphV3(g, kGraphPath);
+  FREEHGC_CHECK(saved.ok());
+  std::printf("graph: aminer scale %.1f, %lld nodes, %lld edges, "
+              "%zu logical bytes (v3 file %llu bytes)\n",
+              kScale, static_cast<long long>(g.TotalNodes()),
+              static_cast<long long>(g.TotalEdges()), g.MemoryBytes(),
+              static_cast<unsigned long long>(saved->file_bytes));
+  std::system(("rm -rf " + std::string(kSpillDir) + " && mkdir -p " +
+               std::string(kSpillDir)).c_str());
+
+  const ChildResult baseline =
+      Spawn(self, 0, 0, "/tmp/freehgc_bench_spill.baseline.txt");
+  FREEHGC_CHECK(baseline.completed) << "uncapped baseline run failed";
+  const std::string want_fp = Value(baseline, "fingerprint");
+  const size_t peak =
+      std::strtoull(Value(baseline, "cache_peak_resident").c_str(),
+                    nullptr, 10);
+  FREEHGC_CHECK(!want_fp.empty() && peak > 0);
+  std::printf("baseline: fingerprint=%s cache_peak_resident=%zu "
+              "data_bytes=%s\n",
+              want_fp.c_str(), peak, Value(baseline, "data_bytes").c_str());
+
+  const ChildResult capped =
+      Spawn(self, kCapBytes, 0, "/tmp/freehgc_bench_spill.capped.txt");
+  std::printf("capped unbudgeted (%zu MB): %s (exit=%d)\n", kCapBytes >> 20,
+              capped.completed ? "COMPLETED" : "refused", capped.exit_code);
+
+  const size_t budget = peak / 2;  // the <=50% acceptance bound
+  const ChildResult budgeted =
+      Spawn(self, kCapBytes, budget, "/tmp/freehgc_bench_spill.budgeted.txt");
+  std::printf("capped budgeted (budget=%zu): %s fingerprint=%s spills=%s "
+              "spill_bytes=%s resident_end=%s data_bytes=%s\n",
+              budget, budgeted.completed ? "completed" : "FAILED",
+              Value(budgeted, "fingerprint").c_str(),
+              Value(budgeted, "spills").c_str(),
+              Value(budgeted, "spill_bytes").c_str(),
+              Value(budgeted, "cache_resident_end").c_str(),
+              Value(budgeted, "data_bytes").c_str());
+
+  // The tentpole acceptance properties.
+  FREEHGC_CHECK(!capped.completed)
+      << "unbudgeted run fit under the " << kCapBytes
+      << "-byte cap; the cap no longer demonstrates anything";
+  FREEHGC_CHECK(budgeted.completed)
+      << "budgeted run failed under the same cap";
+  FREEHGC_CHECK(Value(budgeted, "fingerprint") == want_fp)
+      << "budgeted fingerprint " << Value(budgeted, "fingerprint")
+      << " != baseline " << want_fp;
+  FREEHGC_CHECK(std::atoll(Value(budgeted, "spills").c_str()) > 0)
+      << "budgeted run never spilled; budget was not exercised";
+  FREEHGC_CHECK(std::strtoull(Value(budgeted, "cache_resident_end").c_str(),
+                              nullptr, 10) <= budget)
+      << "cache resident bytes above budget after the request drained";
+  std::printf("gate: refused unbudgeted + bit-identical budgeted "
+              "fingerprint — passed\n");
+
+  RecordJson(StrFormat(
+      "\"spill\": {\"graph\": {\"preset\": \"aminer\", \"scale\": %.1f, "
+      "\"nodes\": %lld, \"logical_bytes\": %zu}, "
+      "\"cap_bytes\": %zu, \"budget_bytes\": %zu, "
+      "\"baseline\": {\"fingerprint\": \"%s\", "
+      "\"cache_peak_resident_bytes\": %zu, \"data_bytes\": %s}, "
+      "\"capped_unbudgeted\": {\"refused\": %s}, "
+      "\"budgeted\": {\"fingerprint\": \"%s\", \"spills\": %s, "
+      "\"spill_bytes\": %s, \"cache_resident_end_bytes\": %s, "
+      "\"data_bytes\": %s}, "
+      "\"gate\": {\"max_budget_fraction\": 0.5, \"passed\": true}}",
+      kScale, static_cast<long long>(g.TotalNodes()), g.MemoryBytes(),
+      kCapBytes, budget, want_fp.c_str(), peak,
+      Value(baseline, "data_bytes").c_str(),
+      capped.completed ? "false" : "true",
+      Value(budgeted, "fingerprint").c_str(),
+      Value(budgeted, "spills").c_str(),
+      Value(budgeted, "spill_bytes").c_str(),
+      Value(budgeted, "cache_resident_end").c_str(),
+      Value(budgeted, "data_bytes").c_str()));
+
+  std::system(("rm -rf " + std::string(kSpillDir)).c_str());
+  std::remove(kGraphPath);
+  return 0;
+}
+
+}  // namespace
+}  // namespace freehgc::bench
+
+int main(int argc, char** argv) {
+  bool scenario = false;
+  size_t cap_bytes = 0;
+  size_t budget_bytes = 0;
+  std::string result_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scenario") {
+      scenario = true;
+    } else if (arg.rfind("--cap-bytes=", 0) == 0) {
+      cap_bytes = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--budget-bytes=", 0) == 0) {
+      budget_bytes = std::strtoull(arg.c_str() + 15, nullptr, 10);
+    } else if (arg.rfind("--result=", 0) == 0) {
+      result_path = arg.substr(9);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (scenario) {
+    return freehgc::bench::RunScenario(cap_bytes, budget_bytes, result_path);
+  }
+  (void)argv;
+  // /proc/self/exe, not argv[0]: the re-exec must work however the
+  // parent was invoked (relative path, via PATH, ...).
+  return freehgc::bench::RunParent("/proc/self/exe");
+}

@@ -90,6 +90,7 @@ void MappedFile::Advise(AccessPattern pattern) const {
     case AccessPattern::kSequential: advice = MADV_SEQUENTIAL; break;
     case AccessPattern::kRandom: advice = MADV_RANDOM; break;
     case AccessPattern::kWillNeed: advice = MADV_WILLNEED; break;
+    case AccessPattern::kDontNeed: advice = MADV_DONTNEED; break;
   }
   ::madvise(const_cast<uint8_t*>(data_), size_, advice);
 }

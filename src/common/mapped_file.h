@@ -21,7 +21,15 @@ namespace freehgc {
 /// special-case zero-length inputs.
 class MappedFile {
  public:
-  enum class AccessPattern { kNormal, kSequential, kRandom, kWillNeed };
+  enum class AccessPattern {
+    kNormal,
+    kSequential,
+    kRandom,
+    kWillNeed,
+    /// Pages are cold: let the kernel reclaim them now (MADV_DONTNEED).
+    /// The mapping stays valid — a later touch re-faults from the file.
+    kDontNeed,
+  };
 
   /// Opens and maps `path` read-only.
   static Result<MappedFile> Open(const std::string& path);

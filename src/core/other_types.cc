@@ -1,7 +1,7 @@
 #include "core/other_types.h"
 
 #include <algorithm>
-#include <deque>
+#include <memory>
 #include <numeric>
 #include <queue>
 #include <unordered_set>
@@ -76,13 +76,13 @@ std::vector<int32_t> CondenseFatherType(
           : 1.0f / static_cast<float>(selected_targets.size());
 
   bool any_path = false;
-  std::deque<CsrMatrix> owned;
   for (const auto& p : paths_to_father) {
     if (p.end_type() != father || p.start_type() != target) continue;
     any_path = true;
-    owned.clear();  // uncached adjacencies are only needed for one score
-    const CsrMatrix& composed =
-        ComposedAdjacency(cache, owned, g, p, opts.max_row_nnz, &ex);
+    // Pin held for one score only; released (spillable) per iteration.
+    const std::shared_ptr<const CsrMatrix> composed_pin =
+        ComposedAdjacency(cache, g, p, opts.max_row_nnz, &ex);
+    const CsrMatrix& composed = *composed_pin;
     const CsrMatrix raw_block = BipartiteBlock(composed);
     switch (opts.scorer) {
       case NimScorer::kPprPowerIteration: {

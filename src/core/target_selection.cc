@@ -1,8 +1,8 @@
 #include "core/target_selection.h"
 
 #include <algorithm>
-#include <deque>
 #include <map>
+#include <memory>
 #include <queue>
 
 #include "common/logging.h"
@@ -163,13 +163,18 @@ std::vector<int32_t> CondenseTargetNodes(const HeteroGraph& g,
   // supplied), grouped by end type for the Jaccard term (Eq. 6 compares
   // paths sharing source and target types).
   std::map<TypeId, std::vector<size_t>> group_of_end;
-  std::deque<CsrMatrix> owned;
+  // Every path's adjacency is used across the whole selection loop, so
+  // the pins are held for the function's duration (a budgeted cache can
+  // only spill them after we return).
+  std::vector<std::shared_ptr<const CsrMatrix>> pins;
   std::vector<const CsrMatrix*> composed;
+  pins.reserve(paths.size());
   composed.reserve(paths.size());
   for (size_t i = 0; i < paths.size(); ++i) {
     FREEHGC_CHECK(paths[i].start_type() == target);
-    composed.push_back(
-        &ComposedAdjacency(cache, owned, g, paths[i], opts.max_row_nnz, &ex));
+    pins.push_back(
+        ComposedAdjacency(cache, g, paths[i], opts.max_row_nnz, &ex));
+    composed.push_back(pins.back().get());
     group_of_end[paths[i].end_type()].push_back(i);
   }
 

@@ -2,35 +2,33 @@
 //
 // Layout (all integers little-endian, the only byte order we target):
 //
-//   [0, 4096)              fixed header (V3Header + zero padding)
+//   [0, 4096)              fixed header (section_io::FileHeader + padding)
 //   [4096, table_offset)   sections, each starting on a 4096-byte boundary
-//   [table_offset, EOF)    section table: section_count V3Section entries
+//   [table_offset, EOF)    section table: section_count SectionEntry records
 //
-// The section table lives at the END of the file (ZIP-central-directory
-// style) so the writer can stream sections of unknown size without
-// seeking; only the fixed-size header is patched at offset 0 on Finish.
+// The per-section machinery (page alignment, CRC-32, trailing table,
+// tmp+fsync+rename publish) lives in graph/section_io.{h,cc}, shared with
+// the artifact spill files; this file layers the graph-specific pieces on
+// top: the META section describing types/relations/labels, the mapping of
+// sections onto HeteroGraph storage, and zero-copy view construction.
 // Every array payload (CSR indptr/indices/values, feature matrices,
 // labels, splits) is its own section, page-aligned and CRC-32 protected,
 // which is what lets MapHeteroGraph hand out zero-copy views: a mapped
 // int64 span is valid because section offsets are multiples of 4096 and
 // mmap returns page-aligned bases.
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/crc32.h"
 #include "common/mapped_file.h"
 #include "common/string_util.h"
+#include "graph/section_io.h"
 #include "graph/serialize.h"
 #include "graph/serialize_internal.h"
 
@@ -38,6 +36,9 @@ namespace freehgc {
 
 namespace {
 
+using section_io::SectionEntry;
+using section_io::SectionView;
+using section_io::SectionWriter;
 using serialize_internal::ByteReader;
 using serialize_internal::FilePtr;
 using serialize_internal::kMagic;
@@ -47,68 +48,15 @@ using serialize_internal::ReadString;
 using serialize_internal::WritePod;
 using serialize_internal::WriteString;
 
-constexpr uint64_t kV3Align = 4096;
-constexpr size_t kV3HeaderBytes = 4096;
-constexpr uint32_t kSectionMagic = 0x46534543;  // "FSEC"
-constexpr uint32_t kMaxSections = 1u << 20;
-
-// Section kinds. INDPTR/INDICES/VALUES index by relation ordinal,
-// FEATURES by type ordinal; META/LABELS/TRAIN/VAL/TEST use index 0.
-enum V3Kind : uint32_t {
-  kMeta = 1,
-  kIndptr = 2,
-  kIndices = 3,
-  kValues = 4,
-  kFeatures = 5,
-  kLabels = 6,
-  kTrain = 7,
-  kVal = 8,
-  kTest = 9,
-};
-
-const char* KindName(uint32_t kind) {
-  switch (kind) {
-    case kMeta: return "meta";
-    case kIndptr: return "indptr";
-    case kIndices: return "indices";
-    case kValues: return "values";
-    case kFeatures: return "features";
-    case kLabels: return "labels";
-    case kTrain: return "train";
-    case kVal: return "val";
-    case kTest: return "test";
-    default: return "unknown";
-  }
-}
-
-#pragma pack(push, 1)
-struct V3Header {
-  uint32_t magic = kMagic;
-  uint32_t version = kVersionV3;
-  uint32_t flags = 0;
-  uint32_t section_count = 0;
-  uint64_t file_size = 0;
-  uint64_t table_offset = 0;
-  uint64_t table_size = 0;
-  uint64_t content_fingerprint = 0;
-  uint32_t table_crc = 0;
-  uint32_t header_crc = 0;  // CRC-32 of the preceding 52 bytes
-};
-
-struct V3Section {
-  uint32_t magic = kSectionMagic;
-  uint32_t kind = 0;
-  uint32_t index = 0;
-  uint32_t crc = 0;
-  uint64_t offset = 0;
-  uint64_t size = 0;           // payload bytes
-  uint64_t logical_count = 0;  // element count (rows+1, nnz, floats, ids)
-  uint64_t reserved = 0;
-};
-#pragma pack(pop)
-
-static_assert(sizeof(V3Header) == 56, "v3 header layout is frozen");
-static_assert(sizeof(V3Section) == 48, "v3 section entry layout is frozen");
+using section_io::kFeatures;
+using section_io::kIndices;
+using section_io::kIndptr;
+using section_io::kLabels;
+using section_io::kMeta;
+using section_io::kTest;
+using section_io::kTrain;
+using section_io::kVal;
+using section_io::kValues;
 
 /// Staged metadata describing the sections; serialized into the META
 /// section on Finish and parsed back on map.
@@ -207,24 +155,12 @@ Result<V3Meta> ParseMeta(std::string_view bytes) {
 // --- Writer ---------------------------------------------------------------
 
 struct HeteroGraphV3Writer::Impl {
-  std::string final_path;
-  std::string tmp_path;
-  FilePtr file;
-  uint64_t offset = 0;  // bytes written so far
-  std::vector<V3Section> sections;
+  SectionWriter writer;
   V3Meta meta;
   int64_t total_edges = 0;
   bool have_fingerprint = false;
   uint64_t fingerprint = 0;
   bool have_split = false;
-  bool finished = false;
-
-  // Open section accumulation.
-  uint32_t cur_kind = 0;
-  uint32_t cur_index = 0;
-  uint32_t cur_crc = 0;
-  uint64_t cur_size = 0;
-  uint64_t cur_off = 0;
 
   // Open feature block.
   bool feat_open = false;
@@ -232,83 +168,18 @@ struct HeteroGraphV3Writer::Impl {
   int64_t feat_rows_left = 0;
   int64_t feat_cols = 0;
 
-  Status WriteRaw(const void* data, size_t n) {
-    if (n > 0 && std::fwrite(data, 1, n, file.get()) != n) {
-      return Status::Internal("short write to " + tmp_path);
-    }
-    offset += n;
-    return Status::OK();
-  }
+  explicit Impl(SectionWriter w) : writer(std::move(w)) {}
 
-  /// Zero-pads to the next 4096-byte boundary.
-  Status Pad() {
-    static const char zeros[kV3Align] = {};
-    const uint64_t rem = offset % kV3Align;
-    if (rem == 0) return Status::OK();
-    return WriteRaw(zeros, static_cast<size_t>(kV3Align - rem));
-  }
-
-  Status BeginSection(uint32_t kind, uint32_t index) {
-    FREEHGC_RETURN_IF_ERROR(Pad());
-    cur_kind = kind;
-    cur_index = index;
-    cur_crc = 0;
-    cur_size = 0;
-    cur_off = offset;
-    return Status::OK();
-  }
-
-  Status Append(const void* data, size_t n) {
-    FREEHGC_RETURN_IF_ERROR(WriteRaw(data, n));
-    cur_crc = Crc32(data, n, cur_crc);
-    cur_size += n;
-    return Status::OK();
-  }
-
-  void EndSection(uint64_t logical_count) {
-    V3Section s;
-    s.kind = cur_kind;
-    s.index = cur_index;
-    s.crc = cur_crc;
-    s.offset = cur_off;
-    s.size = cur_size;
-    s.logical_count = logical_count;
-    sections.push_back(s);
-  }
-
-  template <typename T>
-  Status WriteArraySection(uint32_t kind, uint32_t index,
-                           std::span<const T> data) {
-    FREEHGC_RETURN_IF_ERROR(BeginSection(kind, index));
-    FREEHGC_RETURN_IF_ERROR(Append(data.data(), data.size() * sizeof(T)));
-    EndSection(data.size());
-    return Status::OK();
-  }
-
-  Status CheckOpen() const {
-    if (!file) return Status::FailedPrecondition("v3 writer is not open");
-    if (finished) {
-      return Status::FailedPrecondition("v3 writer already finished");
-    }
-    return Status::OK();
-  }
+  Status CheckOpen() const { return writer.CheckOpen(); }
 };
 
 Result<HeteroGraphV3Writer> HeteroGraphV3Writer::Create(
     const std::string& path) {
-  auto impl = std::make_unique<Impl>();
-  impl->final_path = path;
-  impl->tmp_path = path + ".tmp";
-  impl->file.reset(std::fopen(impl->tmp_path.c_str(), "wb"));
-  if (!impl->file) {
-    return Status::InvalidArgument("cannot open for write: " +
-                                   impl->tmp_path);
-  }
-  // Reserve the header page; the real header is patched in on Finish.
-  static const char zeros[kV3HeaderBytes] = {};
-  FREEHGC_RETURN_IF_ERROR(impl->WriteRaw(zeros, sizeof(zeros)));
+  FREEHGC_ASSIGN_OR_RETURN(
+      SectionWriter sw,
+      SectionWriter::Create(path, section_io::GraphContainerFormat()));
   HeteroGraphV3Writer w;
-  w.impl_ = impl.release();
+  w.impl_ = new Impl(std::move(sw));
   return w;
 }
 
@@ -331,10 +202,7 @@ HeteroGraphV3Writer::~HeteroGraphV3Writer() { Abandon(); }
 
 void HeteroGraphV3Writer::Abandon() {
   if (impl_ == nullptr) return;
-  if (impl_->file && !impl_->finished) {
-    impl_->file.reset();
-    std::remove(impl_->tmp_path.c_str());
-  }
+  impl_->writer.Abandon();
   delete impl_;
   impl_ = nullptr;
 }
@@ -366,11 +234,11 @@ Status HeteroGraphV3Writer::AddRelation(const std::string& name, TypeId src,
   }
   const auto index = static_cast<uint32_t>(impl_->meta.relations.size());
   FREEHGC_RETURN_IF_ERROR(
-      impl_->WriteArraySection(kIndptr, index, adj.indptr()));
+      impl_->writer.WriteArraySection(kIndptr, index, adj.indptr()));
   FREEHGC_RETURN_IF_ERROR(
-      impl_->WriteArraySection(kIndices, index, adj.indices()));
+      impl_->writer.WriteArraySection(kIndices, index, adj.indices()));
   FREEHGC_RETURN_IF_ERROR(
-      impl_->WriteArraySection(kValues, index, adj.values()));
+      impl_->writer.WriteArraySection(kValues, index, adj.values()));
   impl_->meta.relations.push_back(
       {name, src, dst, adj.rows(), adj.cols(), adj.nnz()});
   impl_->total_edges += adj.nnz();
@@ -395,7 +263,7 @@ Status HeteroGraphV3Writer::BeginFeatures(TypeId type, int64_t rows,
     return Status::InvalidArgument("feature shape mismatch for " + tm.name);
   }
   FREEHGC_RETURN_IF_ERROR(
-      impl_->BeginSection(kFeatures, static_cast<uint32_t>(type)));
+      impl_->writer.BeginSection(kFeatures, static_cast<uint32_t>(type)));
   impl_->feat_open = true;
   impl_->feat_type = type;
   impl_->feat_rows_left = rows;
@@ -414,7 +282,7 @@ Status HeteroGraphV3Writer::AppendFeatureRows(const float* data,
   }
   const size_t bytes = static_cast<size_t>(num_rows) *
                        static_cast<size_t>(impl_->feat_cols) * sizeof(float);
-  FREEHGC_RETURN_IF_ERROR(impl_->Append(data, bytes));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.Append(data, bytes));
   impl_->feat_rows_left -= num_rows;
   return Status::OK();
 }
@@ -431,8 +299,9 @@ Status HeteroGraphV3Writer::EndFeatures() {
   tm.has_features = true;
   tm.feat_rows = tm.count;
   tm.feat_cols = impl_->feat_cols;
-  impl_->EndSection(static_cast<uint64_t>(tm.feat_rows) *
-                    static_cast<uint64_t>(tm.feat_cols));
+  FREEHGC_RETURN_IF_ERROR(
+      impl_->writer.EndSection(static_cast<uint64_t>(tm.feat_rows) *
+                               static_cast<uint64_t>(tm.feat_cols)));
   impl_->feat_open = false;
   impl_->feat_type = -1;
   return Status::OK();
@@ -462,7 +331,7 @@ Status HeteroGraphV3Writer::SetTarget(TypeId type,
   if (labels.size() != count) {
     return Status::InvalidArgument("label count does not match target type");
   }
-  FREEHGC_RETURN_IF_ERROR(impl_->WriteArraySection(kLabels, 0, labels));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.WriteArraySection(kLabels, 0, labels));
   impl_->meta.target = type;
   impl_->meta.num_classes = num_classes;
   impl_->meta.label_count = labels.size();
@@ -479,9 +348,9 @@ Status HeteroGraphV3Writer::SetSplit(std::span<const int32_t> train,
   if (impl_->have_split) {
     return Status::FailedPrecondition("split already set");
   }
-  FREEHGC_RETURN_IF_ERROR(impl_->WriteArraySection(kTrain, 0, train));
-  FREEHGC_RETURN_IF_ERROR(impl_->WriteArraySection(kVal, 0, val));
-  FREEHGC_RETURN_IF_ERROR(impl_->WriteArraySection(kTest, 0, test));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.WriteArraySection(kTrain, 0, train));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.WriteArraySection(kVal, 0, val));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.WriteArraySection(kTest, 0, test));
   impl_->meta.train_count = train.size();
   impl_->meta.val_count = val.size();
   impl_->meta.test_count = test.size();
@@ -505,48 +374,18 @@ Result<V3WriteSummary> HeteroGraphV3Writer::Finish() {
     return Status::FailedPrecondition(
         "SetContentFingerprint required before Finish");
   }
-  // Meta section, then the table on the next page boundary.
+  // Meta section, then section_io writes the table + header.
   const std::string meta = SerializeMeta(impl_->meta);
-  FREEHGC_RETURN_IF_ERROR(impl_->BeginSection(kMeta, 0));
-  FREEHGC_RETURN_IF_ERROR(impl_->Append(meta.data(), meta.size()));
-  impl_->EndSection(meta.size());
-  FREEHGC_RETURN_IF_ERROR(impl_->Pad());
-
-  V3Header h;
-  h.section_count = static_cast<uint32_t>(impl_->sections.size());
-  h.table_offset = impl_->offset;
-  h.table_size = impl_->sections.size() * sizeof(V3Section);
-  h.content_fingerprint = impl_->fingerprint;
-  std::string table;
-  table.reserve(h.table_size);
-  for (const auto& s : impl_->sections) {
-    table.append(reinterpret_cast<const char*>(&s), sizeof(s));
-  }
-  h.table_crc = Crc32(table.data(), table.size());
-  FREEHGC_RETURN_IF_ERROR(impl_->WriteRaw(table.data(), table.size()));
-  h.file_size = impl_->offset;
-  h.header_crc = Crc32(&h, offsetof(V3Header, header_crc));
-
-  char page[kV3HeaderBytes] = {};
-  std::memcpy(page, &h, sizeof(h));
-  if (std::fseek(impl_->file.get(), 0, SEEK_SET) != 0 ||
-      std::fwrite(page, 1, sizeof(page), impl_->file.get()) !=
-          sizeof(page) ||
-      std::fflush(impl_->file.get()) != 0 ||
-      ::fsync(::fileno(impl_->file.get())) != 0) {
-    return Status::Internal("cannot finalize " + impl_->tmp_path);
-  }
-  impl_->file.reset();
-  if (std::rename(impl_->tmp_path.c_str(), impl_->final_path.c_str()) != 0) {
-    std::remove(impl_->tmp_path.c_str());
-    return Status::Internal("cannot rename " + impl_->tmp_path + " to " +
-                            impl_->final_path);
-  }
-  impl_->finished = true;
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.BeginSection(kMeta, 0));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.Append(meta.data(), meta.size()));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.EndSection(meta.size()));
+  FREEHGC_RETURN_IF_ERROR(
+      impl_->writer.SetContentFingerprint(impl_->fingerprint));
+  FREEHGC_ASSIGN_OR_RETURN(const uint64_t file_bytes, impl_->writer.Finish());
 
   V3WriteSummary summary;
   summary.fingerprint = impl_->fingerprint;
-  summary.file_bytes = h.file_size;
+  summary.file_bytes = file_bytes;
   for (const auto& t : impl_->meta.types) summary.nodes += t.count;
   summary.edges = impl_->total_edges;
   return summary;
@@ -584,131 +423,14 @@ Result<V3WriteSummary> SaveHeteroGraphV3(const HeteroGraph& g,
 
 namespace {
 
-struct ParsedTable {
-  V3Header header;
-  std::vector<V3Section> sections;
-  // (kind, index) -> position in `sections`.
-  std::unordered_map<uint64_t, size_t> by_key;
-
-  const V3Section* Find(uint32_t kind, uint32_t index) const {
-    auto it = by_key.find((static_cast<uint64_t>(kind) << 32) | index);
-    return it == by_key.end() ? nullptr : &sections[it->second];
-  }
-};
-
-/// Validates header + section table structure (magics, CRCs, alignment,
-/// bounds). Section payload CRCs are NOT verified here; callers decide
-/// whether to fail (map/load) or report (inspect).
-Result<ParsedTable> ParseTable(const uint8_t* base, size_t size) {
-  ParsedTable t;
-  if (size < kV3HeaderBytes) {
-    return Status::InvalidArgument("v3 container shorter than its header");
-  }
-  std::memcpy(&t.header, base, sizeof(t.header));
-  const V3Header& h = t.header;
-  if (h.magic != kMagic || h.version != kVersionV3) {
-    return Status::InvalidArgument("not a v3 graph container");
-  }
-  const uint32_t actual_hcrc = Crc32(&h, offsetof(V3Header, header_crc));
-  if (actual_hcrc != h.header_crc) {
-    return Status::InvalidArgument(StrFormat(
-        "v3 header checksum mismatch (stored %08x, computed %08x)",
-        h.header_crc, actual_hcrc));
-  }
-  if (h.file_size != size) {
-    return Status::InvalidArgument(StrFormat(
-        "v3 container truncated: %zu of %llu bytes", size,
-        static_cast<unsigned long long>(h.file_size)));
-  }
-  if (h.section_count > kMaxSections ||
-      h.table_size != h.section_count * sizeof(V3Section) ||
-      h.table_offset < kV3HeaderBytes ||
-      h.table_offset % kV3Align != 0 ||
-      h.table_offset + h.table_size != size) {
-    return Status::InvalidArgument("v3 section table out of bounds");
-  }
-  const uint32_t actual_tcrc = Crc32(base + h.table_offset, h.table_size);
-  if (actual_tcrc != h.table_crc) {
-    return Status::InvalidArgument(StrFormat(
-        "v3 section table checksum mismatch (stored %08x, computed %08x)",
-        h.table_crc, actual_tcrc));
-  }
-  t.sections.resize(h.section_count);
-  if (h.table_size > 0) {
-    std::memcpy(t.sections.data(), base + h.table_offset, h.table_size);
-  }
-  for (size_t i = 0; i < t.sections.size(); ++i) {
-    const V3Section& s = t.sections[i];
-    if (s.magic != kSectionMagic) {
-      return Status::InvalidArgument("v3 section entry magic mismatch");
-    }
-    if (s.offset % kV3Align != 0) {
-      return Status::InvalidArgument(StrFormat(
-          "v3 section %s[%u] misaligned (offset %llu)", KindName(s.kind),
-          s.index, static_cast<unsigned long long>(s.offset)));
-    }
-    if (s.offset < kV3HeaderBytes || s.offset > h.table_offset ||
-        s.size > h.table_offset - s.offset) {
-      return Status::InvalidArgument(StrFormat(
-          "v3 section %s[%u] out of bounds", KindName(s.kind), s.index));
-    }
-    const uint64_t key = (static_cast<uint64_t>(s.kind) << 32) | s.index;
-    if (!t.by_key.emplace(key, i).second) {
-      return Status::InvalidArgument(StrFormat(
-          "v3 duplicate section %s[%u]", KindName(s.kind), s.index));
-    }
-  }
-  return t;
-}
-
-Status VerifySectionCrc(const uint8_t* base, const V3Section& s) {
-  const uint32_t actual = Crc32(base + s.offset, s.size);
-  if (actual != s.crc) {
-    return Status::InvalidArgument(StrFormat(
-        "v3 section %s[%u] checksum mismatch (stored %08x, computed %08x)",
-        KindName(s.kind), s.index, s.crc, actual));
-  }
-  return Status::OK();
-}
-
-/// Locates a section and checks its payload is exactly `count` elements
-/// of `elem_size` bytes.
-Result<const V3Section*> RequireArray(const ParsedTable& t, uint32_t kind,
-                                      uint32_t index, uint64_t count,
-                                      size_t elem_size) {
-  const V3Section* s = t.Find(kind, index);
-  if (s == nullptr) {
-    return Status::InvalidArgument(StrFormat(
-        "v3 container missing section %s[%u]", KindName(kind), index));
-  }
-  if (s->size != count * elem_size || s->logical_count != count) {
-    return Status::InvalidArgument(StrFormat(
-        "v3 section %s[%u] size does not match metadata", KindName(kind),
-        index));
-  }
-  return s;
-}
-
-template <typename T>
-std::span<const T> SectionSpan(const uint8_t* base, const V3Section& s) {
-  return {reinterpret_cast<const T*>(base + s.offset),
-          static_cast<size_t>(s.size / sizeof(T))};
-}
-
-template <typename T>
-std::vector<T> SectionCopy(const uint8_t* base, const V3Section& s) {
-  std::vector<T> v(static_cast<size_t>(s.size / sizeof(T)));
-  if (s.size > 0) std::memcpy(v.data(), base + s.offset, s.size);
-  return v;
-}
-
-/// Builds a HeteroGraph from a validated v3 image. With a keepalive the
-/// relations and features view `base` directly (the mmap path); without
-/// one everything is deep-copied (the in-memory upload path, where `base`
-/// is a transient buffer with no alignment guarantee).
-Result<HeteroGraph> BuildGraph(const uint8_t* base, const ParsedTable& t,
-                               std::shared_ptr<const void> keepalive) {
-  const V3Section* meta_sec = t.Find(kMeta, 0);
+/// Builds a HeteroGraph from a validated section view. With a mapping the
+/// relations and features view the file directly (the mmap path); without
+/// one everything is deep-copied (the in-memory upload path, where the
+/// buffer is transient with no alignment guarantee).
+Result<HeteroGraph> BuildGraph(const SectionView& v) {
+  const uint8_t* base = v.base();
+  const std::shared_ptr<const MappedFile>& keepalive = v.mapping();
+  const SectionEntry* meta_sec = v.Find(kMeta, 0);
   if (meta_sec == nullptr) {
     return Status::InvalidArgument("v3 container missing meta section");
   }
@@ -728,23 +450,21 @@ Result<HeteroGraph> BuildGraph(const uint8_t* base, const ParsedTable& t,
     const auto rows1 = static_cast<uint64_t>(rm.rows) + 1;
     const auto nnz = static_cast<uint64_t>(rm.nnz);
     FREEHGC_ASSIGN_OR_RETURN(
-        const V3Section* ip,
-        RequireArray(t, kIndptr, i, rows1, sizeof(int64_t)));
+        const SectionEntry* ip,
+        v.RequireArray(kIndptr, i, rows1, sizeof(int64_t)));
     FREEHGC_ASSIGN_OR_RETURN(
-        const V3Section* ix,
-        RequireArray(t, kIndices, i, nnz, sizeof(int32_t)));
+        const SectionEntry* ix,
+        v.RequireArray(kIndices, i, nnz, sizeof(int32_t)));
     FREEHGC_ASSIGN_OR_RETURN(
-        const V3Section* va, RequireArray(t, kValues, i, nnz, sizeof(float)));
+        const SectionEntry* va,
+        v.RequireArray(kValues, i, nnz, sizeof(float)));
     Result<CsrMatrix> adj =
         keepalive != nullptr
-            ? CsrMatrix::FromView(rm.rows, rm.cols,
-                                  SectionSpan<int64_t>(base, *ip),
-                                  SectionSpan<int32_t>(base, *ix),
-                                  SectionSpan<float>(base, *va), keepalive)
-            : CsrMatrix::FromParts(rm.rows, rm.cols,
-                                   SectionCopy<int64_t>(base, *ip),
-                                   SectionCopy<int32_t>(base, *ix),
-                                   SectionCopy<float>(base, *va));
+            ? CsrMatrix::FromView(rm.rows, rm.cols, v.Span<int64_t>(*ip),
+                                  v.Span<int32_t>(*ix), v.Span<float>(*va),
+                                  keepalive)
+            : CsrMatrix::FromParts(rm.rows, rm.cols, v.Copy<int64_t>(*ip),
+                                   v.Copy<int32_t>(*ix), v.Copy<float>(*va));
     if (!adj.ok()) return adj.status();
     auto added = g.AddRelation(rm.name, rm.src_type, rm.dst_type,
                                std::move(*adj));
@@ -760,13 +480,13 @@ Result<HeteroGraph> BuildGraph(const uint8_t* base, const ParsedTable& t,
     const uint64_t count = static_cast<uint64_t>(tm.feat_rows) *
                            static_cast<uint64_t>(tm.feat_cols);
     FREEHGC_ASSIGN_OR_RETURN(
-        const V3Section* fs,
-        RequireArray(t, kFeatures, static_cast<uint32_t>(ti), count,
-                     sizeof(float)));
+        const SectionEntry* fs,
+        v.RequireArray(kFeatures, static_cast<uint32_t>(ti), count,
+                       sizeof(float)));
     Matrix m;
     if (keepalive != nullptr) {
-      m = Matrix::FromView(tm.feat_rows, tm.feat_cols,
-                           SectionSpan<float>(base, *fs), keepalive);
+      m = Matrix::FromView(tm.feat_rows, tm.feat_cols, v.Span<float>(*fs),
+                           keepalive);
     } else {
       m = Matrix(tm.feat_rows, tm.feat_cols);
       if (fs->size > 0) std::memcpy(m.data(), base + fs->offset, fs->size);
@@ -776,23 +496,23 @@ Result<HeteroGraph> BuildGraph(const uint8_t* base, const ParsedTable& t,
   }
   if (meta.target >= 0) {
     FREEHGC_ASSIGN_OR_RETURN(
-        const V3Section* ls,
-        RequireArray(t, kLabels, 0, meta.label_count, sizeof(int32_t)));
+        const SectionEntry* ls,
+        v.RequireArray(kLabels, 0, meta.label_count, sizeof(int32_t)));
     FREEHGC_ASSIGN_OR_RETURN(
-        const V3Section* tr,
-        RequireArray(t, kTrain, 0, meta.train_count, sizeof(int32_t)));
+        const SectionEntry* tr,
+        v.RequireArray(kTrain, 0, meta.train_count, sizeof(int32_t)));
     FREEHGC_ASSIGN_OR_RETURN(
-        const V3Section* va,
-        RequireArray(t, kVal, 0, meta.val_count, sizeof(int32_t)));
+        const SectionEntry* va,
+        v.RequireArray(kVal, 0, meta.val_count, sizeof(int32_t)));
     FREEHGC_ASSIGN_OR_RETURN(
-        const V3Section* te,
-        RequireArray(t, kTest, 0, meta.test_count, sizeof(int32_t)));
+        const SectionEntry* te,
+        v.RequireArray(kTest, 0, meta.test_count, sizeof(int32_t)));
     // Labels and splits are small; always owned, even when mapped.
-    FREEHGC_RETURN_IF_ERROR(g.SetTarget(
-        meta.target, SectionCopy<int32_t>(base, *ls), meta.num_classes));
-    FREEHGC_RETURN_IF_ERROR(g.SetSplit(SectionCopy<int32_t>(base, *tr),
-                                       SectionCopy<int32_t>(base, *va),
-                                       SectionCopy<int32_t>(base, *te)));
+    FREEHGC_RETURN_IF_ERROR(g.SetTarget(meta.target, v.Copy<int32_t>(*ls),
+                                        meta.num_classes));
+    FREEHGC_RETURN_IF_ERROR(g.SetSplit(v.Copy<int32_t>(*tr),
+                                       v.Copy<int32_t>(*va),
+                                       v.Copy<int32_t>(*te)));
   }
   FREEHGC_RETURN_IF_ERROR(g.Validate());
   return g;
@@ -801,21 +521,17 @@ Result<HeteroGraph> BuildGraph(const uint8_t* base, const ParsedTable& t,
 }  // namespace
 
 Result<MappedGraph> MapHeteroGraphDetailed(const std::string& path) {
-  FREEHGC_ASSIGN_OR_RETURN(std::shared_ptr<const MappedFile> mf,
-                           MappedFile::OpenShared(path));
-  const uint8_t* base = mf->data();
-  FREEHGC_ASSIGN_OR_RETURN(ParsedTable t, ParseTable(base, mf->size()));
+  FREEHGC_ASSIGN_OR_RETURN(
+      SectionView v,
+      SectionView::Map(path, section_io::GraphContainerFormat()));
   // Verify every payload before handing out views: a sequential pass at
   // CRC speed, and the kernel readahead it triggers doubles as a warmup.
-  mf->Advise(MappedFile::AccessPattern::kSequential);
-  for (const auto& s : t.sections) {
-    FREEHGC_RETURN_IF_ERROR(VerifySectionCrc(base, s));
-  }
-  mf->Advise(MappedFile::AccessPattern::kNormal);
+  FREEHGC_RETURN_IF_ERROR(v.VerifyAllCrcs());
   MappedGraph out;
-  FREEHGC_ASSIGN_OR_RETURN(out.graph, BuildGraph(base, t, mf));
-  out.fingerprint = t.header.content_fingerprint;
-  out.file_bytes = t.header.file_size;
+  FREEHGC_ASSIGN_OR_RETURN(out.graph, BuildGraph(v));
+  out.fingerprint = v.fingerprint();
+  out.file_bytes = v.file_bytes();
+  out.mapping = v.mapping();
   return out;
 }
 
@@ -828,23 +544,66 @@ namespace serialize_internal {
 
 Result<HeteroGraph> ParseV3Memory(std::string_view bytes) {
   const auto* base = reinterpret_cast<const uint8_t*>(bytes.data());
-  FREEHGC_ASSIGN_OR_RETURN(ParsedTable t, ParseTable(base, bytes.size()));
-  for (const auto& s : t.sections) {
-    FREEHGC_RETURN_IF_ERROR(VerifySectionCrc(base, s));
-  }
-  return BuildGraph(base, t, nullptr);
+  FREEHGC_ASSIGN_OR_RETURN(
+      SectionView v,
+      SectionView::Parse(base, bytes.size(),
+                         section_io::GraphContainerFormat()));
+  FREEHGC_RETURN_IF_ERROR(v.VerifyAllCrcs());
+  return BuildGraph(v);
 }
 
 }  // namespace serialize_internal
 
 // --- Inspection -----------------------------------------------------------
 
+namespace {
+
+/// Shared section-table walk for v3 containers and spill files.
+void SummarizeSections(const SectionView& v, ContainerSummary* out) {
+  out->file_bytes = v.file_bytes();
+  out->fingerprint = v.fingerprint();
+  out->crc_ok = true;
+  for (const auto& s : v.sections()) {
+    SectionSummary ss;
+    ss.kind = section_io::KindName(s.kind);
+    ss.index = s.index;
+    ss.offset = s.offset;
+    ss.size = s.size;
+    ss.logical_count = s.logical_count;
+    ss.stored_crc = s.crc;
+    ss.crc_ok = v.VerifyCrc(s).ok();
+    out->crc_ok = out->crc_ok && ss.crc_ok;
+    out->sections.push_back(std::move(ss));
+  }
+}
+
+}  // namespace
+
+Result<ContainerSummary> InspectSpillFile(const std::string& path) {
+  FREEHGC_ASSIGN_OR_RETURN(
+      SectionView v, SectionView::Map(path, section_io::SpillFormat()));
+  if (v.mapping() != nullptr) {
+    v.mapping()->Advise(MappedFile::AccessPattern::kSequential);
+  }
+  ContainerSummary out;
+  out.version = section_io::kSpillVersion;
+  out.spill = true;
+  SummarizeSections(v, &out);
+  return out;
+}
+
 Result<ContainerSummary> InspectContainer(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::NotFound("cannot open: " + path);
   uint32_t magic = 0, version = 0;
-  if (std::fread(&magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
-      magic != kMagic) {
+  if (std::fread(&magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
+    return Status::InvalidArgument("not a FreeHGC graph file: " + path);
+  }
+  if (magic == section_io::kSpillMagic) {
+    f.reset();
+    return InspectSpillFile(path);
+  }
+  if (magic != kMagic) {
     return Status::InvalidArgument("not a FreeHGC graph file: " + path);
   }
   if (std::fread(&version, 1, sizeof(version), f.get()) != sizeof(version)) {
@@ -858,33 +617,18 @@ Result<ContainerSummary> InspectContainer(const std::string& path) {
     return Status::InvalidArgument("unsupported graph file version");
   }
   f.reset();
-  FREEHGC_ASSIGN_OR_RETURN(std::shared_ptr<const MappedFile> mf,
-                           MappedFile::OpenShared(path));
-  const uint8_t* base = mf->data();
-  FREEHGC_ASSIGN_OR_RETURN(ParsedTable t, ParseTable(base, mf->size()));
-  mf->Advise(MappedFile::AccessPattern::kSequential);
+  FREEHGC_ASSIGN_OR_RETURN(
+      SectionView v,
+      SectionView::Map(path, section_io::GraphContainerFormat()));
+  v.mapping()->Advise(MappedFile::AccessPattern::kSequential);
 
   ContainerSummary out;
   out.version = kVersionV3;
-  out.file_bytes = t.header.file_size;
-  out.fingerprint = t.header.content_fingerprint;
-  out.crc_ok = true;
-  for (const auto& s : t.sections) {
-    SectionSummary ss;
-    ss.kind = KindName(s.kind);
-    ss.index = s.index;
-    ss.offset = s.offset;
-    ss.size = s.size;
-    ss.logical_count = s.logical_count;
-    ss.stored_crc = s.crc;
-    ss.crc_ok = Crc32(base + s.offset, s.size) == s.crc;
-    out.crc_ok = out.crc_ok && ss.crc_ok;
-    out.sections.push_back(std::move(ss));
-  }
-  const V3Section* meta_sec = t.Find(kMeta, 0);
+  SummarizeSections(v, &out);
+  const SectionEntry* meta_sec = v.Find(kMeta, 0);
   if (meta_sec != nullptr) {
     auto meta = ParseMeta(std::string_view(
-        reinterpret_cast<const char*>(base + meta_sec->offset),
+        reinterpret_cast<const char*>(v.base() + meta_sec->offset),
         meta_sec->size));
     if (meta.ok()) {
       for (const auto& tm : meta->types) {

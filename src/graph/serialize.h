@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mapped_file.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "graph/hetero_graph.h"
@@ -134,6 +136,9 @@ struct MappedGraph {
   HeteroGraph graph;         ///< storage views the mapping (zero-copy)
   uint64_t fingerprint = 0;  ///< content fingerprint from the header
   uint64_t file_bytes = 0;   ///< container size (== mapped bytes)
+  /// The underlying mapping (also held by every view inside `graph`).
+  /// Residency managers use it for madvise hints on cold/hot transitions.
+  std::shared_ptr<const MappedFile> mapping;
 };
 
 /// Memory-maps a v3 container. Every section CRC is verified against the
@@ -176,6 +181,7 @@ struct ContainerSummary {
   uint64_t file_bytes = 0;
   uint64_t fingerprint = 0;  ///< v3 only; 0 otherwise
   bool crc_ok = false;       ///< all checksums match
+  bool spill = false;        ///< artifact spill file, not a graph container
   std::vector<std::pair<std::string, int64_t>> types;  ///< name, node count
   std::vector<RelationSummary> relations;
   std::vector<SectionSummary> sections;  ///< v3 only
@@ -185,6 +191,11 @@ struct ContainerSummary {
 /// container version, streaming the file for CRC verification (constant
 /// memory; values are never materialized).
 Result<ContainerSummary> InspectContainer(const std::string& path);
+
+/// Inspects an artifact spill file (section_io::SpillFormat) the tiered
+/// ArtifactCache writes: section table + CRC verification, `spill` set.
+/// InspectContainer dispatches here automatically on the spill magic.
+Result<ContainerSummary> InspectSpillFile(const std::string& path);
 
 /// Loads a heterogeneous graph from plain CSV files, the interchange
 /// format for bringing real datasets into the library:

@@ -1,0 +1,171 @@
+#include "hgnn/feature_spill.h"
+
+#include <cstring>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/section_io.h"
+#include "graph/serialize_internal.h"
+
+namespace freehgc::hgnn {
+
+namespace {
+
+using section_io::SectionEntry;
+using section_io::SectionView;
+using section_io::SectionWriter;
+using serialize_internal::ByteReader;
+using serialize_internal::ReadPod;
+using serialize_internal::ReadString;
+using serialize_internal::WritePod;
+using serialize_internal::WriteString;
+
+struct BlockMeta {
+  std::string name;
+  TypeId end_type = -1;
+  int64_t rows = 0;
+  int64_t cols = 0;
+};
+
+std::string SerializeBlockMeta(const std::vector<BlockMeta>& blocks) {
+  std::string out;
+  WritePod(out, static_cast<uint32_t>(blocks.size()));
+  for (const auto& b : blocks) {
+    WriteString(out, b.name);
+    WritePod(out, b.end_type);
+    WritePod(out, b.rows);
+    WritePod(out, b.cols);
+  }
+  return out;
+}
+
+Result<std::vector<BlockMeta>> ParseBlockMeta(std::string_view bytes) {
+  ByteReader r(bytes);
+  uint32_t count = 0;
+  if (!ReadPod(r, &count) || count > 65536) {
+    return Status::InvalidArgument("spill meta: bad block count");
+  }
+  std::vector<BlockMeta> blocks(count);
+  for (auto& b : blocks) {
+    if (!ReadString(r, &b.name) || !ReadPod(r, &b.end_type) ||
+        !ReadPod(r, &b.rows) || !ReadPod(r, &b.cols) || b.rows < 0 ||
+        b.cols < 0) {
+      return Status::InvalidArgument("spill meta: truncated block table");
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+struct PropagatedSpillWriter::Impl {
+  SectionWriter writer;
+  std::vector<BlockMeta> blocks;
+
+  explicit Impl(SectionWriter w) : writer(std::move(w)) {}
+};
+
+Result<PropagatedSpillWriter> PropagatedSpillWriter::Create(
+    const std::string& path) {
+  FREEHGC_ASSIGN_OR_RETURN(
+      SectionWriter sw,
+      SectionWriter::Create(path, section_io::SpillFormat()));
+  PropagatedSpillWriter w;
+  w.impl_ = new Impl(std::move(sw));
+  return w;
+}
+
+PropagatedSpillWriter::PropagatedSpillWriter(
+    PropagatedSpillWriter&& other) noexcept
+    : impl_(other.impl_) {
+  other.impl_ = nullptr;
+}
+
+PropagatedSpillWriter& PropagatedSpillWriter::operator=(
+    PropagatedSpillWriter&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    impl_ = other.impl_;
+    other.impl_ = nullptr;
+  }
+  return *this;
+}
+
+PropagatedSpillWriter::~PropagatedSpillWriter() { Abandon(); }
+
+void PropagatedSpillWriter::Abandon() {
+  if (impl_ == nullptr) return;
+  impl_->writer.Abandon();
+  delete impl_;
+  impl_ = nullptr;
+}
+
+Status PropagatedSpillWriter::AddBlock(const Matrix& block,
+                                       const std::string& name,
+                                       TypeId end_type) {
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.CheckOpen());
+  const auto index = static_cast<uint32_t>(impl_->blocks.size());
+  FREEHGC_RETURN_IF_ERROR(
+      impl_->writer.BeginSection(section_io::kFeatures, index));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.Append(
+      block.data(), static_cast<size_t>(block.size()) * sizeof(float)));
+  FREEHGC_RETURN_IF_ERROR(
+      impl_->writer.EndSection(static_cast<uint64_t>(block.size())));
+  impl_->blocks.push_back({name, end_type, block.rows(), block.cols()});
+  return Status::OK();
+}
+
+Result<uint64_t> PropagatedSpillWriter::Finish(uint64_t fingerprint) {
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.CheckOpen());
+  const std::string meta = SerializeBlockMeta(impl_->blocks);
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.BeginSection(section_io::kMeta, 0));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.Append(meta.data(), meta.size()));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.EndSection(meta.size()));
+  FREEHGC_RETURN_IF_ERROR(impl_->writer.SetContentFingerprint(fingerprint));
+  return impl_->writer.Finish();
+}
+
+Result<uint64_t> WritePropagatedSpill(const PropagatedFeatures& f,
+                                      const std::string& path,
+                                      uint64_t fingerprint) {
+  FREEHGC_ASSIGN_OR_RETURN(PropagatedSpillWriter w,
+                           PropagatedSpillWriter::Create(path));
+  for (size_t i = 0; i < f.blocks.size(); ++i) {
+    FREEHGC_RETURN_IF_ERROR(
+        w.AddBlock(f.blocks[i], f.names[i], f.end_types[i]));
+  }
+  return w.Finish(fingerprint);
+}
+
+Result<std::shared_ptr<const PropagatedFeatures>> MapPropagatedSpill(
+    const std::string& path) {
+  FREEHGC_ASSIGN_OR_RETURN(
+      SectionView v, SectionView::Map(path, section_io::SpillFormat()));
+  FREEHGC_RETURN_IF_ERROR(v.VerifyAllCrcs());
+  const SectionEntry* meta_sec = v.Find(section_io::kMeta, 0);
+  if (meta_sec == nullptr) {
+    return Status::InvalidArgument("spill file missing meta section");
+  }
+  FREEHGC_ASSIGN_OR_RETURN(
+      std::vector<BlockMeta> blocks,
+      ParseBlockMeta(std::string_view(
+          reinterpret_cast<const char*>(v.base() + meta_sec->offset),
+          meta_sec->size)));
+  auto out = std::make_shared<PropagatedFeatures>();
+  for (uint32_t i = 0; i < blocks.size(); ++i) {
+    const BlockMeta& bm = blocks[i];
+    const uint64_t count =
+        static_cast<uint64_t>(bm.rows) * static_cast<uint64_t>(bm.cols);
+    FREEHGC_ASSIGN_OR_RETURN(
+        const SectionEntry* fs,
+        v.RequireArray(section_io::kFeatures, i, count, sizeof(float)));
+    out->blocks.push_back(
+        Matrix::FromView(bm.rows, bm.cols, v.Span<float>(*fs), v.mapping()));
+    out->names.push_back(bm.name);
+    out->end_types.push_back(bm.end_type);
+  }
+  return std::shared_ptr<const PropagatedFeatures>(std::move(out));
+}
+
+}  // namespace freehgc::hgnn

@@ -1,0 +1,73 @@
+#ifndef FREEHGC_HGNN_FEATURE_SPILL_H_
+#define FREEHGC_HGNN_FEATURE_SPILL_H_
+
+// Spill-file round trip for PropagatedFeatures: every block becomes a
+// page-aligned CRC-protected FEATURES section of a section_io spill file
+// (graph/section_io.h), with names/end_types/shapes in the META section.
+// MapPropagatedSpill hands back blocks as zero-copy Matrix views over the
+// mapping — bit-identical to the spilled blocks — which is what lets the
+// tiered ArtifactCache keep cold eval-context features on disk while the
+// serve path reads them like resident ones.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dense/matrix.h"
+#include "graph/hetero_graph.h"
+#include "hgnn/propagate.h"
+
+namespace freehgc::hgnn {
+
+/// Streaming spill writer: blocks are appended one at a time, so a
+/// budgeted builder never holds more than the block it just computed
+/// (plus the file buffer) on the heap. Crash-safe: sections go to a
+/// ".tmp" sibling and Finish publishes atomically. Destroying an
+/// unfinished writer deletes the temp file.
+class PropagatedSpillWriter {
+ public:
+  static Result<PropagatedSpillWriter> Create(const std::string& path);
+
+  PropagatedSpillWriter(PropagatedSpillWriter&&) noexcept;
+  PropagatedSpillWriter& operator=(PropagatedSpillWriter&&) noexcept;
+  PropagatedSpillWriter(const PropagatedSpillWriter&) = delete;
+  PropagatedSpillWriter& operator=(const PropagatedSpillWriter&) = delete;
+  ~PropagatedSpillWriter();
+
+  /// Appends one feature block (block order = PropagatedFeatures order:
+  /// raw first, then one per contributing path).
+  Status AddBlock(const Matrix& block, const std::string& name,
+                  TypeId end_type);
+
+  /// Writes the META section + table + header and atomically publishes.
+  /// `fingerprint` goes into the header (the cache stores its entry-key
+  /// hash so files can be matched back without payload IO). Returns the
+  /// final file size.
+  Result<uint64_t> Finish(uint64_t fingerprint);
+
+  /// Deletes the temporary file without publishing anything.
+  void Abandon();
+
+ private:
+  PropagatedSpillWriter() = default;
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+/// Writes a whole PropagatedFeatures in one call (eviction path).
+/// Returns the file size in bytes.
+Result<uint64_t> WritePropagatedSpill(const PropagatedFeatures& f,
+                                      const std::string& path,
+                                      uint64_t fingerprint);
+
+/// Maps a spill file back as PropagatedFeatures whose blocks are
+/// zero-copy views over the mapping (every section CRC verified first).
+/// The mapping stays alive as long as any block (or copy) does.
+Result<std::shared_ptr<const PropagatedFeatures>> MapPropagatedSpill(
+    const std::string& path);
+
+}  // namespace freehgc::hgnn
+
+#endif  // FREEHGC_HGNN_FEATURE_SPILL_H_

@@ -1,7 +1,7 @@
 #include "hgnn/propagate.h"
 
 #include <cmath>
-#include <deque>
+#include <memory>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -17,23 +17,59 @@ namespace {
 /// representation scale-free, so a model trained on a condensed graph
 /// (where some neighborhoods are thinner) transfers to the full graph.
 void L2NormalizeRows(Matrix& m, exec::ExecContext& ex) {
+  if (m.empty()) return;
+  // Detach here, not inside the loop: for a mapped-graph feature matrix
+  // the first mutating access copies the view into owned storage, and
+  // concurrent Row() calls would race that copy-on-write.
+  float* const base = m.data();
+  const int64_t cols = m.cols();
   ex.ParallelFor(m.rows(), 256,
                  [&](int64_t begin, int64_t end, exec::Workspace&) {
                    for (int64_t r = begin; r < end; ++r) {
-                     float* row = m.Row(r);
+                     float* row = base + r * cols;
                      double sq = 0.0;
-                     for (int64_t c = 0; c < m.cols(); ++c) {
+                     for (int64_t c = 0; c < cols; ++c) {
                        sq += double(row[c]) * row[c];
                      }
                      if (sq <= 0.0) continue;
                      const float inv =
                          static_cast<float>(1.0 / std::sqrt(sq));
-                     for (int64_t c = 0; c < m.cols(); ++c) row[c] *= inv;
+                     for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
                    }
                  });
 }
 
 }  // namespace
+
+Matrix RawFeatureBlock(const HeteroGraph& g, exec::ExecContext* ctx) {
+  const TypeId target = g.target_type();
+  FREEHGC_CHECK(target >= 0);
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  Matrix block = g.Features(target);
+  L2NormalizeRows(block, ex);
+  return block;
+}
+
+Matrix PropagateOneBlock(const HeteroGraph& g, const MetaPath& p,
+                         int64_t max_row_nnz, exec::ExecContext* ctx,
+                         AdjacencyCache* cache) {
+  FREEHGC_CHECK(p.start_type() == g.target_type());
+  FREEHGC_CHECK(g.HasFeatures(p.end_type()));
+  exec::ExecContext& ex = exec::Resolve(ctx);
+  // The pin lives only for this product; an uncached adjacency frees on
+  // release, a budgeted cache may spill it afterwards.
+  const std::shared_ptr<const CsrMatrix> adj =
+      ComposedAdjacency(cache, g, p, max_row_nnz, &ex);
+  Matrix block = sparse::SpMmDense(*adj, g.Features(p.end_type()), &ex);
+  L2NormalizeRows(block, ex);
+  return block;
+}
+
+void NoteBlocksPropagated(int64_t count) {
+  static obs::Counter& blocks_ctr =
+      obs::MetricsRegistry::Global().GetCounter("hgnn.blocks_propagated");
+  blocks_ctr.Add(count);
+}
 
 PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
                                        const std::vector<MetaPath>& paths,
@@ -43,28 +79,20 @@ PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
   const TypeId target = g.target_type();
   FREEHGC_CHECK(target >= 0);
   FREEHGC_TRACE_SPAN("hgnn.propagate");
-  static obs::Counter& blocks_ctr =
-      obs::MetricsRegistry::Global().GetCounter("hgnn.blocks_propagated");
   exec::ExecContext& ex = exec::Resolve(ctx);
   PropagatedFeatures out;
-  out.blocks.push_back(g.Features(target));
-  L2NormalizeRows(out.blocks.back(), ex);
+  out.blocks.push_back(RawFeatureBlock(g, &ex));
   out.names.push_back("raw");
   out.end_types.push_back(target);
-  std::deque<CsrMatrix> owned;
   for (const auto& p : paths) {
     FREEHGC_CHECK(p.start_type() == target);
     const TypeId end = p.end_type();
     if (!g.HasFeatures(end)) continue;
-    owned.clear();  // uncached adjacencies are only needed for one product
-    const CsrMatrix& adj =
-        ComposedAdjacency(cache, owned, g, p, max_row_nnz, &ex);
-    out.blocks.push_back(sparse::SpMmDense(adj, g.Features(end), &ex));
-    L2NormalizeRows(out.blocks.back(), ex);
+    out.blocks.push_back(PropagateOneBlock(g, p, max_row_nnz, &ex, cache));
     out.names.push_back(p.Name(g));
     out.end_types.push_back(end);
   }
-  blocks_ctr.Add(static_cast<int64_t>(out.blocks.size()));
+  NoteBlocksPropagated(static_cast<int64_t>(out.blocks.size()));
   return out;
 }
 

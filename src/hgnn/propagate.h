@@ -60,6 +60,28 @@ PropagatedFeatures PropagateAlongPaths(const HeteroGraph& g,
                                        exec::ExecContext* ctx = nullptr,
                                        AdjacencyCache* cache = nullptr);
 
+// Per-block pieces of PropagateAlongPaths, exposed so a budgeted caller
+// (the tiered ArtifactCache) can stream blocks to disk one at a time
+// instead of materializing the whole PropagatedFeatures on the heap.
+// PropagateAlongPaths is implemented in terms of these, so the streamed
+// and in-heap paths are bit-identical by construction.
+
+/// Block 0: the raw target features, L2-row-normalized.
+Matrix RawFeatureBlock(const HeteroGraph& g, exec::ExecContext* ctx = nullptr);
+
+/// The feature block of one meta-path (A_hat(p) * X_end, L2-row-
+/// normalized). The path must start at the target type and its end type
+/// must have features (callers skip featureless end types, exactly like
+/// PropagateAlongPaths).
+Matrix PropagateOneBlock(const HeteroGraph& g, const MetaPath& p,
+                         int64_t max_row_nnz,
+                         exec::ExecContext* ctx = nullptr,
+                         AdjacencyCache* cache = nullptr);
+
+/// Bumps the hgnn.blocks_propagated counter (streamed builds bypass
+/// PropagateAlongPaths but should still show up in the metric).
+void NoteBlocksPropagated(int64_t count);
+
 }  // namespace freehgc::hgnn
 
 #endif  // FREEHGC_HGNN_PROPAGATE_H_

@@ -85,14 +85,14 @@ CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
   return acc;
 }
 
-const CsrMatrix& ComposedAdjacency(AdjacencyCache* cache,
-                                   std::deque<CsrMatrix>& owned,
-                                   const HeteroGraph& g, const MetaPath& p,
-                                   int64_t max_row_nnz,
-                                   exec::ExecContext* ctx) {
+std::shared_ptr<const CsrMatrix> ComposedAdjacency(AdjacencyCache* cache,
+                                                   const HeteroGraph& g,
+                                                   const MetaPath& p,
+                                                   int64_t max_row_nnz,
+                                                   exec::ExecContext* ctx) {
   if (cache != nullptr) return cache->Composed(g, p, max_row_nnz, ctx);
-  owned.push_back(ComposeAdjacency(g, p, max_row_nnz, ctx));
-  return owned.back();
+  return std::make_shared<const CsrMatrix>(
+      ComposeAdjacency(g, p, max_row_nnz, ctx));
 }
 
 float JaccardOfSortedSets(std::span<const int32_t> a,

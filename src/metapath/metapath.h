@@ -1,7 +1,7 @@
 #ifndef FREEHGC_METAPATH_METAPATH_H_
 #define FREEHGC_METAPATH_METAPATH_H_
 
-#include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,29 +74,33 @@ CsrMatrix ComposeAdjacency(const HeteroGraph& g, const MetaPath& p,
 /// The canonical implementation is pipeline::ArtifactCache — declaring the
 /// interface here keeps core/hgnn free of a pipeline dependency.
 ///
-/// Returned references stay valid for the cache's lifetime (entries are
-/// never evicted; see DESIGN.md, "Pipeline: method registry & artifact
-/// cache" for the ownership/invalidation rules).
+/// Pinning contract: the returned shared_ptr is a *pin*. The matrix stays
+/// valid as long as the caller holds the pointer; a tiered cache may evict
+/// (spill) an entry once every outstanding pin is released, so callers
+/// keep the pin alive across every use of the matrix and drop it when
+/// done. An unbudgeted cache simply never evicts (see DESIGN.md, "Tiered
+/// artifact storage" for the ownership/invalidation rules).
 class AdjacencyCache {
  public:
   virtual ~AdjacencyCache() = default;
 
-  /// The composed adjacency of `p` over `g` at the given row-nnz budget
-  /// (computed via ComposeAdjacency on miss).
-  virtual const CsrMatrix& Composed(const HeteroGraph& g, const MetaPath& p,
-                                    int64_t max_row_nnz,
-                                    exec::ExecContext* ctx) = 0;
+  /// A pin of the composed adjacency of `p` over `g` at the given
+  /// row-nnz budget (computed via ComposeAdjacency on miss).
+  virtual std::shared_ptr<const CsrMatrix> Composed(const HeteroGraph& g,
+                                                    const MetaPath& p,
+                                                    int64_t max_row_nnz,
+                                                    exec::ExecContext* ctx) = 0;
 };
 
-/// Cache-aware accessor used at compose call sites: returns the cached
-/// adjacency when `cache` is non-null, otherwise composes into `owned`
-/// (a deque, so previously returned references stay stable) and returns
-/// that. Either way the reference lives as long as cache/owned do.
-const CsrMatrix& ComposedAdjacency(AdjacencyCache* cache,
-                                   std::deque<CsrMatrix>& owned,
-                                   const HeteroGraph& g, const MetaPath& p,
-                                   int64_t max_row_nnz,
-                                   exec::ExecContext* ctx);
+/// Cache-aware accessor used at compose call sites: returns a pin of the
+/// cached adjacency when `cache` is non-null, otherwise composes a
+/// one-off owned matrix. Either way the matrix lives as long as the
+/// returned pointer does.
+std::shared_ptr<const CsrMatrix> ComposedAdjacency(AdjacencyCache* cache,
+                                                   const HeteroGraph& g,
+                                                   const MetaPath& p,
+                                                   int64_t max_row_nnz,
+                                                   exec::ExecContext* ctx);
 
 /// Per-node average pairwise Jaccard similarity (Eqs. 4-6) among the reach
 /// sets of several meta-paths that share start and end types.

@@ -1,8 +1,16 @@
 #include "pipeline/artifact_cache.h"
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "common/logging.h"
+#include "graph/section_io.h"
+#include "hgnn/feature_spill.h"
 #include "obs/metrics.h"
 
 namespace freehgc::pipeline {
@@ -20,11 +28,20 @@ uint64_t Mix(uint64_t h, uint64_t v) {
   return h;
 }
 
-size_t PropagatedBytes(const hgnn::PropagatedFeatures& f) {
+/// Hash of an entry key, stored in the spool-file header so a file can be
+/// matched back to its slot (and recognized by the orphan GC) without
+/// payload IO.
+uint64_t KeyHash(const std::tuple<uint64_t, uint64_t, int64_t>& key) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, std::get<0>(key));
+  h = Mix(h, std::get<1>(key));
+  h = Mix(h, static_cast<uint64_t>(std::get<2>(key)));
+  return h;
+}
+
+size_t PropagatedOwnedBytes(const hgnn::PropagatedFeatures& f) {
   size_t bytes = 0;
-  for (const auto& b : f.blocks) {
-    bytes += static_cast<size_t>(b.size()) * sizeof(float);
-  }
+  for (const auto& b : f.blocks) bytes += b.OwnedBytes();
   return bytes;
 }
 
@@ -52,10 +69,50 @@ obs::Counter& PlanMissCounter() {
   return c;
 }
 
+obs::Counter& SpillCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.cache.spills");
+  return c;
+}
+
+obs::Counter& RestoreCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.cache.restores");
+  return c;
+}
+
+obs::Counter& SpillBytesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.cache.spill_bytes");
+  return c;
+}
+
 obs::Gauge& BytesGauge() {
   static obs::Gauge& g =
       obs::MetricsRegistry::Global().GetGauge("pipeline.cache.bytes");
   return g;
+}
+
+obs::Gauge& ResidentGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "pipeline.cache.resident_bytes");
+  return g;
+}
+
+obs::Gauge& BudgetGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("pipeline.cache.budget_bytes");
+  return g;
+}
+
+std::string HexKeyPath(const std::string& dir, const char* prefix,
+                       const std::tuple<uint64_t, uint64_t, int64_t>& key) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "/%s-%016llx-%016llx-%lld.spill", prefix,
+                static_cast<unsigned long long>(std::get<0>(key)),
+                static_cast<unsigned long long>(std::get<1>(key)),
+                static_cast<long long>(std::get<2>(key)));
+  return dir + buf;
 }
 
 }  // namespace
@@ -93,6 +150,26 @@ uint64_t ConfigSignature(const hgnn::HgnnConfig& config) {
   return h;
 }
 
+ArtifactCache::~ArtifactCache() { Clear(); }
+
+Status ArtifactCache::ConfigureSpill(const SpillOptions& opts) {
+  if (opts.spill_dir.empty()) {
+    return Status::InvalidArgument("spill_dir must be non-empty");
+  }
+  if (::mkdir(opts.spill_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir(" + opts.spill_dir + "): " +
+                            std::string(std::strerror(errno)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  spill_ = opts;
+  spill_enabled_ = true;
+  BudgetGauge().Set(
+      opts.resident_bytes_budget == SIZE_MAX
+          ? 0
+          : static_cast<int64_t>(opts.resident_bytes_budget));
+  return Status::OK();
+}
+
 uint64_t ArtifactCache::FingerprintOf(const HeteroGraph& g) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -113,30 +190,75 @@ uint64_t ArtifactCache::FingerprintOf(const HeteroGraph& g) {
   return e.fingerprint;
 }
 
-const CsrMatrix& ArtifactCache::Composed(const HeteroGraph& g,
-                                         const MetaPath& p,
-                                         int64_t max_row_nnz,
-                                         exec::ExecContext* ctx) {
+std::string ArtifactCache::AdjSpillPath(const AdjKey& key) const {
+  return HexKeyPath(spill_.spill_dir, "adj", key);
+}
+
+std::string ArtifactCache::PropSpillPath(const PropKey& key) const {
+  return HexKeyPath(spill_.spill_dir, "prop", key);
+}
+
+std::shared_ptr<const CsrMatrix> ArtifactCache::Composed(
+    const HeteroGraph& g, const MetaPath& p, int64_t max_row_nnz,
+    exec::ExecContext* ctx) {
   const AdjKey key{FingerprintOf(g), PathSignature(p), max_row_nnz};
+  std::string spilled_path;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = adjacencies_.find(key);
     if (it != adjacencies_.end()) {
-      RecordHit();
-      return *it->second;
+      if (it->second.value != nullptr) {
+        RecordHit();
+        it->second.tick = ++tick_;
+        return it->second.value;
+      }
+      spilled_path = it->second.spill_path;
     }
+  }
+  if (!spilled_path.empty()) {
+    // Spill-tier hit: restore as a zero-copy mapped view (bit-identical
+    // to the owned entry, ~0 heap — it never needs evicting again).
+    Result<CsrMatrix> restored = section_io::MapCsrSpill(spilled_path);
+    if (restored.ok()) {
+      auto sp = std::make_shared<const CsrMatrix>(std::move(*restored));
+      std::lock_guard<std::mutex> lock(mu_);
+      AdjEntry& e = adjacencies_[key];
+      if (e.value == nullptr) {
+        e.value = sp;
+        e.owned_bytes = sp->OwnedBytes();
+        AddResident(e.owned_bytes);
+        ++stats_.restores;
+        RestoreCounter().Increment();
+      }
+      RecordHit();
+      e.tick = ++tick_;
+      return e.value;
+    }
+    FREEHGC_LOG(Warning) << "adjacency restore failed (" << spilled_path
+                         << "): " << restored.status().message()
+                         << "; recomputing";
   }
   // Compose outside the lock: the SpGEMM chain is the expensive part and
   // must not serialize unrelated lookups. The chain's symbolic passes
   // route back through this cache, so compositions sharing operand pairs
   // (path prefixes, other budgets) skip straight to the numeric pass.
-  auto composed = std::make_unique<CsrMatrix>(
+  auto composed = std::make_shared<const CsrMatrix>(
       ComposeAdjacency(g, p, max_row_nnz, ctx, this));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = adjacencies_.emplace(key, std::move(composed));
-  RecordMiss();
-  if (inserted) AddBytes(it->second->MemoryBytes());
-  return *it->second;
+  std::shared_ptr<const CsrMatrix> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AdjEntry& e = adjacencies_[key];
+    RecordMiss();
+    if (e.value == nullptr) {
+      e.value = std::move(composed);
+      e.owned_bytes = e.value->OwnedBytes();
+      AddResident(e.owned_bytes);
+    }
+    e.tick = ++tick_;
+    out = e.value;
+  }
+  TrimToBudget();
+  return out;
 }
 
 const sparse::SpGemmPlan& ArtifactCache::Plan(const CsrMatrix& a,
@@ -161,31 +283,122 @@ const sparse::SpGemmPlan& ArtifactCache::Plan(const CsrMatrix& a,
   auto [it, inserted] = plans_.emplace(key, std::move(plan));
   ++stats_.plan_misses;
   PlanMissCounter().Increment();
-  if (inserted) AddBytes(it->second->MemoryBytes());
+  if (inserted) {
+    stats_.bytes += it->second->MemoryBytes();
+    UpdateByteGauges();
+  }
   return *it->second;
 }
 
-const hgnn::PropagatedFeatures& ArtifactCache::Propagated(
+std::shared_ptr<const hgnn::PropagatedFeatures> ArtifactCache::Propagated(
     const HeteroGraph& g, const std::vector<MetaPath>& paths,
     int64_t max_row_nnz, exec::ExecContext* ctx) {
   const PropKey key{FingerprintOf(g), PathListSignature(paths), max_row_nnz};
+  std::string spilled_path;
+  bool stream;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = propagated_.find(key);
     if (it != propagated_.end()) {
-      RecordHit();
-      return *it->second;
+      if (it->second.value != nullptr) {
+        RecordHit();
+        it->second.tick = ++tick_;
+        return it->second.value;
+      }
+      spilled_path = it->second.spill_path;
     }
+    stream = spill_enabled_ && spill_.resident_bytes_budget != SIZE_MAX;
   }
+  if (!spilled_path.empty()) {
+    auto restored = hgnn::MapPropagatedSpill(spilled_path);
+    if (restored.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      PropEntry& e = propagated_[key];
+      if (e.value == nullptr) {
+        e.value = std::move(*restored);
+        e.owned_bytes = PropagatedOwnedBytes(*e.value);
+        AddResident(e.owned_bytes);
+        ++stats_.restores;
+        RestoreCounter().Increment();
+      }
+      RecordHit();
+      e.tick = ++tick_;
+      return e.value;
+    }
+    FREEHGC_LOG(Warning) << "propagated restore failed (" << spilled_path
+                         << "): " << restored.status().message()
+                         << "; recomputing";
+  }
+
   // The per-path compositions inside the miss route back through this
   // cache, so a later Composed() over the same graph/paths also hits.
-  auto features = std::make_unique<hgnn::PropagatedFeatures>(
-      hgnn::PropagateAlongPaths(g, paths, max_row_nnz, ctx, this));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = propagated_.emplace(key, std::move(features));
-  RecordMiss();
-  if (inserted) AddBytes(PropagatedBytes(*it->second));
-  return *it->second;
+  std::shared_ptr<const hgnn::PropagatedFeatures> features;
+  std::string path;
+  uint64_t file_bytes = 0;
+  if (stream) {
+    // Budgeted build: spool each block to disk as it is computed, then
+    // map the file back — the whole block set never lives on the heap at
+    // once, and the entry is born in its restored (view-backed) form.
+    path = PropSpillPath(key);
+    auto write_and_map =
+        [&]() -> Result<std::shared_ptr<const hgnn::PropagatedFeatures>> {
+      FREEHGC_ASSIGN_OR_RETURN(hgnn::PropagatedSpillWriter w,
+                               hgnn::PropagatedSpillWriter::Create(path));
+      int64_t blocks = 0;
+      {
+        Matrix raw = hgnn::RawFeatureBlock(g, ctx);
+        FREEHGC_RETURN_IF_ERROR(w.AddBlock(raw, "raw", g.target_type()));
+        ++blocks;
+      }
+      for (const auto& p : paths) {
+        if (!g.HasFeatures(p.end_type())) continue;
+        Matrix block = hgnn::PropagateOneBlock(g, p, max_row_nnz, ctx, this);
+        FREEHGC_RETURN_IF_ERROR(
+            w.AddBlock(block, p.Name(g), p.end_type()));
+        ++blocks;
+      }
+      FREEHGC_ASSIGN_OR_RETURN(file_bytes, w.Finish(KeyHash(key)));
+      hgnn::NoteBlocksPropagated(blocks);
+      return hgnn::MapPropagatedSpill(path);
+    };
+    auto streamed = write_and_map();
+    if (streamed.ok()) {
+      features = std::move(*streamed);
+    } else {
+      FREEHGC_LOG(Warning) << "streamed propagation spill failed (" << path
+                           << "): " << streamed.status().message()
+                           << "; falling back to in-heap build";
+      path.clear();
+    }
+  }
+  if (features == nullptr) {
+    features = std::make_shared<const hgnn::PropagatedFeatures>(
+        hgnn::PropagateAlongPaths(g, paths, max_row_nnz, ctx, this));
+  }
+  std::shared_ptr<const hgnn::PropagatedFeatures> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PropEntry& e = propagated_[key];
+    RecordMiss();
+    if (e.value == nullptr) {
+      e.value = std::move(features);
+      e.owned_bytes = PropagatedOwnedBytes(*e.value);
+      AddResident(e.owned_bytes);
+      if (!path.empty()) {
+        // Spool-through build: the file already is this entry's spill
+        // copy.
+        e.spill_path = path;
+        ++stats_.spills;
+        stats_.spill_bytes += file_bytes;
+        SpillCounter().Increment();
+        SpillBytesCounter().Add(static_cast<int64_t>(file_bytes));
+      }
+    }
+    e.tick = ++tick_;
+    out = e.value;
+  }
+  TrimToBudget();
+  return out;
 }
 
 hgnn::EvalMetrics ArtifactCache::WholeGraphBaseline(
@@ -204,8 +417,130 @@ hgnn::EvalMetrics ArtifactCache::WholeGraphBaseline(
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = baselines_.emplace(key, metrics);
   RecordMiss();
-  if (inserted) AddBytes(sizeof(hgnn::EvalMetrics));
+  if (inserted) {
+    stats_.bytes += sizeof(hgnn::EvalMetrics);
+    UpdateByteGauges();
+  }
   return it->second;
+}
+
+std::vector<ArtifactCache::SpillJob> ArtifactCache::PlanEvictions() {
+  // Lock held by caller. Victims: resident owned entries nobody has
+  // pinned (use_count()==1 means the cache holds the only reference) and
+  // no spool write already in flight. Restored views carry ~0 owned
+  // bytes and are skipped by the owned_bytes > 0 test.
+  struct Candidate {
+    uint64_t tick;
+    bool is_adj;
+    AdjKey akey;
+    PropKey pkey;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [key, e] : adjacencies_) {
+    if (e.value != nullptr && e.owned_bytes > 0 && !e.spilling &&
+        e.value.use_count() == 1) {
+      candidates.push_back({e.tick, true, key, PropKey{}});
+    }
+  }
+  for (const auto& [key, e] : propagated_) {
+    if (e.value != nullptr && e.owned_bytes > 0 && !e.spilling &&
+        e.value.use_count() == 1) {
+      candidates.push_back({e.tick, false, AdjKey{}, key});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.tick < b.tick;
+            });
+  std::vector<SpillJob> jobs;
+  size_t projected = stats_.resident_bytes;
+  for (const Candidate& c : candidates) {
+    if (projected <= spill_.resident_bytes_budget) break;
+    SpillJob job;
+    job.is_adj = c.is_adj;
+    if (c.is_adj) {
+      AdjEntry& e = adjacencies_[c.akey];
+      e.spilling = true;
+      job.akey = c.akey;
+      job.adj = e.value;
+      job.path = e.spill_path.empty() ? AdjSpillPath(c.akey) : e.spill_path;
+      job.header_fp = KeyHash(c.akey);
+      job.owned_bytes = e.owned_bytes;
+    } else {
+      PropEntry& e = propagated_[c.pkey];
+      e.spilling = true;
+      job.pkey = c.pkey;
+      job.prop = e.value;
+      job.path = e.spill_path.empty() ? PropSpillPath(c.pkey) : e.spill_path;
+      job.header_fp = KeyHash(c.pkey);
+      job.owned_bytes = e.owned_bytes;
+    }
+    projected -= job.owned_bytes;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void ArtifactCache::ExecuteEvictions(std::vector<SpillJob> jobs) {
+  for (SpillJob& job : jobs) {
+    // An entry spilled earlier and re-restored already has a valid spool
+    // file; don't rewrite it (the content is immutable).
+    struct stat st{};
+    const bool have_file = ::stat(job.path.c_str(), &st) == 0;
+    Result<uint64_t> written =
+        have_file ? Result<uint64_t>(0)
+        : job.is_adj
+            ? section_io::WriteCsrSpill(*job.adj, job.path, job.header_fp)
+            : hgnn::WritePropagatedSpill(*job.prop, job.path, job.header_fp);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job.is_adj) {
+      AdjEntry& e = adjacencies_[job.akey];
+      e.spilling = false;
+      if (written.ok()) {
+        e.spill_path = job.path;
+        e.value.reset();
+        stats_.resident_bytes -= e.owned_bytes;
+        stats_.bytes -= e.owned_bytes;
+        e.owned_bytes = 0;
+      }
+    } else {
+      PropEntry& e = propagated_[job.pkey];
+      e.spilling = false;
+      if (written.ok()) {
+        e.spill_path = job.path;
+        e.value.reset();
+        stats_.resident_bytes -= e.owned_bytes;
+        stats_.bytes -= e.owned_bytes;
+        e.owned_bytes = 0;
+      }
+    }
+    if (written.ok()) {
+      ++stats_.spills;
+      stats_.spill_bytes += *written;
+      SpillCounter().Increment();
+      SpillBytesCounter().Add(static_cast<int64_t>(*written));
+      UpdateByteGauges();
+    } else {
+      FREEHGC_LOG(Warning) << "artifact spill failed (" << job.path
+                           << "): " << written.status().message()
+                           << "; keeping entry resident";
+    }
+    // job.adj/job.prop (our pins) release outside the lock at loop end.
+  }
+}
+
+void ArtifactCache::TrimToBudget() {
+  std::vector<SpillJob> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!spill_enabled_ ||
+        stats_.resident_bytes <= spill_.resident_bytes_budget) {
+      return;
+    }
+    jobs = PlanEvictions();
+  }
+  if (!jobs.empty()) ExecuteEvictions(std::move(jobs));
 }
 
 ArtifactCache::Stats ArtifactCache::stats() const {
@@ -215,13 +550,21 @@ ArtifactCache::Stats ArtifactCache::stats() const {
 
 void ArtifactCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, e] : adjacencies_) {
+    if (!e.spill_path.empty()) std::remove(e.spill_path.c_str());
+  }
+  for (const auto& [key, e] : propagated_) {
+    if (!e.spill_path.empty()) std::remove(e.spill_path.c_str());
+  }
   fp_memo_.clear();
   adjacencies_.clear();
   propagated_.clear();
   baselines_.clear();
   plans_.clear();
   stats_ = Stats{};
+  tick_ = 0;
   BytesGauge().Set(0);
+  ResidentGauge().Set(0);
 }
 
 void ArtifactCache::RecordHit() {
@@ -234,9 +577,17 @@ void ArtifactCache::RecordMiss() {
   MissCounter().Increment();
 }
 
-void ArtifactCache::AddBytes(size_t bytes) {
-  stats_.bytes += bytes;
+void ArtifactCache::UpdateByteGauges() {
   BytesGauge().Set(static_cast<int64_t>(stats_.bytes));
+  ResidentGauge().Set(static_cast<int64_t>(stats_.resident_bytes));
+}
+
+void ArtifactCache::AddResident(size_t bytes) {
+  stats_.resident_bytes += bytes;
+  stats_.bytes += bytes;
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  UpdateByteGauges();
 }
 
 }  // namespace freehgc::pipeline

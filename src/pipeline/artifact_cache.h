@@ -19,43 +19,82 @@
 
 namespace freehgc::pipeline {
 
-/// Memo of the deterministic, seed/ratio-independent artifacts a sweep
-/// recomputes per cell today: composed meta-path adjacencies (the dominant
-/// SpGEMM cost of both condensation and evaluation-context building),
-/// whole-graph pre-propagated feature blocks, and whole-graph training
-/// baselines.
+/// Tiered cache of the deterministic, seed/ratio-independent artifacts a
+/// sweep (or a serving process) recomputes per cell today: composed
+/// meta-path adjacencies (the dominant SpGEMM cost of both condensation
+/// and evaluation-context building), whole-graph pre-propagated feature
+/// blocks, and whole-graph training baselines.
 ///
 /// Keying: every entry is keyed by the graph's 64-bit ContentFingerprint
 /// plus the computation's parameters (path signature + max_row_nnz for
 /// adjacencies; path-list signature for propagation; HgnnConfig signature
 /// for baselines). A changed graph changes its fingerprint, so stale
-/// entries are unreachable rather than invalidated — the cache only ever
-/// grows, for its lifetime (one sweep, typically). Determinism invariant:
-/// every cached value is the exact output of a deterministic computation,
-/// so cached and uncached runs are bit-identical (tests/pipeline_test.cc).
+/// entries are unreachable rather than invalidated. Determinism
+/// invariant: every cached value is the exact output of a deterministic
+/// computation, so cached and uncached runs are bit-identical
+/// (tests/pipeline_test.cc) — and so are spilled-and-restored runs
+/// (tests/spill_test.cc).
 ///
-/// Thread-safe; returned references are stable for the cache's lifetime
-/// (entries are heap-allocated and never evicted). Hit/miss/bytes are
-/// mirrored into the obs registry as pipeline.cache.{hits,misses} counters
-/// and the pipeline.cache.bytes gauge.
+/// Tiers: by default (no ConfigureSpill) the cache is the classic
+/// grow-only heap memo — nothing is ever evicted. With ConfigureSpill it
+/// becomes two-tier: a *resident* tier of owned entries accounted by
+/// their heap bytes, and a *spill* tier of section spool files
+/// (graph/section_io.h) under `spill_dir`. When resident bytes exceed
+/// `resident_bytes_budget`, cold unpinned entries are written to spool
+/// files (LRU first) and their heap storage dropped; a later lookup
+/// restores them as zero-copy mapped views — bit-identical, and costing
+/// ~0 heap, so restored entries never need evicting again. Under a
+/// finite budget, propagated-feature misses are *streamed*: each block
+/// is spooled to disk as it is computed, so the whole PropagatedFeatures
+/// never materializes on the heap at once.
+///
+/// Pinning: Composed/Propagated return shared_ptr pins. A pinned entry
+/// (use_count > 1) is never spilled; eviction considers it once every
+/// outside pin is released. Callers hold the pin across every use of the
+/// value and drop it when done (see metapath::AdjacencyCache).
+///
+/// Thread-safe. Hit/miss/bytes are mirrored into the obs registry as
+/// pipeline.cache.{hits,misses,spills,restores,spill_bytes} counters and
+/// the pipeline.cache.{bytes,resident_bytes,budget_bytes} gauges.
 class ArtifactCache final : public AdjacencyCache,
                             public sparse::SpGemmPlanCache {
  public:
   ArtifactCache() = default;
+  ~ArtifactCache() override;
   ArtifactCache(const ArtifactCache&) = delete;
   ArtifactCache& operator=(const ArtifactCache&) = delete;
 
+  /// Tiering configuration. With a finite budget the cache spills; with
+  /// the default (SIZE_MAX) it never evicts but may still restore
+  /// entries spilled under an earlier, tighter budget.
+  struct SpillOptions {
+    /// Heap bytes the evictable tiers (adjacencies + propagated
+    /// features) may keep resident. SIZE_MAX = unlimited.
+    size_t resident_bytes_budget = SIZE_MAX;
+    /// Directory for spool files; created if missing. Must be non-empty.
+    std::string spill_dir;
+  };
+
+  /// Enables the spill tier. Call before concurrent use (configuration
+  /// is not synchronized against in-flight lookups).
+  Status ConfigureSpill(const SpillOptions& opts);
+
+  /// True once ConfigureSpill succeeded.
+  bool spill_enabled() const { return spill_enabled_; }
+
   // AdjacencyCache:
-  const CsrMatrix& Composed(const HeteroGraph& g, const MetaPath& p,
-                            int64_t max_row_nnz,
-                            exec::ExecContext* ctx) override;
+  std::shared_ptr<const CsrMatrix> Composed(const HeteroGraph& g,
+                                            const MetaPath& p,
+                                            int64_t max_row_nnz,
+                                            exec::ExecContext* ctx) override;
 
   // sparse::SpGemmPlanCache — symbolic SpGEMM plans keyed by the operand
   // pair's ContentFingerprints. Composed() misses route their SpGEMM
   // chain through this, so two adjacency cells sharing a path prefix (or
   // one path at two max_row_nnz budgets — plans are budget-independent)
   // share symbolic work even though the adjacency entries themselves are
-  // distinct. Plan lookups are tallied separately from artifact lookups
+  // distinct. Plans stay resident (they are small and structure-only);
+  // plan lookups are tallied separately from artifact lookups
   // (plan_hits/plan_misses): an artifact miss whose plans all hit is
   // still an artifact miss.
   const sparse::SpGemmPlan& Plan(const CsrMatrix& a, const CsrMatrix& b,
@@ -63,8 +102,9 @@ class ArtifactCache final : public AdjacencyCache,
 
   /// Whole-graph propagated feature blocks for (g, paths, max_row_nnz)
   /// (what hgnn::BuildEvalContext computes). The path compositions inside
-  /// a miss also route through this cache.
-  const hgnn::PropagatedFeatures& Propagated(
+  /// a miss also route through this cache. Under a finite budget, a miss
+  /// streams blocks through a spool file instead of materializing them.
+  std::shared_ptr<const hgnn::PropagatedFeatures> Propagated(
       const HeteroGraph& g, const std::vector<MetaPath>& paths,
       int64_t max_row_nnz, exec::ExecContext* ctx);
 
@@ -79,6 +119,12 @@ class ArtifactCache final : public AdjacencyCache,
   /// counts), so a graph object rebuilt at a reused address re-hashes.
   uint64_t FingerprintOf(const HeteroGraph& g);
 
+  /// Spills cold unpinned entries until the resident tier fits the
+  /// budget. Runs automatically after inserts/restores; exposed so a
+  /// caller can trim after releasing pins (inserts made while their
+  /// entries were pinned could not evict them).
+  void TrimToBudget();
+
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
@@ -86,12 +132,23 @@ class ArtifactCache final : public AdjacencyCache,
     /// (mirrored as pipeline.cache.plan_{hits,misses} counters).
     int64_t plan_hits = 0;
     int64_t plan_misses = 0;
-    /// Approximate resident bytes of cached artifacts (plans included).
+    /// Resident heap bytes of cached artifacts (plans included).
     size_t bytes = 0;
+    /// Resident heap bytes of the evictable tiers only (what the budget
+    /// constrains; mapped restored views count ~0).
+    size_t resident_bytes = 0;
+    /// High-water mark of resident_bytes.
+    size_t peak_resident_bytes = 0;
+    /// Entries written to the spill tier / restored from it.
+    int64_t spills = 0;
+    int64_t restores = 0;
+    /// Cumulative bytes written to spool files.
+    size_t spill_bytes = 0;
   };
   Stats stats() const;
 
-  /// Drops every entry (and the fingerprint memo); stats reset too.
+  /// Drops every entry (and the fingerprint memo), unlinks every spool
+  /// file this cache wrote; stats reset too.
   void Clear();
 
  private:
@@ -110,17 +167,57 @@ class ArtifactCache final : public AdjacencyCache,
   /// (operand a fp, operand b fp).
   using PlanKey = std::pair<uint64_t, uint64_t>;
 
+  /// One evictable entry: resident (value set), spilled (value null,
+  /// spill_path set), or both during restore. `owned_bytes` is the heap
+  /// cost charged against the budget (0 for restored mapped views).
+  template <typename T>
+  struct Entry {
+    std::shared_ptr<const T> value;
+    std::string spill_path;
+    size_t owned_bytes = 0;
+    uint64_t tick = 0;    ///< LRU stamp (monotonic touch counter)
+    bool spilling = false;  ///< spool write in flight; skip re-planning
+  };
+  using AdjEntry = Entry<CsrMatrix>;
+  using PropEntry = Entry<hgnn::PropagatedFeatures>;
+
+  /// A planned eviction: the value pointer is copied out under the lock
+  /// so the spool write can run without it.
+  struct SpillJob {
+    bool is_adj = false;
+    AdjKey akey{};
+    PropKey pkey{};
+    std::shared_ptr<const CsrMatrix> adj;
+    std::shared_ptr<const hgnn::PropagatedFeatures> prop;
+    std::string path;
+    uint64_t header_fp = 0;
+    size_t owned_bytes = 0;
+  };
+
   void RecordHit();
   void RecordMiss();
-  void AddBytes(size_t bytes);
+  void UpdateByteGauges();
+  void AddResident(size_t bytes);
+
+  std::string AdjSpillPath(const AdjKey& key) const;
+  std::string PropSpillPath(const PropKey& key) const;
+
+  /// Collects LRU victims until the projected resident size fits the
+  /// budget (lock held); marks them `spilling`.
+  std::vector<SpillJob> PlanEvictions();
+  /// Writes the spool files (no lock) and commits the drops.
+  void ExecuteEvictions(std::vector<SpillJob> jobs);
 
   mutable std::mutex mu_;
   std::unordered_map<const HeteroGraph*, FpEntry> fp_memo_;
-  std::map<AdjKey, std::unique_ptr<CsrMatrix>> adjacencies_;
-  std::map<PropKey, std::unique_ptr<hgnn::PropagatedFeatures>> propagated_;
+  std::map<AdjKey, AdjEntry> adjacencies_;
+  std::map<PropKey, PropEntry> propagated_;
   std::map<BaselineKey, hgnn::EvalMetrics> baselines_;
   std::map<PlanKey, std::unique_ptr<sparse::SpGemmPlan>> plans_;
   Stats stats_;
+  uint64_t tick_ = 0;
+  bool spill_enabled_ = false;
+  SpillOptions spill_;
 };
 
 /// Order-sensitive 64-bit signature of a meta-path (relation id sequence).

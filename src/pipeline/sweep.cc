@@ -141,7 +141,7 @@ Result<SweepResult> SweepRunner::Run() {
       mp_opts.max_row_nnz = popts.max_row_nnz;
       ctx.paths = EnumerateMetaPaths(graph, graph.target_type(), mp_opts);
       ctx.full_features =
-          cache->Propagated(graph, ctx.paths, popts.max_row_nnz, &ex);
+          *cache->Propagated(graph, ctx.paths, popts.max_row_nnz, &ex);
     } else {
       ctx = hgnn::BuildEvalContext(graph, popts, &ex, nullptr);
     }

@@ -1,14 +1,18 @@
 #include "serve/graph_store.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "datasets/generator.h"
+#include "graph/section_io.h"
 #include "graph/serialize.h"
 #include "obs/metrics.h"
 
@@ -21,6 +25,23 @@ void ObserveLoad(const char* histogram, const Timer& timer) {
       static_cast<int64_t>(timer.ElapsedSeconds() * 1e9));
 }
 
+obs::Counter& EvictionCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("store.evictions");
+  return c;
+}
+
+obs::Counter& RemapCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("store.remaps");
+  return c;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
 }  // namespace
 
 Result<GraphInfo> GraphStore::Register(const std::string& name,
@@ -30,7 +51,7 @@ Result<GraphInfo> GraphStore::Register(const std::string& name,
   }
   FREEHGC_RETURN_IF_ERROR(graph.Validate());
   const uint64_t fingerprint = graph.ContentFingerprint();
-  return Insert(name, std::move(graph), fingerprint, {});
+  return Insert(name, std::move(graph), fingerprint, {}, nullptr);
 }
 
 Result<GraphInfo> GraphStore::RegisterSerialized(const std::string& name,
@@ -68,7 +89,8 @@ Result<GraphInfo> GraphStore::RegisterMappedFile(const std::string& name,
   Timer timer;
   FREEHGC_ASSIGN_OR_RETURN(MappedGraph mg, MapHeteroGraphDetailed(path));
   FREEHGC_RETURN_IF_ERROR(mg.graph.Validate());
-  auto info = Insert(name, std::move(mg.graph), mg.fingerprint, path);
+  auto info = Insert(name, std::move(mg.graph), mg.fingerprint, path,
+                     std::move(mg.mapping));
   if (info.ok()) ObserveLoad("store.load.mapped_ns", timer);
   return info;
 }
@@ -96,9 +118,17 @@ Result<GraphInfo> GraphStore::RegisterGenerator(const std::string& name,
   return Register(name, std::move(g));
 }
 
+void GraphStore::SetResidentBudget(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  resident_budget_ = bytes;
+  TrimLocked(nullptr);
+  UpdateGauges();
+}
+
 Result<GraphInfo> GraphStore::Insert(const std::string& name,
                                      HeteroGraph graph, uint64_t fingerprint,
-                                     std::string source_path) {
+                                     std::string source_path,
+                                     std::shared_ptr<const MappedFile> mapping) {
   GraphInfo info;
   info.name = name;
   info.fingerprint = fingerprint;
@@ -126,18 +156,63 @@ Result<GraphInfo> GraphStore::Insert(const std::string& name,
   entry.graph = std::make_shared<const HeteroGraph>(std::move(graph));
   entry.info = info;
   entry.resident_bytes = resident;
-  graphs_.emplace(name, std::move(entry));
+  entry.mapping = std::move(mapping);
+  entry.tick = ++tick_;
+  auto [pos, inserted] = graphs_.emplace(name, std::move(entry));
+  (void)inserted;
+  TrimLocked(&pos->second);
   UpdateGauges();
   return info;
 }
 
-Result<GraphStore::GraphRef> GraphStore::Get(const std::string& name) const {
+Result<GraphStore::GraphRef> GraphStore::Get(const std::string& name) {
+  std::string path;
+  uint64_t expect_fp = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) {
+      return Status::NotFound("no resident graph named '" + name + "'");
+    }
+    Entry& e = it->second;
+    if (e.graph != nullptr) {
+      e.tick = ++tick_;
+      return e.graph;
+    }
+    // Evicted under the residency budget: re-map outside the lock.
+    path = e.info.source_path;
+    expect_fp = e.info.fingerprint;
+  }
+  FREEHGC_ASSIGN_OR_RETURN(MappedGraph mg, MapHeteroGraphDetailed(path));
+  if (mg.fingerprint != expect_fp) {
+    return Status::Internal(StrFormat(
+        "spool file %s changed since eviction (was %016llx, now %016llx)",
+        path.c_str(), static_cast<unsigned long long>(expect_fp),
+        static_cast<unsigned long long>(mg.fingerprint)));
+  }
+  auto graph = std::make_shared<const HeteroGraph>(std::move(mg.graph));
+  if (mg.mapping != nullptr) {
+    mg.mapping->Advise(MappedFile::AccessPattern::kWillNeed);
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(name);
   if (it == graphs_.end()) {
     return Status::NotFound("no resident graph named '" + name + "'");
   }
-  return it->second.graph;
+  Entry& e = it->second;
+  if (e.graph != nullptr) {
+    e.tick = ++tick_;  // another thread re-mapped first; use its copy
+    return e.graph;
+  }
+  e.graph = std::move(graph);
+  e.mapping = std::move(mg.mapping);
+  e.info.resident = true;
+  e.tick = ++tick_;
+  RemapCounter().Increment();
+  TrimLocked(&e);
+  UpdateGauges();
+  return e.graph;
 }
 
 Result<GraphInfo> GraphStore::Info(const std::string& name) const {
@@ -196,6 +271,53 @@ size_t GraphStore::ResidentBytes() const {
   return bytes;
 }
 
+size_t GraphStore::MappedResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MappedResidentLocked();
+}
+
+int64_t GraphStore::Evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t GraphStore::MappedResidentLocked() const {
+  size_t bytes = 0;
+  for (const auto& [name, entry] : graphs_) {
+    if (entry.info.mapped && entry.graph != nullptr) {
+      bytes += entry.info.memory_bytes;
+    }
+  }
+  return bytes;
+}
+
+void GraphStore::TrimLocked(const Entry* protect) {
+  if (resident_budget_ == SIZE_MAX) return;
+  while (MappedResidentLocked() > resident_budget_) {
+    Entry* victim = nullptr;
+    for (auto& [name, entry] : graphs_) {
+      if (&entry == protect) continue;
+      if (entry.graph == nullptr || !entry.info.mapped ||
+          entry.info.source_path.empty()) {
+        continue;  // already evicted, heap-resident, or not restorable
+      }
+      if (entry.graph.use_count() != 1) continue;  // in-flight reference
+      if (victim == nullptr || entry.tick < victim->tick) victim = &entry;
+    }
+    if (victim == nullptr) break;  // everything left is pinned or protected
+    // Pages are cold: hand them back to the kernel before dropping the
+    // keepalive (an in-flight view, if any raced in, just re-faults).
+    if (victim->mapping != nullptr) {
+      victim->mapping->Advise(MappedFile::AccessPattern::kDontNeed);
+    }
+    victim->graph.reset();
+    victim->mapping.reset();
+    victim->info.resident = false;
+    ++evictions_;
+    EvictionCounter().Increment();
+  }
+}
+
 void GraphStore::UpdateGauges() const {
   static obs::Gauge& count =
       obs::MetricsRegistry::Global().GetGauge("serve.store.graphs");
@@ -203,6 +325,10 @@ void GraphStore::UpdateGauges() const {
       obs::MetricsRegistry::Global().GetGauge("serve.store.bytes");
   static obs::Gauge& resident =
       obs::MetricsRegistry::Global().GetGauge("store.resident_bytes");
+  static obs::Gauge& mapped_resident = obs::MetricsRegistry::Global().GetGauge(
+      "store.mapped_resident_bytes");
+  static obs::Gauge& budget = obs::MetricsRegistry::Global().GetGauge(
+      "store.resident_budget_bytes");
   count.Set(static_cast<int64_t>(graphs_.size()));
   size_t total = 0;
   size_t res = 0;
@@ -212,6 +338,49 @@ void GraphStore::UpdateGauges() const {
   }
   bytes.Set(static_cast<int64_t>(total));
   resident.Set(static_cast<int64_t>(res));
+  mapped_resident.Set(static_cast<int64_t>(MappedResidentLocked()));
+  budget.Set(resident_budget_ == SIZE_MAX
+                 ? 0
+                 : static_cast<int64_t>(resident_budget_));
+}
+
+Result<int> SweepSpoolDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound(StrFormat("cannot open spool dir %s: %s",
+                                      dir.c_str(), std::strerror(errno)));
+  }
+  int removed = 0;
+  for (struct dirent* ent = ::readdir(d); ent != nullptr;
+       ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    bool drop = false;
+    if (EndsWith(name, ".spill") || EndsWith(name, ".tmp")) {
+      // Spill files are keyed by in-process cache state; across a restart
+      // they are all orphans. Tmp files are abandoned atomic publishes.
+      drop = true;
+    } else if (EndsWith(name, ".fhgc")) {
+      // Keep only containers whose header fingerprint matches their
+      // `<fingerprint>.fhgc` name (what spool-on-upload writes).
+      const std::string stem = name.substr(0, name.size() - 5);
+      char* end = nullptr;
+      const uint64_t named = std::strtoull(stem.c_str(), &end, 16);
+      const bool well_named = stem.size() == 16 && end != nullptr &&
+                              *end == '\0';
+      if (!well_named) {
+        drop = true;
+      } else {
+        Result<uint64_t> fp = section_io::PeekFingerprint(
+            path, section_io::GraphContainerFormat());
+        drop = !fp.ok() || *fp != named;
+      }
+    }
+    if (drop && std::remove(path.c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 }  // namespace freehgc::serve

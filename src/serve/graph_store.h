@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mapped_file.h"
 #include "common/result.h"
 #include "exec/exec_context.h"
 #include "graph/hetero_graph.h"
@@ -31,6 +32,10 @@ struct GraphInfo {
   bool mapped = false;
   /// Backing container path for mapped graphs; empty for heap residents.
   std::string source_path;
+  /// False when the entry is currently evicted under the residency
+  /// budget (mapping dropped, spool path kept) — the next Get re-maps it
+  /// transparently.
+  bool resident = true;
 };
 
 /// Registry of resident HeteroGraphs, the serving layer's object store:
@@ -86,9 +91,23 @@ class GraphStore {
                                       uint64_t seed, double scale,
                                       exec::ExecContext* ctx = nullptr);
 
+  /// Caps the bytes mapped graphs may keep resident (page-cache working
+  /// set, by GraphInfo::memory_bytes). When an insert or re-map pushes
+  /// past the budget, cold mapped graphs are evicted LRU-first: the
+  /// mapping is advised MADV_DONTNEED and dropped, the spool path is
+  /// kept, and the next Get re-maps transparently. Graphs with an
+  /// outstanding reference (in-flight requests) are never evicted, and
+  /// heap-resident graphs have no spool path to restore from, so only
+  /// mapped entries participate. SIZE_MAX (the default) disables
+  /// eviction.
+  void SetResidentBudget(size_t bytes);
+
   /// Shared reference to a resident graph. NotFound when `name` is not
-  /// registered.
-  Result<GraphRef> Get(const std::string& name) const;
+  /// registered. Touches the entry's LRU stamp; an entry evicted under
+  /// the residency budget is re-mapped from its spool path first (the
+  /// stored fingerprint is re-verified, so a swapped file is an error,
+  /// not a silent content change).
+  Result<GraphRef> Get(const std::string& name);
 
   /// Catalog entry for `name`.
   Result<GraphInfo> Info(const std::string& name) const;
@@ -111,22 +130,52 @@ class GraphStore {
   /// the page cache and are excluded) — the store.resident_bytes gauge.
   size_t ResidentBytes() const;
 
+  /// Bytes of mapped graphs currently resident (what SetResidentBudget
+  /// constrains) — the store.mapped_resident_bytes gauge.
+  size_t MappedResidentBytes() const;
+
+  /// Mapped graphs evicted under the residency budget so far.
+  int64_t Evictions() const;
+
  private:
   struct Entry {
     GraphRef graph;
     GraphInfo info;
     /// HeteroGraph::ResidentHeapBytes at registration (immutable after).
     size_t resident_bytes = 0;
+    /// Keepalive for the backing container of mapped graphs; reset on
+    /// eviction (the graph's own views hold it too, so in-flight
+    /// references survive).
+    std::shared_ptr<const MappedFile> mapping;
+    /// LRU stamp (monotonic Get/insert counter).
+    uint64_t tick = 0;
   };
 
   Result<GraphInfo> Insert(const std::string& name, HeteroGraph graph,
-                           uint64_t fingerprint, std::string source_path);
-  void UpdateGauges() const;  // callers hold mu_
+                           uint64_t fingerprint, std::string source_path,
+                           std::shared_ptr<const MappedFile> mapping);
+  /// Evicts LRU mapped graphs until the mapped-resident total fits the
+  /// budget; `protect` (may be null) is never evicted. Callers hold mu_.
+  void TrimLocked(const Entry* protect);
+  size_t MappedResidentLocked() const;  // callers hold mu_
+  void UpdateGauges() const;            // callers hold mu_
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> graphs_;
   std::string spool_dir_;  // empty = spool-on-upload disabled
+  size_t resident_budget_ = SIZE_MAX;
+  uint64_t tick_ = 0;
+  int64_t evictions_ = 0;
 };
+
+/// Orphan-spool garbage collection for a server spool directory: removes
+/// `*.spill` and `*.tmp` files (spill files are keyed by in-process cache
+/// state, so across a restart they are all orphans) and any `*.fhgc`
+/// container whose header fingerprint does not match its
+/// `<fingerprint>.fhgc` name (corrupt, truncated, or foreign files).
+/// Well-named containers are kept for RegisterMappedFile. Returns the
+/// number of files removed.
+Result<int> SweepSpoolDir(const std::string& dir);
 
 }  // namespace freehgc::serve
 

@@ -29,6 +29,21 @@ ServeService::ServeService(ServeOptions options)
       FREEHGC_LOG(Warning) << "access log disabled: " << st.message();
     }
   }
+  if (options_.store_resident_budget_bytes != SIZE_MAX) {
+    store_.SetResidentBudget(options_.store_resident_budget_bytes);
+  }
+  if (!options_.spill_dir.empty()) {
+    pipeline::ArtifactCache::SpillOptions sp;
+    sp.resident_bytes_budget = options_.artifact_budget_bytes;
+    sp.spill_dir = options_.spill_dir;
+    const Status st = cache_.ConfigureSpill(sp);
+    if (!st.ok()) {
+      FREEHGC_LOG(Warning) << "artifact spill disabled: " << st.message();
+    }
+  } else if (options_.artifact_budget_bytes != SIZE_MAX) {
+    FREEHGC_LOG(Warning)
+        << "artifact budget ignored: no spill dir configured";
+  }
   scheduler_ = std::make_unique<RequestScheduler>(
       options_.slots, options_.queue_capacity, options_.threads_per_slot,
       [this](const CondenseRequest& request, const RequestContext& rctx) {
@@ -90,7 +105,25 @@ std::shared_ptr<ServeService::EvalEntry> ServeService::GetOrBuildEvalContext(
     FREEHGC_TRACE_SPAN("serve.build_eval_context");
     entry->graph = graph;
     entry->fingerprint = fp;
-    entry->ctx = hgnn::BuildEvalContext(*graph, opts, ctx, &cache_);
+    if (cache_.spill_enabled()) {
+      // Spillable build: same construction as hgnn::BuildEvalContext,
+      // but the propagated blocks come from the tiered cache — streamed
+      // through a spool file under a finite budget, and view-backed
+      // (≈0 heap) when restored — so the EvalContext path works under a
+      // heap cap. Matrix copies of view-backed blocks share the mapping.
+      entry->ctx.full = graph.get();
+      entry->ctx.options = opts;
+      MetaPathOptions mp_opts;
+      mp_opts.max_hops = opts.max_hops;
+      mp_opts.max_paths = opts.max_paths;
+      mp_opts.max_row_nnz = opts.max_row_nnz;
+      entry->ctx.paths =
+          EnumerateMetaPaths(*graph, graph->target_type(), mp_opts);
+      entry->ctx.full_features =
+          *cache_.Propagated(*graph, entry->ctx.paths, opts.max_row_nnz, ctx);
+    } else {
+      entry->ctx = hgnn::BuildEvalContext(*graph, opts, ctx, &cache_);
+    }
     built_here = true;
     eval_context_builds_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::Global()
@@ -164,6 +197,10 @@ Result<CondenseReply> ServeService::Execute(const CondenseRequest& request,
     FREEHGC_ASSIGN_OR_RETURN(reply.graph_bytes,
                              SerializeHeteroGraph(data.graph));
   }
+  // Pins taken during condensation are released now; spill anything the
+  // in-request inserts could not evict, so the resident gauge is back
+  // under budget by the time anyone scrapes it.
+  if (cache_.spill_enabled()) cache_.TrimToBudget();
   return reply;
 }
 
@@ -189,16 +226,22 @@ std::string ServeService::StatsJson() const {
                    static_cast<long long>(s.inflight));
   out += StrFormat(
       "  \"store\": {\"graphs\": %lld, \"mapped\": %lld, \"bytes\": %zu, "
-      "\"resident_bytes\": %zu},\n",
+      "\"resident_bytes\": %zu, \"mapped_resident_bytes\": %zu, "
+      "\"evictions\": %lld},\n",
       static_cast<long long>(store_.Count()),
       static_cast<long long>(store_.MappedCount()), store_.TotalBytes(),
-      store_.ResidentBytes());
+      store_.ResidentBytes(), store_.MappedResidentBytes(),
+      static_cast<long long>(store_.Evictions()));
   out += StrFormat(
       "  \"artifact_cache\": {\"hits\": %lld, \"misses\": %lld, "
-      "\"plan_hits\": %lld, \"plan_misses\": %lld, \"bytes\": %zu},\n",
+      "\"plan_hits\": %lld, \"plan_misses\": %lld, \"bytes\": %zu, "
+      "\"resident_bytes\": %zu, \"spills\": %lld, \"restores\": %lld, "
+      "\"spill_bytes\": %zu},\n",
       static_cast<long long>(c.hits), static_cast<long long>(c.misses),
       static_cast<long long>(c.plan_hits),
-      static_cast<long long>(c.plan_misses), c.bytes);
+      static_cast<long long>(c.plan_misses), c.bytes, c.resident_bytes,
+      static_cast<long long>(c.spills), static_cast<long long>(c.restores),
+      c.spill_bytes);
   out += StrFormat("  \"eval_context_builds\": %lld,\n",
                    static_cast<long long>(eval_context_builds()));
   const obs::Histogram& queue = reg.GetHistogram("serve.latency.queue_ns");

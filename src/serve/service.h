@@ -36,6 +36,16 @@ struct ServeOptions {
   /// smaller than the research default (hidden 32, 60 epochs, no early
   /// stopping) so evaluated requests have bounded latency.
   hgnn::HgnnConfig eval;
+  /// Heap bytes the ArtifactCache's evictable tiers may keep resident
+  /// (see ArtifactCache::SpillOptions). Takes effect only with a
+  /// spill_dir; SIZE_MAX = unlimited.
+  size_t artifact_budget_bytes = SIZE_MAX;
+  /// Bytes of mapped graphs the GraphStore may keep resident (see
+  /// GraphStore::SetResidentBudget). SIZE_MAX = unlimited.
+  size_t store_resident_budget_bytes = SIZE_MAX;
+  /// Directory for artifact spool files. Non-empty enables the
+  /// ArtifactCache spill tier (and the spillable EvalContext build path).
+  std::string spill_dir;
 
   ServeOptions() {
     eval.kind = hgnn::HgnnKind::kSeHGNN;

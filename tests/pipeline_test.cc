@@ -71,12 +71,12 @@ TEST(ArtifactCacheTest, ComposedMemoizesByGraphPathAndBudget) {
   ASSERT_GE(paths.size(), 2u);
 
   ArtifactCache cache;
-  const CsrMatrix& a = cache.Composed(g, paths[0], 0, nullptr);
-  const CsrMatrix& b = cache.Composed(g, paths[0], 0, nullptr);
-  EXPECT_EQ(&a, &b);  // stable reference, served from the memo
+  const auto a = cache.Composed(g, paths[0], 0, nullptr);
+  const auto b = cache.Composed(g, paths[0], 0, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // same pinned entry, served from the memo
   EXPECT_EQ(cache.stats().hits, 1);
   EXPECT_EQ(cache.stats().misses, 1);
-  EXPECT_EQ(a, ComposeAdjacency(g, paths[0], 0));
+  EXPECT_EQ(*a, ComposeAdjacency(g, paths[0], 0));
 
   // A different path or row budget is a different entry.
   cache.Composed(g, paths[1], 0, nullptr);
@@ -112,14 +112,14 @@ TEST(ArtifactCacheTest, SpGemmPlansSharedAcrossBudgets) {
   // entry (artifact miss) whose single SpGEMM reuses the symbolic plan:
   // plans are budget-independent, and plan tallies stay separate from
   // the artifact hit/miss stats.
-  const CsrMatrix& budgeted = cache.Composed(g, *two_hop, 4, nullptr);
+  const auto budgeted = cache.Composed(g, *two_hop, 4, nullptr);
   EXPECT_EQ(cache.stats().misses, 2);
   EXPECT_EQ(cache.stats().hits, 0);
   EXPECT_EQ(cache.stats().plan_misses, 1);
   EXPECT_EQ(cache.stats().plan_hits, 1);
 
   // Plan-served composition is bit-identical to the plan-free one.
-  EXPECT_EQ(budgeted, ComposeAdjacency(g, *two_hop, 4));
+  EXPECT_EQ(*budgeted, ComposeAdjacency(g, *two_hop, 4));
 
   cache.Clear();
   EXPECT_EQ(cache.stats().plan_hits, 0);
@@ -133,14 +133,12 @@ TEST(ArtifactCacheTest, PropagatedAndBaselineMemoize) {
   const hgnn::EvalContext ctx = hgnn::BuildEvalContext(g, popts);
 
   ArtifactCache cache;
-  const hgnn::PropagatedFeatures& f1 =
-      cache.Propagated(g, ctx.paths, popts.max_row_nnz, nullptr);
-  const hgnn::PropagatedFeatures& f2 =
-      cache.Propagated(g, ctx.paths, popts.max_row_nnz, nullptr);
-  EXPECT_EQ(&f1, &f2);
-  ASSERT_EQ(f1.blocks.size(), ctx.full_features.blocks.size());
-  for (size_t i = 0; i < f1.blocks.size(); ++i) {
-    EXPECT_EQ(f1.blocks[i], ctx.full_features.blocks[i]) << i;
+  const auto f1 = cache.Propagated(g, ctx.paths, popts.max_row_nnz, nullptr);
+  const auto f2 = cache.Propagated(g, ctx.paths, popts.max_row_nnz, nullptr);
+  EXPECT_EQ(f1.get(), f2.get());
+  ASSERT_EQ(f1->blocks.size(), ctx.full_features.blocks.size());
+  for (size_t i = 0; i < f1->blocks.size(); ++i) {
+    EXPECT_EQ(f1->blocks[i], ctx.full_features.blocks[i]) << i;
   }
 
   hgnn::HgnnConfig cfg;

@@ -5,10 +5,13 @@
 //
 // Prints the container version, file size, content fingerprint, node
 // types, relations, and (v3) the page-aligned section table with
-// per-section CRC status. v3 files are mapped, never slurped to heap;
-// v1/v2 files are streamed with a bounded buffer — inspecting a
-// multi-gigabyte container needs only a few megabytes of memory either
-// way. Exits non-zero if any file fails to parse or any checksum is bad.
+// per-section CRC status. ArtifactCache spill files (*.spill) are
+// recognized too and print their section table under a "spill" tag (the
+// fingerprint shown is the cache entry-key hash, not a graph identity).
+// v3 files are mapped, never slurped to heap; v1/v2 files are streamed
+// with a bounded buffer — inspecting a multi-gigabyte container needs
+// only a few megabytes of memory either way. Exits non-zero if any file
+// fails to parse or any checksum is bad.
 
 #include <cstdio>
 #include <string>
@@ -19,9 +22,10 @@ namespace {
 
 void PrintSummary(const std::string& path,
                   const freehgc::ContainerSummary& s) {
-  std::printf("%s\n", path.c_str());
-  std::printf("  version=%u bytes=%llu fingerprint=%016llx crc=%s\n",
-              s.version, static_cast<unsigned long long>(s.file_bytes),
+  std::printf("%s%s\n", path.c_str(), s.spill ? "  (spill file)" : "");
+  std::printf("  %s=%u bytes=%llu fingerprint=%016llx crc=%s\n",
+              s.spill ? "spill_version" : "version", s.version,
+              static_cast<unsigned long long>(s.file_bytes),
               static_cast<unsigned long long>(s.fingerprint),
               s.version == 1 ? "n/a" : (s.crc_ok ? "ok" : "BAD"));
   std::printf("  types (%zu):\n", s.types.size());

@@ -7,7 +7,9 @@
 //                    [--max-hops=1] [--max-paths=2] [--try-heap]
 //   freehgc_ooc_demo --phase=serve --path=/tmp/aminer.fhgc \
 //                    [--method=herding] [--ratio=0.01] [--max-hops=1] \
-//                    [--max-paths=2] [--evaluate] [--try-heap]
+//                    [--max-paths=2] [--evaluate] [--try-heap] \
+//                    [--spill-dir=DIR] [--artifact-budget=BYTES] \
+//                    [--resident-budget=BYTES] [--fingerprint]
 //
 // The generate phase streams a preset schema straight into a v3
 // container (datasets::GenerateToV3) without ever materializing the heap
@@ -28,6 +30,14 @@
 // attempts the old-style load (slurp the whole file into memory) and
 // reports that it is refused under the cap. Machine-readable
 // `OOC key=value` lines feed the CI assertions.
+//
+// With --spill-dir (plus --artifact-budget), the serve phase runs the
+// full request path — EvalContext build included — against the tiered
+// ArtifactCache: propagated feature blocks stream through spool files
+// instead of materializing on the heap, so the request now fits under a
+// cap that refuses the unbudgeted run. --fingerprint fetches the
+// condensed graph back and prints its content fingerprint, the value the
+// spill bench compares across budgeted and unbudgeted runs.
 
 #include <cstdio>
 #include <cstdlib>
@@ -160,15 +170,31 @@ int RunCondense(const std::string& path, const std::string& out, double ratio,
   return 0;
 }
 
+struct ServeBudget {
+  std::string spill_dir;
+  size_t artifact_budget = SIZE_MAX;
+  size_t resident_budget = SIZE_MAX;
+  bool fingerprint = false;
+};
+
 int RunServe(const std::string& path, const std::string& method, double ratio,
-             int max_hops, int max_paths, bool evaluate, bool try_heap) {
+             int max_hops, int max_paths, bool evaluate, bool try_heap,
+             const ServeBudget& budget) {
   if (try_heap && !TryHeapSlurp(path)) {
     return Fail(freehgc::Status::NotFound("cannot open " + path));
   }
 
   freehgc::serve::ServeOptions options;
   options.slots = 1;
+  options.spill_dir = budget.spill_dir;
+  options.artifact_budget_bytes = budget.artifact_budget;
+  options.store_resident_budget_bytes = budget.resident_budget;
   freehgc::serve::ServeService service(options);
+  std::printf("OOC spill_enabled=%d artifact_budget_bytes=%lld\n",
+              service.cache().spill_enabled() ? 1 : 0,
+              budget.artifact_budget == SIZE_MAX
+                  ? -1LL
+                  : static_cast<long long>(budget.artifact_budget));
   auto info = service.store().RegisterMappedFile("g", path);
   if (!info.ok()) return Fail(info.status());
   std::printf("OOC phase=serve mapped=%d nodes=%lld edges=%lld\n",
@@ -178,11 +204,11 @@ int RunServe(const std::string& path, const std::string& method, double ratio,
               info->memory_bytes, service.store().ResidentBytes());
 
   // --ratio=0 skips the condense request: the phase then measures pure
-  // serving residency (registration + catalog), which needs only labels
-  // and splits on the heap and so fits under a cap far below the graph
-  // size. The request path pre-propagates dense feature blocks whose
-  // footprint rivals the graph itself — run it uncapped, or use
-  // --phase=condense for a capped condensation.
+  // serving residency (registration + catalog). With --ratio>0 the full
+  // request path runs, EvalContext build included; unbudgeted, its
+  // pre-propagated feature blocks rival the graph itself, but with
+  // --spill-dir + --artifact-budget the blocks stream through spool
+  // files and the request fits under a cap the unbudgeted run does not.
   if (ratio > 0) {
     freehgc::serve::CondenseRequest request;
     request.graph = "g";
@@ -191,6 +217,7 @@ int RunServe(const std::string& path, const std::string& method, double ratio,
     request.max_hops = max_hops;
     request.max_paths = max_paths;
     request.evaluate = evaluate;
+    request.return_graph = budget.fingerprint;
     auto reply = service.Condense(request);
     if (!reply.ok()) return Fail(reply.status());
     std::printf("OOC condensed_nodes=%lld condensed_edges=%lld "
@@ -203,7 +230,24 @@ int RunServe(const std::string& path, const std::string& method, double ratio,
                   static_cast<double>(reply->accuracy),
                   static_cast<double>(reply->macro_f1));
     }
+    if (budget.fingerprint) {
+      auto condensed = freehgc::DeserializeHeteroGraph(reply->graph_bytes);
+      if (!condensed.ok()) return Fail(condensed.status());
+      std::printf("OOC condensed_fingerprint=%016llx\n",
+                  static_cast<unsigned long long>(
+                      condensed->ContentFingerprint()));
+    }
   }
+  const auto cache = service.cache().stats();
+  std::printf("OOC cache_spills=%lld cache_restores=%lld "
+              "cache_spill_bytes=%zu\n",
+              static_cast<long long>(cache.spills),
+              static_cast<long long>(cache.restores), cache.spill_bytes);
+  std::printf("OOC cache_resident_bytes=%zu cache_peak_resident_bytes=%zu\n",
+              cache.resident_bytes, cache.peak_resident_bytes);
+  std::printf("OOC store_evictions=%lld store_mapped_resident_bytes=%zu\n",
+              static_cast<long long>(service.store().Evictions()),
+              service.store().MappedResidentBytes());
   std::printf("OOC serve_data_bytes=%lld peak_rss_bytes=%lld\n",
               ProcStatusBytes("VmData"), ProcStatusBytes("VmHWM"));
   return 0;
@@ -225,6 +269,7 @@ int main(int argc, char** argv) {
   int64_t max_row_nnz = 0;  // 0 = keep the FreeHgcOptions default
   bool evaluate = false;
   bool try_heap = false;
+  ServeBudget budget;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string v;
@@ -250,6 +295,14 @@ int main(int argc, char** argv) {
       max_paths = std::atoi(v.c_str());
     } else if (FlagValue(arg, "--max-row-nnz=", &v)) {
       max_row_nnz = std::atoll(v.c_str());
+    } else if (FlagValue(arg, "--spill-dir=", &v)) {
+      budget.spill_dir = v;
+    } else if (FlagValue(arg, "--artifact-budget=", &v)) {
+      budget.artifact_budget = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (FlagValue(arg, "--resident-budget=", &v)) {
+      budget.resident_budget = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (arg == "--fingerprint") {
+      budget.fingerprint = true;
     } else if (arg == "--evaluate") {
       evaluate = true;
     } else if (arg == "--try-heap") {
@@ -269,7 +322,7 @@ int main(int argc, char** argv) {
   }
   if (phase == "serve") {
     return RunServe(path, method, ratio, max_hops, max_paths, evaluate,
-                    try_heap);
+                    try_heap, budget);
   }
   std::fprintf(stderr, "unknown --phase=%s (generate|condense|serve)\n",
                phase.c_str());

@@ -3,7 +3,8 @@
 //   freehgc_server [--port=0] [--port-file=PATH] [--slots=2]
 //                  [--queue-capacity=32] [--threads-per-slot=0]
 //                  [--spool-dir=PATH] [--map=NAME=PATH]...
-//                  [--access-log=PATH]
+//                  [--access-log=PATH] [--spill-dir=PATH]
+//                  [--artifact-budget=BYTES] [--resident-budget=BYTES]
 //
 // Binds the requested port (0 = ephemeral; the bound port is printed and
 // optionally written to --port-file so scripts can find it), serves the
@@ -21,6 +22,15 @@
 // an existing v3 container the same way — together they let a restarted
 // server rehydrate its catalog without re-uploading, and let graphs far
 // larger than RAM be served out-of-core.
+//
+// --spill-dir enables the tiered ArtifactCache: composed adjacencies and
+// propagated feature blocks spill to section spool files there when the
+// resident tier exceeds --artifact-budget (bytes; accepts K/M/G
+// suffixes), and restore as zero-copy mapped views. --resident-budget
+// caps the bytes of mapped graphs the GraphStore keeps resident (LRU
+// eviction + transparent re-map). At startup, the spool and spill
+// directories are swept for orphans: spill/tmp files from dead processes
+// and containers whose fingerprint does not match their name.
 
 #include <csignal>
 #include <cstdio>
@@ -55,6 +65,25 @@ bool ParseIntFlag(const std::string& arg, const char* prefix, int* out) {
   return true;
 }
 
+// Byte count with an optional K/M/G suffix (binary multiples).
+bool ParseBytesFlag(const std::string& arg, const char* prefix,
+                    size_t* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const char* value = arg.c_str() + std::string(prefix).size();
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(value, &end, 10);
+  if (end == value) return false;
+  switch (*end) {
+    case 'k': case 'K': n <<= 10; ++end; break;
+    case 'm': case 'M': n <<= 20; ++end; break;
+    case 'g': case 'G': n <<= 30; ++end; break;
+    default: break;
+  }
+  if (*end != '\0') return false;
+  *out = static_cast<size_t>(n);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +109,16 @@ int main(int argc, char** argv) {
       spool_dir = arg.substr(std::string("--spool-dir=").size());
       continue;
     }
+    if (ParseBytesFlag(arg, "--artifact-budget=",
+                       &options.serve.artifact_budget_bytes) ||
+        ParseBytesFlag(arg, "--resident-budget=",
+                       &options.serve.store_resident_budget_bytes)) {
+      continue;
+    }
+    if (arg.rfind("--spill-dir=", 0) == 0) {
+      options.serve.spill_dir = arg.substr(std::string("--spill-dir=").size());
+      continue;
+    }
     if (arg.rfind("--access-log=", 0) == 0) {
       options.serve.access_log_path =
           arg.substr(std::string("--access-log=").size());
@@ -98,6 +137,23 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return 2;
+  }
+
+  // Orphan-spool GC: dead processes leave spill/tmp files behind, and a
+  // crashed upload can leave a half-named container. Sweep before any
+  // registration so stale files never shadow live ones.
+  std::vector<std::string> sweep_dirs;
+  if (!spool_dir.empty()) sweep_dirs.push_back(spool_dir);
+  if (!options.serve.spill_dir.empty() &&
+      options.serve.spill_dir != spool_dir) {
+    sweep_dirs.push_back(options.serve.spill_dir);
+  }
+  for (const std::string& dir : sweep_dirs) {
+    const freehgc::Result<int> swept = freehgc::serve::SweepSpoolDir(dir);
+    if (swept.ok() && *swept > 0) {
+      std::printf("swept %d orphan spool file(s) from %s\n", *swept,
+                  dir.c_str());
+    }
   }
 
   freehgc::serve::Server server(options);

@@ -6,8 +6,10 @@
 // Polls the METRICS wire op each interval and renders one line per poll:
 // request throughput (qps over a 10 s sliding window), total-latency
 // p50/p95/p99 reconstructed from the scraped histogram buckets, queue
-// depth, inflight count, artifact-cache hit rate, and resident graph
-// bytes. --iterations=N exits after N polls (0 = until interrupted);
+// depth, inflight count, artifact-cache hit rate, the share of cache
+// hits served from the resident tier (vs restored from spill files),
+// resident graph/cache bytes, cumulative spilled bytes, and graph-store
+// evictions. --iterations=N exits after N polls (0 = until interrupted);
 // --once is --iterations=1 (handy in scripts and CI).
 //
 // Everything shown is derived from the same Prometheus text any scraper
@@ -97,8 +99,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%10s %9s %9s %9s %6s %9s %7s %10s\n", "qps", "p50ms",
-              "p95ms", "p99ms", "queue", "inflight", "cache%", "resident");
+  std::printf("%10s %9s %9s %9s %6s %9s %7s %6s %10s %8s %8s %6s\n", "qps",
+              "p50ms", "p95ms", "p99ms", "queue", "inflight", "cache%",
+              "tier%", "resident", "cacheMB", "spillMB", "evict");
   freehgc::obs::RateWindow qps;
   for (long iter = 0; iterations == 0 || iter < iterations; ++iter) {
     if (iter != 0) ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
@@ -131,12 +134,22 @@ int main(int argc, char** argv) {
         ValueOr(samples, "freehgc_pipeline_cache_misses_total", 0);
     const double hit_rate =
         hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0;
+    // Share of hits served straight from the resident tier (the rest
+    // were restored from spill files first).
+    const double restores =
+        ValueOr(samples, "freehgc_pipeline_cache_restores_total", 0);
+    const double tier_rate = hits > 0 ? 100.0 * (hits - restores) / hits : 0.0;
 
-    std::printf("%10.1f %9.2f %9.2f %9.2f %6.0f %9.0f %7.1f %9.1fM\n",
-                qps.RatePerSec(), p50, p95, p99,
-                ValueOr(samples, "freehgc_serve_queue_depth", 0),
-                ValueOr(samples, "freehgc_serve_inflight", 0), hit_rate,
-                ValueOr(samples, "freehgc_store_resident_bytes", 0) / 1e6);
+    std::printf(
+        "%10.1f %9.2f %9.2f %9.2f %6.0f %9.0f %7.1f %6.1f %9.1fM %8.1f "
+        "%8.1f %6.0f\n",
+        qps.RatePerSec(), p50, p95, p99,
+        ValueOr(samples, "freehgc_serve_queue_depth", 0),
+        ValueOr(samples, "freehgc_serve_inflight", 0), hit_rate, tier_rate,
+        ValueOr(samples, "freehgc_store_resident_bytes", 0) / 1e6,
+        ValueOr(samples, "freehgc_pipeline_cache_resident_bytes", 0) / 1e6,
+        ValueOr(samples, "freehgc_pipeline_cache_spill_bytes_total", 0) / 1e6,
+        ValueOr(samples, "freehgc_store_evictions_total", 0));
     std::fflush(stdout);
   }
   return 0;
