@@ -1,0 +1,106 @@
+#include "cluster/meta_client.h"
+
+#include "common/string_util.h"
+#include "serve/wire.h"
+
+namespace freehgc::cluster {
+
+using serve::MsgType;
+using serve::WireReader;
+using serve::WireWriter;
+
+Status MetaClient::Connect(int port) {
+  FREEHGC_RETURN_IF_ERROR(client_.Connect(port));
+  auto hello = client_.Hello();
+  if (!hello.ok()) {
+    client_.Close();
+    return hello.status();
+  }
+  if (hello->protocol_version < 2) {
+    client_.Close();
+    return Status::FailedPrecondition(StrFormat(
+        "server on 127.0.0.1:%d predates cluster support (protocol v%u); "
+        "upgrade it or point --meta at a freehgc_meta service",
+        port, hello->protocol_version));
+  }
+  if ((hello->features & serve::kFeatureClusterOps) == 0) {
+    client_.Close();
+    return Status::FailedPrecondition(StrFormat(
+        "server on 127.0.0.1:%d is a '%s' server, not a cluster meta "
+        "service",
+        port, hello->role.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<RegisterShardReply> MetaClient::RegisterShard(
+    const RegisterShardRequest& req) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kRegisterShard));
+  EncodeRegisterShardRequest(w, req);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, client_.Call(w.Take()));
+  WireReader r(body);
+  return DecodeRegisterShardReply(r);
+}
+
+Result<uint64_t> MetaClient::Heartbeat(const HeartbeatRequest& req) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kHeartbeat));
+  EncodeHeartbeatRequest(w, req);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, client_.Call(w.Take()));
+  WireReader r(body);
+  return r.GetU64();
+}
+
+Result<Placement> MetaClient::Resolve(const std::string& name) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kResolve));
+  w.PutString(name);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, client_.Call(w.Take()));
+  WireReader r(body);
+  return DecodePlacement(r);
+}
+
+Result<Placement> MetaClient::Place(const PlaceRequest& req) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kPlace));
+  EncodePlaceRequest(w, req);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, client_.Call(w.Take()));
+  WireReader r(body);
+  return DecodePlacement(r);
+}
+
+Result<WatchResult> MetaClient::Watch(uint64_t since_version,
+                                      int64_t timeout_ms) {
+  WatchRequest req;
+  req.since_version = since_version;
+  req.timeout_ms = timeout_ms;
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kWatch));
+  EncodeWatchRequest(w, req);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, client_.Call(w.Take()));
+  WireReader r(body);
+  return DecodeWatchResult(r);
+}
+
+Result<std::vector<ShardStatus>> MetaClient::ListShards() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kListShards));
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, client_.Call(w.Take()));
+  WireReader r(body);
+  return DecodeShardStatusList(r);
+}
+
+Result<std::string> MetaClient::Stats() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kStats));
+  return client_.Call(w.Take());
+}
+
+Status MetaClient::Shutdown() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kShutdown));
+  return client_.Call(w.Take()).status();
+}
+
+}  // namespace freehgc::cluster

@@ -1,0 +1,49 @@
+#ifndef FREEHGC_CLUSTER_META_CLIENT_H_
+#define FREEHGC_CLUSTER_META_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cluster/types.h"
+#include "cluster/wire.h"
+#include "serve/client.h"
+
+namespace freehgc::cluster {
+
+/// Blocking client for a freehgc_meta service: one connection, one
+/// request in flight (open several for concurrency — the meta server is
+/// thread-per-connection, and a long-poll Watch should use its own
+/// client so it doesn't block resolves).
+class MetaClient {
+ public:
+  MetaClient() = default;
+
+  MetaClient(const MetaClient&) = delete;
+  MetaClient& operator=(const MetaClient&) = delete;
+
+  /// Connects to 127.0.0.1:port and verifies via the Ping handshake that
+  /// the peer really is a protocol-v2 meta service — a serve server or a
+  /// pre-cluster binary fails here with a clean message instead of a
+  /// frame mismatch later.
+  Status Connect(int port);
+  void Close() { client_.Close(); }
+  bool connected() const { return client_.connected(); }
+
+  Result<RegisterShardReply> RegisterShard(const RegisterShardRequest& req);
+  Result<uint64_t> Heartbeat(const HeartbeatRequest& req);
+  Result<Placement> Resolve(const std::string& name);
+  Result<Placement> Place(const PlaceRequest& req);
+  Result<WatchResult> Watch(uint64_t since_version, int64_t timeout_ms);
+  Result<std::vector<ShardStatus>> ListShards();
+  Result<std::string> Stats();
+  Status Shutdown();
+
+ private:
+  serve::ServeClient client_;
+};
+
+}  // namespace freehgc::cluster
+
+#endif  // FREEHGC_CLUSTER_META_CLIENT_H_

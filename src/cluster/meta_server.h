@@ -1,0 +1,51 @@
+#ifndef FREEHGC_CLUSTER_META_SERVER_H_
+#define FREEHGC_CLUSTER_META_SERVER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "cluster/meta_service.h"
+#include "serve/server.h"
+
+namespace freehgc::cluster {
+
+struct MetaServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port.
+  int port = 0;
+  MetaServiceOptions meta;
+};
+
+/// Wire front-end for a MetaService: the same length-prefixed protocol as
+/// freehgc_server (serve::WireListener underneath), answering the cluster
+/// metadata ops plus kPing (role "meta"), kStats, and kShutdown. Graph
+/// ops sent here get a clean kFailedPrecondition pointing at the shards.
+class MetaServer {
+ public:
+  explicit MetaServer(MetaServerOptions options = {});
+  ~MetaServer();
+
+  MetaServer(const MetaServer&) = delete;
+  MetaServer& operator=(const MetaServer&) = delete;
+
+  Status Start();
+  int port() const { return listener_.port(); }
+  MetaService& service() { return service_; }
+
+  /// Async-signal-safe stop request; returns immediately.
+  void RequestStop();
+
+  /// Blocks until the listener has stopped and all connections closed.
+  void Wait();
+
+ private:
+  std::string HandleRequest(std::string_view payload);
+
+  MetaServerOptions options_;
+  MetaService service_;
+  serve::WireListener listener_;
+};
+
+}  // namespace freehgc::cluster
+
+#endif  // FREEHGC_CLUSTER_META_SERVER_H_

@@ -1,0 +1,334 @@
+#include "cluster/meta_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace freehgc::cluster {
+
+namespace {
+
+struct MetaMetrics {
+  obs::Counter& registrations;
+  obs::Counter& heartbeats;
+  obs::Counter& events;
+  obs::Counter& dead;
+  obs::Gauge& shards;
+  obs::Gauge& shards_alive;
+  obs::Gauge& placements;
+
+  static MetaMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static MetaMetrics m{
+        reg.GetCounter("cluster.meta.registrations"),
+        reg.GetCounter("cluster.meta.heartbeats"),
+        reg.GetCounter("cluster.meta.events"),
+        reg.GetCounter("cluster.meta.shards_died"),
+        reg.GetGauge("cluster.meta.shards"),
+        reg.GetGauge("cluster.meta.shards_alive"),
+        reg.GetGauge("cluster.meta.placements"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+MetaService::MetaService(MetaServiceOptions options)
+    : options_(std::move(options)) {}
+
+MetaService::~MetaService() { Close(); }
+
+void MetaService::AppendEventLocked(MetaEventType type, uint32_t shard_id,
+                                    uint64_t fingerprint,
+                                    const std::string& name) {
+  MetaEvent e;
+  e.version = ++version_;
+  e.type = type;
+  e.shard_id = shard_id;
+  e.fingerprint = fingerprint;
+  e.name = name;
+  events_.push_back(std::move(e));
+  while (events_.size() > options_.max_events) events_.pop_front();
+  MetaMetrics::Get().events.Increment();
+  event_cv_.notify_all();
+}
+
+void MetaService::CheckLivenessLocked(int64_t now_ns) {
+  const int64_t ttl_ns = options_.heartbeat_ttl_ms * 1'000'000;
+  for (auto& [id, shard] : shards_) {
+    if (shard.ep.alive && now_ns - shard.last_heartbeat_ns > ttl_ns) {
+      shard.ep.alive = false;
+      MetaMetrics::Get().dead.Increment();
+      AppendEventLocked(MetaEventType::kShardDead, id, 0, "");
+    }
+  }
+  UpdateGaugesLocked();
+}
+
+void MetaService::AdvertiseLocked(uint32_t shard_id, const GraphAd& ad) {
+  Entry& entry = placements_[ad.fingerprint];
+  entry.name = ad.name;
+  entry.bytes = ad.bytes;
+  names_[ad.name] = ad.fingerprint;
+  shards_[shard_id].advertised.insert(ad.fingerprint);
+  if (entry.shard_ids.insert(shard_id).second) {
+    AppendEventLocked(MetaEventType::kPlacementChanged, shard_id,
+                      ad.fingerprint, ad.name);
+    entry.version = version_;
+  }
+}
+
+void MetaService::WithdrawLocked(uint32_t shard_id, uint64_t fingerprint) {
+  auto it = placements_.find(fingerprint);
+  if (it == placements_.end()) return;
+  if (it->second.shard_ids.erase(shard_id) == 0) return;
+  AppendEventLocked(MetaEventType::kPlacementChanged, shard_id, fingerprint,
+                    it->second.name);
+  it->second.version = version_;
+  if (it->second.shard_ids.empty()) {
+    auto name_it = names_.find(it->second.name);
+    if (name_it != names_.end() && name_it->second == fingerprint) {
+      names_.erase(name_it);
+    }
+    placements_.erase(it);
+  }
+}
+
+Placement MetaService::SnapshotPlacementLocked(uint64_t fingerprint) const {
+  Placement p;
+  auto it = placements_.find(fingerprint);
+  if (it == placements_.end()) return p;
+  p.name = it->second.name;
+  p.fingerprint = fingerprint;
+  p.version = it->second.version;
+  for (uint32_t id : it->second.shard_ids) {
+    auto shard_it = shards_.find(id);
+    if (shard_it == shards_.end()) continue;
+    p.shards.push_back(shard_it->second.ep);
+  }
+  return p;
+}
+
+void MetaService::UpdateGaugesLocked() const {
+  auto& m = MetaMetrics::Get();
+  int64_t alive = 0;
+  for (const auto& [id, shard] : shards_) {
+    if (shard.ep.alive) ++alive;
+  }
+  m.shards.Set(static_cast<int64_t>(shards_.size()));
+  m.shards_alive.Set(alive);
+  m.placements.Set(static_cast<int64_t>(placements_.size()));
+}
+
+RegisterShardReply MetaService::RegisterShard(
+    const RegisterShardRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = obs::NowNs();
+  MetaMetrics::Get().registrations.Increment();
+  Shard& shard = shards_[req.shard_id];
+  const bool was_alive =
+      shard.last_heartbeat_ns > 0 && shard.ep.alive;
+  shard.ep.shard_id = req.shard_id;
+  shard.ep.port = req.port;
+  shard.ep.alive = true;
+  shard.last_heartbeat_ns = now;
+  if (!was_alive) {
+    AppendEventLocked(MetaEventType::kShardJoined, req.shard_id, 0, "");
+  }
+  // Reconcile the advertised set against the announcement.
+  std::set<uint64_t> incoming;
+  for (const GraphAd& ad : req.ads) incoming.insert(ad.fingerprint);
+  const std::set<uint64_t> previous = shard.advertised;
+  for (uint64_t fp : previous) {
+    if (incoming.count(fp) == 0) {
+      shard.advertised.erase(fp);
+      WithdrawLocked(req.shard_id, fp);
+    }
+  }
+  for (const GraphAd& ad : req.ads) AdvertiseLocked(req.shard_id, ad);
+  CheckLivenessLocked(now);
+  return RegisterShardReply{version_, options_.heartbeat_ttl_ms};
+}
+
+Result<uint64_t> MetaService::Heartbeat(const HeartbeatRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = obs::NowNs();
+  MetaMetrics::Get().heartbeats.Increment();
+  auto it = shards_.find(req.shard_id);
+  if (it == shards_.end()) {
+    return Status::NotFound(StrFormat(
+        "shard %u has no registration (re-register first)", req.shard_id));
+  }
+  Shard& shard = it->second;
+  shard.last_heartbeat_ns = now;
+  shard.load = req.load;
+  if (!shard.ep.alive) {
+    shard.ep.alive = true;
+    AppendEventLocked(MetaEventType::kShardJoined, req.shard_id, 0, "");
+  }
+  std::set<uint64_t> incoming;
+  for (const GraphAd& ad : req.ads) incoming.insert(ad.fingerprint);
+  const std::set<uint64_t> previous = shard.advertised;
+  for (uint64_t fp : previous) {
+    if (incoming.count(fp) == 0) {
+      shard.advertised.erase(fp);
+      WithdrawLocked(req.shard_id, fp);
+    }
+  }
+  for (const GraphAd& ad : req.ads) AdvertiseLocked(req.shard_id, ad);
+  CheckLivenessLocked(now);
+  return version_;
+}
+
+Result<Placement> MetaService::Resolve(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckLivenessLocked(obs::NowNs());
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::NotFound(
+        StrFormat("no shard advertises graph '%s'", name.c_str()));
+  }
+  return SnapshotPlacementLocked(it->second);
+}
+
+Result<Placement> MetaService::Place(const PlaceRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckLivenessLocked(obs::NowNs());
+  if (req.shard_ids.empty()) {
+    // Plan: pick the `replicas` least-loaded live shards that do not
+    // already hold the fingerprint. Pure read — nothing committed until
+    // the uploads succeed and a record call comes back.
+    const std::set<uint32_t>* holders = nullptr;
+    auto placed = placements_.find(req.fingerprint);
+    if (req.fingerprint != 0 && placed != placements_.end()) {
+      holders = &placed->second.shard_ids;
+    }
+    std::vector<const Shard*> candidates;
+    for (const auto& [id, shard] : shards_) {
+      if (!shard.ep.alive) continue;
+      if (holders != nullptr && holders->count(id) > 0) continue;
+      candidates.push_back(&shard);
+    }
+    if (candidates.empty()) {
+      return Status::FailedPrecondition(
+          "no live shard is available for placement");
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Shard* a, const Shard* b) {
+                if (a->load.resident_bytes != b->load.resident_bytes) {
+                  return a->load.resident_bytes < b->load.resident_bytes;
+                }
+                if (a->load.queue_depth != b->load.queue_depth) {
+                  return a->load.queue_depth < b->load.queue_depth;
+                }
+                return a->ep.shard_id < b->ep.shard_id;
+              });
+    const size_t want =
+        std::max(1, req.replicas) > static_cast<int>(candidates.size())
+            ? candidates.size()
+            : static_cast<size_t>(std::max(1, req.replicas));
+    Placement plan;
+    plan.name = req.name;
+    plan.fingerprint = req.fingerprint;
+    plan.version = version_;
+    for (size_t i = 0; i < want; ++i) {
+      plan.shards.push_back(candidates[i]->ep);
+    }
+    return plan;
+  }
+  // Record: commit the placement after the uploads landed.
+  if (req.fingerprint == 0) {
+    return Status::InvalidArgument(
+        "placement record requires the uploaded graph's fingerprint");
+  }
+  for (uint32_t id : req.shard_ids) {
+    if (shards_.find(id) == shards_.end()) {
+      return Status::NotFound(
+          StrFormat("cannot record placement on unknown shard %u", id));
+    }
+  }
+  GraphAd ad;
+  ad.name = req.name;
+  ad.fingerprint = req.fingerprint;
+  ad.bytes = req.bytes;
+  for (uint32_t id : req.shard_ids) AdvertiseLocked(id, ad);
+  UpdateGaugesLocked();
+  return SnapshotPlacementLocked(req.fingerprint);
+}
+
+std::vector<ShardStatus> MetaService::ListShards() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = obs::NowNs();
+  CheckLivenessLocked(now);
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  for (const auto& [id, shard] : shards_) {
+    ShardStatus s;
+    s.shard_id = id;
+    s.port = shard.ep.port;
+    s.alive = shard.ep.alive;
+    s.heartbeat_age_ms = (now - shard.last_heartbeat_ns) / 1'000'000;
+    s.load = shard.load;
+    s.graphs = static_cast<int64_t>(shard.advertised.size());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+WatchResult MetaService::Watch(uint64_t since_version, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t deadline_ns = obs::NowNs() + timeout_ms * 1'000'000;
+  for (;;) {
+    CheckLivenessLocked(obs::NowNs());
+    WatchResult res;
+    res.version = version_;
+    // A watcher behind the bounded log's retention gets a resync signal
+    // instead of a partial replay.
+    const uint64_t oldest_retained =
+        events_.empty() ? version_ + 1 : events_.front().version;
+    if (version_ > since_version && since_version + 1 < oldest_retained) {
+      res.resync = true;
+      return res;
+    }
+    for (const MetaEvent& e : events_) {
+      if (e.version > since_version) res.events.push_back(e);
+    }
+    const int64_t now = obs::NowNs();
+    if (!res.events.empty() || closed_ || now >= deadline_ns) return res;
+    // Bounded waits so a liveness expiry during the poll still produces
+    // its kShardDead event and wakes this watcher.
+    const int64_t slice_ns = std::min<int64_t>(100'000'000,
+                                               deadline_ns - now);
+    event_cv_.wait_for(lock, std::chrono::nanoseconds(slice_ns));
+  }
+}
+
+uint64_t MetaService::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+std::string MetaService::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t alive = 0;
+  for (const auto& [id, shard] : shards_) {
+    if (shard.ep.alive) ++alive;
+  }
+  return StrFormat(
+      "{\"shards\": %zu, \"alive\": %lld, \"placements\": %zu, "
+      "\"version\": %llu, \"events_retained\": %zu}",
+      shards_.size(), static_cast<long long>(alive), placements_.size(),
+      static_cast<unsigned long long>(version_), events_.size());
+}
+
+void MetaService::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  event_cv_.notify_all();
+}
+
+}  // namespace freehgc::cluster

@@ -1,0 +1,131 @@
+#ifndef FREEHGC_CLUSTER_META_SERVICE_H_
+#define FREEHGC_CLUSTER_META_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cluster/types.h"
+#include "cluster/wire.h"
+
+namespace freehgc::cluster {
+
+struct MetaServiceOptions {
+  /// A shard that has not heartbeated for this long is marked dead (a
+  /// kShardDead event; routers stop sending to it). A later heartbeat
+  /// revives it — liveness is a flag, not removal, so placements survive
+  /// a slow shard.
+  int64_t heartbeat_ttl_ms = 2000;
+  /// Bounded event log: watchers further behind than this many retained
+  /// events get `resync` instead of a replay (drop caches, re-resolve).
+  size_t max_events = 1024;
+};
+
+/// The cluster's coordination brain (vineyard's etcd-meta pattern,
+/// in-process): a versioned placement map (graph fingerprint → the
+/// shards holding it), shard liveness driven by heartbeats, and an event
+/// log that Watch long-polls deliver from. Every mutation — shard join,
+/// death, revival, placement change — bumps one monotonic metadata
+/// version and appends one event, so a router can cache placements and
+/// invalidate precisely.
+///
+/// Pure in-memory state machine, no sockets (MetaServer adds the wire);
+/// all methods are thread-safe.
+class MetaService {
+ public:
+  explicit MetaService(MetaServiceOptions options = {});
+  ~MetaService();
+
+  MetaService(const MetaService&) = delete;
+  MetaService& operator=(const MetaService&) = delete;
+
+  /// Shard join (idempotent; also the revival path after a liveness
+  /// expiry or meta restart). The ads seed/reconcile its placements.
+  RegisterShardReply RegisterShard(const RegisterShardRequest& req);
+
+  /// Liveness + load + advertised-set reconciliation: graphs that
+  /// appeared on the shard join its placements, graphs that disappeared
+  /// leave them. NotFound for a shard that never registered (the agent
+  /// re-registers on that signal). Returns the current metadata version.
+  Result<uint64_t> Heartbeat(const HeartbeatRequest& req);
+
+  /// Placement of a graph by store name, liveness flags current as of
+  /// the call. NotFound when no live or dead shard advertises the name.
+  Result<Placement> Resolve(const std::string& name);
+
+  /// Placement planning and recording (see PlaceRequest). A plan picks
+  /// the `replicas` least-loaded live shards (excluding ones already
+  /// holding the fingerprint) without mutating anything; a record
+  /// commits shard_ids into the placement map and bumps the version.
+  Result<Placement> Place(const PlaceRequest& req);
+
+  /// All known shards with liveness, heartbeat age, and load.
+  std::vector<ShardStatus> ListShards();
+
+  /// Long-poll: blocks until an event with version > since_version
+  /// exists (or timeout_ms passes, or Close). Liveness expiry is checked
+  /// while waiting, so a shard dying mid-watch wakes the watcher.
+  WatchResult Watch(uint64_t since_version, int64_t timeout_ms);
+
+  /// Current metadata version (0 = nothing ever happened).
+  uint64_t version() const;
+
+  /// One-line JSON summary (the meta server's kStats body).
+  std::string StatsJson() const;
+
+  /// Wakes every blocked watcher (they return with what they have);
+  /// subsequent Watch calls return immediately. Idempotent.
+  void Close();
+
+ private:
+  struct Shard {
+    ShardEndpoint ep;
+    ShardLoad load;
+    int64_t last_heartbeat_ns = 0;
+    /// Fingerprints this shard currently advertises (for reconciliation).
+    std::set<uint64_t> advertised;
+  };
+
+  /// Callers hold mu_. Marks overdue shards dead (events + notify).
+  void CheckLivenessLocked(int64_t now_ns);
+  /// Callers hold mu_. Appends one event at version_ + 1.
+  void AppendEventLocked(MetaEventType type, uint32_t shard_id,
+                         uint64_t fingerprint, const std::string& name);
+  /// Callers hold mu_. Adds/removes `shard_id` on the fingerprint's
+  /// placement, emitting a kPlacementChanged event on change.
+  void AdvertiseLocked(uint32_t shard_id, const GraphAd& ad);
+  void WithdrawLocked(uint32_t shard_id, uint64_t fingerprint);
+  /// Callers hold mu_. Placement with alive flags refreshed from the
+  /// current shard table.
+  Placement SnapshotPlacementLocked(uint64_t fingerprint) const;
+  void UpdateGaugesLocked() const;
+
+  const MetaServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable event_cv_;
+  std::map<uint32_t, Shard> shards_;
+  /// fingerprint -> placement (shard ids + the graph's latest name).
+  struct Entry {
+    std::string name;
+    uint64_t bytes = 0;
+    uint64_t version = 0;  // version of the last change
+    std::set<uint32_t> shard_ids;
+  };
+  std::map<uint64_t, Entry> placements_;
+  /// store name -> fingerprint (latest advertisement wins).
+  std::map<std::string, uint64_t> names_;
+  std::deque<MetaEvent> events_;
+  uint64_t version_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace freehgc::cluster
+
+#endif  // FREEHGC_CLUSTER_META_SERVICE_H_

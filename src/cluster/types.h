@@ -1,0 +1,94 @@
+#ifndef FREEHGC_CLUSTER_TYPES_H_
+#define FREEHGC_CLUSTER_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace freehgc::cluster {
+
+/// Shared value types of the cluster layer: what shards advertise, what
+/// the metadata service records, and what routers consume. All of them
+/// cross the wire (src/cluster/wire.h) and none of them own behavior —
+/// the state machine lives in MetaService.
+
+/// One graph a shard advertises as resident (its GraphStore catalog,
+/// boiled down to the identity the placement map keys on).
+struct GraphAd {
+  std::string name;
+  /// HeteroGraph::ContentFingerprint — the cluster-wide graph identity.
+  /// Two shards advertising the same fingerprint are replicas.
+  uint64_t fingerprint = 0;
+  uint64_t bytes = 0;
+};
+
+/// Load a shard reports with every heartbeat; the meta service uses it
+/// for least-loaded placement and freehgc_top for the per-shard row.
+struct ShardLoad {
+  uint64_t resident_bytes = 0;
+  int64_t queue_depth = 0;
+  int64_t inflight = 0;
+  int64_t completed = 0;
+};
+
+/// Where a shard can be reached (the cluster is single-machine
+/// multi-process, so an endpoint is a loopback port).
+struct ShardEndpoint {
+  uint32_t shard_id = 0;
+  int port = 0;
+  bool alive = true;
+};
+
+/// Full per-shard row returned by ListShards.
+struct ShardStatus {
+  uint32_t shard_id = 0;
+  int port = 0;
+  bool alive = true;
+  /// Milliseconds since the last registration/heartbeat.
+  int64_t heartbeat_age_ms = 0;
+  ShardLoad load;
+  /// Graphs the shard currently advertises.
+  int64_t graphs = 0;
+};
+
+/// One entry of the placement map: which shards hold a graph. `version`
+/// is the metadata version that last changed this placement.
+struct Placement {
+  std::string name;
+  uint64_t fingerprint = 0;
+  uint64_t version = 0;
+  std::vector<ShardEndpoint> shards;
+};
+
+/// Metadata event log entries, delivered to watchers in version order.
+enum class MetaEventType : uint8_t {
+  kShardJoined = 1,
+  kShardDead = 2,
+  kPlacementChanged = 3,
+};
+
+struct MetaEvent {
+  /// The metadata version this event produced (monotonic, gapless within
+  /// the retained window).
+  uint64_t version = 0;
+  MetaEventType type = MetaEventType::kShardJoined;
+  uint32_t shard_id = 0;
+  /// For kPlacementChanged: the graph whose placement moved.
+  uint64_t fingerprint = 0;
+  std::string name;
+};
+
+/// What a Watch long-poll returns: events after `since_version`, or —
+/// when the watcher fell behind the bounded event log — `resync` with no
+/// events, telling the client to drop its cache and re-resolve.
+struct WatchResult {
+  /// The service's current metadata version (resume token for the next
+  /// Watch).
+  uint64_t version = 0;
+  bool resync = false;
+  std::vector<MetaEvent> events;
+};
+
+}  // namespace freehgc::cluster
+
+#endif  // FREEHGC_CLUSTER_TYPES_H_

@@ -1,0 +1,278 @@
+#include "cluster/wire.h"
+
+namespace freehgc::cluster {
+
+using serve::WireReader;
+using serve::WireWriter;
+
+void EncodeGraphAd(WireWriter& w, const GraphAd& ad) {
+  w.PutString(ad.name);
+  w.PutU64(ad.fingerprint);
+  w.PutU64(ad.bytes);
+}
+
+Result<GraphAd> DecodeGraphAd(WireReader& r) {
+  GraphAd ad;
+  FREEHGC_ASSIGN_OR_RETURN(ad.name, r.GetString());
+  FREEHGC_ASSIGN_OR_RETURN(ad.fingerprint, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(ad.bytes, r.GetU64());
+  return ad;
+}
+
+void EncodeGraphAdList(WireWriter& w, const std::vector<GraphAd>& ads) {
+  w.PutU32(static_cast<uint32_t>(ads.size()));
+  for (const GraphAd& ad : ads) EncodeGraphAd(w, ad);
+}
+
+Result<std::vector<GraphAd>> DecodeGraphAdList(WireReader& r) {
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // 20 = minimum encoded GraphAd (empty name); bounds the reserve.
+  if (count > r.remaining() / 20) {
+    return Status::InvalidArgument(
+        "malformed wire payload: graph ad count exceeds payload");
+  }
+  std::vector<GraphAd> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FREEHGC_ASSIGN_OR_RETURN(GraphAd ad, DecodeGraphAd(r));
+    out.push_back(std::move(ad));
+  }
+  return out;
+}
+
+void EncodeShardLoad(WireWriter& w, const ShardLoad& load) {
+  w.PutU64(load.resident_bytes);
+  w.PutI64(load.queue_depth);
+  w.PutI64(load.inflight);
+  w.PutI64(load.completed);
+}
+
+Result<ShardLoad> DecodeShardLoad(WireReader& r) {
+  ShardLoad load;
+  FREEHGC_ASSIGN_OR_RETURN(load.resident_bytes, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(load.queue_depth, r.GetI64());
+  FREEHGC_ASSIGN_OR_RETURN(load.inflight, r.GetI64());
+  FREEHGC_ASSIGN_OR_RETURN(load.completed, r.GetI64());
+  return load;
+}
+
+void EncodeShardEndpoint(WireWriter& w, const ShardEndpoint& ep) {
+  w.PutU32(ep.shard_id);
+  w.PutU32(static_cast<uint32_t>(ep.port));
+  w.PutU8(ep.alive ? 1 : 0);
+}
+
+Result<ShardEndpoint> DecodeShardEndpoint(WireReader& r) {
+  ShardEndpoint ep;
+  FREEHGC_ASSIGN_OR_RETURN(ep.shard_id, r.GetU32());
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t port, r.GetU32());
+  ep.port = static_cast<int>(port);
+  FREEHGC_ASSIGN_OR_RETURN(uint8_t alive, r.GetU8());
+  ep.alive = alive != 0;
+  return ep;
+}
+
+void EncodePlacement(WireWriter& w, const Placement& p) {
+  w.PutString(p.name);
+  w.PutU64(p.fingerprint);
+  w.PutU64(p.version);
+  w.PutU32(static_cast<uint32_t>(p.shards.size()));
+  for (const ShardEndpoint& ep : p.shards) EncodeShardEndpoint(w, ep);
+}
+
+Result<Placement> DecodePlacement(WireReader& r) {
+  Placement p;
+  FREEHGC_ASSIGN_OR_RETURN(p.name, r.GetString());
+  FREEHGC_ASSIGN_OR_RETURN(p.fingerprint, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(p.version, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // 9 = encoded ShardEndpoint size; bounds the reserve.
+  if (count > r.remaining() / 9) {
+    return Status::InvalidArgument(
+        "malformed wire payload: placement shard count exceeds payload");
+  }
+  p.shards.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FREEHGC_ASSIGN_OR_RETURN(ShardEndpoint ep, DecodeShardEndpoint(r));
+    p.shards.push_back(ep);
+  }
+  return p;
+}
+
+void EncodeShardStatus(WireWriter& w, const ShardStatus& s) {
+  w.PutU32(s.shard_id);
+  w.PutU32(static_cast<uint32_t>(s.port));
+  w.PutU8(s.alive ? 1 : 0);
+  w.PutI64(s.heartbeat_age_ms);
+  EncodeShardLoad(w, s.load);
+  w.PutI64(s.graphs);
+}
+
+Result<ShardStatus> DecodeShardStatus(WireReader& r) {
+  ShardStatus s;
+  FREEHGC_ASSIGN_OR_RETURN(s.shard_id, r.GetU32());
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t port, r.GetU32());
+  s.port = static_cast<int>(port);
+  FREEHGC_ASSIGN_OR_RETURN(uint8_t alive, r.GetU8());
+  s.alive = alive != 0;
+  FREEHGC_ASSIGN_OR_RETURN(s.heartbeat_age_ms, r.GetI64());
+  FREEHGC_ASSIGN_OR_RETURN(s.load, DecodeShardLoad(r));
+  FREEHGC_ASSIGN_OR_RETURN(s.graphs, r.GetI64());
+  return s;
+}
+
+void EncodeShardStatusList(WireWriter& w,
+                           const std::vector<ShardStatus>& shards) {
+  w.PutU32(static_cast<uint32_t>(shards.size()));
+  for (const ShardStatus& s : shards) EncodeShardStatus(w, s);
+}
+
+Result<std::vector<ShardStatus>> DecodeShardStatusList(WireReader& r) {
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // 57 = encoded ShardStatus size; bounds the reserve.
+  if (count > r.remaining() / 57) {
+    return Status::InvalidArgument(
+        "malformed wire payload: shard status count exceeds payload");
+  }
+  std::vector<ShardStatus> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FREEHGC_ASSIGN_OR_RETURN(ShardStatus s, DecodeShardStatus(r));
+    out.push_back(s);
+  }
+  return out;
+}
+
+void EncodeMetaEvent(WireWriter& w, const MetaEvent& e) {
+  w.PutU64(e.version);
+  w.PutU8(static_cast<uint8_t>(e.type));
+  w.PutU32(e.shard_id);
+  w.PutU64(e.fingerprint);
+  w.PutString(e.name);
+}
+
+Result<MetaEvent> DecodeMetaEvent(WireReader& r) {
+  MetaEvent e;
+  FREEHGC_ASSIGN_OR_RETURN(e.version, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  if (type < 1 || type > 3) {
+    return Status::InvalidArgument(
+        "malformed wire payload: unknown meta event type");
+  }
+  e.type = static_cast<MetaEventType>(type);
+  FREEHGC_ASSIGN_OR_RETURN(e.shard_id, r.GetU32());
+  FREEHGC_ASSIGN_OR_RETURN(e.fingerprint, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(e.name, r.GetString());
+  return e;
+}
+
+void EncodeWatchResult(WireWriter& w, const WatchResult& res) {
+  w.PutU64(res.version);
+  w.PutU8(res.resync ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(res.events.size()));
+  for (const MetaEvent& e : res.events) EncodeMetaEvent(w, e);
+}
+
+Result<WatchResult> DecodeWatchResult(WireReader& r) {
+  WatchResult res;
+  FREEHGC_ASSIGN_OR_RETURN(res.version, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(uint8_t resync, r.GetU8());
+  res.resync = resync != 0;
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // 25 = minimum encoded MetaEvent (empty name); bounds the reserve.
+  if (count > r.remaining() / 25) {
+    return Status::InvalidArgument(
+        "malformed wire payload: event count exceeds payload");
+  }
+  res.events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FREEHGC_ASSIGN_OR_RETURN(MetaEvent e, DecodeMetaEvent(r));
+    res.events.push_back(std::move(e));
+  }
+  return res;
+}
+
+void EncodeRegisterShardRequest(WireWriter& w,
+                                const RegisterShardRequest& req) {
+  w.PutU32(req.shard_id);
+  w.PutU32(static_cast<uint32_t>(req.port));
+  EncodeGraphAdList(w, req.ads);
+}
+
+Result<RegisterShardRequest> DecodeRegisterShardRequest(WireReader& r) {
+  RegisterShardRequest req;
+  FREEHGC_ASSIGN_OR_RETURN(req.shard_id, r.GetU32());
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t port, r.GetU32());
+  req.port = static_cast<int>(port);
+  FREEHGC_ASSIGN_OR_RETURN(req.ads, DecodeGraphAdList(r));
+  return req;
+}
+
+void EncodeRegisterShardReply(WireWriter& w, const RegisterShardReply& reply) {
+  w.PutU64(reply.version);
+  w.PutI64(reply.ttl_ms);
+}
+
+Result<RegisterShardReply> DecodeRegisterShardReply(WireReader& r) {
+  RegisterShardReply reply;
+  FREEHGC_ASSIGN_OR_RETURN(reply.version, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(reply.ttl_ms, r.GetI64());
+  return reply;
+}
+
+void EncodeHeartbeatRequest(WireWriter& w, const HeartbeatRequest& req) {
+  w.PutU32(req.shard_id);
+  EncodeShardLoad(w, req.load);
+  EncodeGraphAdList(w, req.ads);
+}
+
+Result<HeartbeatRequest> DecodeHeartbeatRequest(WireReader& r) {
+  HeartbeatRequest req;
+  FREEHGC_ASSIGN_OR_RETURN(req.shard_id, r.GetU32());
+  FREEHGC_ASSIGN_OR_RETURN(req.load, DecodeShardLoad(r));
+  FREEHGC_ASSIGN_OR_RETURN(req.ads, DecodeGraphAdList(r));
+  return req;
+}
+
+void EncodePlaceRequest(WireWriter& w, const PlaceRequest& req) {
+  w.PutString(req.name);
+  w.PutU64(req.fingerprint);
+  w.PutU64(req.bytes);
+  w.PutU32(static_cast<uint32_t>(req.replicas));
+  w.PutU32(static_cast<uint32_t>(req.shard_ids.size()));
+  for (uint32_t id : req.shard_ids) w.PutU32(id);
+}
+
+Result<PlaceRequest> DecodePlaceRequest(WireReader& r) {
+  PlaceRequest req;
+  FREEHGC_ASSIGN_OR_RETURN(req.name, r.GetString());
+  FREEHGC_ASSIGN_OR_RETURN(req.fingerprint, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(req.bytes, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t replicas, r.GetU32());
+  req.replicas = static_cast<int>(replicas);
+  FREEHGC_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > r.remaining() / 4) {
+    return Status::InvalidArgument(
+        "malformed wire payload: shard id count exceeds payload");
+  }
+  req.shard_ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FREEHGC_ASSIGN_OR_RETURN(uint32_t id, r.GetU32());
+    req.shard_ids.push_back(id);
+  }
+  return req;
+}
+
+void EncodeWatchRequest(WireWriter& w, const WatchRequest& req) {
+  w.PutU64(req.since_version);
+  w.PutI64(req.timeout_ms);
+}
+
+Result<WatchRequest> DecodeWatchRequest(WireReader& r) {
+  WatchRequest req;
+  FREEHGC_ASSIGN_OR_RETURN(req.since_version, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(req.timeout_ms, r.GetI64());
+  return req;
+}
+
+}  // namespace freehgc::cluster

@@ -1,0 +1,108 @@
+#ifndef FREEHGC_CLUSTER_WIRE_H_
+#define FREEHGC_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/wire.h"
+#include "cluster/types.h"
+
+namespace freehgc::cluster {
+
+/// Field codecs for the cluster metadata ops (serve::MsgType
+/// kRegisterShard..kListShards), reusing the serve wire primitives:
+/// little-endian integers, u32-length-prefixed strings, and the standard
+/// response envelope. Decoders validate bounds; every codec pair is an
+/// exact inverse (tests/cluster_test.cc round-trips them and rejects
+/// truncation at every offset).
+
+/// Body of kRegisterShard: a shard announcing itself and its resident
+/// graphs (also re-sent after a meta restart or a liveness expiry).
+struct RegisterShardRequest {
+  uint32_t shard_id = 0;
+  int port = 0;
+  std::vector<GraphAd> ads;
+};
+
+/// Reply to kRegisterShard: the metadata version after the join and the
+/// heartbeat TTL the shard must beat to stay alive.
+struct RegisterShardReply {
+  uint64_t version = 0;
+  int64_t ttl_ms = 0;
+};
+
+/// Body of kHeartbeat: liveness + load + the advertised graph set (the
+/// meta service reconciles placements against it — adds appear, removals
+/// disappear).
+struct HeartbeatRequest {
+  uint32_t shard_id = 0;
+  ShardLoad load;
+  std::vector<GraphAd> ads;
+};
+
+/// Body of kPlace. Two modes: a *plan* (shard_ids empty) asks the meta
+/// service to pick `replicas` live shards for a graph of `bytes` bytes,
+/// least-loaded first; a *record* (shard_ids non-empty, fingerprint
+/// known) commits a placement after the uploads succeeded.
+struct PlaceRequest {
+  std::string name;
+  uint64_t fingerprint = 0;
+  uint64_t bytes = 0;
+  int replicas = 1;
+  std::vector<uint32_t> shard_ids;
+};
+
+/// Body of kWatch: long-poll for events after `since_version`, waiting at
+/// most `timeout_ms` (0 = return immediately).
+struct WatchRequest {
+  uint64_t since_version = 0;
+  int64_t timeout_ms = 0;
+};
+
+void EncodeGraphAd(serve::WireWriter& w, const GraphAd& ad);
+Result<GraphAd> DecodeGraphAd(serve::WireReader& r);
+void EncodeGraphAdList(serve::WireWriter& w, const std::vector<GraphAd>& ads);
+Result<std::vector<GraphAd>> DecodeGraphAdList(serve::WireReader& r);
+
+void EncodeShardLoad(serve::WireWriter& w, const ShardLoad& load);
+Result<ShardLoad> DecodeShardLoad(serve::WireReader& r);
+
+void EncodeShardEndpoint(serve::WireWriter& w, const ShardEndpoint& ep);
+Result<ShardEndpoint> DecodeShardEndpoint(serve::WireReader& r);
+
+void EncodePlacement(serve::WireWriter& w, const Placement& p);
+Result<Placement> DecodePlacement(serve::WireReader& r);
+
+void EncodeShardStatus(serve::WireWriter& w, const ShardStatus& s);
+Result<ShardStatus> DecodeShardStatus(serve::WireReader& r);
+void EncodeShardStatusList(serve::WireWriter& w,
+                           const std::vector<ShardStatus>& shards);
+Result<std::vector<ShardStatus>> DecodeShardStatusList(serve::WireReader& r);
+
+void EncodeMetaEvent(serve::WireWriter& w, const MetaEvent& e);
+Result<MetaEvent> DecodeMetaEvent(serve::WireReader& r);
+
+void EncodeWatchResult(serve::WireWriter& w, const WatchResult& res);
+Result<WatchResult> DecodeWatchResult(serve::WireReader& r);
+
+void EncodeRegisterShardRequest(serve::WireWriter& w,
+                                const RegisterShardRequest& req);
+Result<RegisterShardRequest> DecodeRegisterShardRequest(serve::WireReader& r);
+void EncodeRegisterShardReply(serve::WireWriter& w,
+                              const RegisterShardReply& reply);
+Result<RegisterShardReply> DecodeRegisterShardReply(serve::WireReader& r);
+
+void EncodeHeartbeatRequest(serve::WireWriter& w, const HeartbeatRequest& req);
+Result<HeartbeatRequest> DecodeHeartbeatRequest(serve::WireReader& r);
+
+void EncodePlaceRequest(serve::WireWriter& w, const PlaceRequest& req);
+Result<PlaceRequest> DecodePlaceRequest(serve::WireReader& r);
+
+void EncodeWatchRequest(serve::WireWriter& w, const WatchRequest& req);
+Result<WatchRequest> DecodeWatchRequest(serve::WireReader& r);
+
+}  // namespace freehgc::cluster
+
+#endif  // FREEHGC_CLUSTER_WIRE_H_

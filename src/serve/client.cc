@@ -44,7 +44,7 @@ void ServeClient::Close() {
   }
 }
 
-Result<std::string> ServeClient::RoundTrip(std::string payload) {
+Result<std::string> ServeClient::Call(std::string payload) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   FREEHGC_RETURN_IF_ERROR(WriteFrame(fd_, payload));
   FREEHGC_ASSIGN_OR_RETURN(std::string frame, ReadFrame(fd_));
@@ -56,7 +56,25 @@ Result<std::string> ServeClient::RoundTrip(std::string payload) {
 Status ServeClient::Ping() {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kPing));
-  return RoundTrip(w.Take()).status();
+  return Call(w.Take()).status();
+}
+
+Result<HelloInfo> ServeClient::Hello() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kPing));
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, Call(w.Take()));
+  if (body.empty()) return HelloInfo{};  // protocol-v1 server
+  WireReader r(body);
+  return DecodeHelloInfo(r);
+}
+
+Result<std::string> ServeClient::FetchGraph(const std::string& name) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kFetchGraph));
+  w.PutString(name);
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, Call(w.Take()));
+  WireReader r(body);
+  return r.GetString();
 }
 
 Result<GraphInfo> ServeClient::RegisterGenerator(const std::string& name,
@@ -68,7 +86,7 @@ Result<GraphInfo> ServeClient::RegisterGenerator(const std::string& name,
   w.PutString(preset);
   w.PutU64(seed);
   w.PutF64(scale);
-  FREEHGC_ASSIGN_OR_RETURN(std::string body, RoundTrip(w.Take()));
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, Call(w.Take()));
   WireReader r(body);
   return DecodeGraphInfo(r);
 }
@@ -79,7 +97,7 @@ Result<GraphInfo> ServeClient::UploadGraph(const std::string& name,
   w.PutU8(static_cast<uint8_t>(MsgType::kUploadGraph));
   w.PutString(name);
   w.PutString(container);
-  FREEHGC_ASSIGN_OR_RETURN(std::string body, RoundTrip(w.Take()));
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, Call(w.Take()));
   WireReader r(body);
   return DecodeGraphInfo(r);
 }
@@ -87,7 +105,7 @@ Result<GraphInfo> ServeClient::UploadGraph(const std::string& name,
 Result<std::vector<GraphInfo>> ServeClient::ListGraphs() {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kListGraphs));
-  FREEHGC_ASSIGN_OR_RETURN(std::string body, RoundTrip(w.Take()));
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, Call(w.Take()));
   WireReader r(body);
   return DecodeGraphInfoList(r);
 }
@@ -96,7 +114,7 @@ Result<CondenseReply> ServeClient::Condense(const CondenseRequest& request) {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kCondense));
   EncodeCondenseRequest(w, request);
-  FREEHGC_ASSIGN_OR_RETURN(std::string body, RoundTrip(w.Take()));
+  FREEHGC_ASSIGN_OR_RETURN(std::string body, Call(w.Take()));
   WireReader r(body);
   return DecodeCondenseReply(r);
 }
@@ -104,31 +122,31 @@ Result<CondenseReply> ServeClient::Condense(const CondenseRequest& request) {
 Result<std::string> ServeClient::Stats() {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kStats));
-  return RoundTrip(w.Take());
+  return Call(w.Take());
 }
 
 Result<std::string> ServeClient::Metrics() {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kMetrics));
-  return RoundTrip(w.Take());
+  return Call(w.Take());
 }
 
 Result<std::string> ServeClient::Health() {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kHealth));
-  return RoundTrip(w.Take());
+  return Call(w.Take());
 }
 
 Result<std::string> ServeClient::FlightRecorderDump() {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kFlightRecorder));
-  return RoundTrip(w.Take());
+  return Call(w.Take());
 }
 
 Status ServeClient::Shutdown() {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kShutdown));
-  return RoundTrip(w.Take()).status();
+  return Call(w.Take()).status();
 }
 
 }  // namespace freehgc::serve

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "serve/graph_store.h"
 #include "serve/scheduler.h"
+#include "serve/wire.h"
 
 namespace freehgc::serve {
 
@@ -32,6 +33,22 @@ class ServeClient {
 
   /// Round-trip health check.
   Status Ping();
+
+  /// Round-trip handshake: the server's protocol version, feature bits,
+  /// and role. A protocol-v1 server (empty Ping body) comes back as
+  /// {version 1, no features, empty role} — cluster-aware callers use
+  /// this to fail with a clean message instead of a frame mismatch.
+  Result<HelloInfo> Hello();
+
+  /// Serializes a resident graph back (protocol v2; the router's
+  /// shard-to-shard replication path).
+  Result<std::string> FetchGraph(const std::string& name);
+
+  /// Sends one framed request payload and decodes the response envelope;
+  /// a non-OK server status comes back as that status. Public so protocol
+  /// extensions (src/cluster's meta ops) can reuse the connection
+  /// plumbing without reimplementing framing.
+  Result<std::string> Call(std::string payload);
 
   /// Builds `preset` server-side under (seed, scale) and registers it as
   /// `name`. scale <= 0 uses the preset default.
@@ -64,10 +81,6 @@ class ServeClient {
   Status Shutdown();
 
  private:
-  /// Sends one framed request and decodes the response envelope; a non-OK
-  /// server status comes back as that status.
-  Result<std::string> RoundTrip(std::string payload);
-
   int fd_ = -1;
 };
 

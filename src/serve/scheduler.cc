@@ -18,6 +18,7 @@ struct SchedulerMetrics {
   obs::Counter& completed;
   obs::Counter& failed;
   obs::Counter& shed;
+  obs::Counter& shed_budget;
   obs::Counter& cancelled;
   obs::Counter& expired;
   obs::Histogram& queue_ns;
@@ -33,6 +34,7 @@ struct SchedulerMetrics {
         reg.GetCounter("serve.requests.completed"),
         reg.GetCounter("serve.requests.failed"),
         reg.GetCounter("serve.requests.shed"),
+        reg.GetCounter("serve.shed.budget"),
         reg.GetCounter("serve.requests.cancelled"),
         reg.GetCounter("serve.requests.expired"),
         reg.GetHistogram("serve.latency.queue_ns"),
@@ -82,6 +84,11 @@ void RequestScheduler::set_telemetry(obs::AccessLog* access_log,
   annotate_ = std::move(annotate);
 }
 
+void RequestScheduler::set_admission_guard(AdmissionGuard guard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admission_guard_ = std::move(guard);
+}
+
 Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
   auto& m = SchedulerMetrics::Get();
   std::unique_lock<std::mutex> lock(mu_);
@@ -103,6 +110,22 @@ Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
                    status.message(), /*evalctx_hit=*/false,
                    /*fingerprint=*/0);
     return status;
+  }
+  if (admission_guard_) {
+    Status guard = admission_guard_();
+    if (!guard.ok()) {
+      ++stats_.shed;
+      ++stats_.shed_budget;
+      m.shed.Increment();
+      m.shed_budget.Increment();
+      const uint64_t id = next_id_++;
+      lock.unlock();
+      RecordTerminal(id, /*slot=*/-1, request, obs::NowNs(), /*queue_ns=*/0,
+                     /*exec_ns=*/0, obs::RequestOutcome::kShed,
+                     guard.message(), /*evalctx_hit=*/false,
+                     /*fingerprint=*/0);
+      return guard;
+    }
   }
   const uint64_t id = next_id_++;
   const int priority = request.priority;

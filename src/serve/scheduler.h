@@ -127,7 +127,9 @@ struct SchedulerStats {
   int64_t admitted = 0;
   int64_t completed = 0;   // terminal with a value
   int64_t failed = 0;      // terminal with an error from the work body
-  int64_t shed = 0;        // rejected at admission (queue full)
+  int64_t shed = 0;        // rejected at admission (queue full or guard)
+  int64_t shed_budget = 0;  // subset of shed: admission guard (memory
+                            // budget pressure), not queue capacity
   int64_t cancelled = 0;   // removed from the queue by Cancel/shutdown
   int64_t expired = 0;     // queue deadline passed before execution
   int64_t queue_depth = 0;
@@ -160,6 +162,15 @@ class RequestScheduler {
   /// cache counters) into an access record just before it is written.
   using AnnotateFn = std::function<void(obs::AccessRecord&)>;
 
+  /// Admission guard consulted on every Submit after the capacity check:
+  /// a non-OK status (by convention kResourceExhausted) sheds the request
+  /// before it is queued. The serve layer uses it to shed under memory
+  /// budget pressure (ArtifactCache/GraphStore resident bytes far past
+  /// their budgets) instead of thrashing the spill tier. Called under the
+  /// scheduler lock — must be fast and must not call back into the
+  /// scheduler.
+  using AdmissionGuard = std::function<Status()>;
+
   /// `threads_per_slot` 0 resolves to exec::ThreadsPerSlot(slots).
   RequestScheduler(int slots, int queue_capacity, int threads_per_slot,
                    WorkFn work);
@@ -175,6 +186,10 @@ class RequestScheduler {
   /// emits one access-log line and one flight-recorder record. Must be
   /// called before the first Submit; either argument may be null.
   void set_telemetry(obs::AccessLog* access_log, AnnotateFn annotate);
+
+  /// Installs the admission guard (may be null to clear). Must be called
+  /// before the first Submit.
+  void set_admission_guard(AdmissionGuard guard);
 
   /// Admits a request. kResourceExhausted when the queue is full,
   /// kUnavailable after Shutdown.
@@ -210,6 +225,7 @@ class RequestScheduler {
   WorkFn work_;
   obs::AccessLog* access_log_ = nullptr;  // not owned
   AnnotateFn annotate_;
+  AdmissionGuard admission_guard_;
   std::vector<std::unique_ptr<exec::ExecContext>> slot_exec_;
   std::vector<std::thread> workers_;
 

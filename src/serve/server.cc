@@ -12,24 +12,24 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "graph/serialize.h"
 #include "obs/exposition.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace freehgc::serve {
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {
-  service_ = std::make_unique<ServeService>(options_.serve);
-}
+WireListener::WireListener(int port, Handler handler)
+    : requested_port_(port), handler_(std::move(handler)) {}
 
-Server::~Server() {
+WireListener::~WireListener() {
   RequestStop();
   Wait();
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
 }
 
-Status Server::Start() {
+Status WireListener::Start() {
   if (::pipe(wake_pipe_) != 0) {
     return Status::Internal(
         StrFormat("pipe() failed: %s", std::strerror(errno)));
@@ -44,11 +44,11 @@ Status Server::Start() {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     return Status::InvalidArgument(StrFormat(
-        "cannot bind 127.0.0.1:%d: %s", options_.port,
+        "cannot bind 127.0.0.1:%d: %s", requested_port_,
         std::strerror(errno)));
   }
   if (::listen(listen_fd_, 64) != 0) {
@@ -67,7 +67,7 @@ Status Server::Start() {
   return Status::OK();
 }
 
-void Server::RequestStop() {
+void WireListener::RequestStop() {
   stop_.store(true, std::memory_order_release);
   if (wake_pipe_[1] >= 0) {
     // Async-signal-safe: one write, result deliberately ignored (a full
@@ -77,7 +77,7 @@ void Server::RequestStop() {
   }
 }
 
-void Server::Wait() {
+void WireListener::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> conns;
   {
@@ -87,18 +87,9 @@ void Server::Wait() {
   for (auto& t : conns) {
     if (t.joinable()) t.join();
   }
-  bool drain = false;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (!drained_) {
-      drained_ = true;
-      drain = true;
-    }
-  }
-  if (drain) service_->Shutdown(ShutdownMode::kDrain);
 }
 
-void Server::AcceptLoop() {
+void WireListener::AcceptLoop() {
   obs::SetCurrentThreadNameIfUnset("io-accept");
   for (;;) {
     pollfd fds[2];
@@ -140,7 +131,7 @@ void Server::AcceptLoop() {
   for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
 }
 
-void Server::HandleConnection(int fd) {
+void WireListener::HandleConnection(int fd) {
   obs::SetCurrentThreadNameIfUnset("io");
   for (;;) {
     Result<std::string> payload = ReadFrame(fd);
@@ -151,7 +142,7 @@ void Server::HandleConnection(int fd) {
       }
       break;
     }
-    const std::string response = HandleRequest(*payload);
+    const std::string response = handler_(*payload);
     if (!WriteFrame(fd, response).ok()) break;
   }
   ::close(fd);
@@ -164,13 +155,46 @@ void Server::HandleConnection(int fd) {
   }
 }
 
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      service_(std::make_unique<ServeService>(options_.serve)),
+      listener_(options_.port,
+                [this](std::string_view p) { return HandleRequest(p); }) {}
+
+Server::~Server() {
+  RequestStop();
+  Wait();
+}
+
+Status Server::Start() { return listener_.Start(); }
+
+void Server::Wait() {
+  listener_.Wait();
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (!drained_) {
+      drained_ = true;
+      drain = true;
+    }
+  }
+  if (drain) service_->Shutdown(ShutdownMode::kDrain);
+}
+
 std::string Server::HandleRequest(std::string_view payload) {
   WireReader r(payload);
   auto type = r.GetU8();
   if (!type.ok()) return EncodeResponse(type.status(), "");
   switch (static_cast<MsgType>(*type)) {
-    case MsgType::kPing:
-      return EncodeResponse(Status::OK(), "");
+    case MsgType::kPing: {
+      HelloInfo hello;
+      hello.protocol_version = kProtocolVersion;
+      hello.features = kFeatureAdminOps | kFeatureFetchGraph;
+      hello.role = "serve";
+      WireWriter w;
+      EncodeHelloInfo(w, hello);
+      return EncodeResponse(Status::OK(), w.payload());
+    }
     case MsgType::kRegisterGenerator: {
       auto name = r.GetString();
       if (!name.ok()) return EncodeResponse(name.status(), "");
@@ -214,6 +238,19 @@ std::string Server::HandleRequest(std::string_view payload) {
       EncodeCondenseReply(w, *reply);
       return EncodeResponse(Status::OK(), w.payload());
     }
+    case MsgType::kFetchGraph: {
+      // Serialize a resident graph back — the router's hot-graph
+      // replication path (shard-to-shard copy without the client).
+      auto name = r.GetString();
+      if (!name.ok()) return EncodeResponse(name.status(), "");
+      auto graph = service_->store().Get(*name);
+      if (!graph.ok()) return EncodeResponse(graph.status(), "");
+      auto bytes = SerializeHeteroGraph(**graph);
+      if (!bytes.ok()) return EncodeResponse(bytes.status(), "");
+      WireWriter w;
+      w.PutString(*bytes);
+      return EncodeResponse(Status::OK(), w.payload());
+    }
     case MsgType::kStats:
       return EncodeResponse(Status::OK(), service_->StatsJson());
     case MsgType::kMetrics:
@@ -228,6 +265,18 @@ std::string Server::HandleRequest(std::string_view payload) {
     case MsgType::kShutdown:
       RequestStop();
       return EncodeResponse(Status::OK(), "");
+    case MsgType::kRegisterShard:
+    case MsgType::kHeartbeat:
+    case MsgType::kResolve:
+    case MsgType::kPlace:
+    case MsgType::kWatch:
+    case MsgType::kListShards:
+      return EncodeResponse(
+          Status::FailedPrecondition(StrFormat(
+              "message type %u is a cluster metadata op; this is a serve "
+              "server (protocol v%u) — connect to freehgc_meta instead",
+              static_cast<unsigned>(*type), kProtocolVersion)),
+          "");
   }
   return EncodeResponse(
       Status::InvalidArgument(StrFormat("unknown message type %u",

@@ -49,6 +49,41 @@ ServeService::ServeService(ServeOptions options)
       [this](const CondenseRequest& request, const RequestContext& rctx) {
         return Execute(request, rctx);
       });
+  // Spill-aware admission (the budget_shed_factor contract): consult the
+  // budget gauges on every Submit and shed instead of queueing work that
+  // would only deepen spill-tier thrashing.
+  if (options_.budget_shed_factor > 0) {
+    const double factor = options_.budget_shed_factor;
+    const size_t art_budget =
+        cache_.spill_enabled() ? options_.artifact_budget_bytes : SIZE_MAX;
+    const size_t store_budget = options_.store_resident_budget_bytes;
+    if (art_budget != SIZE_MAX || store_budget != SIZE_MAX) {
+      scheduler_->set_admission_guard([this, factor, art_budget,
+                                       store_budget]() -> Status {
+        if (art_budget != SIZE_MAX) {
+          const size_t resident = cache_.stats().resident_bytes;
+          if (static_cast<double>(resident) >
+              factor * static_cast<double>(art_budget)) {
+            return Status::ResourceExhausted(StrFormat(
+                "artifact cache under budget pressure (%zu resident bytes "
+                "> %.1fx the %zu-byte budget); request shed",
+                resident, factor, art_budget));
+          }
+        }
+        if (store_budget != SIZE_MAX) {
+          const size_t resident = store_.MappedResidentBytes();
+          if (static_cast<double>(resident) >
+              factor * static_cast<double>(store_budget)) {
+            return Status::ResourceExhausted(StrFormat(
+                "graph store under budget pressure (%zu mapped-resident "
+                "bytes > %.1fx the %zu-byte budget); request shed",
+                resident, factor, store_budget));
+          }
+        }
+        return Status::OK();
+      });
+    }
+  }
   // Access-log annotation: stamp cumulative artifact/plan-cache counters
   // onto each line so per-request deltas fall out of consecutive entries.
   scheduler_->set_telemetry(
@@ -215,10 +250,11 @@ std::string ServeService::StatsJson() const {
                    scheduler_->queue_capacity());
   out += StrFormat(
       "  \"requests\": {\"admitted\": %lld, \"completed\": %lld, "
-      "\"failed\": %lld, \"shed\": %lld, \"cancelled\": %lld, "
-      "\"expired\": %lld},\n",
+      "\"failed\": %lld, \"shed\": %lld, \"shed_budget\": %lld, "
+      "\"cancelled\": %lld, \"expired\": %lld},\n",
       static_cast<long long>(s.admitted), static_cast<long long>(s.completed),
       static_cast<long long>(s.failed), static_cast<long long>(s.shed),
+      static_cast<long long>(s.shed_budget),
       static_cast<long long>(s.cancelled), static_cast<long long>(s.expired));
   out += StrFormat("  \"queue_depth\": %lld,\n",
                    static_cast<long long>(s.queue_depth));

@@ -46,6 +46,13 @@ struct ServeOptions {
   /// Directory for artifact spool files. Non-empty enables the
   /// ArtifactCache spill tier (and the spillable EvalContext build path).
   std::string spill_dir;
+  /// Spill-aware admission: when > 0 and a budget is configured, new
+  /// submissions are shed with kResourceExhausted while a budgeted tier
+  /// sits past `factor ×` its budget — the ArtifactCache resident tier
+  /// (artifact_budget_bytes, spill enabled) or the GraphStore
+  /// mapped-resident set (store_resident_budget_bytes). Shedding before
+  /// the spill tier thrashes; counted in serve.shed.budget. 0 disables.
+  double budget_shed_factor = 2.0;
 
   ServeOptions() {
     eval.kind = hgnn::HgnnKind::kSeHGNN;

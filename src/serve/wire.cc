@@ -1,5 +1,6 @@
 #include "serve/wire.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -100,7 +101,10 @@ namespace {
 
 Status WriteAll(int fd, const char* data, size_t n) {
   while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
+    // MSG_NOSIGNAL: a peer that died mid-exchange (a SIGKILLed shard)
+    // must surface as a Status the caller can fail over on, not a
+    // process-killing SIGPIPE.
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(
@@ -291,6 +295,20 @@ Result<GraphInfo> DecodeGraphInfo(WireReader& r) {
 void EncodeGraphInfoList(WireWriter& w, const std::vector<GraphInfo>& infos) {
   w.PutU32(static_cast<uint32_t>(infos.size()));
   for (const GraphInfo& info : infos) EncodeGraphInfo(w, info);
+}
+
+void EncodeHelloInfo(WireWriter& w, const HelloInfo& info) {
+  w.PutU32(info.protocol_version);
+  w.PutU64(info.features);
+  w.PutString(info.role);
+}
+
+Result<HelloInfo> DecodeHelloInfo(WireReader& r) {
+  HelloInfo info;
+  FREEHGC_ASSIGN_OR_RETURN(info.protocol_version, r.GetU32());
+  FREEHGC_ASSIGN_OR_RETURN(info.features, r.GetU64());
+  FREEHGC_ASSIGN_OR_RETURN(info.role, r.GetString());
+  return info;
 }
 
 Result<std::vector<GraphInfo>> DecodeGraphInfoList(WireReader& r) {

@@ -22,12 +22,40 @@ namespace freehgc::serve {
 /// Integers are little-endian; strings and blobs are u32 length + bytes;
 /// doubles are IEEE-754 bit patterns in a u64.
 ///
-/// The protocol is local-only plumbing (the server binds 127.0.0.1), so
-/// there is no versioning handshake — client and server ship together.
+/// Versioning: a kPing reply body carries a HelloInfo (protocol version,
+/// feature bits, server role). Protocol-v1 servers sent an empty Ping
+/// body, and v1 clients ignore the body, so the handshake is backward
+/// compatible in both directions; cluster-aware callers use it to give a
+/// clean "server predates cluster support" error instead of a frame
+/// mismatch when pointed at an old binary.
 
 /// Hard cap on a single frame; larger announcements are rejected before
 /// allocation (a graph upload is the only large payload).
 constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+/// Current protocol version, announced in every kPing reply. v1 is the
+/// pre-handshake protocol (empty Ping body).
+constexpr uint32_t kProtocolVersion = 2;
+
+/// Feature bits announced in the kPing reply.
+enum ServerFeature : uint64_t {
+  /// Read-only admin ops (kMetrics/kHealth/kFlightRecorder).
+  kFeatureAdminOps = 1ull << 0,
+  /// Cluster metadata ops (kRegisterShard..kListShards) — meta services.
+  kFeatureClusterOps = 1ull << 1,
+  /// kFetchGraph (serialize a resident graph back) — serve servers.
+  kFeatureFetchGraph = 1ull << 2,
+};
+
+/// What a server says about itself in the kPing reply body.
+struct HelloInfo {
+  /// 1 = pre-handshake server (empty Ping body).
+  uint32_t protocol_version = 1;
+  uint64_t features = 0;
+  /// "serve" (shard / standalone server) or "meta" (cluster metadata
+  /// service); empty for protocol-v1 servers.
+  std::string role;
+};
 
 enum class MsgType : uint8_t {
   kPing = 1,
@@ -44,6 +72,21 @@ enum class MsgType : uint8_t {
   kMetrics = 8,
   kHealth = 9,
   kFlightRecorder = 10,
+  /// Cluster metadata ops (protocol v2) — handled by freehgc_meta
+  /// (cluster::MetaServer). A shard registers itself and its graphs,
+  /// heartbeats with load, and clients resolve/place graphs and long-poll
+  /// the metadata event log. A plain serve server rejects these with
+  /// kFailedPrecondition (see src/cluster/wire.h for the field codecs).
+  kRegisterShard = 11,
+  kHeartbeat = 12,
+  kResolve = 13,
+  kPlace = 14,
+  kWatch = 15,
+  kListShards = 16,
+  /// Serve-server op (protocol v2): serialize a resident graph back to
+  /// the caller — the router uses it to replicate hot graphs to a second
+  /// shard without re-uploading from the client.
+  kFetchGraph = 17,
 };
 
 /// Appends little-endian fields to a payload buffer.
@@ -112,6 +155,8 @@ void EncodeGraphInfo(WireWriter& w, const GraphInfo& info);
 Result<GraphInfo> DecodeGraphInfo(WireReader& r);
 void EncodeGraphInfoList(WireWriter& w, const std::vector<GraphInfo>& infos);
 Result<std::vector<GraphInfo>> DecodeGraphInfoList(WireReader& r);
+void EncodeHelloInfo(WireWriter& w, const HelloInfo& info);
+Result<HelloInfo> DecodeHelloInfo(WireReader& r);
 
 }  // namespace freehgc::serve
 

@@ -1,0 +1,742 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/meta_client.h"
+#include "cluster/meta_server.h"
+#include "cluster/meta_service.h"
+#include "cluster/router.h"
+#include "cluster/shard_agent.h"
+#include "cluster/types.h"
+#include "cluster/wire.h"
+#include "datasets/generator.h"
+#include "graph/serialize.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace freehgc::cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire codecs: every pair is an exact inverse, and every decoder rejects
+// truncation at every offset instead of reading past the end.
+
+GraphAd MakeAd(const std::string& name, uint64_t fp, uint64_t bytes) {
+  GraphAd ad;
+  ad.name = name;
+  ad.fingerprint = fp;
+  ad.bytes = bytes;
+  return ad;
+}
+
+TEST(ClusterWireTest, RegisterShardRoundTrip) {
+  RegisterShardRequest req;
+  req.shard_id = 7;
+  req.port = 40123;
+  req.ads = {MakeAd("acm", 0x1122334455667788ull, 4096),
+             MakeAd("dblp", 0x99aabbccddeeff00ull, 1 << 20)};
+  serve::WireWriter w;
+  EncodeRegisterShardRequest(w, req);
+  serve::WireReader r(w.payload());
+  auto back = DecodeRegisterShardRequest(r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->shard_id, 7u);
+  EXPECT_EQ(back->port, 40123);
+  ASSERT_EQ(back->ads.size(), 2u);
+  EXPECT_EQ(back->ads[0].name, "acm");
+  EXPECT_EQ(back->ads[1].fingerprint, 0x99aabbccddeeff00ull);
+  EXPECT_EQ(back->ads[1].bytes, 1u << 20);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  serve::WireWriter wr;
+  RegisterShardReply reply;
+  reply.version = 41;
+  reply.ttl_ms = 2500;
+  EncodeRegisterShardReply(wr, reply);
+  serve::WireReader rr(wr.payload());
+  auto reply_back = DecodeRegisterShardReply(rr);
+  ASSERT_TRUE(reply_back.ok());
+  EXPECT_EQ(reply_back->version, 41u);
+  EXPECT_EQ(reply_back->ttl_ms, 2500);
+  EXPECT_EQ(rr.remaining(), 0u);
+}
+
+TEST(ClusterWireTest, HeartbeatRoundTrip) {
+  HeartbeatRequest req;
+  req.shard_id = 3;
+  req.load.resident_bytes = 123456789;
+  req.load.queue_depth = 4;
+  req.load.inflight = 2;
+  req.load.completed = 900;
+  req.ads = {MakeAd("imdb", 42, 77)};
+  serve::WireWriter w;
+  EncodeHeartbeatRequest(w, req);
+  serve::WireReader r(w.payload());
+  auto back = DecodeHeartbeatRequest(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shard_id, 3u);
+  EXPECT_EQ(back->load.resident_bytes, 123456789u);
+  EXPECT_EQ(back->load.queue_depth, 4);
+  EXPECT_EQ(back->load.inflight, 2);
+  EXPECT_EQ(back->load.completed, 900);
+  ASSERT_EQ(back->ads.size(), 1u);
+  EXPECT_EQ(back->ads[0].name, "imdb");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ClusterWireTest, PlacementAndPlaceRoundTrip) {
+  Placement p;
+  p.name = "acm";
+  p.fingerprint = 0xdeadbeefcafef00dull;
+  p.version = 17;
+  p.shards = {{1, 40001, true}, {2, 40002, false}};
+  serve::WireWriter w;
+  EncodePlacement(w, p);
+  serve::WireReader r(w.payload());
+  auto back = DecodePlacement(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name, "acm");
+  EXPECT_EQ(back->fingerprint, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(back->version, 17u);
+  ASSERT_EQ(back->shards.size(), 2u);
+  EXPECT_TRUE(back->shards[0].alive);
+  EXPECT_FALSE(back->shards[1].alive);
+  EXPECT_EQ(back->shards[1].port, 40002);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  PlaceRequest req;
+  req.name = "acm";
+  req.fingerprint = 5;
+  req.bytes = 999;
+  req.replicas = 2;
+  req.shard_ids = {4, 9};
+  serve::WireWriter wp;
+  EncodePlaceRequest(wp, req);
+  serve::WireReader rp(wp.payload());
+  auto preq = DecodePlaceRequest(rp);
+  ASSERT_TRUE(preq.ok());
+  EXPECT_EQ(preq->name, "acm");
+  EXPECT_EQ(preq->replicas, 2);
+  EXPECT_EQ(preq->shard_ids, (std::vector<uint32_t>{4, 9}));
+  EXPECT_EQ(rp.remaining(), 0u);
+}
+
+TEST(ClusterWireTest, ShardStatusListRoundTrip) {
+  ShardStatus s;
+  s.shard_id = 11;
+  s.port = 40011;
+  s.alive = false;
+  s.heartbeat_age_ms = 3200;
+  s.load.resident_bytes = 1 << 30;
+  s.load.queue_depth = 1;
+  s.load.inflight = 0;
+  s.load.completed = 12;
+  s.graphs = 3;
+  serve::WireWriter w;
+  EncodeShardStatusList(w, {s, s});
+  serve::WireReader r(w.payload());
+  auto back = DecodeShardStatusList(r);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].shard_id, 11u);
+  EXPECT_FALSE((*back)[0].alive);
+  EXPECT_EQ((*back)[0].heartbeat_age_ms, 3200);
+  EXPECT_EQ((*back)[1].load.resident_bytes, 1u << 30);
+  EXPECT_EQ((*back)[1].graphs, 3);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ClusterWireTest, WatchRoundTrip) {
+  WatchRequest req;
+  req.since_version = 40;
+  req.timeout_ms = 750;
+  serve::WireWriter w;
+  EncodeWatchRequest(w, req);
+  serve::WireReader r(w.payload());
+  auto back = DecodeWatchRequest(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->since_version, 40u);
+  EXPECT_EQ(back->timeout_ms, 750);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  WatchResult res;
+  res.version = 44;
+  res.resync = false;
+  MetaEvent e1;
+  e1.version = 43;
+  e1.type = MetaEventType::kShardDead;
+  e1.shard_id = 2;
+  MetaEvent e2;
+  e2.version = 44;
+  e2.type = MetaEventType::kPlacementChanged;
+  e2.fingerprint = 0xabc;
+  e2.name = "acm";
+  res.events = {e1, e2};
+  serve::WireWriter wr;
+  EncodeWatchResult(wr, res);
+  serve::WireReader rr(wr.payload());
+  auto res_back = DecodeWatchResult(rr);
+  ASSERT_TRUE(res_back.ok());
+  EXPECT_EQ(res_back->version, 44u);
+  EXPECT_FALSE(res_back->resync);
+  ASSERT_EQ(res_back->events.size(), 2u);
+  EXPECT_EQ(res_back->events[0].type, MetaEventType::kShardDead);
+  EXPECT_EQ(res_back->events[1].name, "acm");
+  EXPECT_EQ(rr.remaining(), 0u);
+}
+
+TEST(ClusterWireTest, MetaEventRejectsUnknownType) {
+  serve::WireWriter w;
+  w.PutU64(1);
+  w.PutU8(99);  // not a MetaEventType
+  w.PutU32(0);
+  w.PutU64(0);
+  w.PutString("");
+  serve::WireReader r(w.payload());
+  EXPECT_FALSE(DecodeMetaEvent(r).ok());
+}
+
+// Truncation at every offset: no decoder may succeed on a strict prefix
+// (the encodings have no optional trailing fields).
+TEST(ClusterWireTest, ReadersRejectTruncationAtEveryOffset) {
+  RegisterShardRequest reg;
+  reg.shard_id = 1;
+  reg.port = 40001;
+  reg.ads = {MakeAd("acm", 0x1234, 99)};
+  serve::WireWriter w_reg;
+  EncodeRegisterShardRequest(w_reg, reg);
+
+  HeartbeatRequest hb;
+  hb.shard_id = 1;
+  hb.ads = {MakeAd("acm", 0x1234, 99)};
+  serve::WireWriter w_hb;
+  EncodeHeartbeatRequest(w_hb, hb);
+
+  Placement p;
+  p.name = "acm";
+  p.fingerprint = 2;
+  p.version = 3;
+  p.shards = {{1, 40001, true}};
+  serve::WireWriter w_p;
+  EncodePlacement(w_p, p);
+
+  PlaceRequest place;
+  place.name = "acm";
+  place.shard_ids = {1};
+  serve::WireWriter w_place;
+  EncodePlaceRequest(w_place, place);
+
+  ShardStatus status;
+  status.shard_id = 1;
+  serve::WireWriter w_status;
+  EncodeShardStatusList(w_status, {status});
+
+  WatchResult res;
+  res.version = 9;
+  MetaEvent e;
+  e.version = 9;
+  e.type = MetaEventType::kPlacementChanged;
+  e.name = "acm";
+  res.events = {e};
+  serve::WireWriter w_res;
+  EncodeWatchResult(w_res, res);
+
+  struct Case {
+    const char* what;
+    const std::string& payload;
+    bool (*decodes)(std::string_view);
+  };
+  const Case cases[] = {
+      {"RegisterShardRequest", w_reg.payload(),
+       [](std::string_view s) {
+         serve::WireReader r(s);
+         return DecodeRegisterShardRequest(r).ok();
+       }},
+      {"HeartbeatRequest", w_hb.payload(),
+       [](std::string_view s) {
+         serve::WireReader r(s);
+         return DecodeHeartbeatRequest(r).ok();
+       }},
+      {"Placement", w_p.payload(),
+       [](std::string_view s) {
+         serve::WireReader r(s);
+         return DecodePlacement(r).ok();
+       }},
+      {"PlaceRequest", w_place.payload(),
+       [](std::string_view s) {
+         serve::WireReader r(s);
+         return DecodePlaceRequest(r).ok();
+       }},
+      {"ShardStatusList", w_status.payload(),
+       [](std::string_view s) {
+         serve::WireReader r(s);
+         return DecodeShardStatusList(r).ok();
+       }},
+      {"WatchResult", w_res.payload(),
+       [](std::string_view s) {
+         serve::WireReader r(s);
+         return DecodeWatchResult(r).ok();
+       }},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(c.decodes(c.payload)) << c.what;
+    for (size_t cut = 0; cut < c.payload.size(); ++cut) {
+      EXPECT_FALSE(
+          c.decodes(std::string_view(c.payload).substr(0, cut)))
+          << c.what << " decoded a prefix of length " << cut;
+    }
+  }
+}
+
+// A hostile count prefix (huge list length over a tiny payload) must be
+// rejected before any allocation, not OOM the decoder.
+TEST(ClusterWireTest, HostileListCountIsRejected) {
+  serve::WireWriter w;
+  w.PutU32(0xffffffffu);  // "4 billion ads"
+  serve::WireReader r(w.payload());
+  EXPECT_FALSE(DecodeGraphAdList(r).ok());
+
+  serve::WireWriter ws;
+  ws.PutU32(0xffffffffu);
+  serve::WireReader rs(ws.payload());
+  EXPECT_FALSE(DecodeShardStatusList(rs).ok());
+}
+
+// ---------------------------------------------------------------------------
+// MetaService state machine (no sockets).
+
+RegisterShardRequest Announce(uint32_t id, int port,
+                              std::vector<GraphAd> ads = {}) {
+  RegisterShardRequest req;
+  req.shard_id = id;
+  req.port = port;
+  req.ads = std::move(ads);
+  return req;
+}
+
+HeartbeatRequest Beat(uint32_t id, std::vector<GraphAd> ads,
+                      uint64_t resident = 0) {
+  HeartbeatRequest req;
+  req.shard_id = id;
+  req.load.resident_bytes = resident;
+  req.ads = std::move(ads);
+  return req;
+}
+
+TEST(MetaServiceTest, RegisterResolvePlaceRecord) {
+  MetaService meta;
+  const auto r1 = meta.RegisterShard(
+      Announce(1, 40001, {MakeAd("acm", 0xa, 100)}));
+  EXPECT_GT(r1.version, 0u);
+  EXPECT_GT(r1.ttl_ms, 0);
+  meta.RegisterShard(Announce(2, 40002));
+
+  auto placement = meta.Resolve("acm");
+  ASSERT_TRUE(placement.ok()) << placement.status().ToString();
+  EXPECT_EQ(placement->fingerprint, 0xaull);
+  ASSERT_EQ(placement->shards.size(), 1u);
+  EXPECT_EQ(placement->shards[0].shard_id, 1u);
+  EXPECT_TRUE(placement->shards[0].alive);
+  EXPECT_EQ(meta.Resolve("nope").status().code(), StatusCode::kNotFound);
+
+  // Plan: 2 replicas of a new graph land on both live shards, without
+  // mutating the placement map.
+  PlaceRequest plan;
+  plan.name = "dblp";
+  plan.bytes = 500;
+  plan.replicas = 2;
+  auto planned = meta.Place(plan);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->shards.size(), 2u);
+  EXPECT_EQ(meta.Resolve("dblp").status().code(), StatusCode::kNotFound);
+
+  // Record commits it and bumps the version.
+  const uint64_t before = meta.version();
+  PlaceRequest record;
+  record.name = "dblp";
+  record.fingerprint = 0xb;
+  record.bytes = 500;
+  record.shard_ids = {1, 2};
+  auto committed = meta.Place(record);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed->shards.size(), 2u);
+  EXPECT_GT(meta.version(), before);
+  auto resolved = meta.Resolve("dblp");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->shards.size(), 2u);
+}
+
+TEST(MetaServiceTest, PlanPicksLeastLoadedAndExcludesHolders) {
+  MetaService meta;
+  meta.RegisterShard(Announce(1, 40001, {MakeAd("acm", 0xa, 100)}));
+  meta.RegisterShard(Announce(2, 40002));
+  meta.RegisterShard(Announce(3, 40003));
+  // Shard 2 is heavily loaded; shard 3 is idle.
+  ASSERT_TRUE(meta.Heartbeat(Beat(2, {}, /*resident=*/1 << 28)).ok());
+  ASSERT_TRUE(meta.Heartbeat(Beat(3, {}, /*resident=*/0)).ok());
+
+  // One extra replica of acm: shard 1 already holds it, so the plan must
+  // pick from {2, 3} — and 3 is the least loaded.
+  PlaceRequest plan;
+  plan.name = "acm";
+  plan.fingerprint = 0xa;
+  plan.bytes = 100;
+  plan.replicas = 1;
+  auto planned = meta.Place(plan);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_EQ(planned->shards.size(), 1u);
+  EXPECT_EQ(planned->shards[0].shard_id, 3u);
+}
+
+TEST(MetaServiceTest, PlaceWithNoLiveShardFailsCleanly) {
+  MetaService meta;
+  PlaceRequest plan;
+  plan.name = "acm";
+  plan.replicas = 1;
+  auto planned = meta.Place(plan);
+  ASSERT_FALSE(planned.ok());
+  EXPECT_EQ(planned.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MetaServiceTest, HeartbeatReconcilesAdvertisedSet) {
+  MetaService meta;
+  meta.RegisterShard(Announce(1, 40001, {MakeAd("acm", 0xa, 100)}));
+
+  // Heartbeat for a shard that never registered: NotFound (the agent
+  // re-registers on that signal).
+  EXPECT_EQ(meta.Heartbeat(Beat(9, {})).status().code(),
+            StatusCode::kNotFound);
+
+  // acm disappears, dblp appears: placements follow.
+  ASSERT_TRUE(meta.Heartbeat(Beat(1, {MakeAd("dblp", 0xb, 50)})).ok());
+  EXPECT_EQ(meta.Resolve("acm").status().code(), StatusCode::kNotFound);
+  auto dblp = meta.Resolve("dblp");
+  ASSERT_TRUE(dblp.ok());
+  EXPECT_EQ(dblp->shards.size(), 1u);
+}
+
+TEST(MetaServiceTest, TtlMarksDeadWatchersWakeAndHeartbeatRevives) {
+  MetaServiceOptions options;
+  options.heartbeat_ttl_ms = 100;
+  MetaService meta(options);
+  meta.RegisterShard(Announce(1, 40001, {MakeAd("acm", 0xa, 100)}));
+  const uint64_t after_join = meta.version();
+
+  // A watcher blocked past the TTL is woken by the liveness expiry.
+  WatchResult res = meta.Watch(after_join, /*timeout_ms=*/2000);
+  ASSERT_FALSE(res.resync);
+  ASSERT_FALSE(res.events.empty());
+  EXPECT_EQ(res.events.back().type, MetaEventType::kShardDead);
+  EXPECT_EQ(res.events.back().shard_id, 1u);
+
+  // Dead is a flag, not removal: the placement survives with alive=false.
+  auto placement = meta.Resolve("acm");
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->shards.size(), 1u);
+  EXPECT_FALSE(placement->shards[0].alive);
+  auto shards = meta.ListShards();
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_FALSE(shards[0].alive);
+
+  // A late heartbeat revives the shard and emits a join event.
+  ASSERT_TRUE(meta.Heartbeat(Beat(1, {MakeAd("acm", 0xa, 100)})).ok());
+  placement = meta.Resolve("acm");
+  ASSERT_TRUE(placement.ok());
+  EXPECT_TRUE(placement->shards[0].alive);
+  WatchResult revived = meta.Watch(res.version, /*timeout_ms=*/0);
+  ASSERT_FALSE(revived.events.empty());
+  bool saw_join = false;
+  for (const MetaEvent& e : revived.events) {
+    saw_join = saw_join || e.type == MetaEventType::kShardJoined;
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+TEST(MetaServiceTest, WatchTimesOutEmptyAndResyncsWhenBehind) {
+  MetaServiceOptions options;
+  options.max_events = 2;
+  MetaService meta(options);
+
+  // Nothing has happened: an immediate watch returns empty, no resync.
+  WatchResult idle = meta.Watch(0, /*timeout_ms=*/0);
+  EXPECT_FALSE(idle.resync);
+  EXPECT_TRUE(idle.events.empty());
+  EXPECT_EQ(idle.version, 0u);
+
+  // Generate more events than the log retains: a watcher at version 0
+  // must be told to resync instead of getting a gapped replay.
+  meta.RegisterShard(Announce(1, 40001, {MakeAd("a", 1, 1)}));
+  meta.RegisterShard(Announce(2, 40002, {MakeAd("b", 2, 1)}));
+  ASSERT_GT(meta.version(), 2u);
+  WatchResult behind = meta.Watch(0, /*timeout_ms=*/0);
+  EXPECT_TRUE(behind.resync);
+  EXPECT_TRUE(behind.events.empty());
+  EXPECT_EQ(behind.version, meta.version());
+
+  // A watcher inside the retained window gets a normal replay.
+  WatchResult tail = meta.Watch(meta.version() - 1, /*timeout_ms=*/0);
+  EXPECT_FALSE(tail.resync);
+  ASSERT_EQ(tail.events.size(), 1u);
+  EXPECT_EQ(tail.events[0].version, meta.version());
+}
+
+TEST(MetaServiceTest, CloseWakesBlockedWatchers) {
+  MetaService meta;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    meta.Close();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  WatchResult res = meta.Watch(0, /*timeout_ms=*/10000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  closer.join();
+  EXPECT_TRUE(res.events.empty());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+// ---------------------------------------------------------------------------
+// Wire end-to-end: MetaServer + MetaClient over loopback TCP.
+
+TEST(MetaServerTest, HandshakeOpsAndServeOpRejection) {
+  MetaServer server;
+  const Status st = server.Start();
+  if (!st.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << st.ToString();
+  }
+
+  // The Ping handshake identifies the meta role; MetaClient::Connect
+  // enforces it, and a raw serve client can read it too.
+  serve::ServeClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()).ok());
+  auto hello = raw.Hello();
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->protocol_version, serve::kProtocolVersion);
+  EXPECT_EQ(hello->role, "meta");
+  EXPECT_NE(hello->features & serve::kFeatureClusterOps, 0u);
+
+  // Graph ops aimed at the meta service fail with a pointer to the
+  // shards, not a frame error.
+  auto condense = raw.Condense({});
+  ASSERT_FALSE(condense.ok());
+  EXPECT_EQ(condense.status().code(), StatusCode::kFailedPrecondition);
+
+  MetaClient meta;
+  ASSERT_TRUE(meta.Connect(server.port()).ok());
+  auto reg = meta.RegisterShard(Announce(1, 40001, {MakeAd("acm", 0xa, 9)}));
+  ASSERT_TRUE(reg.ok());
+  EXPECT_GT(reg->ttl_ms, 0);
+  auto hb = meta.Heartbeat(Beat(1, {MakeAd("acm", 0xa, 9)}));
+  ASSERT_TRUE(hb.ok());
+  auto placement = meta.Resolve("acm");
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->shards.size(), 1u);
+  auto shards = meta.ListShards();
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 1u);
+  EXPECT_EQ((*shards)[0].graphs, 1);
+  auto stats = meta.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"shards\""), std::string::npos) << *stats;
+
+  // Watch over the wire: a placement change lands as an event.
+  auto watch_before = meta.Watch(0, /*timeout_ms=*/0);
+  ASSERT_TRUE(watch_before.ok());
+  MetaClient writer;
+  ASSERT_TRUE(writer.Connect(server.port()).ok());
+  ASSERT_TRUE(
+      writer.Heartbeat(Beat(1, {MakeAd("dblp", 0xb, 9)})).ok());
+  auto watch = meta.Watch(watch_before->version, /*timeout_ms=*/2000);
+  ASSERT_TRUE(watch.ok());
+  EXPECT_FALSE(watch->events.empty());
+
+  ASSERT_TRUE(meta.Shutdown().ok());
+  server.Wait();
+}
+
+TEST(MetaClientTest, RefusesServeServers) {
+  serve::ServerOptions options;
+  options.serve.slots = 1;
+  options.serve.queue_capacity = 4;
+  options.serve.threads_per_slot = 1;
+  serve::Server server(options);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << st.ToString();
+  }
+  MetaClient meta;
+  const Status conn = meta.Connect(server.port());
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(conn.message().find("serve"), std::string::npos)
+      << conn.ToString();
+  server.RequestStop();
+  server.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Full cluster in one process: meta + two shards + router, with failover.
+
+serve::ServeOptions ShardServeOptions() {
+  serve::ServeOptions opts;
+  opts.slots = 1;
+  opts.queue_capacity = 16;
+  opts.threads_per_slot = 1;
+  return opts;
+}
+
+TEST(ClusterEndToEndTest, UploadRouteFailoverAndDeadShardReporting) {
+  MetaServerOptions meta_options;
+  meta_options.meta.heartbeat_ttl_ms = 400;
+  MetaServer meta(meta_options);
+  if (!meta.Start().ok()) GTEST_SKIP() << "cannot bind loopback sockets";
+
+  serve::ServerOptions shard_options;
+  shard_options.serve = ShardServeOptions();
+  serve::Server shard1(shard_options);
+  serve::Server shard2(shard_options);
+  if (!shard1.Start().ok() || !shard2.Start().ok()) {
+    GTEST_SKIP() << "cannot bind loopback sockets";
+  }
+
+  ShardAgentOptions a1;
+  a1.shard_id = 1;
+  a1.meta_port = meta.port();
+  a1.serve_port = shard1.port();
+  a1.heartbeat_ms = 100;
+  ShardAgent agent1(a1, &shard1.service());
+  ASSERT_TRUE(agent1.Start().ok());
+  ShardAgentOptions a2 = a1;
+  a2.shard_id = 2;
+  a2.serve_port = shard2.port();
+  ShardAgent agent2(a2, &shard2.service());
+  ASSERT_TRUE(agent2.Start().ok());
+
+  RouterOptions router_options;
+  router_options.meta_port = meta.port();
+  router_options.backoff_ms = 10;
+  Router router(router_options);
+  ASSERT_TRUE(router.Connect().ok());
+
+  // Routed upload onto both shards.
+  auto container = SerializeHeteroGraph(datasets::MakeToy(5));
+  ASSERT_TRUE(container.ok());
+  auto info = router.Upload("toy", *container, /*replicas=*/2);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto placement = router.Resolve("toy");
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->shards.size(), 2u);
+
+  serve::CondenseRequest req;
+  req.graph = "toy";
+  req.method = "freehgc";
+  req.ratio = 0.3;
+  req.seed = 1;
+  req.max_paths = 6;
+  auto reply = router.Condense(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_GT(reply->nodes, 0);
+
+  // Kill shard 2 abruptly (listener + agent, as SIGKILL would). Every
+  // subsequent request must still succeed via shard 1.
+  agent2.Stop();
+  shard2.RequestStop();
+  shard2.Wait();
+  for (int i = 0; i < 6; ++i) {
+    req.seed = static_cast<uint64_t>(2 + i);
+    auto failover_reply = router.Condense(req);
+    ASSERT_TRUE(failover_reply.ok())
+        << "request " << i << ": " << failover_reply.status().ToString();
+  }
+
+  // The meta service declares shard 2 dead once its TTL lapses.
+  bool reported_dead = false;
+  for (int i = 0; i < 50 && !reported_dead; ++i) {
+    auto shards = router.Shards();
+    ASSERT_TRUE(shards.ok());
+    for (const ShardStatus& s : *shards) {
+      if (s.shard_id == 2 && !s.alive) reported_dead = true;
+    }
+    if (!reported_dead) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(reported_dead) << "meta never marked the killed shard dead";
+
+  router.Close();
+  agent1.Stop();
+  shard1.RequestStop();
+  shard1.Wait();
+  meta.RequestStop();
+  meta.Wait();
+}
+
+// Hot single-homed graphs get replicated to a second shard via
+// shard-to-shard FetchGraph, without the client re-uploading.
+TEST(ClusterEndToEndTest, HotGraphReplicatesToSecondShard) {
+  MetaServer meta;
+  if (!meta.Start().ok()) GTEST_SKIP() << "cannot bind loopback sockets";
+
+  serve::ServerOptions shard_options;
+  shard_options.serve = ShardServeOptions();
+  serve::Server shard1(shard_options);
+  serve::Server shard2(shard_options);
+  if (!shard1.Start().ok() || !shard2.Start().ok()) {
+    GTEST_SKIP() << "cannot bind loopback sockets";
+  }
+  ShardAgentOptions a1;
+  a1.shard_id = 1;
+  a1.meta_port = meta.port();
+  a1.serve_port = shard1.port();
+  a1.heartbeat_ms = 100;
+  ShardAgent agent1(a1, &shard1.service());
+  ASSERT_TRUE(agent1.Start().ok());
+  ShardAgentOptions a2 = a1;
+  a2.shard_id = 2;
+  a2.serve_port = shard2.port();
+  ShardAgent agent2(a2, &shard2.service());
+  ASSERT_TRUE(agent2.Start().ok());
+
+  RouterOptions router_options;
+  router_options.meta_port = meta.port();
+  router_options.hot_threshold = 3;  // replicate on the 3rd request
+  Router router(router_options);
+  ASSERT_TRUE(router.Connect().ok());
+
+  auto container = SerializeHeteroGraph(datasets::MakeToy(5));
+  ASSERT_TRUE(container.ok());
+  ASSERT_TRUE(router.Upload("toy", *container, /*replicas=*/1).ok());
+
+  serve::CondenseRequest req;
+  req.graph = "toy";
+  req.method = "freehgc";
+  req.ratio = 0.3;
+  req.seed = 1;
+  req.max_paths = 6;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(router.Condense(req).ok());
+  }
+  EXPECT_EQ(router.stats().replications, 1);
+  auto placement = router.Resolve("toy");
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->shards.size(), 2u);
+  // Both shards now really hold the graph.
+  EXPECT_EQ(shard1.service().store().Count(), 1);
+  EXPECT_EQ(shard2.service().store().Count(), 1);
+
+  router.Close();
+  agent1.Stop();
+  agent2.Stop();
+  shard1.RequestStop();
+  shard1.Wait();
+  shard2.RequestStop();
+  shard2.Wait();
+  meta.RequestStop();
+  meta.Wait();
+}
+
+}  // namespace
+}  // namespace freehgc::cluster

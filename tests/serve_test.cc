@@ -232,6 +232,36 @@ TEST(SchedulerTest, OverloadShedsWithResourceExhaustedWithoutDeadlock) {
   EXPECT_EQ(sched.stats().completed, 3);
 }
 
+// Spill-aware admission: a guard that reports budget pressure sheds the
+// request with kResourceExhausted and counts it separately from
+// queue-full sheds; clearing the guard restores admission.
+TEST(SchedulerTest, AdmissionGuardShedsWithBudgetStatus) {
+  RequestScheduler sched(
+      /*slots=*/1, /*queue_capacity=*/4, /*threads_per_slot=*/1,
+      [&](const CondenseRequest&,
+          const RequestContext&) -> Result<CondenseReply> {
+        return CondenseReply{};
+      });
+  sched.set_admission_guard([] {
+    return Status::ResourceExhausted("artifact cache under budget pressure");
+  });
+
+  auto shed = sched.Submit({});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().message().find("budget"), std::string::npos);
+  EXPECT_EQ(sched.stats().shed, 1);
+  EXPECT_EQ(sched.stats().shed_budget, 1);
+
+  sched.set_admission_guard(nullptr);
+  auto admitted = sched.Submit({});
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_TRUE((*admitted)->Wait().ok());
+  sched.Shutdown();
+  EXPECT_EQ(sched.stats().completed, 1);
+  EXPECT_EQ(sched.stats().shed_budget, 1);  // unchanged by the clear
+}
+
 TEST(SchedulerTest, CancelledQueuedRequestNeverRuns) {
   Latch latch;
   std::atomic<int> executed{0};
@@ -626,6 +656,32 @@ TEST(WireTest, ResponseEnvelopeCarriesStatus) {
   EXPECT_EQ(resp->body, "body");
 }
 
+TEST(WireTest, HelloInfoRoundTripsAndDefaultsToV1) {
+  HelloInfo info;
+  info.protocol_version = kProtocolVersion;
+  info.features = kFeatureAdminOps | kFeatureFetchGraph;
+  info.role = "serve";
+  WireWriter w;
+  EncodeHelloInfo(w, info);
+  WireReader r(w.payload());
+  auto back = DecodeHelloInfo(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->protocol_version, kProtocolVersion);
+  EXPECT_EQ(back->features, kFeatureAdminOps | kFeatureFetchGraph);
+  EXPECT_EQ(back->role, "serve");
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Truncation at every offset is rejected.
+  for (size_t cut = 0; cut < w.payload().size(); ++cut) {
+    WireReader rc(std::string_view(w.payload()).substr(0, cut));
+    EXPECT_FALSE(DecodeHelloInfo(rc).ok()) << "cut=" << cut;
+  }
+
+  // A default HelloInfo is what a v1 server (empty Ping body) maps to.
+  EXPECT_EQ(HelloInfo{}.protocol_version, 1u);
+  EXPECT_EQ(HelloInfo{}.features, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // TCP loopback end-to-end.
 
@@ -719,6 +775,55 @@ TEST(ServerTest, LoopbackRoundTripAndGracefulShutdown) {
   server.Wait();  // drains and returns
   EXPECT_EQ(server.service().scheduler_stats().inflight, 0);
   EXPECT_EQ(server.service().scheduler_stats().queue_depth, 0);
+}
+
+// Protocol-v2 handshake: the Ping reply identifies the server; cluster
+// metadata ops aimed at a serve server are rejected with a pointer to
+// the meta service; FetchGraph serializes a resident graph back.
+TEST(ServerTest, HelloNegotiationFetchGraphAndClusterOpRejection) {
+  ServerOptions options;
+  options.serve = SmallServeOptions(1);
+  Server server(options);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << st.ToString();
+  }
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto hello = client.Hello();
+  ASSERT_TRUE(hello.ok()) << hello.status().ToString();
+  EXPECT_EQ(hello->protocol_version, kProtocolVersion);
+  EXPECT_EQ(hello->role, "serve");
+  EXPECT_NE(hello->features & kFeatureAdminOps, 0u);
+  EXPECT_NE(hello->features & kFeatureFetchGraph, 0u);
+  EXPECT_EQ(hello->features & kFeatureClusterOps, 0u);
+
+  // Cluster metadata ops do not belong here.
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kRegisterShard));
+  auto rejected = client.Call(w.Take());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.status().message().find("freehgc_meta"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  // FetchGraph returns the same container bytes the store would
+  // serialize — the replication path's transport.
+  ASSERT_TRUE(client.RegisterGenerator("toy", "toy", 5, 0.0).ok());
+  auto fetched = client.FetchGraph("toy");
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  auto ref = server.service().store().Get("toy");
+  ASSERT_TRUE(ref.ok());
+  auto expected = SerializeHeteroGraph(**ref);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(*fetched, *expected);
+  EXPECT_EQ(client.FetchGraph("missing").status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(client.Shutdown().ok());
+  server.Wait();
 }
 
 }  // namespace

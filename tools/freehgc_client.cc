@@ -16,12 +16,23 @@
 //
 // --port-file=PATH reads the port a server wrote with its own
 // --port-file flag.
+//
+// Cluster mode: pass --meta-port=P (or --meta-port-file=PATH) instead of
+// --port to route through a freehgc_meta service. Then:
+//
+//   upload NAME FILE [--replicas=2]   places on the least-loaded shards
+//   condense GRAPH [flags]            routes to a live replica (failover)
+//   resolve NAME                      prints the shard placement
+//   shards                            one row per shard (liveness + load)
+//   stats                             meta-service state JSON
+//   shutdown                          stops the meta service
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "cluster/router.h"
 #include "serve/client.h"
 
 namespace {
@@ -68,10 +79,135 @@ bool ReadFile(const std::string& path, std::string* out) {
   return ok;
 }
 
+// Commands available when routing through the meta service.
+int RunClusterCommand(int meta_port, const std::string& command,
+                      const std::vector<std::string>& positional,
+                      CondenseRequest req, const std::string& output,
+                      int replicas) {
+  freehgc::cluster::RouterOptions options;
+  options.meta_port = meta_port;
+  freehgc::cluster::Router router(options);
+  if (Status st = router.Connect(); !st.ok()) return Fail(st);
+
+  if (command == "upload") {
+    if (positional.size() != 2) {
+      std::fprintf(stderr, "usage: upload NAME FILE [--replicas=N]\n");
+      return 2;
+    }
+    std::string container;
+    if (!ReadFile(positional[1], &container)) {
+      std::fprintf(stderr, "cannot read %s\n", positional[1].c_str());
+      return 1;
+    }
+    auto info = router.Upload(positional[0], container, replicas);
+    if (!info.ok()) return Fail(info.status());
+    PrintInfo(*info);
+    auto placement = router.Resolve(positional[0]);
+    if (placement.ok()) {
+      std::printf("placed on %zu shard(s):", placement->shards.size());
+      for (const auto& ep : placement->shards) {
+        std::printf(" %u(:%d)", ep.shard_id, ep.port);
+      }
+      std::printf(" [v%llu]\n",
+                  static_cast<unsigned long long>(placement->version));
+    }
+    return 0;
+  }
+  if (command == "condense") {
+    if (positional.size() != 1) {
+      std::fprintf(stderr, "usage: condense GRAPH [flags]\n");
+      return 2;
+    }
+    req.graph = positional[0];
+    req.return_graph = !output.empty();
+    auto reply = router.Condense(req);
+    if (!reply.ok()) return Fail(reply.status());
+    const freehgc::cluster::RouterStats stats = router.stats();
+    std::printf(
+        "condensed %s with %s: %lld nodes, %lld edges "
+        "(total %.3fs) [resolves %lld, failovers %lld]\n",
+        req.graph.c_str(), req.method.c_str(),
+        static_cast<long long>(reply->nodes),
+        static_cast<long long>(reply->edges), reply->total_seconds,
+        static_cast<long long>(stats.resolves),
+        static_cast<long long>(stats.failovers));
+    if (!output.empty()) {
+      FILE* f = std::fopen(output.c_str(), "wb");
+      if (f == nullptr ||
+          std::fwrite(reply->graph_bytes.data(), 1, reply->graph_bytes.size(),
+                      f) != reply->graph_bytes.size()) {
+        if (f != nullptr) std::fclose(f);
+        std::fprintf(stderr, "cannot write %s\n", output.c_str());
+        return 1;
+      }
+      std::fclose(f);
+      std::printf("wrote condensed graph to %s (%zu bytes)\n", output.c_str(),
+                  reply->graph_bytes.size());
+    }
+    return 0;
+  }
+  if (command == "resolve") {
+    if (positional.size() != 1) {
+      std::fprintf(stderr, "usage: resolve NAME\n");
+      return 2;
+    }
+    auto placement = router.Resolve(positional[0]);
+    if (!placement.ok()) return Fail(placement.status());
+    std::printf("%s fp=%016llx v%llu\n", placement->name.c_str(),
+                static_cast<unsigned long long>(placement->fingerprint),
+                static_cast<unsigned long long>(placement->version));
+    for (const auto& ep : placement->shards) {
+      std::printf("  shard %u port %d %s\n", ep.shard_id, ep.port,
+                  ep.alive ? "alive" : "dead");
+    }
+    return 0;
+  }
+  if (command == "shards") {
+    auto shards = router.Shards();
+    if (!shards.ok()) return Fail(shards.status());
+    std::printf("%6s %6s %6s %8s %10s %6s %8s %9s %7s\n", "shard", "port",
+                "state", "hb-age", "resident", "queue", "inflight",
+                "completed", "graphs");
+    for (const auto& s : *shards) {
+      std::printf("%6u %6d %6s %6lldms %9.1fM %6lld %8lld %9lld %7lld\n",
+                  s.shard_id, s.port, s.alive ? "alive" : "dead",
+                  static_cast<long long>(s.heartbeat_age_ms),
+                  static_cast<double>(s.load.resident_bytes) / 1e6,
+                  static_cast<long long>(s.load.queue_depth),
+                  static_cast<long long>(s.load.inflight),
+                  static_cast<long long>(s.load.completed),
+                  static_cast<long long>(s.graphs));
+    }
+    return 0;
+  }
+  // The remaining meta-side commands talk to the service directly.
+  freehgc::cluster::MetaClient meta;
+  if (Status st = meta.Connect(meta_port); !st.ok()) return Fail(st);
+  if (command == "ping") {
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "stats") {
+    auto stats = meta.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("%s\n", stats->c_str());
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (Status st = meta.Shutdown(); !st.ok()) return Fail(st);
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown cluster command: %s\n", command.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int port = 0;
+  int meta_port = 0;
+  int replicas = 1;
   std::string command;
   std::vector<std::string> positional;
   CondenseRequest req;
@@ -91,6 +227,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       port = std::atoi(contents.c_str());
+    } else if (FlagValue(arg, "--meta-port=", &v)) {
+      meta_port = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--meta-port-file=", &v)) {
+      std::string contents;
+      if (!ReadFile(v, &contents)) {
+        std::fprintf(stderr, "cannot read port file %s\n", v.c_str());
+        return 2;
+      }
+      meta_port = std::atoi(contents.c_str());
+    } else if (FlagValue(arg, "--replicas=", &v)) {
+      replicas = std::atoi(v.c_str());
     } else if (FlagValue(arg, "--method=", &v)) {
       req.method = v;
     } else if (FlagValue(arg, "--ratio=", &v)) {
@@ -120,12 +267,20 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  if (port <= 0 || command.empty()) {
+  if ((port <= 0 && meta_port <= 0) || command.empty()) {
     std::fprintf(stderr,
                  "usage: freehgc_client --port=P (or --port-file=PATH) "
                  "ping|register|upload|list|condense|stats|metrics|health|"
-                 "flight|shutdown ...\n");
+                 "flight|shutdown ...\n"
+                 "       freehgc_client --meta-port=P (or "
+                 "--meta-port-file=PATH) "
+                 "ping|upload|condense|resolve|shards|stats|shutdown ...\n");
     return 2;
+  }
+  if (meta_port > 0) {
+    req.seed = seed;
+    return RunClusterCommand(meta_port, command, positional, req, output,
+                             replicas);
   }
 
   ServeClient client;

@@ -5,6 +5,7 @@
 //                  [--spool-dir=PATH] [--map=NAME=PATH]...
 //                  [--access-log=PATH] [--spill-dir=PATH]
 //                  [--artifact-budget=BYTES] [--resident-budget=BYTES]
+//                  [--meta=HOST:PORT --shard-id=N [--heartbeat-ms=500]]
 //
 // Binds the requested port (0 = ephemeral; the bound port is printed and
 // optionally written to --port-file so scripts can find it), serves the
@@ -31,14 +32,22 @@
 // eviction + transparent re-map). At startup, the spool and spill
 // directories are swept for orphans: spill/tmp files from dead processes
 // and containers whose fingerprint does not match their name.
+//
+// --meta + --shard-id run the server as one shard of a cluster: it
+// registers with the freehgc_meta service at HOST:PORT (loopback only;
+// a bare port also works), advertises its GraphStore catalog, and
+// heartbeats load so routers can place and fail over requests. The
+// shard keeps serving direct connections too.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cluster/shard_agent.h"
 #include "obs/flight_recorder.h"
 #include "serve/server.h"
 
@@ -84,6 +93,26 @@ bool ParseBytesFlag(const std::string& arg, const char* prefix,
   return true;
 }
 
+// Meta endpoint: "PORT" or "HOST:PORT" where HOST must be loopback (the
+// cluster is single-machine multi-process).
+bool ParseMetaFlag(const std::string& arg, int* port) {
+  if (arg.rfind("--meta=", 0) != 0) return false;
+  std::string value = arg.substr(std::string("--meta=").size());
+  const size_t colon = value.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string host = value.substr(0, colon);
+    if (host != "127.0.0.1" && host != "localhost") {
+      std::fprintf(stderr,
+                   "--meta only supports loopback hosts, got: %s\n",
+                   host.c_str());
+      std::exit(2);
+    }
+    value = value.substr(colon + 1);
+  }
+  *port = std::atoi(value.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +120,9 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string spool_dir;
   std::vector<std::pair<std::string, std::string>> maps;
+  int meta_port = 0;
+  int shard_id = -1;
+  int heartbeat_ms = 500;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseIntFlag(arg, "--port=", &options.port) ||
@@ -99,6 +131,11 @@ int main(int argc, char** argv) {
                      &options.serve.queue_capacity) ||
         ParseIntFlag(arg, "--threads-per-slot=",
                      &options.serve.threads_per_slot)) {
+      continue;
+    }
+    if (ParseMetaFlag(arg, &meta_port) ||
+        ParseIntFlag(arg, "--shard-id=", &shard_id) ||
+        ParseIntFlag(arg, "--heartbeat-ms=", &heartbeat_ms)) {
       continue;
     }
     if (arg.rfind("--port-file=", 0) == 0) {
@@ -185,6 +222,30 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGQUIT, HandleQuit);
 
+  if ((meta_port > 0) != (shard_id >= 0)) {
+    std::fprintf(stderr,
+                 "--meta and --shard-id must be given together\n");
+    return 2;
+  }
+  std::unique_ptr<freehgc::cluster::ShardAgent> agent;
+  if (meta_port > 0) {
+    freehgc::cluster::ShardAgentOptions agent_options;
+    agent_options.shard_id = static_cast<uint32_t>(shard_id);
+    agent_options.meta_port = meta_port;
+    agent_options.serve_port = server.port();
+    agent_options.heartbeat_ms = heartbeat_ms;
+    agent = std::make_unique<freehgc::cluster::ShardAgent>(agent_options,
+                                                           &server.service());
+    const freehgc::Status ast = agent->Start();
+    if (!ast.ok()) {
+      std::fprintf(stderr, "freehgc_server: cannot join cluster: %s\n",
+                   ast.ToString().c_str());
+      return 1;
+    }
+    std::printf("shard %d registered with meta service on 127.0.0.1:%d\n",
+                shard_id, meta_port);
+  }
+
   std::printf("freehgc_server listening on 127.0.0.1:%d (%d slots, queue %d)\n",
               server.port(), server.service().options().slots,
               server.service().options().queue_capacity);
@@ -200,6 +261,7 @@ int main(int argc, char** argv) {
 
   server.Wait();
   g_server = nullptr;
+  if (agent) agent->Stop();
   if (g_dump_flight_recorder != 0) {
     std::printf("flight recorder dump:\n%s\n",
                 freehgc::obs::FlightRecorder::Global().DumpJson().c_str());

@@ -15,14 +15,23 @@
 // Everything shown is derived from the same Prometheus text any scraper
 // sees — this tool is a reference consumer of the exposition format, not
 // a privileged one.
+//
+// Cluster mode: --meta-port=P (instead of --port) asks the freehgc_meta
+// service for the shard table each interval and scrapes METRICS from
+// every live shard, printing one row per shard (qps, queue, inflight,
+// resident bytes, completed) plus an aggregate TOTAL row. Dead shards
+// show as a "dead" row so an operator sees holes in the cluster at a
+// glance.
 
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "cluster/meta_client.h"
 #include "obs/exposition.h"
 #include "obs/rate_window.h"
 #include "obs/trace.h"
@@ -58,10 +67,82 @@ double ValueOr(const std::vector<PromSample>& samples,
   return v;
 }
 
+// Cluster dashboard: one row per shard, scraped through the meta
+// service's shard table, plus an aggregate TOTAL row per poll.
+int RunMetaMode(int meta_port, int interval_ms, long iterations) {
+  freehgc::cluster::MetaClient meta;
+  if (Status st = meta.Connect(meta_port); !st.ok()) {
+    std::fprintf(stderr, "freehgc_top: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::map<uint32_t, freehgc::obs::RateWindow> qps;  // per shard
+  for (long iter = 0; iterations == 0 || iter < iterations; ++iter) {
+    if (iter != 0) ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+    auto shards = meta.ListShards();
+    if (!shards.ok()) {
+      std::fprintf(stderr, "freehgc_top: %s\n",
+                   shards.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%6s %6s %6s %10s %6s %9s %10s %9s %7s\n", "shard", "port",
+                "state", "qps", "queue", "inflight", "resident", "completed",
+                "graphs");
+    double total_qps = 0, total_queue = 0, total_inflight = 0;
+    double total_resident = 0, total_completed = 0, total_graphs = 0;
+    const int64_t now_ns = freehgc::obs::NowNs();
+    for (const auto& s : *shards) {
+      if (!s.alive) {
+        std::printf("%6u %6d %6s %10s %6s %9s %10s %9s %7s\n", s.shard_id,
+                    s.port, "dead", "-", "-", "-", "-", "-", "-");
+        continue;
+      }
+      // Scrape the shard's own METRICS: the heartbeat load is a coarse
+      // snapshot, the exposition is authoritative.
+      double terminal = static_cast<double>(s.load.completed);
+      double queue = static_cast<double>(s.load.queue_depth);
+      double inflight = static_cast<double>(s.load.inflight);
+      double resident = static_cast<double>(s.load.resident_bytes);
+      ServeClient shard;
+      if (shard.Connect(s.port).ok()) {
+        if (auto text = shard.Metrics(); text.ok()) {
+          const std::vector<PromSample> samples =
+              freehgc::obs::ParsePrometheusText(*text);
+          terminal =
+              ValueOr(samples, "freehgc_serve_requests_completed_total", 0) +
+              ValueOr(samples, "freehgc_serve_requests_failed_total", 0);
+          queue = ValueOr(samples, "freehgc_serve_queue_depth", queue);
+          inflight = ValueOr(samples, "freehgc_serve_inflight", inflight);
+          resident =
+              ValueOr(samples, "freehgc_store_resident_bytes", resident);
+        }
+      }
+      freehgc::obs::RateWindow& window = qps[s.shard_id];
+      window.Add(now_ns, terminal);
+      const double rate = window.RatePerSec();
+      std::printf("%6u %6d %6s %10.1f %6.0f %9.0f %9.1fM %9.0f %7lld\n",
+                  s.shard_id, s.port, "alive", rate, queue, inflight,
+                  resident / 1e6, terminal,
+                  static_cast<long long>(s.graphs));
+      total_qps += rate;
+      total_queue += queue;
+      total_inflight += inflight;
+      total_resident += resident;
+      total_completed += terminal;
+      total_graphs += static_cast<double>(s.graphs);
+    }
+    std::printf("%6s %6s %6s %10.1f %6.0f %9.0f %9.1fM %9.0f %7.0f\n\n",
+                "TOTAL", "-", "-", total_qps, total_queue, total_inflight,
+                total_resident / 1e6, total_completed, total_graphs);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int port = 0;
+  int meta_port = 0;
   int interval_ms = 1000;
   long iterations = 0;  // 0 = forever
   for (int i = 1; i < argc; ++i) {
@@ -71,6 +152,13 @@ int main(int argc, char** argv) {
       port = std::atoi(v.c_str());
     } else if (FlagValue(arg, "--port-file=", &v)) {
       if (!ReadPortFile(v, &port)) {
+        std::fprintf(stderr, "cannot read port file %s\n", v.c_str());
+        return 2;
+      }
+    } else if (FlagValue(arg, "--meta-port=", &v)) {
+      meta_port = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--meta-port-file=", &v)) {
+      if (!ReadPortFile(v, &meta_port)) {
         std::fprintf(stderr, "cannot read port file %s\n", v.c_str());
         return 2;
       }
@@ -85,13 +173,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (port <= 0) {
+  if (port <= 0 && meta_port <= 0) {
     std::fprintf(stderr,
                  "usage: freehgc_top --port=P (or --port-file=PATH) "
-                 "[--interval-ms=1000] [--iterations=0] [--once]\n");
+                 "[--interval-ms=1000] [--iterations=0] [--once]\n"
+                 "       freehgc_top --meta-port=P (or --meta-port-file="
+                 "PATH) ...  # per-shard cluster dashboard\n");
     return 2;
   }
   if (interval_ms < 1) interval_ms = 1;
+  if (meta_port > 0) return RunMetaMode(meta_port, interval_ms, iterations);
 
   ServeClient client;
   if (Status st = client.Connect(port); !st.ok()) {
