@@ -1,0 +1,232 @@
+#include "bench/loadgen/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace freehgc::loadgen {
+
+namespace {
+
+/// Binomial(6, 0.8) masses: kPareto[g] = C(6,g) 0.8^(6-g) 0.2^g — the
+/// "80/20 rule applied six times" table used by allocator workload
+/// generators (SNIPPETS.md §1).
+constexpr double kPareto[7] = {0.262144, 0.393216, 0.245760, 0.081920,
+                               0.015360, 0.001536, 0.000064};
+
+}  // namespace
+
+ParetoPicker::ParetoPicker(uint32_t item_count)
+    : item_count_(item_count > 0 ? item_count : 1) {
+  ranges_[0] = static_cast<uint32_t>(UINT32_MAX * kPareto[0]);
+  for (size_t g = 1; g < 5; ++g) {
+    ranges_[g] =
+        ranges_[g - 1] + static_cast<uint32_t>(UINT32_MAX * kPareto[g]);
+  }
+  ranges_[5] = static_cast<uint32_t>(UINT32_MAX * (1.0 - kPareto[6]));
+  offsets_[0] = 0;
+  // Group g covers an item fraction of kPareto[6 - g]: heavy-mass groups
+  // get the narrow item ranges. The last boundary absorbs rounding so
+  // every item is reachable.
+  for (size_t g = 0; g < 6; ++g) {
+    offsets_[g + 1] = offsets_[g] + static_cast<uint32_t>(
+                                        item_count_ * kPareto[6 - g]);
+  }
+  offsets_[7] = item_count_;
+}
+
+uint32_t ParetoPicker::Pick(uint32_t r1, uint32_t r2) const {
+  size_t group = 6;
+  for (size_t g = 0; g < 6; ++g) {
+    if (r1 < ranges_[g]) {
+      group = g;
+      break;
+    }
+  }
+  uint32_t lo = offsets_[group];
+  uint32_t hi = offsets_[group + 1];
+  // Small item counts round narrow ranges down to empty; spill the pick
+  // into the next non-empty group rather than skewing toward item 0.
+  while (lo >= hi && group < 6) {
+    ++group;
+    lo = offsets_[group];
+    hi = offsets_[group + 1];
+  }
+  if (lo >= hi) return r2 % item_count_;
+  return lo + r2 % (hi - lo);
+}
+
+std::vector<Arrival> BuildSchedule(const LoadSpec& spec) {
+  std::vector<Arrival> out;
+  if (spec.classes.empty() || spec.phases.empty()) return out;
+  Rng rng(spec.seed);
+  const ParetoPicker picker(static_cast<uint32_t>(spec.classes.size()));
+  int64_t phase_start_ns = 0;
+  for (size_t pi = 0; pi < spec.phases.size(); ++pi) {
+    const Phase& phase = spec.phases[pi];
+    if (phase.seconds <= 0.0) continue;
+    double t = 0.0;  // seconds into the phase
+    for (;;) {
+      // Exponential gap at the instantaneous (linearly ramped) rate.
+      const double frac = t / phase.seconds;
+      double rate = phase.start_rps + frac * (phase.end_rps - phase.start_rps);
+      if (rate < 0.1) rate = 0.1;
+      t += -std::log(1.0 - rng.NextDouble()) / rate;
+      if (t >= phase.seconds) break;
+      Arrival a;
+      a.offset_ns = phase_start_ns + static_cast<int64_t>(t * 1e9);
+      a.class_index =
+          picker.Pick(static_cast<uint32_t>(rng.NextU64()),
+                      static_cast<uint32_t>(rng.NextU64()));
+      a.phase_index = static_cast<uint32_t>(pi);
+      out.push_back(a);
+    }
+    phase_start_ns += static_cast<int64_t>(phase.seconds * 1e9);
+  }
+  return out;
+}
+
+double QuantileMs(std::vector<int64_t> samples_ns, double q) {
+  if (samples_ns.empty()) return 0.0;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  const size_t n = samples_ns.size();
+  size_t rank = static_cast<size_t>(q * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return static_cast<double>(samples_ns[rank]) * 1e-6;
+}
+
+namespace {
+
+enum class Outcome : uint8_t { kOk, kShed, kExpired, kError };
+
+struct Sample {
+  uint32_t phase_index = 0;
+  uint32_t class_index = 0;
+  Outcome outcome = Outcome::kOk;
+  int64_t latency_ns = 0;  // from the *scheduled* arrival time
+  int64_t lag_ns = 0;      // send time behind schedule (0 when on time)
+};
+
+Outcome Classify(const Status& status) {
+  if (status.ok()) return Outcome::kOk;
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      return Outcome::kShed;
+    case StatusCode::kDeadlineExceeded:
+      return Outcome::kExpired;
+    default:
+      return Outcome::kError;
+  }
+}
+
+}  // namespace
+
+RunReport RunOpenLoop(const LoadSpec& spec,
+                      const std::vector<Arrival>& schedule,
+                      int client_threads, const SubmitFn& submit) {
+  if (client_threads < 1) client_threads = 1;
+  std::vector<std::vector<Sample>> per_worker(
+      static_cast<size_t>(client_threads));
+  const int64_t t0 = obs::NowNs();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(client_threads));
+  for (int w = 0; w < client_threads; ++w) {
+    workers.emplace_back([&, w] {
+      auto& samples = per_worker[static_cast<size_t>(w)];
+      for (size_t i = static_cast<size_t>(w); i < schedule.size();
+           i += static_cast<size_t>(client_threads)) {
+        const Arrival& a = schedule[i];
+        const int64_t target_ns = t0 + a.offset_ns;
+        int64_t now = obs::NowNs();
+        if (now < target_ns) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(target_ns - now));
+          now = obs::NowNs();
+        }
+        const Status status =
+            submit(spec.classes[a.class_index].request, a.class_index);
+        const int64_t done_ns = obs::NowNs();
+        Sample s;
+        s.phase_index = a.phase_index;
+        s.class_index = a.class_index;
+        s.outcome = Classify(status);
+        s.latency_ns = done_ns - target_ns;
+        s.lag_ns = now > target_ns ? now - target_ns : 0;
+        samples.push_back(s);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  RunReport report;
+  report.phases.resize(spec.phases.size());
+  std::vector<std::vector<int64_t>> ok_latency(spec.phases.size());
+  for (size_t pi = 0; pi < spec.phases.size(); ++pi) {
+    PhaseReport& pr = report.phases[pi];
+    pr.name = spec.phases[pi].name;
+    pr.seconds = spec.phases[pi].seconds;
+    pr.per_class_issued.assign(spec.classes.size(), 0);
+  }
+  for (const auto& samples : per_worker) {
+    for (const Sample& s : samples) {
+      PhaseReport& pr = report.phases[s.phase_index];
+      ++pr.issued;
+      ++pr.per_class_issued[s.class_index];
+      switch (s.outcome) {
+        case Outcome::kOk:
+          ++pr.ok;
+          ok_latency[s.phase_index].push_back(s.latency_ns);
+          break;
+        case Outcome::kShed:
+          ++pr.shed;
+          break;
+        case Outcome::kExpired:
+          ++pr.expired;
+          break;
+        case Outcome::kError:
+          ++pr.errors;
+          break;
+      }
+      const double lag_ms = static_cast<double>(s.lag_ns) * 1e-6;
+      if (lag_ms > pr.max_lag_ms) pr.max_lag_ms = lag_ms;
+    }
+  }
+  for (size_t pi = 0; pi < report.phases.size(); ++pi) {
+    PhaseReport& pr = report.phases[pi];
+    if (pr.seconds > 0.0) {
+      pr.offered_rps = static_cast<double>(pr.issued) / pr.seconds;
+      pr.achieved_rps = static_cast<double>(pr.ok) / pr.seconds;
+    }
+    pr.p50_ms = QuantileMs(ok_latency[pi], 0.50);
+    pr.p95_ms = QuantileMs(ok_latency[pi], 0.95);
+    pr.p99_ms = QuantileMs(ok_latency[pi], 0.99);
+    report.issued += pr.issued;
+    report.ok += pr.ok;
+    report.shed += pr.shed;
+    report.expired += pr.expired;
+    report.errors += pr.errors;
+  }
+  return report;
+}
+
+std::string PhaseReportJson(const PhaseReport& r) {
+  return StrFormat(
+      "{\"phase\": \"%s\", \"seconds\": %.3f, \"offered_rps\": %.3f, "
+      "\"achieved_rps\": %.3f, \"issued\": %lld, \"ok\": %lld, "
+      "\"shed\": %lld, \"expired\": %lld, \"errors\": %lld, "
+      "\"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}, "
+      "\"max_lag_ms\": %.3f}",
+      r.name.c_str(), r.seconds, r.offered_rps, r.achieved_rps,
+      static_cast<long long>(r.issued), static_cast<long long>(r.ok),
+      static_cast<long long>(r.shed), static_cast<long long>(r.expired),
+      static_cast<long long>(r.errors), r.p50_ms, r.p95_ms, r.p99_ms,
+      r.max_lag_ms);
+}
+
+}  // namespace freehgc::loadgen

@@ -1,0 +1,147 @@
+#ifndef FREEHGC_BENCH_LOADGEN_LOADGEN_H_
+#define FREEHGC_BENCH_LOADGEN_LOADGEN_H_
+
+// Open-loop load generator for the serving layer.
+//
+// A closed-loop driver (N clients, each issuing the next request when the
+// previous reply lands) measures *service* time but cannot overload the
+// server: when the server slows down, the offered rate drops with it, and
+// tail latency under pressure is exactly what it hides (coordinated
+// omission). This generator is open-loop: arrivals follow a fixed,
+// precomputed schedule; a request whose send is delayed because the
+// client thread was still blocked on an earlier reply is charged its full
+// lateness, because latency is measured from the *scheduled* arrival
+// time, not the actual send.
+//
+// The schedule is a pure function of LoadSpec (seed, classes, phases):
+// seeded exponential inter-arrivals at a linearly interpolated per-phase
+// rate, with the request class drawn from a Pareto 80/20 popularity
+// distribution (the classic allocator-workload tables: 80/20 applied six
+// times, so ~26% of requests hit ~0.006% of classes). Same seed, same
+// spec -> byte-identical schedule and identical per-class counts, no
+// matter how many client threads replay it (tests/loadgen_test.cc).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/scheduler.h"
+
+namespace freehgc::loadgen {
+
+/// One popularity-weighted request class: a name for reports and the
+/// request template every arrival of this class issues.
+struct RequestClass {
+  std::string name;
+  serve::CondenseRequest request;
+};
+
+/// One traffic phase: `seconds` of arrivals at a rate ramping linearly
+/// from start_rps to end_rps (equal values = constant rate).
+struct Phase {
+  std::string name;
+  double seconds = 1.0;
+  double start_rps = 1.0;
+  double end_rps = 1.0;
+};
+
+struct LoadSpec {
+  uint64_t seed = 1;
+  std::vector<RequestClass> classes;
+  std::vector<Phase> phases;
+};
+
+/// One scheduled arrival, relative to the start of the run.
+struct Arrival {
+  int64_t offset_ns = 0;
+  uint32_t class_index = 0;
+  uint32_t phase_index = 0;
+
+  bool operator==(const Arrival&) const = default;
+};
+
+/// Pareto 80/20 popularity over `item_count` items, via the cumulative
+/// Binomial(6, 0.8) group-mass table: group g receives C(6,g) 0.8^(6-g)
+/// 0.2^g of the probability and covers a C(6,g) 0.8^g 0.2^(6-g) fraction
+/// of the items, so the heaviest group funnels 0.8^6 ~ 26% of picks into
+/// 0.2^6 ~ 0.006% of items. Item ranges that round to empty at small
+/// item counts fall through to the next non-empty group.
+class ParetoPicker {
+ public:
+  explicit ParetoPicker(uint32_t item_count);
+
+  /// Item index in [0, item_count) from two independent uniform u32
+  /// draws: r1 picks the popularity group, r2 the item within it.
+  uint32_t Pick(uint32_t r1, uint32_t r2) const;
+
+ private:
+  uint32_t item_count_;
+  uint32_t ranges_[6];   // cumulative group masses, scaled to u32
+  uint32_t offsets_[8];  // item-range boundaries per group
+};
+
+/// The deterministic schedule for `spec`: arrivals sorted by offset_ns,
+/// classes Pareto-distributed, inter-arrival gaps exponential at the
+/// phase's interpolated rate. Pure function of `spec`.
+std::vector<Arrival> BuildSchedule(const LoadSpec& spec);
+
+/// Per-phase outcome report. Latency quantiles are exact (nearest-rank
+/// over the raw samples) and cover *ok* replies only — shed and expired
+/// requests return fast by design and would flatter the tail; they are
+/// counted, not timed.
+struct PhaseReport {
+  std::string name;
+  double seconds = 0.0;
+  double offered_rps = 0.0;   // scheduled arrivals / phase duration
+  double achieved_rps = 0.0;  // ok replies / phase duration
+  int64_t issued = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;     // kResourceExhausted (queue full, budget, SLO)
+  int64_t expired = 0;  // kDeadlineExceeded
+  int64_t errors = 0;   // anything else non-OK: protocol/internal errors
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Worst send lateness behind the schedule — how far the generator
+  /// itself fell behind (large values mean the client threads, not the
+  /// server, were the bottleneck).
+  double max_lag_ms = 0.0;
+  /// Arrivals issued per class (indexed like LoadSpec::classes).
+  std::vector<int64_t> per_class_issued;
+};
+
+struct RunReport {
+  std::vector<PhaseReport> phases;
+  int64_t issued = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t expired = 0;
+  int64_t errors = 0;
+};
+
+/// Blocking execution of one request. The returned status classifies the
+/// outcome: OK, kResourceExhausted -> shed, kDeadlineExceeded -> expired,
+/// anything else -> error. Called concurrently from the client threads.
+using SubmitFn =
+    std::function<Status(const serve::CondenseRequest&, uint32_t class_index)>;
+
+/// Replays `schedule` open-loop on `client_threads` threads (arrival i is
+/// pinned to thread i % client_threads, so the issue counts are
+/// schedule-determined, never timing-determined) and aggregates per-phase
+/// reports. Latency is measured from each arrival's scheduled time.
+RunReport RunOpenLoop(const LoadSpec& spec,
+                      const std::vector<Arrival>& schedule,
+                      int client_threads, const SubmitFn& submit);
+
+/// Exact nearest-rank quantile in milliseconds over raw ns samples.
+double QuantileMs(std::vector<int64_t> samples_ns, double q);
+
+/// One JSON object for a phase row (BENCH_serve.json "open_loop" rows and
+/// the freehgc_client loadgen report share this schema).
+std::string PhaseReportJson(const PhaseReport& r);
+
+}  // namespace freehgc::loadgen
+
+#endif  // FREEHGC_BENCH_LOADGEN_LOADGEN_H_

@@ -23,6 +23,12 @@ int ThreadsPerSlot(int slots) {
   return per_slot > 0 ? per_slot : 1;
 }
 
+int ConcurrentSlotBudget(int slots) {
+  if (slots < 1) slots = 1;
+  const int cores = DefaultNumThreads();
+  return slots < cores ? slots : cores;
+}
+
 ExecContext::ExecContext(int num_threads) {
   obs::InitObservabilityFromEnv();
   // The constructing thread drives ParallelFor invokes as worker 0;

@@ -217,6 +217,14 @@ int DefaultNumThreads();
 /// not oversubscribe the machine.
 int ThreadsPerSlot(int slots);
 
+/// How many of `slots` worker slots may *execute* concurrently without
+/// time-slicing: min(slots, DefaultNumThreads()). ThreadsPerSlot keeps a
+/// slot's internal parallelism within budget, but on a machine with fewer
+/// cores than slots the slots themselves still contend (each runs a
+/// >= 1-thread context), so the scheduler additionally caps concurrent
+/// dispatch at this value — extra slots stay parked until a token frees.
+int ConcurrentSlotBudget(int slots);
+
 /// Process-wide default context (lazily constructed with
 /// DefaultNumThreads()). Kernel entry points fall back to this when the
 /// caller passes no context.

@@ -157,8 +157,16 @@ double QuantileFromCumulativeBuckets(
       const double in_bucket = cum - prev_cum;
       if (in_bucket <= 0.0) return bound;
       if (std::isinf(bound)) return prev_bound;  // overflow bucket
+      // The exposition omits empty buckets, so the previous *emitted*
+      // bound can sit well below this bucket's true lower edge — e.g. an
+      // overload tail whose observations all land in one high bucket.
+      // Bounds are powers of two: the edge is bound/2 (0 for the first
+      // bucket), exactly the lower Histogram::ApproxQuantile interpolates
+      // from server-side.
+      const double lower =
+          std::max(prev_bound, bound > 1.0 ? bound / 2.0 : 0.0);
       const double frac = (rank - prev_cum) / in_bucket;
-      return prev_bound + frac * (bound - prev_bound);
+      return lower + frac * (bound - lower);
     }
     prev_bound = bound;
     prev_cum = cum;

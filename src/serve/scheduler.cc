@@ -19,8 +19,11 @@ struct SchedulerMetrics {
   obs::Counter& failed;
   obs::Counter& shed;
   obs::Counter& shed_budget;
+  obs::Counter& shed_slo;
   obs::Counter& cancelled;
   obs::Counter& expired;
+  obs::Counter& coalesced;
+  obs::Counter& aged;
   obs::Histogram& queue_ns;
   obs::Histogram& exec_ns;
   obs::Histogram& total_ns;
@@ -35,8 +38,11 @@ struct SchedulerMetrics {
         reg.GetCounter("serve.requests.failed"),
         reg.GetCounter("serve.requests.shed"),
         reg.GetCounter("serve.shed.budget"),
+        reg.GetCounter("serve.shed.slo"),
         reg.GetCounter("serve.requests.cancelled"),
         reg.GetCounter("serve.requests.expired"),
+        reg.GetCounter("serve.coalesced"),
+        reg.GetCounter("serve.aged"),
         reg.GetHistogram("serve.latency.queue_ns"),
         reg.GetHistogram("serve.latency.exec_ns"),
         reg.GetHistogram("serve.latency.total_ns"),
@@ -58,13 +64,23 @@ bool RequestTicket::Done() const {
   return result_.has_value();
 }
 
-RequestScheduler::RequestScheduler(int slots, int queue_capacity,
-                                   int threads_per_slot, WorkFn work)
-    : queue_capacity_(queue_capacity > 0 ? queue_capacity : 1),
+RequestScheduler::RequestScheduler(const SchedulerOptions& options,
+                                   WorkFn work)
+    : queue_capacity_(options.queue_capacity > 0 ? options.queue_capacity
+                                                 : 1),
       work_(std::move(work)) {
-  if (slots < 1) slots = 1;
-  const int per_slot =
-      threads_per_slot > 0 ? threads_per_slot : exec::ThreadsPerSlot(slots);
+  int slots = options.slots < 1 ? 1 : options.slots;
+  max_concurrent_ = options.max_concurrent > 0
+                        ? options.max_concurrent
+                        : exec::ConcurrentSlotBudget(slots);
+  if (max_concurrent_ > slots) max_concurrent_ = slots;
+  if (options.aging_quantum_ms > 0) {
+    aging_quantum_ns_ = options.aging_quantum_ms * 1'000'000;
+  }
+  if (options.slo_ms > 0) slo_ns_ = options.slo_ms * 1'000'000;
+  const int per_slot = options.threads_per_slot > 0
+                           ? options.threads_per_slot
+                           : exec::ThreadsPerSlot(slots);
   slot_exec_.reserve(static_cast<size_t>(slots));
   workers_.reserve(static_cast<size_t>(slots));
   for (int s = 0; s < slots; ++s) {
@@ -74,6 +90,23 @@ RequestScheduler::RequestScheduler(int slots, int queue_capacity,
     workers_.emplace_back([this, s] { WorkerLoop(s); });
   }
 }
+
+namespace {
+SchedulerOptions LegacyOptions(int slots, int queue_capacity,
+                               int threads_per_slot) {
+  SchedulerOptions opts;
+  opts.slots = slots < 1 ? 1 : slots;
+  opts.queue_capacity = queue_capacity;
+  opts.threads_per_slot = threads_per_slot;
+  opts.max_concurrent = opts.slots;  // pre-QoS behavior: no dispatch cap
+  return opts;
+}
+}  // namespace
+
+RequestScheduler::RequestScheduler(int slots, int queue_capacity,
+                                   int threads_per_slot, WorkFn work)
+    : RequestScheduler(LegacyOptions(slots, queue_capacity, threads_per_slot),
+                       std::move(work)) {}
 
 RequestScheduler::~RequestScheduler() { Shutdown(ShutdownMode::kDrain); }
 
@@ -89,11 +122,38 @@ void RequestScheduler::set_admission_guard(AdmissionGuard guard) {
   admission_guard_ = std::move(guard);
 }
 
+void RequestScheduler::set_coalesce_key(CoalesceKeyFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  coalesce_key_fn_ = std::move(fn);
+}
+
 Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
   auto& m = SchedulerMetrics::Get();
   std::unique_lock<std::mutex> lock(mu_);
   if (!accepting_) {
     return Status::Unavailable("scheduler is shutting down");
+  }
+  // Coalescing comes first: a duplicate of in-flight work needs no queue
+  // slot and cannot be shed — it rides the leader that is already paying
+  // for the execution. A non-duplicate keeps its key and becomes the
+  // leader other submissions can attach to (registered after admission).
+  uint64_t coalesce_key = 0;
+  if (coalesce_key_fn_) {
+    coalesce_key = coalesce_key_fn_(request);
+    if (coalesce_key != 0) {
+      auto it = inflight_by_key_.find(coalesce_key);
+      if (it != inflight_by_key_.end()) {
+        const uint64_t id = next_id_++;
+        auto follower = TicketPtr(new RequestTicket(id, std::move(request)));
+        follower->submit_ns_ = obs::NowNs();
+        it->second->followers_.push_back(follower);
+        ++stats_.admitted;
+        ++stats_.coalesced;
+        m.admitted.Increment();
+        m.coalesced.Increment();
+        return follower;
+      }
+    }
   }
   if (static_cast<int>(queue_.size()) >= queue_capacity_) {
     ++stats_.shed;
@@ -127,6 +187,37 @@ Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
       return guard;
     }
   }
+  // SLO-aware shedding: predict this request's queue wait from the
+  // backlog ahead of it draining at the EWMA of recent execution times.
+  // A request that was always going to miss the SLO gets a fast
+  // kResourceExhausted now instead of a late reply (or a queue-deadline
+  // expiry) later. The request's own execution time is deliberately
+  // excluded — admission control can shorten waits, not executions, and
+  // counting it would shed *all* traffic the moment the mean execution
+  // alone exceeds the SLO, even at an empty queue.
+  if (slo_ns_ > 0 && ewma_exec_ns_ > 0.0) {
+    const double predicted_ns = static_cast<double>(queue_.size()) *
+                                ewma_exec_ns_ /
+                                static_cast<double>(max_concurrent_);
+    if (predicted_ns > static_cast<double>(slo_ns_)) {
+      ++stats_.shed;
+      ++stats_.shed_slo;
+      m.shed.Increment();
+      m.shed_slo.Increment();
+      const uint64_t id = next_id_++;
+      Status status = Status::ResourceExhausted(StrFormat(
+          "SLO shed: predicted queue wait %.1f ms exceeds the %lld ms SLO "
+          "(%d queued, %.1f ms mean execution)",
+          predicted_ns * 1e-6, static_cast<long long>(slo_ns_ / 1'000'000),
+          static_cast<int>(queue_.size()), ewma_exec_ns_ * 1e-6));
+      lock.unlock();
+      RecordTerminal(id, /*slot=*/-1, request, obs::NowNs(), /*queue_ns=*/0,
+                     /*exec_ns=*/0, obs::RequestOutcome::kShed,
+                     status.message(), /*evalctx_hit=*/false,
+                     /*fingerprint=*/0);
+      return status;
+    }
+  }
   const uint64_t id = next_id_++;
   const int priority = request.priority;
   const int64_t deadline_ms = request.deadline_ms;
@@ -135,6 +226,10 @@ Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
   ticket->submit_ns_ = obs::NowNs();
   if (deadline_ms > 0) {
     ticket->deadline_ns_ = ticket->submit_ns_ + deadline_ms * 1'000'000;
+  }
+  if (coalesce_key != 0) {
+    ticket->coalesce_key_ = coalesce_key;
+    inflight_by_key_.emplace(coalesce_key, ticket);
   }
   queue_.emplace(std::make_pair(priority, id), ticket);
   ++stats_.admitted;
@@ -147,12 +242,14 @@ Result<TicketPtr> RequestScheduler::Submit(CondenseRequest request) {
 
 bool RequestScheduler::Cancel(uint64_t id) {
   TicketPtr ticket;
+  std::vector<TicketPtr> followers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->second->id() == id) {
         ticket = it->second;
         queue_.erase(it);
+        followers = TakeFollowers(ticket);
         ++stats_.cancelled;
         SchedulerMetrics::Get().cancelled.Increment();
         UpdateGauges();
@@ -168,6 +265,8 @@ bool RequestScheduler::Cancel(uint64_t id) {
                  ticket->submit_ns_, obs::NowNs() - ticket->submit_ns_,
                  /*exec_ns=*/0, obs::RequestOutcome::kCancelled,
                  status.message(), /*evalctx_hit=*/false, /*fingerprint=*/0);
+  FinishFollowers(followers, Result<CondenseReply>(status), /*slot=*/-1,
+                  obs::RequestOutcome::kCancelled, status.message());
   Complete(ticket, std::move(status));
   drain_cv_.notify_all();
   return true;
@@ -175,12 +274,14 @@ bool RequestScheduler::Cancel(uint64_t id) {
 
 void RequestScheduler::Shutdown(ShutdownMode mode) {
   std::vector<TicketPtr> rejected;
+  std::vector<std::vector<TicketPtr>> rejected_followers;
   {
     std::unique_lock<std::mutex> lock(mu_);
     accepting_ = false;
     if (mode == ShutdownMode::kCancelQueued) {
       for (auto& [key, ticket] : queue_) {
         rejected.push_back(ticket);
+        rejected_followers.push_back(TakeFollowers(ticket));
         ++stats_.cancelled;
         SchedulerMetrics::Get().cancelled.Increment();
       }
@@ -188,7 +289,8 @@ void RequestScheduler::Shutdown(ShutdownMode mode) {
       UpdateGauges();
     }
   }
-  for (auto& ticket : rejected) {
+  for (size_t i = 0; i < rejected.size(); ++i) {
+    auto& ticket = rejected[i];
     Status status =
         Status::Unavailable("scheduler shut down before the request ran");
     RecordTerminal(ticket->id(), /*slot=*/-1, ticket->request(),
@@ -196,6 +298,9 @@ void RequestScheduler::Shutdown(ShutdownMode mode) {
                    /*exec_ns=*/0, obs::RequestOutcome::kCancelled,
                    status.message(), /*evalctx_hit=*/false,
                    /*fingerprint=*/0);
+    FinishFollowers(rejected_followers[i], Result<CondenseReply>(status),
+                    /*slot=*/-1, obs::RequestOutcome::kCancelled,
+                    status.message());
     Complete(ticket, std::move(status));
   }
   {
@@ -227,17 +332,24 @@ void RequestScheduler::WorkerLoop(int slot) {
     TicketPtr ticket;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      // Dispatch tokens: even with the queue non-empty, a slot stays
+      // parked while max_concurrent_ requests are already executing —
+      // that is what keeps S > cores slots from time-slicing the cores.
+      work_cv_.wait(lock, [&] {
+        return stop_ ||
+               (!queue_.empty() && stats_.inflight < max_concurrent_);
+      });
       if (stop_ && queue_.empty()) return;
       // Dequeue, shedding queued requests whose deadline already passed —
       // this is the point that guarantees an expired request never runs.
-      while (!queue_.empty()) {
-        auto it = queue_.begin();
+      while (!queue_.empty() && stats_.inflight < max_concurrent_) {
+        auto it = PickNext();
         TicketPtr head = it->second;
         queue_.erase(it);
         if (head->deadline_ns_ > 0 && obs::NowNs() > head->deadline_ns_) {
           ++stats_.expired;
           m.expired.Increment();
+          std::vector<TicketPtr> followers = TakeFollowers(head);
           UpdateGauges();
           lock.unlock();
           Status status = Status::DeadlineExceeded(StrFormat(
@@ -249,6 +361,9 @@ void RequestScheduler::WorkerLoop(int slot) {
                          /*exec_ns=*/0, obs::RequestOutcome::kExpired,
                          status.message(), /*evalctx_hit=*/false,
                          /*fingerprint=*/0);
+          FinishFollowers(followers, Result<CondenseReply>(status),
+                          /*slot=*/-1, obs::RequestOutcome::kExpired,
+                          status.message());
           Complete(head, std::move(status));
           drain_cv_.notify_all();
           lock.lock();
@@ -284,6 +399,7 @@ void RequestScheduler::WorkerLoop(int slot) {
     m.exec_ns.Observe(exec_ns);
     m.total_ns.Observe(end_ns - ticket->submit_ns_);
 
+    std::vector<TicketPtr> followers;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --stats_.inflight;
@@ -294,23 +410,124 @@ void RequestScheduler::WorkerLoop(int slot) {
         ++stats_.failed;
         m.failed.Increment();
       }
+      // Feed the SLO admission predictor with this execution.
+      ewma_exec_ns_ = ewma_exec_ns_ == 0.0
+                          ? static_cast<double>(exec_ns)
+                          : 0.8 * ewma_exec_ns_ +
+                                0.2 * static_cast<double>(exec_ns);
+      followers = TakeFollowers(ticket);
       UpdateGauges();
     }
+    // The dispatch token this request held is free again.
+    work_cv_.notify_all();
     if (result.ok()) {
       const CondenseReply& reply = result.value();
       RecordTerminal(ticket->id(), slot, ticket->request(),
                      ticket->submit_ns_, queue_ns, exec_ns,
                      obs::RequestOutcome::kOk, /*reason=*/{},
                      reply.evalctx_hit, reply.graph_fingerprint);
+      FinishFollowers(followers, result, slot, obs::RequestOutcome::kOk,
+                      "coalesced");
     } else {
       RecordTerminal(ticket->id(), slot, ticket->request(),
                      ticket->submit_ns_, queue_ns, exec_ns,
                      obs::RequestOutcome::kError, result.status().message(),
                      /*evalctx_hit=*/false, /*fingerprint=*/0);
+      FinishFollowers(followers, result, slot, obs::RequestOutcome::kError,
+                      result.status().message());
     }
     Complete(ticket, std::move(result));
     drain_cv_.notify_all();
   }
+}
+
+std::map<std::pair<int, uint64_t>, TicketPtr>::iterator
+RequestScheduler::PickNext() {
+  auto best = queue_.begin();
+  if (aging_quantum_ns_ <= 0 || queue_.size() <= 1) return best;
+  const int64_t now = obs::NowNs();
+  // Effective priority = static priority − whole quanta waited. The map
+  // is ordered by (priority, seq), so a plain begin() is already the best
+  // *unaged* pick; the scan only matters when waiting demoted-priority
+  // work has aged past fresher, nominally-higher-priority work. Ties on
+  // effective priority go to the earlier admission (lower seq) — aged
+  // work at parity beats fresh arrivals. O(queue) per dequeue; the queue
+  // is admission-bounded.
+  auto effective = [&](const TicketPtr& t, int priority) -> int64_t {
+    const int64_t waited = now - t->submit_ns_;
+    return static_cast<int64_t>(priority) - waited / aging_quantum_ns_;
+  };
+  int64_t best_eff = effective(best->second, best->first.first);
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    const int64_t eff = effective(it->second, it->first.first);
+    if (eff < best_eff ||
+        (eff == best_eff && it->first.second < best->first.second)) {
+      best = it;
+      best_eff = eff;
+    }
+  }
+  if (best != queue_.begin()) {
+    ++stats_.aged;
+    SchedulerMetrics::Get().aged.Increment();
+  }
+  return best;
+}
+
+std::vector<TicketPtr> RequestScheduler::TakeFollowers(
+    const TicketPtr& leader) {
+  std::vector<TicketPtr> followers;
+  followers.swap(leader->followers_);
+  if (leader->coalesce_key_ != 0) {
+    auto it = inflight_by_key_.find(leader->coalesce_key_);
+    if (it != inflight_by_key_.end() && it->second == leader) {
+      inflight_by_key_.erase(it);
+    }
+  }
+  return followers;
+}
+
+void RequestScheduler::FinishFollowers(
+    const std::vector<TicketPtr>& followers,
+    const Result<CondenseReply>& result, int slot,
+    obs::RequestOutcome outcome, std::string_view reason) {
+  if (followers.empty()) return;
+  auto& m = SchedulerMetrics::Get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < followers.size(); ++i) {
+      if (result.ok()) {
+        ++stats_.completed;
+        m.completed.Increment();
+      } else if (outcome == obs::RequestOutcome::kError) {
+        ++stats_.failed;
+        m.failed.Increment();
+      } else if (outcome == obs::RequestOutcome::kExpired) {
+        ++stats_.expired;
+        m.expired.Increment();
+      } else {
+        ++stats_.cancelled;
+        m.cancelled.Increment();
+      }
+    }
+  }
+  for (const auto& follower : followers) {
+    const int64_t queue_ns = obs::NowNs() - follower->submit_ns_;
+    if (result.ok()) {
+      // A follower waited but never executed: it lands in the queue and
+      // total latency histograms with exec_ns = 0 (no exec observation —
+      // serve.latency.exec_ns counts real executions only).
+      m.queue_ns.Observe(queue_ns);
+      m.total_ns.Observe(queue_ns);
+    }
+    RecordTerminal(follower->id(), slot, follower->request(),
+                   follower->submit_ns_, queue_ns, /*exec_ns=*/0, outcome,
+                   reason, result.ok() ? result.value().evalctx_hit : false,
+                   result.ok() ? result.value().graph_fingerprint : 0);
+    // Every follower gets a *copy* of the leader's terminal result —
+    // bit-identical reply bytes for the coalesced duplicates.
+    Complete(follower, result);
+  }
+  drain_cv_.notify_all();
 }
 
 void RequestScheduler::RecordTerminal(

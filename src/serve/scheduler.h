@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -104,6 +105,12 @@ class RequestTicket {
   const CondenseRequest request_;
   int64_t submit_ns_ = 0;
   int64_t deadline_ns_ = 0;  // absolute (obs::NowNs clock); 0 = none
+  /// Coalescing state, guarded by the *scheduler's* mu_ (not mu_ below):
+  /// the key this ticket is registered under in inflight_by_key_ (0 =
+  /// not coalescable), and the follower tickets that will receive a copy
+  /// of this leader's result when it reaches a terminal state.
+  uint64_t coalesce_key_ = 0;
+  std::vector<std::shared_ptr<RequestTicket>> followers_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -130,10 +137,45 @@ struct SchedulerStats {
   int64_t shed = 0;        // rejected at admission (queue full or guard)
   int64_t shed_budget = 0;  // subset of shed: admission guard (memory
                             // budget pressure), not queue capacity
+  int64_t shed_slo = 0;    // subset of shed: predicted latency past SLO
   int64_t cancelled = 0;   // removed from the queue by Cancel/shutdown
   int64_t expired = 0;     // queue deadline passed before execution
+  int64_t coalesced = 0;   // admitted as followers of an identical
+                           // in-flight request (never executed)
+  int64_t aged = 0;        // dequeues where priority aging overrode the
+                           // head-of-queue pick
   int64_t queue_depth = 0;
-  int64_t inflight = 0;
+  int64_t inflight = 0;    // requests currently executing
+};
+
+/// Scheduler configuration (the 4-int constructor predates this; it maps
+/// to max_concurrent = slots and the QoS knobs off).
+struct SchedulerOptions {
+  /// Worker slots, each with its own single-driver ExecContext.
+  int slots = 2;
+  /// Bounded admission queue; beyond it submissions are shed.
+  int queue_capacity = 32;
+  /// Threads per slot ExecContext; 0 = exec::ThreadsPerSlot(slots).
+  int threads_per_slot = 0;
+  /// Max requests *executing* at once. On a machine with fewer cores than
+  /// slots, letting every slot run just time-slices the cores and
+  /// multiplies every request's latency by the slot count; capping
+  /// dispatch keeps extra slots as cheap standby capacity. 0 resolves to
+  /// exec::ConcurrentSlotBudget(slots); values above `slots` clamp.
+  int max_concurrent = 0;
+  /// Priority aging quantum: a queued request's effective priority drops
+  /// by 1 every `aging_quantum_ms` it waits, so low-priority work cannot
+  /// be starved by a sustained stream of high-priority arrivals. 0
+  /// disables aging (strict priority-FIFO).
+  int64_t aging_quantum_ms = 0;
+  /// Admission-time SLO: when > 0, a submission whose *predicted* queue
+  /// wait (queue ahead of it / max_concurrent, draining at an EWMA of
+  /// recent execution times) exceeds this many milliseconds is shed
+  /// immediately with kResourceExhausted — the client gets a fast "no"
+  /// instead of a reply that was always going to miss its SLO. The
+  /// request's own execution time is excluded: admission control can
+  /// shorten waits, not executions. 0 disables.
+  int64_t slo_ms = 0;
 };
 
 /// Bounded-admission request scheduler: a priority-FIFO queue feeding N
@@ -149,6 +191,13 @@ struct SchedulerStats {
 /// submitter and never grows unboundedly. Queued requests can be
 /// cancelled or expire (deadline) without ever executing; running
 /// requests always run to completion.
+///
+/// QoS (SchedulerOptions): dispatch is capped at `max_concurrent`
+/// executing requests so slots beyond the core budget park instead of
+/// time-slicing; identical in-flight requests coalesce onto one
+/// execution (set_coalesce_key); queued work ages toward the front
+/// (aging_quantum_ms); and submissions predicted to miss `slo_ms` are
+/// shed at admission with a distinct reason.
 class RequestScheduler {
  public:
   /// The per-request work body, run on a worker slot's thread with that
@@ -171,7 +220,17 @@ class RequestScheduler {
   /// scheduler.
   using AdmissionGuard = std::function<Status()>;
 
-  /// `threads_per_slot` 0 resolves to exec::ThreadsPerSlot(slots).
+  /// Work-identity hash for request coalescing: two requests with the
+  /// same non-zero key are guaranteed (by the caller) to produce
+  /// bit-identical replies, so only one needs to execute. Return 0 for
+  /// "never coalesce this request". Called under the scheduler lock.
+  using CoalesceKeyFn = std::function<uint64_t(const CondenseRequest&)>;
+
+  explicit RequestScheduler(const SchedulerOptions& options, WorkFn work);
+
+  /// Legacy shape: `threads_per_slot` 0 resolves to
+  /// exec::ThreadsPerSlot(slots); every slot may execute concurrently
+  /// (max_concurrent = slots) and the QoS knobs are off.
   RequestScheduler(int slots, int queue_capacity, int threads_per_slot,
                    WorkFn work);
 
@@ -190,6 +249,17 @@ class RequestScheduler {
   /// Installs the admission guard (may be null to clear). Must be called
   /// before the first Submit.
   void set_admission_guard(AdmissionGuard guard);
+
+  /// Installs the coalescing key (may be null to disable). With a key
+  /// installed, a submission whose key matches a request still queued or
+  /// executing is admitted as a *follower*: it never occupies a queue
+  /// slot or executes, and when the leader reaches a terminal state every
+  /// follower's ticket completes with a copy of the leader's result —
+  /// bit-identical reply bytes, including the leader's request_id (the id
+  /// that actually executed; the follower's own id appears in its
+  /// access-log line). A follower's own deadline/priority are ignored —
+  /// its fate is the leader's. Must be called before the first Submit.
+  void set_coalesce_key(CoalesceKeyFn fn);
 
   /// Admits a request. kResourceExhausted when the queue is full,
   /// kUnavailable after Shutdown.
@@ -213,6 +283,18 @@ class RequestScheduler {
   void WorkerLoop(int slot);
   void Complete(const TicketPtr& ticket, Result<CondenseReply> result);
   void UpdateGauges();  // callers hold mu_
+  /// Detaches `leader`'s followers and unregisters its coalesce key;
+  /// callers hold mu_. Every terminal path must call this and then
+  /// complete the returned tickets with a copy of the leader's result.
+  std::vector<TicketPtr> TakeFollowers(const TicketPtr& leader);
+  /// Completes coalesced followers with a copy of the leader's terminal
+  /// result and emits their telemetry. Never called under mu_.
+  void FinishFollowers(const std::vector<TicketPtr>& followers,
+                       const Result<CondenseReply>& result, int slot,
+                       obs::RequestOutcome outcome, std::string_view reason);
+  /// Dequeue pick honoring priority aging; callers hold mu_ and guarantee
+  /// a non-empty queue. Counts stats_.aged when aging overrode begin().
+  std::map<std::pair<int, uint64_t>, TicketPtr>::iterator PickNext();
   /// Emits the access-log line + flight-recorder record for a request
   /// reaching a terminal state. Never called under mu_ (the access log
   /// does a write(2)).
@@ -222,18 +304,29 @@ class RequestScheduler {
                       bool evalctx_hit, uint64_t fingerprint);
 
   const int queue_capacity_;
+  int max_concurrent_ = 1;
+  int64_t aging_quantum_ns_ = 0;  // 0 = aging off
+  int64_t slo_ns_ = 0;            // 0 = SLO shedding off
   WorkFn work_;
   obs::AccessLog* access_log_ = nullptr;  // not owned
   AnnotateFn annotate_;
   AdmissionGuard admission_guard_;
+  CoalesceKeyFn coalesce_key_fn_;
   std::vector<std::unique_ptr<exec::ExecContext>> slot_exec_;
   std::vector<std::thread> workers_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: queue non-empty or stop
+  std::condition_variable work_cv_;   // workers: dispatchable work or stop
   std::condition_variable drain_cv_;  // Shutdown: queue empty + idle
-  /// (priority, admission seq) -> ticket; begin() is the next request.
+  /// (priority, admission seq) -> ticket; begin() is the next request
+  /// (PickNext may override it when aging is on).
   std::map<std::pair<int, uint64_t>, TicketPtr> queue_;
+  /// Coalesce key -> leader ticket, for every leader still queued or
+  /// executing; erased when the leader reaches a terminal state.
+  std::unordered_map<uint64_t, TicketPtr> inflight_by_key_;
+  /// EWMA of completed executions' exec_ns (0 until the first
+  /// completion); the SLO admission predictor.
+  double ewma_exec_ns_ = 0.0;
   uint64_t next_id_ = 1;
   bool accepting_ = true;
   bool stop_ = false;

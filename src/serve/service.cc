@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "graph/serialize.h"
@@ -44,11 +45,43 @@ ServeService::ServeService(ServeOptions options)
     FREEHGC_LOG(Warning)
         << "artifact budget ignored: no spill dir configured";
   }
+  SchedulerOptions sched_opts;
+  sched_opts.slots = options_.slots;
+  sched_opts.queue_capacity = options_.queue_capacity;
+  sched_opts.threads_per_slot = options_.threads_per_slot;
+  sched_opts.max_concurrent = options_.max_concurrent;
+  sched_opts.aging_quantum_ms = options_.aging_quantum_ms;
+  sched_opts.slo_ms = options_.slo_ms;
   scheduler_ = std::make_unique<RequestScheduler>(
-      options_.slots, options_.queue_capacity, options_.threads_per_slot,
+      sched_opts,
       [this](const CondenseRequest& request, const RequestContext& rctx) {
         return Execute(request, rctx);
       });
+  if (options_.coalesce_requests) {
+    // Work identity for request coalescing. Everything Execute() reads
+    // from the request is mixed in except priority and deadline (which
+    // change scheduling, not the reply) — two requests with equal keys
+    // produce bit-identical replies because every stage downstream is
+    // deterministic. Graph *name* (not fingerprint) keys the store
+    // lookup, so a re-registered name never aliases: re-registration
+    // happens outside any in-flight window in practice, and the name is
+    // what Execute() resolves.
+    scheduler_->set_coalesce_key([](const CondenseRequest& r) -> uint64_t {
+      Fnv f;
+      f.Bytes(r.graph.data(), r.graph.size());
+      f.Pod(uint8_t{0});
+      f.Bytes(r.method.data(), r.method.size());
+      f.Pod(uint8_t{0});
+      f.Pod(r.ratio);
+      f.Pod(r.seed);
+      f.Pod(r.max_hops);
+      f.Pod(r.max_paths);
+      f.Pod(r.max_row_nnz);
+      f.Pod(r.evaluate);
+      f.Pod(r.return_graph);
+      return f.h != 0 ? f.h : 1;  // 0 means "don't coalesce"
+    });
+  }
   // Spill-aware admission (the budget_shed_factor contract): consult the
   // budget gauges on every Submit and shed instead of queueing work that
   // would only deepen spill-tier thrashing.
@@ -251,11 +284,14 @@ std::string ServeService::StatsJson() const {
   out += StrFormat(
       "  \"requests\": {\"admitted\": %lld, \"completed\": %lld, "
       "\"failed\": %lld, \"shed\": %lld, \"shed_budget\": %lld, "
-      "\"cancelled\": %lld, \"expired\": %lld},\n",
+      "\"shed_slo\": %lld, \"cancelled\": %lld, \"expired\": %lld, "
+      "\"coalesced\": %lld, \"aged\": %lld},\n",
       static_cast<long long>(s.admitted), static_cast<long long>(s.completed),
       static_cast<long long>(s.failed), static_cast<long long>(s.shed),
       static_cast<long long>(s.shed_budget),
-      static_cast<long long>(s.cancelled), static_cast<long long>(s.expired));
+      static_cast<long long>(s.shed_slo),
+      static_cast<long long>(s.cancelled), static_cast<long long>(s.expired),
+      static_cast<long long>(s.coalesced), static_cast<long long>(s.aged));
   out += StrFormat("  \"queue_depth\": %lld,\n",
                    static_cast<long long>(s.queue_depth));
   out += StrFormat("  \"inflight\": %lld,\n",

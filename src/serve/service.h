@@ -28,6 +28,24 @@ struct ServeOptions {
   int queue_capacity = 32;
   /// Threads per slot ExecContext; 0 = exec::ThreadsPerSlot(slots).
   int threads_per_slot = 0;
+  /// Max requests executing at once (see SchedulerOptions). 0 resolves to
+  /// exec::ConcurrentSlotBudget(slots) — on a machine with fewer cores
+  /// than slots, surplus slots park instead of time-slicing.
+  int max_concurrent = 0;
+  /// Priority aging quantum in milliseconds (see SchedulerOptions);
+  /// 0 disables. The serving default keeps low-priority work from
+  /// starving under a sustained high-priority stream.
+  int64_t aging_quantum_ms = 250;
+  /// Admission-time SLO in milliseconds (see SchedulerOptions); a
+  /// submission predicted to finish past it is shed immediately.
+  /// 0 (default) disables.
+  int64_t slo_ms = 0;
+  /// Coalesce identical in-flight requests: duplicates of a queued or
+  /// executing (graph, method, ratio, seed, meta-path config, evaluate,
+  /// return_graph) request ride its execution and receive a copy of its
+  /// reply. Priority/deadline are excluded from the identity — a
+  /// follower's fate is its leader's.
+  bool coalesce_requests = true;
   /// When non-empty, every terminal request appends one JSONL line here
   /// (see obs::AccessLog). Open failure logs a warning and disables the
   /// log; it never fails service construction.

@@ -11,6 +11,7 @@
 #include "core/freehgc.h"
 #include "datasets/generator.h"
 #include "exec/exec_context.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparse/csr.h"
@@ -231,6 +232,57 @@ TEST(MetricsTest, HistogramApproxQuantile) {
   EXPECT_GT(h.ApproxQuantile(0.99), 65536);
   // Quantiles are monotone in q.
   EXPECT_LE(h.ApproxQuantile(0.25), h.ApproxQuantile(0.75));
+}
+
+TEST(MetricsTest, HistogramQuantileOverloadTailAllInTopBucket) {
+  // The overload-tail edge case the serve bench's p99 reporting leans
+  // on: every observation lands in one high bucket (a saturated server
+  // pins latencies to the same decade). The estimate must stay inside
+  // that bucket for every q and remain monotone — no falling back to
+  // the mean, no walking past the last bucket.
+  obs::Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test.obs_top_bucket");
+  h.Reset();
+  const int64_t v = int64_t{3} << 32;  // ~12.9 s in ns, bucket (2^33, 2^34]
+  for (int i = 0; i < 1000; ++i) h.Observe(v);
+  int64_t prev = 0;
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const int64_t est = h.ApproxQuantile(q);
+    EXPECT_GT(est, int64_t{1} << 33) << "q=" << q;
+    EXPECT_LE(est, int64_t{1} << 34) << "q=" << q;
+    EXPECT_GE(est, prev) << "q=" << q;
+    prev = est;
+  }
+
+  // Values past the largest power-of-two boundary clamp into the final
+  // bucket rather than indexing out of range, and the quantile stays
+  // within that bucket's bounds.
+  h.Reset();
+  const int64_t huge = (int64_t{1} << 62) + 12345;
+  EXPECT_EQ(obs::Histogram::BucketIndex(huge), 62);
+  h.Observe(huge);
+  const int64_t p99 = h.ApproxQuantile(0.99);
+  EXPECT_GT(p99, int64_t{1} << 61);
+  EXPECT_LE(p99, int64_t{1} << 62);
+}
+
+TEST(MetricsTest, ScrapedQuantileMatchesServerAtOverloadTail) {
+  // p99-from-METRICS must agree with the server-side estimate when the
+  // whole distribution sits in the top occupied bucket (the shape an
+  // overloaded phase produces) — this is the reconstruction the load
+  // harness and dashboards rely on.
+  MetricsRegistry reg;
+  obs::Histogram& h = reg.GetHistogram("overload.lat");
+  for (int i = 0; i < 500; ++i) h.Observe(int64_t{5} << 30);
+  const auto samples = obs::ParsePrometheusText(obs::PrometheusText(reg));
+  const auto buckets = obs::PromBuckets(samples, "freehgc_overload_lat");
+  for (double q : {0.5, 0.99}) {
+    const double scraped = obs::QuantileFromCumulativeBuckets(buckets, q);
+    const double server = static_cast<double>(h.ApproxQuantile(q));
+    EXPECT_NEAR(scraped, server, server * 0.01 + 2.0) << "q=" << q;
+    EXPECT_GT(scraped, static_cast<double>(int64_t{1} << 32));
+    EXPECT_LE(scraped, static_cast<double>(int64_t{1} << 33));
+  }
 }
 
 /// The determinism contract extended to metrics: every *value* metric a

@@ -5,13 +5,17 @@
 #include <chrono>
 #include <cstdio>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "datasets/generator.h"
+#include "exec/exec_context.h"
 #include "graph/serialize.h"
+#include "obs/access_log.h"
 #include "obs/exposition.h"
 #include "pipeline/method.h"
 #include "serve/client.h"
@@ -419,6 +423,269 @@ TEST(SchedulerTest, CancelQueuedShutdownFailsQueuedRuns) {
 }
 
 // ---------------------------------------------------------------------------
+// RequestScheduler QoS: coalescing, aging, SLO shed, dispatch cap.
+
+TEST(SchedulerTest, CoalescedDuplicatesAllGetBitIdenticalReply) {
+  const std::string path = testing::TempDir() + "/coalesce_access.jsonl";
+  std::remove(path.c_str());
+  obs::AccessLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+
+  Latch latch;
+  std::atomic<int> execs{0};
+  SchedulerOptions opts;
+  opts.slots = 1;
+  opts.queue_capacity = 8;
+  opts.threads_per_slot = 1;
+  RequestScheduler sched(
+      opts,
+      [&](const CondenseRequest& req,
+          const RequestContext& rctx) -> Result<CondenseReply> {
+        latch.BlockUntilReleased();
+        CondenseReply reply;
+        reply.request_id = rctx.id;
+        // Distinct per execution: if a duplicate ever re-executed, its
+        // reply would differ and the bit-identity checks below fail.
+        reply.nodes = 100 + execs.fetch_add(1);
+        reply.graph_bytes = "payload-" + std::to_string(req.seed);
+        return reply;
+      });
+  sched.set_telemetry(&log, [](obs::AccessRecord&) {});
+  sched.set_coalesce_key(
+      [](const CondenseRequest& req) -> uint64_t { return req.seed + 1; });
+
+  CondenseRequest req;
+  req.seed = 9;
+  auto leader = sched.Submit(req);
+  ASSERT_TRUE(leader.ok());
+  latch.WaitForEntered(1);  // leader is executing, key still in flight
+
+  auto f1 = sched.Submit(req);
+  auto f2 = sched.Submit(req);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(sched.stats().coalesced, 2);
+
+  CondenseRequest other;
+  other.seed = 10;  // distinct key: queues normally, runs for real
+  auto distinct = sched.Submit(other);
+  ASSERT_TRUE(distinct.ok());
+
+  latch.Release();
+  const Result<CondenseReply> lead_reply = (*leader)->Wait();
+  const Result<CondenseReply> f1_reply = (*f1)->Wait();
+  const Result<CondenseReply> f2_reply = (*f2)->Wait();
+  ASSERT_TRUE(lead_reply.ok());
+  ASSERT_TRUE(f1_reply.ok());
+  ASSERT_TRUE(f2_reply.ok());
+  EXPECT_TRUE((*distinct)->Wait().ok());
+  sched.Shutdown();
+
+  // Followers receive a verbatim copy of the leader's reply — including
+  // the leader's request id, the join key for tracing.
+  for (const auto* r : {&f1_reply, &f2_reply}) {
+    EXPECT_EQ((*r)->request_id, lead_reply->request_id);
+    EXPECT_EQ((*r)->nodes, lead_reply->nodes);
+    EXPECT_EQ((*r)->graph_bytes, lead_reply->graph_bytes);
+  }
+  EXPECT_EQ(execs.load(), 2);  // leader + the distinct request only
+  EXPECT_EQ(sched.stats().completed, 4);
+
+  // Each follower still logs its own terminal line, tagged "coalesced",
+  // under its own ticket id.
+  log.Close();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int coalesced_lines = 0;
+  std::set<unsigned long long> ids;
+  while (std::getline(in, line)) {
+    unsigned long long id = 0;
+    ASSERT_EQ(std::sscanf(line.c_str(), "{\"id\": %llu,", &id), 1) << line;
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+    if (line.find("\"reason\": \"coalesced\"") != std::string::npos) {
+      ++coalesced_lines;
+    }
+  }
+  EXPECT_EQ(coalesced_lines, 2);
+  EXPECT_EQ(ids.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(SchedulerTest, AgedLowPriorityOvertakesFreshHighPriority) {
+  Latch latch;
+  std::mutex order_mu;
+  std::vector<uint64_t> order;
+  SchedulerOptions opts;
+  opts.slots = 1;
+  opts.queue_capacity = 16;
+  opts.threads_per_slot = 1;
+  opts.aging_quantum_ms = 10;
+  RequestScheduler sched(
+      opts,
+      [&](const CondenseRequest& req,
+          const RequestContext&) -> Result<CondenseReply> {
+        if (req.graph == "blocker") latch.BlockUntilReleased();
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(req.seed);
+        return CondenseReply{};
+      });
+
+  CondenseRequest blocker;
+  blocker.graph = "blocker";
+  blocker.seed = 777;  // distinct from the flood's seeds 1-5
+  ASSERT_TRUE(sched.Submit(blocker).ok());
+  latch.WaitForEntered(1);
+
+  // A low-priority request waits long enough to age past a later flood
+  // of fresh high-priority ones: effective priority 5 - 120ms/10ms < 0.
+  CondenseRequest low;
+  low.seed = 999;
+  low.priority = 5;
+  std::vector<TicketPtr> tickets;
+  {
+    auto t = sched.Submit(low);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  for (uint64_t s = 1; s <= 5; ++s) {
+    CondenseRequest fresh;
+    fresh.seed = s;
+    fresh.priority = 0;
+    auto t = sched.Submit(fresh);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+
+  latch.Release();
+  for (auto& t : tickets) EXPECT_TRUE(t->Wait().ok());
+  sched.Shutdown();
+
+  ASSERT_GE(order.size(), 2u);
+  EXPECT_EQ(order[0], 777u);  // the blocker itself
+  EXPECT_EQ(order[1], 999u);  // aged request dispatches first
+  EXPECT_GE(sched.stats().aged, 1);
+}
+
+TEST(SchedulerTest, SloShedIsResourceExhaustedWithDistinctReason) {
+  const std::string path = testing::TempDir() + "/slo_access.jsonl";
+  std::remove(path.c_str());
+  obs::AccessLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+
+  Latch latch;
+  SchedulerOptions opts;
+  opts.slots = 1;
+  opts.queue_capacity = 8;
+  opts.threads_per_slot = 1;
+  opts.slo_ms = 5;
+  RequestScheduler sched(
+      opts,
+      [&](const CondenseRequest& req,
+          const RequestContext&) -> Result<CondenseReply> {
+        if (req.graph == "blocker") latch.BlockUntilReleased();
+        if (req.graph == "slow") {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        return CondenseReply{};
+      });
+  sched.set_telemetry(&log, [](obs::AccessRecord&) {});
+
+  // Seed the execution-time EWMA with one ~20 ms completion. Admission
+  // can't predict before it has seen at least one request finish.
+  CondenseRequest warm;
+  warm.graph = "slow";
+  {
+    auto t = sched.Submit(warm);
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE((*t)->Wait().ok());
+  }
+
+  CondenseRequest blocker;
+  blocker.graph = "blocker";
+  auto running = sched.Submit(blocker);
+  ASSERT_TRUE(running.ok());
+  latch.WaitForEntered(1);
+  auto queued = sched.Submit({});
+  ASSERT_TRUE(queued.ok());
+
+  // Predicted queue wait: one queued request at ~20 ms mean execution —
+  // far past the 5 ms SLO. Shed at admission, with a reason distinct
+  // from queue-full shedding. (The blocker and the first queued request
+  // were admitted at an empty queue: predicted wait 0.)
+  auto shed = sched.Submit({});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().message().find("SLO shed"), std::string::npos)
+      << shed.status().message();
+  EXPECT_EQ(sched.stats().shed, 1);
+  EXPECT_EQ(sched.stats().shed_slo, 1);
+
+  latch.Release();
+  EXPECT_TRUE((*running)->Wait().ok());
+  EXPECT_TRUE((*queued)->Wait().ok());
+  sched.Shutdown();
+
+  // The access log's shed line carries the SLO reason.
+  log.Close();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int slo_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"outcome\": \"shed\"") != std::string::npos) {
+      EXPECT_NE(line.find("SLO shed"), std::string::npos) << line;
+      ++slo_lines;
+    }
+  }
+  EXPECT_EQ(slo_lines, 1);
+  std::remove(path.c_str());
+}
+
+TEST(SchedulerTest, MaxConcurrentCapsDispatchBelowSlotCount) {
+  // The multi-slot cold regression fix: surplus slots must park, not
+  // time-slice. With max_concurrent=1, four slots never have more than
+  // one request executing at once.
+  Latch latch;
+  SchedulerOptions opts;
+  opts.slots = 4;
+  opts.queue_capacity = 16;
+  opts.threads_per_slot = 1;
+  opts.max_concurrent = 1;
+  RequestScheduler sched(
+      opts,
+      [&](const CondenseRequest&,
+          const RequestContext&) -> Result<CondenseReply> {
+        latch.BlockUntilReleased();
+        return CondenseReply{};
+      });
+
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 4; ++i) {
+    auto t = sched.Submit({});
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  latch.WaitForEntered(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(latch.entered.load(), 1);  // the other three are parked
+  EXPECT_EQ(sched.stats().inflight, 1);
+
+  latch.Release();
+  for (auto& t : tickets) EXPECT_TRUE(t->Wait().ok());
+  sched.Shutdown();
+  EXPECT_EQ(sched.stats().completed, 4);
+
+  // The default cap is the core budget: never more than the machine can
+  // genuinely run, never more than the slot count.
+  EXPECT_EQ(exec::ConcurrentSlotBudget(4),
+            std::min(4, exec::DefaultNumThreads()));
+  EXPECT_EQ(exec::ConcurrentSlotBudget(1), 1);
+  EXPECT_GE(exec::ConcurrentSlotBudget(0), 1);
+}
+
+// ---------------------------------------------------------------------------
 // ServeService: real condensation through the scheduler.
 
 ServeOptions SmallServeOptions(int slots) {
@@ -497,6 +764,41 @@ TEST(ServeServiceTest, SameConfigRequestsCoalesceEvalContext) {
   other.max_paths = 3;
   ASSERT_TRUE(service.Condense(other).ok());
   EXPECT_EQ(service.eval_context_builds(), 2);
+  service.Shutdown();
+}
+
+TEST(ServeServiceTest, IdenticalInflightRequestsCoalesceAtServiceLevel) {
+  // Service-level wiring of request coalescing (on by default): a burst
+  // of byte-identical requests on one slot produces identical replies,
+  // and any that overlapped an in-flight twin rode its execution. The
+  // count of coalesced requests is timing-dependent; the reply identity
+  // and counter consistency are not.
+  ServeService service(SmallServeOptions(1));
+  ASSERT_TRUE(service.store().Register("toy", datasets::MakeToy(40)).ok());
+
+  constexpr int kThreads = 6;
+  std::vector<Result<CondenseReply>> replies(
+      kThreads, Result<CondenseReply>(Status::Internal("unset")));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { replies[static_cast<size_t>(i)] = service.Condense(ToyRequest(5)); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& r : replies) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->graph_bytes, replies[0]->graph_bytes);
+  }
+  const SchedulerStats stats = service.scheduler_stats();
+  EXPECT_EQ(stats.completed, kThreads);
+  EXPECT_EQ(stats.admitted, kThreads);
+
+  // The QoS counters surface in the stats JSON for operators.
+  const std::string json = service.StatsJson();
+  for (const char* key : {"\"coalesced\"", "\"shed_slo\"", "\"aged\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  }
   service.Shutdown();
 }
 

@@ -8,6 +8,10 @@
 //                  [--seed=1] [--max-hops=2] [--max-paths=12]
 //                  [--evaluate] [--output=FILE] [--deadline-ms=0]
 //                  [--priority=0]
+//   freehgc_client --port=P loadgen GRAPH [--method=freehgc] [--ratio=0.1]
+//                  [--classes=24] [--rate=50] [--ramp-s=1] [--sustain-s=2]
+//                  [--overload-s=0] [--overload-x=6] [--threads=8]
+//                  [--seed=1] [--report=FILE] [--check]
 //   freehgc_client --port=P stats
 //   freehgc_client --port=P metrics     # Prometheus text exposition
 //   freehgc_client --port=P health      # liveness JSON
@@ -32,7 +36,9 @@
 #include <string>
 #include <vector>
 
+#include "bench/loadgen/loadgen.h"
 #include "cluster/router.h"
+#include "common/string_util.h"
 #include "serve/client.h"
 
 namespace {
@@ -77,6 +83,124 @@ bool ReadFile(const std::string& path, std::string* out) {
                           out->size();
   std::fclose(f);
   return ok;
+}
+
+// Open-loop load settings for the `loadgen` command.
+struct LoadgenFlags {
+  int classes = 24;       // seeds 1..classes, max_paths cycling {4, 6, 8}
+  double rate = 50.0;     // sustain arrival rate (requests/second)
+  double ramp_s = 1.0;    // ramp 0.25*rate -> rate over this many seconds
+  double sustain_s = 2.0;
+  double overload_s = 0.0;   // 0 = no overload phase
+  double overload_x = 6.0;   // overload rate = overload_x * rate
+  int threads = 8;
+  uint64_t seed = 1;         // schedule seed (deterministic arrivals)
+  std::string report;        // write the phase reports as JSON here
+  bool check = false;        // exit nonzero on errors or off-phase sheds
+};
+
+/// Replays a deterministic open-loop schedule against a live server. One
+/// ServeClient per worker thread (the wire protocol is one request per
+/// connection at a time), connected lazily on the thread's first arrival.
+int RunLoadgen(int port, const std::string& graph, CondenseRequest base,
+               const LoadgenFlags& flags) {
+  namespace lg = freehgc::loadgen;
+  lg::LoadSpec spec;
+  spec.seed = flags.seed;
+  const int path_caps[3] = {4, 6, 8};
+  for (int c = 0; c < (flags.classes > 0 ? flags.classes : 1); ++c) {
+    lg::RequestClass cls;
+    CondenseRequest req = base;
+    req.graph = graph;
+    req.seed = static_cast<uint64_t>(1 + c);
+    req.max_paths = path_caps[c % 3];
+    cls.name = freehgc::StrFormat("c%d", c);
+    cls.request = req;
+    spec.classes.push_back(cls);
+  }
+  if (flags.ramp_s > 0) {
+    spec.phases.push_back({"ramp", flags.ramp_s, 0.25 * flags.rate,
+                           flags.rate});
+  }
+  if (flags.sustain_s > 0) {
+    spec.phases.push_back({"sustain", flags.sustain_s, flags.rate,
+                           flags.rate});
+  }
+  if (flags.overload_s > 0) {
+    const double rate = flags.overload_x * flags.rate;
+    spec.phases.push_back({"overload", flags.overload_s, rate, rate});
+  }
+  if (spec.phases.empty()) {
+    std::fprintf(stderr, "loadgen: no phases (all durations are 0)\n");
+    return 2;
+  }
+  const auto schedule = lg::BuildSchedule(spec);
+  std::printf("loadgen: %zu arrivals, %zu classes, %zu phase(s), seed %llu, "
+              "%d client thread(s)\n",
+              schedule.size(), spec.classes.size(), spec.phases.size(),
+              static_cast<unsigned long long>(spec.seed), flags.threads);
+  std::fflush(stdout);
+
+  const auto report = lg::RunOpenLoop(
+      spec, schedule, flags.threads,
+      [port](const CondenseRequest& req, uint32_t) -> Status {
+        thread_local ServeClient client;
+        thread_local bool connected = false;
+        if (!connected) {
+          if (Status st = client.Connect(port); !st.ok()) return st;
+          connected = true;
+        }
+        return client.Condense(req).status();
+      });
+
+  std::string json;
+  for (size_t i = 0; i < report.phases.size(); ++i) {
+    const lg::PhaseReport& pr = report.phases[i];
+    std::printf("%-8s: offered %8.1f rps  achieved %8.1f rps  "
+                "p50 %8.2f ms  p95 %8.2f ms  p99 %8.2f ms  ok %lld  "
+                "shed %lld  expired %lld  errors %lld  lag %.1f ms\n",
+                pr.name.c_str(), pr.offered_rps, pr.achieved_rps, pr.p50_ms,
+                pr.p95_ms, pr.p99_ms, static_cast<long long>(pr.ok),
+                static_cast<long long>(pr.shed),
+                static_cast<long long>(pr.expired),
+                static_cast<long long>(pr.errors), pr.max_lag_ms);
+    json += "    " + lg::PhaseReportJson(pr);
+    json += i + 1 < report.phases.size() ? ",\n" : "\n";
+  }
+  if (!flags.report.empty()) {
+    FILE* f = std::fopen(flags.report.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.report.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"loadgen\": {\"graph\": \"%s\", \"classes\": %zu, "
+                 "\"seed\": %llu, \"threads\": %d},\n  \"phases\": [\n%s  ]\n}\n",
+                 graph.c_str(), spec.classes.size(),
+                 static_cast<unsigned long long>(spec.seed), flags.threads,
+                 json.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", flags.report.c_str());
+  }
+
+  if (flags.check) {
+    if (report.errors > 0) {
+      std::fprintf(stderr, "loadgen: %lld protocol error(s)\n",
+                   static_cast<long long>(report.errors));
+      return 1;
+    }
+    for (const lg::PhaseReport& pr : report.phases) {
+      if (pr.name != "overload" && (pr.shed > 0 || pr.expired > 0)) {
+        std::fprintf(stderr,
+                     "loadgen: %lld shed / %lld expired outside the "
+                     "overload phase (%s)\n",
+                     static_cast<long long>(pr.shed),
+                     static_cast<long long>(pr.expired), pr.name.c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
 }
 
 // Commands available when routing through the meta service.
@@ -214,6 +338,7 @@ int main(int argc, char** argv) {
   std::string output;
   uint64_t seed = 1;
   double scale = 0.0;
+  LoadgenFlags lg;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -256,6 +381,24 @@ int main(int argc, char** argv) {
       req.priority = std::atoi(v.c_str());
     } else if (FlagValue(arg, "--output=", &v)) {
       output = v;
+    } else if (FlagValue(arg, "--classes=", &v)) {
+      lg.classes = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--rate=", &v)) {
+      lg.rate = std::atof(v.c_str());
+    } else if (FlagValue(arg, "--ramp-s=", &v)) {
+      lg.ramp_s = std::atof(v.c_str());
+    } else if (FlagValue(arg, "--sustain-s=", &v)) {
+      lg.sustain_s = std::atof(v.c_str());
+    } else if (FlagValue(arg, "--overload-s=", &v)) {
+      lg.overload_s = std::atof(v.c_str());
+    } else if (FlagValue(arg, "--overload-x=", &v)) {
+      lg.overload_x = std::atof(v.c_str());
+    } else if (FlagValue(arg, "--threads=", &v)) {
+      lg.threads = std::atoi(v.c_str());
+    } else if (FlagValue(arg, "--report=", &v)) {
+      lg.report = v;
+    } else if (arg == "--check") {
+      lg.check = true;
     } else if (arg == "--evaluate") {
       req.evaluate = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -270,8 +413,8 @@ int main(int argc, char** argv) {
   if ((port <= 0 && meta_port <= 0) || command.empty()) {
     std::fprintf(stderr,
                  "usage: freehgc_client --port=P (or --port-file=PATH) "
-                 "ping|register|upload|list|condense|stats|metrics|health|"
-                 "flight|shutdown ...\n"
+                 "ping|register|upload|list|condense|loadgen|stats|metrics|"
+                 "health|flight|shutdown ...\n"
                  "       freehgc_client --meta-port=P (or "
                  "--meta-port-file=PATH) "
                  "ping|upload|condense|resolve|shards|stats|shutdown ...\n");
@@ -363,6 +506,14 @@ int main(int argc, char** argv) {
                   output.c_str(), reply->graph_bytes.size());
     }
     return 0;
+  }
+  if (command == "loadgen") {
+    if (positional.size() != 1) {
+      std::fprintf(stderr, "usage: loadgen GRAPH [flags]\n");
+      return 2;
+    }
+    lg.seed = seed;
+    return RunLoadgen(port, positional[0], req, lg);
   }
   if (command == "stats") {
     auto stats = client.Stats();

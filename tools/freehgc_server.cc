@@ -2,10 +2,20 @@
 //
 //   freehgc_server [--port=0] [--port-file=PATH] [--slots=2]
 //                  [--queue-capacity=32] [--threads-per-slot=0]
+//                  [--max-concurrent=0] [--aging-quantum-ms=250]
+//                  [--slo-ms=0] [--no-coalesce]
 //                  [--spool-dir=PATH] [--map=NAME=PATH]...
 //                  [--access-log=PATH] [--spill-dir=PATH]
 //                  [--artifact-budget=BYTES] [--resident-budget=BYTES]
 //                  [--meta=HOST:PORT --shard-id=N [--heartbeat-ms=500]]
+//
+// QoS knobs (see serve::ServeOptions): --max-concurrent caps how many
+// slots execute at once (0 = the core budget — surplus slots park
+// instead of time-slicing); --aging-quantum-ms bumps a queued request's
+// effective priority per quantum waited (0 disables aging);
+// --slo-ms sheds a submission at admission when its predicted latency
+// exceeds the SLO (0 disables); --no-coalesce turns off duplicate
+// in-flight request coalescing.
 //
 // Binds the requested port (0 = ephemeral; the bound port is printed and
 // optionally written to --port-file so scripts can find it), serves the
@@ -74,6 +84,13 @@ bool ParseIntFlag(const std::string& arg, const char* prefix, int* out) {
   return true;
 }
 
+bool ParseInt64Flag(const std::string& arg, const char* prefix,
+                    int64_t* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::atoll(arg.c_str() + std::string(prefix).size());
+  return true;
+}
+
 // Byte count with an optional K/M/G suffix (binary multiples).
 bool ParseBytesFlag(const std::string& arg, const char* prefix,
                     size_t* out) {
@@ -130,7 +147,16 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "--queue-capacity=",
                      &options.serve.queue_capacity) ||
         ParseIntFlag(arg, "--threads-per-slot=",
-                     &options.serve.threads_per_slot)) {
+                     &options.serve.threads_per_slot) ||
+        ParseIntFlag(arg, "--max-concurrent=",
+                     &options.serve.max_concurrent) ||
+        ParseInt64Flag(arg, "--aging-quantum-ms=",
+                       &options.serve.aging_quantum_ms) ||
+        ParseInt64Flag(arg, "--slo-ms=", &options.serve.slo_ms)) {
+      continue;
+    }
+    if (arg == "--no-coalesce") {
+      options.serve.coalesce_requests = false;
       continue;
     }
     if (ParseMetaFlag(arg, &meta_port) ||
